@@ -1,0 +1,348 @@
+package repro
+
+// Benchmarks regenerating the experiment tables E1–E10 (one benchmark
+// family per table; see DESIGN.md section 4). The cmd/streamline-bench
+// binary prints the same measurements as formatted tables with fixed input
+// sizes; these testing.B variants let `go test -bench` scale iterations and
+// report ns/op and allocations.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cutty"
+	"repro/internal/dataflow"
+	"repro/internal/engine"
+	"repro/internal/i2"
+	"repro/internal/state"
+	"repro/internal/window"
+	"repro/internal/workloads"
+)
+
+func mkEngines() map[string]func(engine.Emit) engine.Engine {
+	return map[string]func(engine.Emit) engine.Engine{
+		"cutty":   func(e engine.Emit) engine.Engine { return cutty.New(e) },
+		"pairs":   baselines.NewPairs,
+		"panes":   baselines.NewPanes,
+		"b-int":   func(e engine.Emit) engine.Engine { return baselines.NewBInt(e) },
+		"buckets": func(e engine.Emit) engine.Engine { return baselines.NewBuckets(e) },
+		"eager":   func(e engine.Emit) engine.Engine { return baselines.NewEager(e) },
+	}
+}
+
+var strategyOrder = []string{"cutty", "pairs", "panes", "b-int", "buckets", "eager"}
+
+// driveN pushes b.N events through a fresh engine with the given queries.
+func driveN(b *testing.B, mk func(engine.Emit) engine.Engine, qs []engine.Query) {
+	b.Helper()
+	var results int64
+	e := mk(func(engine.Result) { results++ })
+	for _, q := range qs {
+		if _, err := e.AddQuery(q); err != nil {
+			b.Skipf("strategy does not support query: %v", err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := int64(i)
+		e.OnWatermark(ts)
+		e.OnElement(ts, float64(i%97))
+	}
+	e.OnWatermark(math.MaxInt64)
+	b.ReportMetric(float64(results)/float64(b.N), "windows/ev")
+}
+
+// BenchmarkE1SinglePeriodic: table E1 — one sliding query, slide swept.
+func BenchmarkE1SinglePeriodic(b *testing.B) {
+	engines := mkEngines()
+	for _, slide := range []int64{100, 1000} {
+		for _, name := range strategyOrder {
+			b.Run(fmt.Sprintf("slide=%dms/%s", slide, name), func(b *testing.B) {
+				driveN(b, engines[name], []engine.Query{
+					{Window: window.Sliding(10_000, slide), Fn: agg.SumF64()},
+				})
+			})
+		}
+	}
+}
+
+// e2qs mirrors the E2 query mix.
+func e2qs(n int) []engine.Query {
+	qs := make([]engine.Query, n)
+	for i := range qs {
+		slide := int64(i%10+1) * 100
+		size := slide * int64(i%8+2)
+		qs[i] = engine.Query{Window: window.Sliding(size, slide), Fn: agg.SumF64()}
+	}
+	return qs
+}
+
+// BenchmarkE2MultiQuery: table E2 — throughput vs concurrent queries.
+func BenchmarkE2MultiQuery(b *testing.B) {
+	engines := mkEngines()
+	for _, nq := range []int{1, 10, 40} {
+		for _, name := range strategyOrder {
+			if nq == 40 && (name == "eager" || name == "buckets") && testing.Short() {
+				continue
+			}
+			b.Run(fmt.Sprintf("queries=%d/%s", nq, name), func(b *testing.B) {
+				driveN(b, engines[name], e2qs(nq))
+			})
+		}
+	}
+}
+
+// BenchmarkE3Redundancy: table E3 — combine invocations per record.
+func BenchmarkE3Redundancy(b *testing.B) {
+	engines := mkEngines()
+	for _, name := range strategyOrder {
+		b.Run(fmt.Sprintf("queries=10/%s", name), func(b *testing.B) {
+			var combines, lifts atomic.Int64
+			qs := e2qs(10)
+			for i, q := range qs {
+				qs[i] = engine.Query{Window: q.Window, Fn: agg.Counting(q.Fn, &combines, &lifts)}
+			}
+			driveN(b, engines[name], qs)
+			b.ReportMetric(float64(combines.Load())/float64(b.N), "combines/ev")
+		})
+	}
+}
+
+// BenchmarkE4Sessions: table E4 — session windows (non-periodic).
+func BenchmarkE4Sessions(b *testing.B) {
+	engines := mkEngines()
+	for _, name := range strategyOrder {
+		b.Run("queries=5/"+name, func(b *testing.B) {
+			qs := make([]engine.Query, 5)
+			for i := range qs {
+				qs[i] = engine.Query{Window: window.Session(int64(i+5) * 100), Fn: agg.SumF64()}
+			}
+			var results int64
+			e := engines[name](func(engine.Result) { results++ })
+			for _, q := range qs {
+				if _, err := e.AddQuery(q); err != nil {
+					b.Skipf("n/a: %v", err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Bursty session timeline.
+				ii := int64(i)
+				ts := (ii/20)*1700 + (ii%20)*10
+				e.OnWatermark(ts)
+				e.OnElement(ts, 1)
+			}
+			e.OnWatermark(math.MaxInt64)
+		})
+	}
+}
+
+// BenchmarkE5Memory: table E5 — peak stored partials (reported as metric).
+func BenchmarkE5Memory(b *testing.B) {
+	engines := mkEngines()
+	for _, name := range strategyOrder {
+		b.Run("queries=10/"+name, func(b *testing.B) {
+			e := engines[name](func(engine.Result) {})
+			for _, q := range e2qs(10) {
+				if _, err := e.AddQuery(q); err != nil {
+					b.Skipf("n/a: %v", err)
+				}
+			}
+			maxPartials := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts := int64(i)
+				e.OnWatermark(ts)
+				e.OnElement(ts, 1)
+				if i%1024 == 0 {
+					if p := e.StoredPartials(); p > maxPartials {
+						maxPartials = p
+					}
+				}
+			}
+			b.ReportMetric(float64(maxPartials), "partials")
+		})
+	}
+}
+
+// BenchmarkE6M4Aggregate: table E6 — M4 reduction throughput and transfer.
+func BenchmarkE6M4Aggregate(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			gen := workloads.TimeSeries{Seed: 5, PerSec: int64(n) / 10}
+			pts := make([]i2.Point, n)
+			for i := 0; i < n; i++ {
+				e := gen.At(int64(i))
+				pts[i] = i2.Point{Ts: e.Ts, V: e.Value}
+			}
+			vp := i2.Viewport{From: 0, To: pts[n-1].Ts + 1, Width: 600}
+			b.ResetTimer()
+			var transfer int
+			for i := 0; i < b.N; i++ {
+				cols := i2.AggregateM4(pts, vp)
+				transfer = i2.TransferSize(cols)
+			}
+			b.ReportMetric(float64(transfer), "tuples")
+			b.ReportMetric(float64(n)/float64(transfer), "reduction")
+		})
+	}
+}
+
+// BenchmarkE7Raster: table E7 — raw vs reduced rendering cost.
+func BenchmarkE7Raster(b *testing.B) {
+	const n = 100_000
+	gen := workloads.TimeSeries{Seed: 9, PerSec: 10_000}
+	pts := make([]i2.Point, n)
+	for i := 0; i < n; i++ {
+		e := gen.At(int64(i))
+		pts[i] = i2.Point{Ts: e.Ts, V: e.Value}
+	}
+	vp := i2.Viewport{From: 0, To: pts[n-1].Ts + 1, Width: 600}
+	lo, hi := i2.ValueRange(pts)
+	sc := i2.Scale{VP: vp, VMin: lo, VMax: hi, H: 240}
+	reduced := i2.Points(i2.AggregateM4(pts, vp))
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			i2.RenderLine(pts, sc)
+		}
+	})
+	b.Run("m4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			i2.RenderLine(reduced, sc)
+		}
+	})
+}
+
+// pipelineBench runs the windowed ad pipeline once per iteration. mkOpts is
+// invoked per iteration so stateful options (checkpoint backends, whose
+// checkpoint ids must not collide across runs) are created fresh.
+func pipelineBench(b *testing.B, n int64, mkOpts func() []core.Option) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		env := core.NewEnvironment(mkOpts()...)
+		gen := workloads.NewAdClicks(99, 50, 1000)
+		env.FromGenerator("ads", 1, n, func(sub, par int, j int64) dataflow.Record {
+			e := gen.At(j)
+			return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
+		}).
+			KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
+			WindowAggregate("ctr",
+				core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
+				core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
+			).
+			Sink("out", func(dataflow.Record) {})
+		if err := env.Execute(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkE8Unified: table E8 — the unified pipeline end to end (bounded).
+func BenchmarkE8Unified(b *testing.B) {
+	for _, n := range []int64{20_000, 100_000} {
+		b.Run(fmt.Sprintf("events=%d", n), func(b *testing.B) {
+			pipelineBench(b, n, func() []core.Option {
+				return []core.Option{core.WithParallelism(2)}
+			})
+		})
+	}
+}
+
+// BenchmarkE9Checkpoint: table E9 — checkpointing overhead.
+func BenchmarkE9Checkpoint(b *testing.B) {
+	for _, interval := range []time.Duration{0, 250 * time.Millisecond, 50 * time.Millisecond} {
+		name := "off"
+		if interval > 0 {
+			name = interval.String()
+		}
+		b.Run("interval="+name, func(b *testing.B) {
+			iv := interval
+			pipelineBench(b, 50_000, func() []core.Option {
+				opts := []core.Option{core.WithParallelism(2)}
+				if iv > 0 {
+					opts = append(opts, core.WithCheckpointing(state.NewMemoryBackend(3), iv))
+				}
+				return opts
+			})
+		})
+	}
+}
+
+// BenchmarkE10Optimizer: table E10 — combiner and chaining ablation.
+func BenchmarkE10Optimizer(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		mode core.CombinerMode
+		skew float64
+	}{
+		{"combiner=off/zipf", core.CombinerOff, 1.4},
+		{"combiner=on/zipf", core.CombinerOn, 1.4},
+		{"combiner=auto/zipf", core.CombinerAuto, 1.4},
+		{"combiner=off/uniform", core.CombinerOff, 1.0},
+		{"combiner=auto/uniform", core.CombinerAuto, 1.0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const n = 100_000
+			for i := 0; i < b.N; i++ {
+				gen := workloads.NewZipf(5, 100_000, 10_000, cfg.skew)
+				env := core.NewEnvironment(core.WithParallelism(2), core.WithCombiner(cfg.mode))
+				env.FromGenerator("gen", 1, n, func(sub, par int, j int64) dataflow.Record {
+					e := gen.At(j)
+					return dataflow.Data(e.Ts, e.Key, e.Value)
+				}).
+					KeyBy("key", func(r dataflow.Record) uint64 { return r.Key }).
+					ReduceByKey("sum", func(acc, v float64) float64 { return acc + v }, false).
+					Sink("out", func(dataflow.Record) {})
+				if err := env.Execute(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(100_000)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+	for _, chaining := range []bool{true, false} {
+		b.Run(fmt.Sprintf("chaining=%v", chaining), func(b *testing.B) {
+			const n = 100_000
+			for i := 0; i < b.N; i++ {
+				env := core.NewEnvironment(core.WithParallelism(1), core.WithChaining(chaining))
+				s := env.FromGenerator("gen", 1, n, func(sub, par int, j int64) dataflow.Record {
+					return dataflow.Data(j, uint64(j%64), float64(j%101))
+				})
+				for k := 0; k < 4; k++ {
+					s = s.Map(fmt.Sprintf("m%d", k), func(r dataflow.Record) dataflow.Record {
+						r.Value = r.Value.(float64) + 1
+						return r
+					})
+				}
+				s.Sink("out", func(dataflow.Record) {})
+				if err := env.Execute(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(100_000)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// TestExperimentTablesQuick exercises the full harness end to end in quick
+// mode so `go test ./...` validates every experiment path, not only the
+// benchmarks.
+func TestExperimentTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	for _, tab := range bench.All(true) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command i2-server runs the I2 interactive visualization server over a
+// live synthetic time series (the STREAMLINE sensor-demo signal).
+//
+//	i2-server -addr :8080 -rate 1000
+//
+// Endpoints:
+//
+//	GET  /series?from=0&to=60000&width=600   one-shot viewport query
+//	POST /view   {"from":0,"to":60000,"width":600}
+//	GET  /stream?id=0                        SSE live columns
+//	GET  /stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/i2"
+	"repro/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rate := flag.Int64("rate", 1000, "samples per second")
+	retain := flag.Int("retain", 1_000_000, "raw samples retained")
+	flag.Parse()
+
+	store := i2.NewStore(*retain, i2.WithTiers(100, 4, 5))
+	srv := i2.NewServer(store)
+
+	go func() {
+		gen := workloads.TimeSeries{Seed: time.Now().UnixNano(), PerSec: *rate}
+		start := time.Now()
+		for i := int64(0); ; i++ {
+			e := gen.At(i)
+			// Pace generation to wall clock.
+			due := start.Add(time.Duration(e.Ts) * time.Millisecond)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			srv.Ingest(i2.Point{Ts: e.Ts, V: e.Value})
+		}
+	}()
+
+	log.Printf("i2-server listening on %s (rate %d/s)", *addr, *rate)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

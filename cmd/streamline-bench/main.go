@@ -1,0 +1,41 @@
+// Command streamline-bench runs the STREAMLINE experiment suite E1–E10 and
+// prints one table per experiment (see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	streamline-bench              # all experiments, full sizes
+//	streamline-bench -quick       # all experiments, reduced sizes
+//	streamline-bench -e E2,E4     # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced input sizes")
+	exps := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if *exps == "" {
+		for _, t := range bench.All(*quick) {
+			t.Fprint(os.Stdout)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		run := bench.ByID(id)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: E1..E10)\n", id)
+			os.Exit(2)
+		}
+		run(*quick).Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,180 @@
+// Command streamline-repl is the interactive development environment of the
+// I2 research highlight, reduced to its coordination essence: a live stream
+// runs continuously while the analyst adds and removes window aggregation
+// queries *interactively* — the Cutty engine shares slices between whatever
+// queries are registered at any moment, and results stream to the console
+// as windows complete.
+//
+//	go run ./cmd/streamline-repl -rate 2000
+//
+// Commands:
+//
+//	add tumbling <size-ms> <fn>          e.g. add tumbling 1000 sum
+//	add sliding <size-ms> <slide-ms> <fn>
+//	add session <gap-ms> <fn>
+//	add count <n> <fn>
+//	add timeorcount <dur-ms> <n> <fn>
+//	remove <query-id>
+//	list | stats | show <n> | help | quit
+//
+// Aggregate functions: sum count min max avg var.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cutty"
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	rate := flag.Int64("rate", 2000, "stream rate (events/second)")
+	flag.Parse()
+
+	r := newRepl(*rate)
+	go r.pump()
+
+	fmt.Println("streamline-repl — live stream running; type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := sc.Text()
+		out, quit := r.Eval(line)
+		if out != "" {
+			fmt.Println(out)
+		}
+		if quit {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+// repl owns the live engine; Eval is synchronous and testable.
+type repl struct {
+	mu      sync.Mutex
+	eng     *cutty.Engine
+	queries map[int]string // id -> description
+	results []engine.Result
+	rate    int64
+	stop    chan struct{}
+}
+
+func newRepl(rate int64) *repl {
+	r := &repl{queries: make(map[int]string), rate: rate, stop: make(chan struct{})}
+	r.eng = cutty.New(func(res engine.Result) {
+		r.results = append(r.results, res)
+		if len(r.results) > 10000 {
+			r.results = append(r.results[:0], r.results[5000:]...)
+		}
+	})
+	return r
+}
+
+// pump feeds the live stream, paced to wall clock.
+func (r *repl) pump() {
+	gen := workloads.TimeSeries{Seed: time.Now().UnixNano(), PerSec: r.rate}
+	start := time.Now()
+	for i := int64(0); ; i++ {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		e := gen.At(i)
+		due := start.Add(time.Duration(e.Ts) * time.Millisecond)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		r.mu.Lock()
+		r.eng.OnWatermark(e.Ts)
+		r.eng.OnElement(e.Ts, e.Value)
+		r.mu.Unlock()
+	}
+}
+
+// Eval executes one command line and returns the response text and whether
+// the session should end.
+func (r *repl) Eval(line string) (string, bool) {
+	cmd, err := Parse(line)
+	if err != nil {
+		return "error: " + err.Error(), false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd.Kind {
+	case CmdNop:
+		return "", false
+	case CmdQuit:
+		close(r.stop)
+		return "bye", true
+	case CmdHelp:
+		return helpText, false
+	case CmdAdd:
+		id, err := r.eng.AddQuery(engine.Query{Window: cmd.Spec, Fn: cmd.Fn})
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		r.queries[id] = cmd.Desc
+		return fmt.Sprintf("query %d registered: %s", id, cmd.Desc), false
+	case CmdRemove:
+		if _, ok := r.queries[cmd.N]; !ok {
+			return fmt.Sprintf("error: no query %d", cmd.N), false
+		}
+		r.eng.RemoveQuery(cmd.N)
+		delete(r.queries, cmd.N)
+		return fmt.Sprintf("query %d removed", cmd.N), false
+	case CmdList:
+		if len(r.queries) == 0 {
+			return "no queries registered", false
+		}
+		out := ""
+		for id := 0; id < 1<<20; id++ {
+			d, ok := r.queries[id]
+			if ok {
+				out += fmt.Sprintf("  %d: %s\n", id, d)
+			}
+			if len(out) > 0 && id > len(r.queries)*8 {
+				break
+			}
+		}
+		return out[:len(out)-1], false
+	case CmdStats:
+		return fmt.Sprintf("queries=%d live-slices=%d stored-partials=%d results=%d",
+			len(r.queries), r.eng.Slices(), r.eng.StoredPartials(), len(r.results)), false
+	case CmdShow:
+		n := cmd.N
+		if n <= 0 {
+			n = 5
+		}
+		if n > len(r.results) {
+			n = len(r.results)
+		}
+		if n == 0 {
+			return "no results yet", false
+		}
+		out := ""
+		for _, res := range r.results[len(r.results)-n:] {
+			out += fmt.Sprintf("  q%d window [%d,%d) value=%.3f count=%d\n",
+				res.QueryID, res.Start, res.End, res.Value, res.Count)
+		}
+		return out[:len(out)-1], false
+	}
+	return "error: unhandled command", false
+}
+
+const helpText = `commands:
+  add tumbling <size-ms> <fn>
+  add sliding <size-ms> <slide-ms> <fn>
+  add session <gap-ms> <fn>
+  add count <n> <fn>
+  add timeorcount <dur-ms> <n> <fn>
+  remove <query-id>
+  list | stats | show <n> | help | quit
+functions: sum count min max avg var`

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/window"
+)
+
+// CmdKind enumerates REPL commands.
+type CmdKind uint8
+
+// Command kinds.
+const (
+	CmdNop CmdKind = iota
+	CmdQuit
+	CmdHelp
+	CmdAdd
+	CmdRemove
+	CmdList
+	CmdStats
+	CmdShow
+)
+
+// Command is one parsed REPL line.
+type Command struct {
+	Kind CmdKind
+	Spec window.Spec // CmdAdd
+	Fn   *agg.FnF64  // CmdAdd
+	Desc string      // CmdAdd
+	N    int         // CmdRemove (query id), CmdShow (count)
+}
+
+// Parse parses one REPL line. An empty line is CmdNop.
+func Parse(line string) (Command, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) == 0 {
+		return Command{Kind: CmdNop}, nil
+	}
+	switch fields[0] {
+	case "quit", "exit":
+		return Command{Kind: CmdQuit}, nil
+	case "help":
+		return Command{Kind: CmdHelp}, nil
+	case "list":
+		return Command{Kind: CmdList}, nil
+	case "stats":
+		return Command{Kind: CmdStats}, nil
+	case "show":
+		n := 5
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return Command{}, fmt.Errorf("show: want a positive count, got %q", fields[1])
+			}
+			n = v
+		}
+		return Command{Kind: CmdShow, N: n}, nil
+	case "remove":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("remove: usage: remove <query-id>")
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return Command{}, fmt.Errorf("remove: bad query id %q", fields[1])
+		}
+		return Command{Kind: CmdRemove, N: id}, nil
+	case "add":
+		return parseAdd(fields[1:])
+	}
+	return Command{}, fmt.Errorf("unknown command %q (try 'help')", fields[0])
+}
+
+func parseAdd(args []string) (Command, error) {
+	if len(args) < 2 {
+		return Command{}, fmt.Errorf("add: usage: add <window> <params...> <fn>")
+	}
+	fnName := args[len(args)-1]
+	fn := agg.StdFnF64(fnName)
+	if fn == nil {
+		return Command{}, fmt.Errorf("add: unknown function %q (sum count min max avg var)", fnName)
+	}
+	params := args[1 : len(args)-1]
+	nums := make([]int64, len(params))
+	for i, p := range params {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v <= 0 {
+			return Command{}, fmt.Errorf("add: parameter %q must be a positive integer", p)
+		}
+		nums[i] = v
+	}
+	var spec window.Spec
+	switch args[0] {
+	case "tumbling":
+		if len(nums) != 1 {
+			return Command{}, fmt.Errorf("add tumbling: usage: add tumbling <size-ms> <fn>")
+		}
+		spec = window.Tumbling(nums[0])
+	case "sliding":
+		if len(nums) != 2 {
+			return Command{}, fmt.Errorf("add sliding: usage: add sliding <size-ms> <slide-ms> <fn>")
+		}
+		if nums[1] > nums[0] {
+			return Command{}, fmt.Errorf("add sliding: slide must not exceed size")
+		}
+		spec = window.Sliding(nums[0], nums[1])
+	case "session":
+		if len(nums) != 1 {
+			return Command{}, fmt.Errorf("add session: usage: add session <gap-ms> <fn>")
+		}
+		spec = window.Session(nums[0])
+	case "count":
+		if len(nums) != 1 {
+			return Command{}, fmt.Errorf("add count: usage: add count <n> <fn>")
+		}
+		spec = window.CountTumbling(nums[0])
+	case "timeorcount":
+		if len(nums) != 2 {
+			return Command{}, fmt.Errorf("add timeorcount: usage: add timeorcount <dur-ms> <n> <fn>")
+		}
+		spec = window.TimeOrCount(nums[0], nums[1])
+	default:
+		return Command{}, fmt.Errorf("add: unknown window %q (tumbling sliding session count timeorcount)", args[0])
+	}
+	desc := fmt.Sprintf("%s(%s) %s", args[0], strings.Join(params, ","), fnName)
+	return Command{Kind: CmdAdd, Spec: spec, Fn: fn, Desc: desc}, nil
+}

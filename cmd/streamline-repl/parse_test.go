@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasicCommands(t *testing.T) {
+	cases := map[string]CmdKind{
+		"":                      CmdNop,
+		"   ":                   CmdNop,
+		"quit":                  CmdQuit,
+		"exit":                  CmdQuit,
+		"help":                  CmdHelp,
+		"list":                  CmdList,
+		"stats":                 CmdStats,
+		"show":                  CmdShow,
+		"show 10":               CmdShow,
+		"remove 3":              CmdRemove,
+		"ADD tumbling 1000 sum": CmdAdd, // case-insensitive
+	}
+	for line, want := range cases {
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", line, err)
+			continue
+		}
+		if cmd.Kind != want {
+			t.Errorf("Parse(%q).Kind = %d, want %d", line, cmd.Kind, want)
+		}
+	}
+}
+
+func TestParseAddVariants(t *testing.T) {
+	for _, line := range []string{
+		"add tumbling 1000 sum",
+		"add sliding 5000 1000 avg",
+		"add session 2000 count",
+		"add count 100 max",
+		"add timeorcount 1000 50 min",
+	} {
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		if cmd.Kind != CmdAdd || cmd.Fn == nil || cmd.Spec.Factory == nil {
+			t.Fatalf("Parse(%q) incomplete: %+v", line, cmd)
+		}
+		if cmd.Desc == "" {
+			t.Fatalf("Parse(%q) missing description", line)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, line := range []string{
+		"frobnicate",
+		"add",
+		"add tumbling sum",
+		"add tumbling 0 sum",
+		"add tumbling 1000 bogusfn",
+		"add sliding 100 200 sum", // slide > size
+		"add mystery 5 sum",
+		"remove",
+		"remove xyz",
+		"show -3",
+		"show zero",
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) should fail", line)
+		}
+	}
+}
+
+func TestReplEvalLifecycle(t *testing.T) {
+	r := newRepl(1000)
+	// No pump: drive the engine manually through Eval + direct feeds.
+	out, quit := r.Eval("add tumbling 100 sum")
+	if quit || !strings.Contains(out, "query 0 registered") {
+		t.Fatalf("add: %q", out)
+	}
+	out, _ = r.Eval("list")
+	if !strings.Contains(out, "tumbling(100) sum") {
+		t.Fatalf("list: %q", out)
+	}
+	// Feed events directly (the pump is not running in tests).
+	for ts := int64(0); ts < 500; ts++ {
+		r.mu.Lock()
+		r.eng.OnWatermark(ts)
+		r.eng.OnElement(ts, 1)
+		r.mu.Unlock()
+	}
+	out, _ = r.Eval("stats")
+	if !strings.Contains(out, "queries=1") {
+		t.Fatalf("stats: %q", out)
+	}
+	out, _ = r.Eval("show 3")
+	if !strings.Contains(out, "q0 window") {
+		t.Fatalf("show: %q", out)
+	}
+	out, _ = r.Eval("remove 0")
+	if !strings.Contains(out, "removed") {
+		t.Fatalf("remove: %q", out)
+	}
+	out, _ = r.Eval("remove 0")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("double remove should error: %q", out)
+	}
+	out, _ = r.Eval("list")
+	if !strings.Contains(out, "no queries") {
+		t.Fatalf("list after remove: %q", out)
+	}
+	out, quit = r.Eval("quit")
+	if !quit || out != "bye" {
+		t.Fatalf("quit: %q %v", out, quit)
+	}
+}
+
+func TestReplEvalBadInput(t *testing.T) {
+	r := newRepl(1000)
+	out, quit := r.Eval("nonsense command")
+	if quit || !strings.Contains(out, "error") {
+		t.Fatalf("bad input: %q", out)
+	}
+	out, _ = r.Eval("show")
+	if !strings.Contains(out, "no results yet") {
+		t.Fatalf("show with no results: %q", out)
+	}
+	out, _ = r.Eval("help")
+	if !strings.Contains(out, "add tumbling") {
+		t.Fatalf("help: %q", out)
+	}
+}

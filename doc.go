@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of STREAMLINE
+// (Grulich, Rabl, Markl, Sidló, Benczur: "STREAMLINE — Streamlined Analysis
+// of Data at Rest and Data in Motion", EDBT 2017): a unified batch/stream
+// analysis platform in the architecture of Apache Flink, together with the
+// paper's two research highlights — the Cutty aggregate-sharing engine for
+// user-defined windows and the I2 interactive visualization system with its
+// data-rate-independent M4 time-series aggregation.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index (E1–E10), and EXPERIMENTS.md for recorded results. The
+// benchmarks in bench_test.go regenerate every experiment table.
+package repro

@@ -1,0 +1,96 @@
+// Target advertisement — the third STREAMLINE application and the showcase
+// for multi-query aggregate sharing: several CTR dashboards with different
+// sliding windows run concurrently over one impression stream, and Cutty
+// computes them from one shared slice store per campaign.
+//
+//	go run ./examples/advertising
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/window"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const campaigns = 30
+	gen := workloads.NewAdClicks(31, campaigns, 2000)
+
+	env := core.NewEnvironment(core.WithParallelism(2))
+	results := env.FromGenerator("impressions", 1, 60_000, func(sub, par int, i int64) dataflow.Record {
+		e := gen.At(i)
+		// Value carries the click flag; every record is one impression.
+		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
+	}).
+		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
+		WindowAggregate("dashboards",
+			// Three dashboard refresh rates + one count per horizon; all six
+			// queries share slicing per campaign.
+			core.WindowedQuery{Window: window.Sliding(5_000, 1_000), Fn: agg.SumF64()},
+			core.WindowedQuery{Window: window.Sliding(5_000, 1_000), Fn: agg.CountF64()},
+			core.WindowedQuery{Window: window.Sliding(15_000, 5_000), Fn: agg.SumF64()},
+			core.WindowedQuery{Window: window.Sliding(15_000, 5_000), Fn: agg.CountF64()},
+			core.WindowedQuery{Window: window.Tumbling(30_000), Fn: agg.SumF64()},
+			core.WindowedQuery{Window: window.Tumbling(30_000), Fn: agg.CountF64()},
+		).
+		Collect("out")
+
+	if err := env.Execute(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reassemble the 30s dashboard: clicks (query 4) / impressions (query 5).
+	type key struct {
+		campaign uint64
+		start    int64
+	}
+	clicks := map[key]float64{}
+	imps := map[key]float64{}
+	for _, r := range results.Records() {
+		wr := r.Value.(dataflow.WindowResult)
+		k := key{r.Key, wr.Start}
+		switch wr.QueryID {
+		case 4:
+			clicks[k] += wr.Value
+		case 5:
+			imps[k] += wr.Value
+		}
+	}
+	type row struct {
+		campaign uint64
+		ctr      float64
+		imps     float64
+	}
+	agg30 := map[uint64]*row{}
+	for k, n := range imps {
+		r := agg30[k.campaign]
+		if r == nil {
+			r = &row{campaign: k.campaign}
+			agg30[k.campaign] = r
+		}
+		r.imps += n
+		r.ctr += clicks[k]
+	}
+	rows := make([]*row, 0, len(agg30))
+	for _, r := range agg30 {
+		if r.imps > 0 {
+			r.ctr /= r.imps
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ctr > rows[j].ctr })
+	fmt.Println("top campaigns by CTR (30s tumbling dashboard):")
+	for i, r := range rows {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  campaign %2d  impressions %6.0f  ctr %5.2f%%\n", r.campaign, r.imps, r.ctr*100)
+	}
+}

@@ -1,0 +1,76 @@
+// I2 visualization demo (offline): ingest a synthetic signal into the I2
+// history store, then walk through an interactive session — overview, zoom,
+// pan — printing the ASCII rendering and the transfer statistics at every
+// step, including the pixel-exactness check against the raw data.
+//
+//	go run ./examples/i2viz
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/i2"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const (
+		n      = 200_000
+		rate   = 2000
+		width  = 72
+		height = 14
+	)
+	store := i2.NewStore(n, i2.WithTiers(50, 4, 4))
+	gen := workloads.TimeSeries{Seed: 3, PerSec: rate}
+	raw := make([]i2.Point, n)
+	for i := int64(0); i < n; i++ {
+		e := gen.At(i)
+		p := i2.Point{Ts: e.Ts, V: e.Value}
+		raw[i] = p
+		store.Append(p)
+	}
+	first, last := store.Span()
+	fmt.Printf("ingested %d points over %.1fs of signal\n\n", store.Len(), float64(last-first)/1000)
+
+	views := []struct {
+		name string
+		vp   i2.Viewport
+	}{
+		{"overview", i2.Viewport{From: first, To: last + 1, Width: width}},
+		{"zoom 10x", i2.Viewport{From: 40_000, To: 50_000, Width: width}},
+		{"pan right", i2.Viewport{From: 60_000, To: 70_000, Width: width}},
+		{"deep zoom", i2.Viewport{From: 62_000, To: 62_500, Width: width}},
+	}
+	for _, v := range views {
+		cols := store.Query(v.vp)
+		pts := i2.Points(cols)
+		rawClip := clip(raw, v.vp)
+		lo, hi := i2.ValueRange(rawClip)
+		sc := i2.Scale{VP: v.vp, VMin: lo, VMax: hi, H: height}
+		reduced := i2.RenderLine(pts, sc)
+		exact := i2.RenderLine(rawClip, sc)
+		fmt.Printf("-- %s  [%d..%d)  raw=%d tuples  transferred=%d  reduction=%.0fx  pixel-errors=%d  tier=%dms\n",
+			v.name, v.vp.From, v.vp.To, len(rawClip), len(pts),
+			float64(len(rawClip))/float64(max(len(pts), 1)), exact.Diff(reduced),
+			store.QueriedFromTier(v.vp))
+		fmt.Print(reduced.String())
+		fmt.Println()
+	}
+}
+
+func clip(pts []i2.Point, vp i2.Viewport) []i2.Point {
+	var out []i2.Point
+	for _, p := range pts {
+		if p.Ts >= vp.From && p.Ts < vp.To {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+// Package agg implements STREAMLINE's aggregation framework.
+//
+// Two layers are provided:
+//
+//   - A generic, type-safe layer (Function[In, Acc, Out]) used by the public
+//     pipeline API. Aggregates are expressed in lift/combine/lower form:
+//     Lift turns one input element into a partial aggregate, Combine merges
+//     two partials (and must be associative), and Lower finalizes a partial
+//     into an output. This is the decomposition Cutty requires for slicing.
+//
+//   - A monomorphic float64 layer (FnF64 over Acc) shared by the window
+//     aggregation engines in internal/cutty and internal/baselines, so that
+//     strategy comparisons measure algorithmic cost rather than boxing
+//     overhead.
+//
+// The package also provides the partial-aggregation data structures the
+// engines build on: FlatFAT (a flat aggregate tree with O(log n) updates and
+// range queries), TwoStacks (amortized O(1) FIFO sliding aggregation) and a
+// Naive reference used as the oracle in tests.
+package agg
+
+// Function is a decomposable aggregate over typed inputs.
+//
+// Combine must be associative: Combine(a, Combine(b, c)) == Combine(Combine(a, b), c).
+// If the aggregate is also commutative the engines may reorder partials; see
+// Commutative.
+type Function[In, Acc, Out any] interface {
+	// CreateAccumulator returns the identity partial aggregate.
+	CreateAccumulator() Acc
+	// Lift converts one input element into a partial aggregate.
+	Lift(In) Acc
+	// Combine merges two partial aggregates. It must be associative and
+	// must not mutate its arguments.
+	Combine(a, b Acc) Acc
+	// Lower finalizes a partial aggregate into the output type.
+	Lower(Acc) Out
+}
+
+// Commutative is an optional marker interface: aggregates that implement it
+// and return true permit the engine to combine partials in any order.
+type Commutative interface {
+	Commutative() bool
+}
+
+// Invertible is an optional capability: aggregates that can subtract a
+// partial from a combined partial (e.g. sum, count) allow engines such as
+// subtract-on-evict to run in O(1) per eviction.
+type Invertible[Acc any] interface {
+	// Invert removes b from a, i.e. Invert(Combine(a,b), b) == a.
+	Invert(a, b Acc) Acc
+}
+
+// fnAdapter builds a Function from plain closures.
+type fnAdapter[In, Acc, Out any] struct {
+	create  func() Acc
+	lift    func(In) Acc
+	combine func(a, b Acc) Acc
+	lower   func(Acc) Out
+}
+
+func (f fnAdapter[In, Acc, Out]) CreateAccumulator() Acc { return f.create() }
+func (f fnAdapter[In, Acc, Out]) Lift(v In) Acc          { return f.lift(v) }
+func (f fnAdapter[In, Acc, Out]) Combine(a, b Acc) Acc   { return f.combine(a, b) }
+func (f fnAdapter[In, Acc, Out]) Lower(a Acc) Out        { return f.lower(a) }
+
+// NewFunction assembles a Function from closures. combine must be
+// associative.
+func NewFunction[In, Acc, Out any](
+	create func() Acc,
+	lift func(In) Acc,
+	combine func(a, b Acc) Acc,
+	lower func(Acc) Out,
+) Function[In, Acc, Out] {
+	return fnAdapter[In, Acc, Out]{create: create, lift: lift, combine: combine, lower: lower}
+}

@@ -1,0 +1,217 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Acc is the fixed-size partial aggregate used by the window aggregation
+// engines. A single representation for all standard functions keeps the
+// engines monomorphic (no interface boxing on the hot path), which matters
+// for the E1–E5 strategy comparisons.
+//
+// Field use by function:
+//
+//	Sum:   V = sum, N = count
+//	Count: N = count
+//	Min:   V = min, N = count
+//	Max:   V = max, N = count
+//	Avg:   V = sum, N = count
+//	Var:   V = sum, M2 = sum of squared deviations, N = count
+type Acc struct {
+	V  float64
+	M2 float64
+	N  int64
+}
+
+// FnF64 is a monomorphic decomposable aggregate over float64 values.
+// Combine must be associative; engines rely on nothing else unless
+// Commutative or Invert is set.
+type FnF64 struct {
+	// Name identifies the function; engines share state between queries
+	// that use the same Name on the same stream.
+	Name string
+	// Identity is the neutral partial aggregate: Combine(Identity, a) == a.
+	Identity Acc
+	// Lift converts a raw value into a partial aggregate.
+	Lift func(v float64) Acc
+	// Combine merges two partials; must be associative.
+	Combine func(a, b Acc) Acc
+	// Lower finalizes a partial into the result value.
+	Lower func(a Acc) float64
+	// Commutative reports whether Combine may be applied in any order.
+	Commutative bool
+	// Invert, if non-nil, removes b from a (Invert(Combine(a,b),b)==a).
+	Invert func(a, b Acc) Acc
+}
+
+func (f *FnF64) String() string { return fmt.Sprintf("FnF64(%s)", f.Name) }
+
+// SumF64 returns the sum aggregate.
+func SumF64() *FnF64 {
+	return &FnF64{
+		Name:        "sum",
+		Identity:    Acc{},
+		Lift:        func(v float64) Acc { return Acc{V: v, N: 1} },
+		Combine:     func(a, b Acc) Acc { return Acc{V: a.V + b.V, N: a.N + b.N} },
+		Lower:       func(a Acc) float64 { return a.V },
+		Commutative: true,
+		Invert:      func(a, b Acc) Acc { return Acc{V: a.V - b.V, N: a.N - b.N} },
+	}
+}
+
+// CountF64 returns the count aggregate.
+func CountF64() *FnF64 {
+	return &FnF64{
+		Name:        "count",
+		Identity:    Acc{},
+		Lift:        func(float64) Acc { return Acc{N: 1} },
+		Combine:     func(a, b Acc) Acc { return Acc{N: a.N + b.N} },
+		Lower:       func(a Acc) float64 { return float64(a.N) },
+		Commutative: true,
+		Invert:      func(a, b Acc) Acc { return Acc{N: a.N - b.N} },
+	}
+}
+
+// MinF64 returns the minimum aggregate. It is not invertible.
+func MinF64() *FnF64 {
+	return &FnF64{
+		Name:     "min",
+		Identity: Acc{V: math.Inf(1)},
+		Lift:     func(v float64) Acc { return Acc{V: v, N: 1} },
+		Combine: func(a, b Acc) Acc {
+			if a.N == 0 {
+				return b
+			}
+			if b.N == 0 {
+				return a
+			}
+			return Acc{V: math.Min(a.V, b.V), N: a.N + b.N}
+		},
+		Lower:       func(a Acc) float64 { return a.V },
+		Commutative: true,
+	}
+}
+
+// MaxF64 returns the maximum aggregate. It is not invertible.
+func MaxF64() *FnF64 {
+	return &FnF64{
+		Name:     "max",
+		Identity: Acc{V: math.Inf(-1)},
+		Lift:     func(v float64) Acc { return Acc{V: v, N: 1} },
+		Combine: func(a, b Acc) Acc {
+			if a.N == 0 {
+				return b
+			}
+			if b.N == 0 {
+				return a
+			}
+			return Acc{V: math.Max(a.V, b.V), N: a.N + b.N}
+		},
+		Lower:       func(a Acc) float64 { return a.V },
+		Commutative: true,
+	}
+}
+
+// AvgF64 returns the arithmetic-mean aggregate.
+func AvgF64() *FnF64 {
+	return &FnF64{
+		Name:     "avg",
+		Identity: Acc{},
+		Lift:     func(v float64) Acc { return Acc{V: v, N: 1} },
+		Combine:  func(a, b Acc) Acc { return Acc{V: a.V + b.V, N: a.N + b.N} },
+		Lower: func(a Acc) float64 {
+			if a.N == 0 {
+				return 0
+			}
+			return a.V / float64(a.N)
+		},
+		Commutative: true,
+		Invert:      func(a, b Acc) Acc { return Acc{V: a.V - b.V, N: a.N - b.N} },
+	}
+}
+
+// VarF64 returns the population-variance aggregate using the numerically
+// stable parallel merge of Chan, Golub and LeVeque.
+func VarF64() *FnF64 {
+	return &FnF64{
+		Name:     "var",
+		Identity: Acc{},
+		Lift:     func(v float64) Acc { return Acc{V: v, M2: 0, N: 1} },
+		Combine: func(a, b Acc) Acc {
+			if a.N == 0 {
+				return b
+			}
+			if b.N == 0 {
+				return a
+			}
+			n := a.N + b.N
+			// delta between the two means
+			ma := a.V / float64(a.N)
+			mb := b.V / float64(b.N)
+			d := mb - ma
+			m2 := a.M2 + b.M2 + d*d*float64(a.N)*float64(b.N)/float64(n)
+			return Acc{V: a.V + b.V, M2: m2, N: n}
+		},
+		Lower: func(a Acc) float64 {
+			if a.N == 0 {
+				return 0
+			}
+			return a.M2 / float64(a.N)
+		},
+		Commutative: true,
+	}
+}
+
+// StdFnF64 returns the named standard aggregate, or nil if unknown.
+// Recognized names: sum, count, min, max, avg, var.
+func StdFnF64(name string) *FnF64 {
+	switch name {
+	case "sum":
+		return SumF64()
+	case "count":
+		return CountF64()
+	case "min":
+		return MinF64()
+	case "max":
+		return MaxF64()
+	case "avg":
+		return AvgF64()
+	case "var":
+		return VarF64()
+	}
+	return nil
+}
+
+// Counting wraps fn so that every Combine and Lift invocation increments the
+// given counters (either may be nil). It is used by the E3 redundancy
+// experiment to count aggregation work per strategy without touching engine
+// code.
+func Counting(fn *FnF64, combines, lifts *atomic.Int64) *FnF64 {
+	wrapped := *fn
+	inner := fn.Combine
+	wrapped.Combine = func(a, b Acc) Acc {
+		if combines != nil {
+			combines.Add(1)
+		}
+		return inner(a, b)
+	}
+	innerLift := fn.Lift
+	wrapped.Lift = func(v float64) Acc {
+		if lifts != nil {
+			lifts.Add(1)
+		}
+		return innerLift(v)
+	}
+	if fn.Invert != nil {
+		innerInv := fn.Invert
+		wrapped.Invert = func(a, b Acc) Acc {
+			if combines != nil {
+				combines.Add(1)
+			}
+			return innerInv(a, b)
+		}
+	}
+	return &wrapped
+}

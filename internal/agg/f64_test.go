@@ -1,0 +1,195 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+var allStdF64 = []string{"sum", "count", "min", "max", "avg", "var"}
+
+// sanitizeF64 maps arbitrary quick-generated floats into a bounded range so
+// that property tests exercise algorithm structure rather than float64
+// overflow at magnitudes near 1.7e308.
+func sanitizeF64(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(v, 1e6)
+}
+
+func foldF64(fn *FnF64, vals []float64) float64 {
+	acc := fn.Identity
+	for _, v := range vals {
+		acc = fn.Combine(acc, fn.Lift(v))
+	}
+	return fn.Lower(acc)
+}
+
+func TestStdFnF64Lookup(t *testing.T) {
+	for _, name := range allStdF64 {
+		fn := StdFnF64(name)
+		if fn == nil {
+			t.Fatalf("StdFnF64(%q) = nil", name)
+		}
+		if fn.Name != name {
+			t.Fatalf("StdFnF64(%q).Name = %q", name, fn.Name)
+		}
+	}
+	if StdFnF64("nope") != nil {
+		t.Fatalf("unknown name should return nil")
+	}
+}
+
+func TestSumF64(t *testing.T) {
+	if got := foldF64(SumF64(), []float64{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("sum = %v, want 6.5", got)
+	}
+}
+
+func TestCountF64(t *testing.T) {
+	if got := foldF64(CountF64(), []float64{9, 9, 9, 9}); got != 4 {
+		t.Fatalf("count = %v, want 4", got)
+	}
+}
+
+func TestMinMaxF64(t *testing.T) {
+	vals := []float64{3, -1, 7, 0}
+	if got := foldF64(MinF64(), vals); got != -1 {
+		t.Fatalf("min = %v, want -1", got)
+	}
+	if got := foldF64(MaxF64(), vals); got != 7 {
+		t.Fatalf("max = %v, want 7", got)
+	}
+}
+
+func TestAvgF64(t *testing.T) {
+	if got := foldF64(AvgF64(), []float64{2, 4, 6}); got != 4 {
+		t.Fatalf("avg = %v, want 4", got)
+	}
+	fn := AvgF64()
+	if got := fn.Lower(fn.Identity); got != 0 {
+		t.Fatalf("avg of empty = %v, want 0", got)
+	}
+}
+
+func TestVarF64MatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*10 + 5
+	}
+	got := foldF64(VarF64(), vals)
+	// two-pass reference
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	var m2 float64
+	for _, v := range vals {
+		m2 += (v - mean) * (v - mean)
+	}
+	want := m2 / float64(len(vals))
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("var = %v, want %v", got, want)
+	}
+}
+
+// Associativity property: for every standard function, combining in two
+// different parenthesizations of a random split yields the same result.
+func TestFnF64Associativity(t *testing.T) {
+	for _, name := range allStdF64 {
+		fn := StdFnF64(name)
+		f := func(xs []float64, split uint8) bool {
+			if len(xs) < 3 {
+				return true
+			}
+			for i := range xs {
+				xs[i] = sanitizeF64(xs[i])
+			}
+			i := 1 + int(split)%(len(xs)-2)
+			j := i + 1
+			lift := func(vals []float64) Acc {
+				acc := fn.Identity
+				for _, v := range vals {
+					acc = fn.Combine(acc, fn.Lift(v))
+				}
+				return acc
+			}
+			a, b, c := lift(xs[:i]), lift(xs[i:j]), lift(xs[j:])
+			left := fn.Lower(fn.Combine(fn.Combine(a, b), c))
+			right := fn.Lower(fn.Combine(a, fn.Combine(b, c)))
+			return math.Abs(left-right) <= 1e-6*(1+math.Abs(left))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s not associative: %v", name, err)
+		}
+	}
+}
+
+// Identity property: Combine(identity, a) == a == Combine(a, identity).
+func TestFnF64Identity(t *testing.T) {
+	for _, name := range allStdF64 {
+		fn := StdFnF64(name)
+		f := func(v float64) bool {
+			v = sanitizeF64(v)
+			a := fn.Lift(v)
+			l := fn.Combine(fn.Identity, a)
+			r := fn.Combine(a, fn.Identity)
+			return fn.Lower(l) == fn.Lower(a) && fn.Lower(r) == fn.Lower(a)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s identity violated: %v", name, err)
+		}
+	}
+}
+
+// Invertibility property for sum/count/avg: Invert(Combine(a,b), b) == a.
+func TestFnF64Invert(t *testing.T) {
+	for _, name := range []string{"sum", "count", "avg"} {
+		fn := StdFnF64(name)
+		if fn.Invert == nil {
+			t.Fatalf("%s should be invertible", name)
+		}
+		f := func(x, y float64) bool {
+			x, y = sanitizeF64(x), sanitizeF64(y)
+			a, b := fn.Lift(x), fn.Lift(y)
+			back := fn.Invert(fn.Combine(a, b), b)
+			return math.Abs(fn.Lower(back)-fn.Lower(a)) <= 1e-6*(1+math.Abs(fn.Lower(a)))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s Invert violated: %v", name, err)
+		}
+	}
+}
+
+func TestMinMaxNotInvertible(t *testing.T) {
+	if MinF64().Invert != nil || MaxF64().Invert != nil {
+		t.Fatalf("min/max must not claim invertibility")
+	}
+}
+
+func TestCountingWrapper(t *testing.T) {
+	var combines, lifts atomic.Int64
+	fn := Counting(SumF64(), &combines, &lifts)
+	acc := fn.Combine(fn.Lift(1), fn.Lift(2))
+	acc = fn.Invert(acc, fn.Lift(1))
+	if got := fn.Lower(acc); got != 2 {
+		t.Fatalf("wrapped semantics broken: got %v", got)
+	}
+	if lifts.Load() != 3 {
+		t.Fatalf("lifts = %d, want 3", lifts.Load())
+	}
+	if combines.Load() != 2 { // one Combine + one Invert
+		t.Fatalf("combines = %d, want 2", combines.Load())
+	}
+}
+
+func TestFnF64String(t *testing.T) {
+	if SumF64().String() != "FnF64(sum)" {
+		t.Fatalf("String() = %q", SumF64().String())
+	}
+}

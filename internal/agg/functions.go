@@ -1,0 +1,216 @@
+package agg
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Number constrains the numeric element types accepted by the generic
+// aggregate constructors.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Sum returns a decomposable sum over any numeric type.
+func Sum[T Number]() Function[T, T, T] {
+	return NewFunction(
+		func() T { var z T; return z },
+		func(v T) T { return v },
+		func(a, b T) T { return a + b },
+		func(a T) T { return a },
+	)
+}
+
+// Count returns a decomposable element count.
+func Count[T any]() Function[T, int64, int64] {
+	return NewFunction(
+		func() int64 { return 0 },
+		func(T) int64 { return 1 },
+		func(a, b int64) int64 { return a + b },
+		func(a int64) int64 { return a },
+	)
+}
+
+// minMaxAcc carries a value plus a presence flag so that empty windows
+// lower to the zero value rather than a sentinel.
+type minMaxAcc[T any] struct {
+	v   T
+	set bool
+}
+
+// Min returns a decomposable minimum.
+func Min[T Number]() Function[T, minMaxAcc[T], T] {
+	return NewFunction(
+		func() minMaxAcc[T] { return minMaxAcc[T]{} },
+		func(v T) minMaxAcc[T] { return minMaxAcc[T]{v: v, set: true} },
+		func(a, b minMaxAcc[T]) minMaxAcc[T] {
+			if !a.set {
+				return b
+			}
+			if !b.set {
+				return a
+			}
+			if b.v < a.v {
+				return b
+			}
+			return a
+		},
+		func(a minMaxAcc[T]) T { return a.v },
+	)
+}
+
+// Max returns a decomposable maximum.
+func Max[T Number]() Function[T, minMaxAcc[T], T] {
+	return NewFunction(
+		func() minMaxAcc[T] { return minMaxAcc[T]{} },
+		func(v T) minMaxAcc[T] { return minMaxAcc[T]{v: v, set: true} },
+		func(a, b minMaxAcc[T]) minMaxAcc[T] {
+			if !a.set {
+				return b
+			}
+			if !b.set {
+				return a
+			}
+			if b.v > a.v {
+				return b
+			}
+			return a
+		},
+		func(a minMaxAcc[T]) T { return a.v },
+	)
+}
+
+// MeanAcc is the accumulator for Mean.
+type MeanAcc struct {
+	Sum float64
+	N   int64
+}
+
+// Mean returns a decomposable arithmetic mean over float64 inputs.
+func Mean() Function[float64, MeanAcc, float64] {
+	return NewFunction(
+		func() MeanAcc { return MeanAcc{} },
+		func(v float64) MeanAcc { return MeanAcc{Sum: v, N: 1} },
+		func(a, b MeanAcc) MeanAcc { return MeanAcc{Sum: a.Sum + b.Sum, N: a.N + b.N} },
+		func(a MeanAcc) float64 {
+			if a.N == 0 {
+				return 0
+			}
+			return a.Sum / float64(a.N)
+		},
+	)
+}
+
+// TopKAcc is the accumulator for TopK: item counts, merged additively.
+type TopKAcc struct {
+	Counts map[string]int64
+}
+
+// TopKItem is one entry of a TopK result.
+type TopKItem struct {
+	Key   string
+	Count int64
+}
+
+// TopK returns a decomposable heavy-hitters aggregate: it accumulates exact
+// per-key counts and lowers to the k most frequent keys (ties broken by key
+// order for determinism). Suitable for windowed trend computation in the
+// recommendation and advertisement examples.
+func TopK(k int) Function[string, TopKAcc, []TopKItem] {
+	return NewFunction(
+		func() TopKAcc { return TopKAcc{Counts: map[string]int64{}} },
+		func(v string) TopKAcc { return TopKAcc{Counts: map[string]int64{v: 1}} },
+		func(a, b TopKAcc) TopKAcc {
+			out := TopKAcc{Counts: make(map[string]int64, len(a.Counts)+len(b.Counts))}
+			for key, c := range a.Counts {
+				out.Counts[key] += c
+			}
+			for key, c := range b.Counts {
+				out.Counts[key] += c
+			}
+			return out
+		},
+		func(a TopKAcc) []TopKItem {
+			items := make([]TopKItem, 0, len(a.Counts))
+			for key, c := range a.Counts {
+				items = append(items, TopKItem{Key: key, Count: c})
+			}
+			sort.Slice(items, func(i, j int) bool {
+				if items[i].Count != items[j].Count {
+					return items[i].Count > items[j].Count
+				}
+				return items[i].Key < items[j].Key
+			})
+			if len(items) > k {
+				items = items[:k]
+			}
+			return items
+		},
+	)
+}
+
+// ReservoirAcc is the accumulator for Reservoir.
+type ReservoirAcc struct {
+	Sample []float64
+	Seen   int64
+	rng    *rand.Rand
+}
+
+// Reservoir returns a decomposable uniform sample of up to k elements
+// (Vitter's algorithm R per partial, weighted merge across partials). The
+// seed makes tests deterministic.
+func Reservoir(k int, seed int64) Function[float64, ReservoirAcc, []float64] {
+	newRng := func() *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	return NewFunction(
+		func() ReservoirAcc { return ReservoirAcc{rng: newRng()} },
+		func(v float64) ReservoirAcc {
+			return ReservoirAcc{Sample: []float64{v}, Seen: 1, rng: newRng()}
+		},
+		func(a, b ReservoirAcc) ReservoirAcc {
+			rng := a.rng
+			if rng == nil {
+				rng = b.rng
+			}
+			if rng == nil {
+				rng = newRng()
+			}
+			out := ReservoirAcc{Seen: a.Seen + b.Seen, rng: rng}
+			// Weighted merge: draw from a with probability a.Seen/(a.Seen+b.Seen).
+			merged := make([]float64, 0, k)
+			ai, bi := 0, 0
+			for len(merged) < k && (ai < len(a.Sample) || bi < len(b.Sample)) {
+				pickA := bi >= len(b.Sample)
+				if !pickA && ai < len(a.Sample) {
+					p := float64(a.Seen) / float64(a.Seen+b.Seen)
+					pickA = rng.Float64() < p
+				}
+				if pickA && ai < len(a.Sample) {
+					merged = append(merged, a.Sample[ai])
+					ai++
+				} else if bi < len(b.Sample) {
+					merged = append(merged, b.Sample[bi])
+					bi++
+				}
+			}
+			out.Sample = merged
+			return out
+		},
+		func(a ReservoirAcc) []float64 { return a.Sample },
+	)
+}
+
+// FoldAll folds a slice of inputs through a Function — a convenience used by
+// batch paths and tests.
+func FoldAll[In, Acc, Out any](fn Function[In, Acc, Out], in []In) Out {
+	acc := fn.CreateAccumulator()
+	for i, v := range in {
+		if i == 0 {
+			acc = fn.Lift(v)
+		} else {
+			acc = fn.Combine(acc, fn.Lift(v))
+		}
+	}
+	return fn.Lower(acc)
+}

@@ -1,0 +1,163 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenericSumIntAndFloat(t *testing.T) {
+	if got := FoldAll(Sum[int](), []int{1, 2, 3}); got != 6 {
+		t.Fatalf("sum int = %d", got)
+	}
+	if got := FoldAll(Sum[float64](), []float64{0.5, 0.25}); got != 0.75 {
+		t.Fatalf("sum float = %v", got)
+	}
+	if got := FoldAll(Sum[int](), nil); got != 0 {
+		t.Fatalf("empty sum = %d", got)
+	}
+}
+
+func TestGenericCount(t *testing.T) {
+	if got := FoldAll(Count[string](), []string{"a", "b"}); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestGenericMinMax(t *testing.T) {
+	xs := []int{5, -2, 9}
+	if got := FoldAll(Min[int](), xs); got != -2 {
+		t.Fatalf("min = %d", got)
+	}
+	if got := FoldAll(Max[int](), xs); got != 9 {
+		t.Fatalf("max = %d", got)
+	}
+	// Empty lowers to zero value, not a sentinel.
+	if got := FoldAll(Min[int](), nil); got != 0 {
+		t.Fatalf("empty min = %d", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := FoldAll(Mean(), []float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := FoldAll(Mean(), nil); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	in := []string{"a", "b", "a", "c", "a", "b"}
+	got := FoldAll(TopK(2), in)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Key != "a" || got[0].Count != 3 {
+		t.Fatalf("top1 = %+v, want a:3", got[0])
+	}
+	if got[1].Key != "b" || got[1].Count != 2 {
+		t.Fatalf("top2 = %+v, want b:2", got[1])
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	in := []string{"x", "y"}
+	a := FoldAll(TopK(1), in)
+	b := FoldAll(TopK(1), in)
+	if a[0] != b[0] || a[0].Key != "x" {
+		t.Fatalf("tie break not deterministic: %v vs %v", a, b)
+	}
+}
+
+// Property: TopK combine is associative in its lowered result.
+func TestTopKAssociative(t *testing.T) {
+	fn := TopK(3)
+	f := func(keys []uint8, split uint8) bool {
+		if len(keys) < 3 {
+			return true
+		}
+		strs := make([]string, len(keys))
+		for i, k := range keys {
+			strs[i] = string(rune('a' + k%5))
+		}
+		i := 1 + int(split)%(len(strs)-2)
+		j := i + 1
+		lift := func(ss []string) TopKAcc {
+			acc := fn.CreateAccumulator()
+			for _, s := range ss {
+				acc = fn.Combine(acc, fn.Lift(s))
+			}
+			return acc
+		}
+		a, b, c := lift(strs[:i]), lift(strs[i:j]), lift(strs[j:])
+		l := fn.Lower(fn.Combine(fn.Combine(a, b), c))
+		r := fn.Lower(fn.Combine(a, fn.Combine(b, c)))
+		if len(l) != len(r) {
+			return false
+		}
+		for k := range l {
+			if l[k] != r[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirSizeBound(t *testing.T) {
+	fn := Reservoir(5, 42)
+	acc := fn.CreateAccumulator()
+	for i := 0; i < 100; i++ {
+		acc = fn.Combine(acc, fn.Lift(float64(i)))
+	}
+	out := fn.Lower(acc)
+	if len(out) > 5 {
+		t.Fatalf("reservoir exceeded k: %d", len(out))
+	}
+	if len(out) == 0 {
+		t.Fatalf("reservoir empty after 100 inserts")
+	}
+	for _, v := range out {
+		if v < 0 || v > 99 {
+			t.Fatalf("sample value %v outside input domain", v)
+		}
+	}
+}
+
+func TestReservoirSmallInputKeepsAll(t *testing.T) {
+	fn := Reservoir(10, 7)
+	acc := fn.CreateAccumulator()
+	for i := 0; i < 3; i++ {
+		acc = fn.Combine(acc, fn.Lift(float64(i)))
+	}
+	if got := fn.Lower(acc); len(got) != 3 {
+		t.Fatalf("should keep all 3 when under capacity, got %d", len(got))
+	}
+}
+
+// Property: generic Min/Max match math.Min/Max folds.
+func TestGenericMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) {
+				xs[i] = 0
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return FoldAll(Min[float64](), xs) == lo && FoldAll(Max[float64](), xs) == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

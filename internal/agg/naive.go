@@ -1,0 +1,54 @@
+package agg
+
+// Naive is the reference sliding-window aggregator: it stores every partial
+// and recomputes the aggregate with a left fold on demand. O(n) per query.
+// It exists as the oracle for conformance and property tests and as the
+// honest cost model for the "Eager" baseline.
+type Naive[A any] struct {
+	combine  func(a, b A) A
+	identity A
+	vals     []A
+}
+
+// NewNaive returns an empty naive aggregator.
+func NewNaive[A any](identity A, combine func(a, b A) A) *Naive[A] {
+	return &Naive[A]{combine: combine, identity: identity}
+}
+
+// Len returns the number of stored partials.
+func (n *Naive[A]) Len() int { return len(n.vals) }
+
+// Append adds a partial at the back.
+func (n *Naive[A]) Append(a A) { n.vals = append(n.vals, a) }
+
+// EvictFront removes the oldest partial. It panics if empty.
+func (n *Naive[A]) EvictFront() {
+	if len(n.vals) == 0 {
+		panic("agg: EvictFront on empty Naive")
+	}
+	n.vals = n.vals[1:]
+}
+
+// Aggregate folds the whole window.
+func (n *Naive[A]) Aggregate() A { return n.Range(0, len(n.vals)) }
+
+// Range folds partials with logical indices [i, j) in FIFO order.
+func (n *Naive[A]) Range(i, j int) A {
+	if i < 0 {
+		i = 0
+	}
+	if j > len(n.vals) {
+		j = len(n.vals)
+	}
+	acc := n.identity
+	first := true
+	for k := i; k < j; k++ {
+		if first {
+			acc = n.vals[k]
+			first = false
+		} else {
+			acc = n.combine(acc, n.vals[k])
+		}
+	}
+	return acc
+}

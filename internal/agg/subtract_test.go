@@ -1,0 +1,81 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtractOnEvictBasic(t *testing.T) {
+	s := NewSubtractOnEvict(SumF64())
+	s.Push(SumF64().Lift(3))
+	s.Push(SumF64().Lift(4))
+	if got := SumF64().Lower(s.Aggregate()); got != 7 {
+		t.Fatalf("aggregate = %v", got)
+	}
+	s.PopFront()
+	if got := SumF64().Lower(s.Aggregate()); got != 4 {
+		t.Fatalf("after pop = %v", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSubtractOnEvictEmpty(t *testing.T) {
+	s := NewSubtractOnEvict(SumF64())
+	if got := SumF64().Lower(s.Aggregate()); got != 0 {
+		t.Fatalf("empty aggregate = %v", got)
+	}
+}
+
+func TestSubtractOnEvictRejectsNonInvertible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("min must be rejected")
+		}
+	}()
+	NewSubtractOnEvict(MinF64())
+}
+
+func TestSubtractOnEvictPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewSubtractOnEvict(SumF64()).PopFront()
+}
+
+// Property: SubtractOnEvict matches Naive for every invertible standard
+// function under random push/pop sequences.
+func TestSubtractOnEvictMatchesNaive(t *testing.T) {
+	for _, name := range []string{"sum", "count", "avg"} {
+		fn := StdFnF64(name)
+		f := func(ops []uint8) bool {
+			s := NewSubtractOnEvict(fn)
+			na := NewNaive(fn.Identity, fn.Combine)
+			v := 0
+			for _, op := range ops {
+				if op%3 == 2 && s.Len() > 0 {
+					s.PopFront()
+					na.EvictFront()
+				} else {
+					a := fn.Lift(float64(v%13) - 6)
+					v++
+					s.Push(a)
+					na.Append(a)
+				}
+				got := fn.Lower(s.Aggregate())
+				want := fn.Lower(na.Aggregate())
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package agg
+
+// TwoStacks is the classic two-stack FIFO sliding-window aggregator
+// (attributed to the "SMQ" folklore algorithm; see also DABA, Tangwongsan et
+// al. 2017): Push and PopFront run in amortized O(1) combines and the running
+// aggregate of the whole window is available in O(1).
+//
+// It supports only whole-window queries (no arbitrary ranges), which makes it
+// the right engine for single-query sliding windows evicted in FIFO order,
+// and a useful comparison point for FlatFAT in micro-benchmarks.
+type TwoStacks[A any] struct {
+	combine  func(a, b A) A
+	identity A
+
+	// front stack: values and suffix aggregates (aggregate of the stack
+	// from this element down to the bottom).
+	frontAgg []A
+	// back stack: raw values and one running aggregate of all of them.
+	backVals []A
+	backAgg  A
+	hasBack  bool
+}
+
+// NewTwoStacks returns an empty two-stack aggregator.
+func NewTwoStacks[A any](identity A, combine func(a, b A) A) *TwoStacks[A] {
+	return &TwoStacks[A]{combine: combine, identity: identity}
+}
+
+// Len returns the number of elements in the window.
+func (s *TwoStacks[A]) Len() int { return len(s.frontAgg) + len(s.backVals) }
+
+// Push appends a partial aggregate at the back of the window.
+func (s *TwoStacks[A]) Push(a A) {
+	s.backVals = append(s.backVals, a)
+	if s.hasBack {
+		s.backAgg = s.combine(s.backAgg, a)
+	} else {
+		s.backAgg = a
+		s.hasBack = true
+	}
+}
+
+// PopFront removes the oldest element of the window. It panics if empty.
+func (s *TwoStacks[A]) PopFront() {
+	if len(s.frontAgg) == 0 {
+		s.flip()
+	}
+	if len(s.frontAgg) == 0 {
+		panic("agg: PopFront on empty TwoStacks")
+	}
+	s.frontAgg = s.frontAgg[:len(s.frontAgg)-1]
+}
+
+// flip moves the back stack into the front stack, computing suffix
+// aggregates so that the top of frontAgg is always the aggregate of the
+// remaining window prefix.
+func (s *TwoStacks[A]) flip() {
+	n := len(s.backVals)
+	if n == 0 {
+		return
+	}
+	// Oldest element of backVals must end up on top of the front stack.
+	// frontAgg[i] = combine(backVals[i], backVals[i+1], ..., backVals[n-1])
+	// pushed in reverse so index n-1 is at the bottom.
+	suffix := make([]A, n)
+	acc := s.backVals[n-1]
+	suffix[n-1] = acc
+	for i := n - 2; i >= 0; i-- {
+		acc = s.combine(s.backVals[i], acc)
+		suffix[i] = acc
+	}
+	// Stack order: bottom = suffix[n-1] (newest), top = suffix[0] (oldest).
+	for i := n - 1; i >= 0; i-- {
+		s.frontAgg = append(s.frontAgg, suffix[i])
+	}
+	s.backVals = s.backVals[:0]
+	s.backAgg = s.identity
+	s.hasBack = false
+}
+
+// Aggregate returns the aggregate of the whole window, or identity if empty.
+func (s *TwoStacks[A]) Aggregate() A {
+	switch {
+	case len(s.frontAgg) > 0 && s.hasBack:
+		return s.combine(s.frontAgg[len(s.frontAgg)-1], s.backAgg)
+	case len(s.frontAgg) > 0:
+		return s.frontAgg[len(s.frontAgg)-1]
+	case s.hasBack:
+		return s.backAgg
+	default:
+		return s.identity
+	}
+}

@@ -1,0 +1,107 @@
+package agg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoStacksEmpty(t *testing.T) {
+	s := NewTwoStacks(0, func(a, b int) int { return a + b })
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Aggregate(); got != 0 {
+		t.Fatalf("empty aggregate = %d", got)
+	}
+}
+
+func TestTwoStacksPushPop(t *testing.T) {
+	s := NewTwoStacks(0, func(a, b int) int { return a + b })
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	if got := s.Aggregate(); got != 6 {
+		t.Fatalf("aggregate = %d, want 6", got)
+	}
+	s.PopFront() // removes 1
+	if got := s.Aggregate(); got != 5 {
+		t.Fatalf("aggregate = %d, want 5", got)
+	}
+	s.Push(10)
+	s.PopFront() // removes 2
+	s.PopFront() // removes 3
+	if got := s.Aggregate(); got != 10 {
+		t.Fatalf("aggregate = %d, want 10", got)
+	}
+}
+
+func TestTwoStacksPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PopFront on empty should panic")
+		}
+	}()
+	NewTwoStacks(0, func(a, b int) int { return a + b }).PopFront()
+}
+
+// Property: TwoStacks matches Naive under random push/pop sequences with a
+// non-commutative combine (order sensitivity check through the flip path).
+func TestTwoStacksMatchesNaiveNonCommutative(t *testing.T) {
+	concat := func(a, b string) string { return a + b }
+	f := func(ops []uint8) bool {
+		ts := NewTwoStacks("", concat)
+		na := NewNaive("", concat)
+		next := 0
+		for _, op := range ops {
+			if op%3 == 2 && ts.Len() > 0 {
+				ts.PopFront()
+				na.EvictFront()
+			} else {
+				s := string(rune('a' + next%26))
+				next++
+				ts.Push(s)
+				na.Append(s)
+			}
+			if ts.Len() != na.Len() || ts.Aggregate() != na.Aggregate() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sliding-window sum via TwoStacks equals a direct computation.
+func TestTwoStacksSlidingSum(t *testing.T) {
+	f := func(raw []uint8, wRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := int(wRaw)%8 + 1
+		add := func(a, b int) int { return a + b }
+		ts := NewTwoStacks(0, add)
+		for i, r := range raw {
+			ts.Push(int(r))
+			if ts.Len() > w {
+				ts.PopFront()
+			}
+			lo := i - w + 1
+			if lo < 0 {
+				lo = 0
+			}
+			want := 0
+			for j := lo; j <= i; j++ {
+				want += int(raw[j])
+			}
+			if ts.Aggregate() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// BInt is the element-granularity interval-sharing baseline in the spirit of
+// B-Int (Arasu & Widom, "Resource sharing in continuous sliding-window
+// aggregates", VLDB 2004): a balanced aggregate tree is maintained over the
+// *individual elements* of the stream, and every window of every query is
+// answered with an O(log n) range query. Work is shared between queries with
+// the same aggregate function (one tree per function), and arbitrary
+// deterministic windows are supported — but unlike Cutty the tree must be
+// updated for every element (O(log n) per element instead of O(1) per
+// slice), and the tree holds one leaf per element instead of one per slice.
+// That per-element overhead is the order-of-magnitude gap E2 measures.
+type BInt struct {
+	emit    engine.Emit
+	pos     int64 // absolute position of the next element
+	base    int64 // absolute position of the first retained element
+	curWM   int64
+	queries map[int]*bintQuery
+	nextQID int
+	active  *bintQuery
+
+	fns    []*agg.FnF64
+	fnSlot map[string]int
+	trees  []*agg.FlatFAT[agg.Acc]
+	ts     []int64 // timestamps of retained elements, aligned with tree leaves
+}
+
+type bintQuery struct {
+	id       int
+	assigner window.Assigner
+	slot     int
+	open     map[int64]int64 // window id -> absolute begin position
+	minBegin int64
+}
+
+var _ engine.Engine = (*BInt)(nil)
+
+// NewBInt returns an empty B-Int engine.
+func NewBInt(emit engine.Emit) *BInt {
+	return &BInt{
+		emit:    emit,
+		curWM:   math.MinInt64,
+		queries: make(map[int]*bintQuery),
+		fnSlot:  make(map[string]int),
+	}
+}
+
+// Name implements engine.Engine.
+func (b *BInt) Name() string { return "b-int" }
+
+// AddQuery implements engine.Engine.
+func (b *BInt) AddQuery(q engine.Query) (int, error) {
+	if q.Fn == nil || q.Window.Factory == nil {
+		return 0, fmt.Errorf("b-int: query requires a window spec and an aggregate function")
+	}
+	slot, ok := b.fnSlot[q.Fn.Name]
+	if !ok {
+		slot = len(b.fns)
+		b.fns = append(b.fns, q.Fn)
+		b.fnSlot[q.Fn.Name] = slot
+		tree := agg.NewFlatFAT(q.Fn.Identity, q.Fn.Combine, 16)
+		for range b.ts {
+			tree.Append(q.Fn.Identity)
+		}
+		b.trees = append(b.trees, tree)
+	}
+	id := b.nextQID
+	b.nextQID++
+	b.queries[id] = &bintQuery{
+		id:       id,
+		assigner: q.Window.Factory(),
+		slot:     slot,
+		open:     make(map[int64]int64),
+	}
+	return id, nil
+}
+
+// RemoveQuery implements engine.Engine.
+func (b *BInt) RemoveQuery(id int) {
+	delete(b.queries, id)
+	b.evict()
+}
+
+// OnElement implements engine.Engine: one O(log n) tree update per distinct
+// aggregate function for every element.
+func (b *BInt) OnElement(ts int64, v float64) {
+	for _, q := range b.queries {
+		b.active = q
+		q.assigner.OnElement(ts, b.pos, v, (*bintCtx)(b))
+	}
+	b.active = nil
+	b.ts = append(b.ts, ts)
+	for i, fn := range b.fns {
+		b.trees[i].Append(fn.Lift(v))
+	}
+	b.pos++
+}
+
+// OnWatermark implements engine.Engine.
+func (b *BInt) OnWatermark(wm int64) {
+	if wm <= b.curWM {
+		return
+	}
+	b.curWM = wm
+	for _, q := range b.queries {
+		b.active = q
+		q.assigner.OnTime(wm, (*bintCtx)(b))
+	}
+	b.active = nil
+	b.evict()
+}
+
+// StoredPartials implements engine.Engine: one leaf per retained element per
+// function tree.
+func (b *BInt) StoredPartials() int {
+	n := 0
+	for _, t := range b.trees {
+		n += t.Len()
+	}
+	return n
+}
+
+func (b *BInt) evict() {
+	minNeeded := int64(math.MaxInt64)
+	for _, q := range b.queries {
+		if len(q.open) > 0 && q.minBegin < minNeeded {
+			minNeeded = q.minBegin
+		}
+	}
+	if minNeeded > b.pos {
+		minNeeded = b.pos
+	}
+	for b.base < minNeeded && len(b.ts) > 0 {
+		b.ts = b.ts[1:]
+		for _, t := range b.trees {
+			t.EvictFront()
+		}
+		b.base++
+	}
+	if cap(b.ts) > 1024 && len(b.ts) < cap(b.ts)/4 {
+		fresh := make([]int64, len(b.ts))
+		copy(fresh, b.ts)
+		b.ts = fresh
+	}
+}
+
+type bintCtx BInt
+
+func (c *bintCtx) engine() *BInt { return (*BInt)(c) }
+
+func (c *bintCtx) Open(id int64) {
+	b := c.engine()
+	q := b.active
+	if _, dup := q.open[id]; dup {
+		return
+	}
+	if len(q.open) == 0 || b.pos < q.minBegin {
+		q.minBegin = b.pos
+	}
+	q.open[id] = b.pos
+}
+
+func (c *bintCtx) CloseHere(id, end int64) {
+	b := c.engine()
+	c.close(id, end, b.pos)
+}
+
+func (c *bintCtx) CloseAt(id, end, cutoff int64) {
+	b := c.engine()
+	q := b.active
+	begin, ok := q.open[id]
+	if !ok {
+		return
+	}
+	lo := int(begin - b.base)
+	if lo < 0 {
+		lo = 0
+	}
+	idx := sort.Search(len(b.ts)-lo, func(i int) bool { return b.ts[lo+i] >= cutoff })
+	c.close(id, end, b.base+int64(lo+idx))
+}
+
+func (c *bintCtx) close(id, end, toAbs int64) {
+	b := c.engine()
+	q := b.active
+	begin, ok := q.open[id]
+	if !ok {
+		return
+	}
+	delete(q.open, id)
+	if begin == q.minBegin && len(q.open) > 0 {
+		q.minBegin = math.MaxInt64
+		for _, p := range q.open {
+			if p < q.minBegin {
+				q.minBegin = p
+			}
+		}
+	}
+	fn := b.fns[q.slot]
+	acc := b.trees[q.slot].Range(int(begin-b.base), int(toAbs-b.base))
+	b.emit(engine.Result{QueryID: q.id, Start: id, End: end, Value: fn.Lower(acc), Count: acc.N})
+}

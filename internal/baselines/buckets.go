@@ -1,0 +1,160 @@
+// Package baselines implements the prior-art window aggregation strategies
+// that Cutty is evaluated against in the STREAMLINE paper's first research
+// highlight: per-window Buckets (Flink 1.x style), Eager tuple buffering,
+// Pairs (Krishnamurthy et al.), Panes (Li et al.) and B-Int interval sharing
+// (Arasu & Widom). All satisfy engine.Engine so that the E1–E5 experiments
+// and the conformance tests drive every strategy identically.
+//
+// Each implementation follows the published cost model faithfully:
+//
+//	Buckets  O(open windows) combines per element, partials per open window
+//	Eager    O(1) appends per element but buffers raw tuples, O(n) per window
+//	Pairs    <= 2 slices per slide, linear combine per window; periodic only
+//	Panes    slices of gcd(range, slide), linear combine per window; periodic only
+//	B-Int    element-granularity aggregate tree: O(log n) per element and window
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// bucketWin is one open window's accumulator.
+type bucketWin struct {
+	acc   agg.Acc
+	begun bool // becomes true once the first element is folded in
+}
+
+type bucketQuery struct {
+	id       int
+	assigner window.Assigner
+	fn       *agg.FnF64
+	open     map[int64]*bucketWin
+}
+
+// Buckets is the no-sharing baseline: every open window of every query keeps
+// its own accumulator, and every element is combined into every open window
+// it belongs to. This is the behaviour of Flink's default window operator
+// (with pre-aggregation) at the time of the paper.
+type Buckets struct {
+	emit    engine.Emit
+	pos     int64
+	curWM   int64
+	queries map[int]*bucketQuery
+	nextQID int
+	active  *bucketQuery
+	stored  int
+}
+
+var _ engine.Engine = (*Buckets)(nil)
+
+// NewBuckets returns an empty Buckets engine.
+func NewBuckets(emit engine.Emit) *Buckets {
+	return &Buckets{emit: emit, curWM: math.MinInt64, queries: make(map[int]*bucketQuery)}
+}
+
+// Name implements engine.Engine.
+func (b *Buckets) Name() string { return "buckets" }
+
+// AddQuery implements engine.Engine.
+func (b *Buckets) AddQuery(q engine.Query) (int, error) {
+	if q.Fn == nil || q.Window.Factory == nil {
+		return 0, fmt.Errorf("buckets: query requires a window spec and an aggregate function")
+	}
+	id := b.nextQID
+	b.nextQID++
+	b.queries[id] = &bucketQuery{
+		id:       id,
+		assigner: q.Window.Factory(),
+		fn:       q.Fn,
+		open:     make(map[int64]*bucketWin),
+	}
+	return id, nil
+}
+
+// RemoveQuery implements engine.Engine.
+func (b *Buckets) RemoveQuery(id int) {
+	if q, ok := b.queries[id]; ok {
+		b.stored -= len(q.open)
+		delete(b.queries, id)
+	}
+}
+
+// OnElement implements engine.Engine: the element is folded into every open
+// window of every query — the redundant work Cutty eliminates.
+func (b *Buckets) OnElement(ts int64, v float64) {
+	for _, q := range b.queries {
+		b.active = q
+		q.assigner.OnElement(ts, b.pos, v, (*bucketsCtx)(b))
+		for _, w := range q.open {
+			if w.begun {
+				w.acc = q.fn.Combine(w.acc, q.fn.Lift(v))
+			} else {
+				w.acc = q.fn.Lift(v)
+				w.begun = true
+			}
+		}
+	}
+	b.active = nil
+	b.pos++
+}
+
+// OnWatermark implements engine.Engine.
+func (b *Buckets) OnWatermark(wm int64) {
+	if wm <= b.curWM {
+		return
+	}
+	b.curWM = wm
+	for _, q := range b.queries {
+		b.active = q
+		q.assigner.OnTime(wm, (*bucketsCtx)(b))
+	}
+	b.active = nil
+}
+
+// StoredPartials implements engine.Engine: one partial per open window.
+func (b *Buckets) StoredPartials() int { return b.stored }
+
+type bucketsCtx Buckets
+
+func (c *bucketsCtx) engine() *Buckets { return (*Buckets)(c) }
+
+func (c *bucketsCtx) Open(id int64) {
+	b := c.engine()
+	q := b.active
+	if _, dup := q.open[id]; dup {
+		return
+	}
+	q.open[id] = &bucketWin{acc: q.fn.Identity}
+	b.stored++
+}
+
+func (c *bucketsCtx) CloseHere(id, end int64) { c.close(id, end) }
+
+// CloseAt behaves like CloseHere: under the watermark-before-element driving
+// protocol (see package engine) a window is always closed before any element
+// at or beyond its cutoff arrives, so the accumulator already holds exactly
+// the window's content.
+func (c *bucketsCtx) CloseAt(id, end, cutoff int64) { c.close(id, end) }
+
+func (c *bucketsCtx) close(id, end int64) {
+	b := c.engine()
+	q := b.active
+	w, ok := q.open[id]
+	if !ok {
+		return
+	}
+	delete(q.open, id)
+	b.stored--
+	b.emit(engine.Result{
+		QueryID: q.id,
+		Start:   id,
+		End:     end,
+		Value:   q.fn.Lower(w.acc),
+		Count:   w.acc.N,
+	})
+}

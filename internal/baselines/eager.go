@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// Eager is the tuple-buffer baseline: every open window of every query
+// buffers the raw elements assigned to it and folds them only when the
+// window fires. It models window operators without pre-aggregation (Flink's
+// apply()/evictor path), the worst case in both time and memory and the
+// reference point for the paper's "redundancy-prone" claim (E3).
+type Eager struct {
+	emit    engine.Emit
+	pos     int64
+	curWM   int64
+	queries map[int]*eagerQuery
+	nextQID int
+	active  *eagerQuery
+	stored  int
+}
+
+type eagerQuery struct {
+	id       int
+	assigner window.Assigner
+	fn       *agg.FnF64
+	open     map[int64]*eagerWin
+}
+
+type eagerWin struct {
+	vals []float64
+}
+
+var _ engine.Engine = (*Eager)(nil)
+
+// NewEager returns an empty Eager engine.
+func NewEager(emit engine.Emit) *Eager {
+	return &Eager{emit: emit, curWM: math.MinInt64, queries: make(map[int]*eagerQuery)}
+}
+
+// Name implements engine.Engine.
+func (e *Eager) Name() string { return "eager" }
+
+// AddQuery implements engine.Engine.
+func (e *Eager) AddQuery(q engine.Query) (int, error) {
+	if q.Fn == nil || q.Window.Factory == nil {
+		return 0, fmt.Errorf("eager: query requires a window spec and an aggregate function")
+	}
+	id := e.nextQID
+	e.nextQID++
+	e.queries[id] = &eagerQuery{
+		id:       id,
+		assigner: q.Window.Factory(),
+		fn:       q.Fn,
+		open:     make(map[int64]*eagerWin),
+	}
+	return id, nil
+}
+
+// RemoveQuery implements engine.Engine.
+func (e *Eager) RemoveQuery(id int) {
+	if q, ok := e.queries[id]; ok {
+		for _, w := range q.open {
+			e.stored -= len(w.vals)
+		}
+		delete(e.queries, id)
+	}
+}
+
+// OnElement implements engine.Engine.
+func (e *Eager) OnElement(ts int64, v float64) {
+	for _, q := range e.queries {
+		e.active = q
+		q.assigner.OnElement(ts, e.pos, v, (*eagerCtx)(e))
+		for _, w := range q.open {
+			w.vals = append(w.vals, v)
+			e.stored++
+		}
+	}
+	e.active = nil
+	e.pos++
+}
+
+// OnWatermark implements engine.Engine.
+func (e *Eager) OnWatermark(wm int64) {
+	if wm <= e.curWM {
+		return
+	}
+	e.curWM = wm
+	for _, q := range e.queries {
+		e.active = q
+		q.assigner.OnTime(wm, (*eagerCtx)(e))
+	}
+	e.active = nil
+}
+
+// StoredPartials implements engine.Engine: buffered raw tuples count as
+// stored state.
+func (e *Eager) StoredPartials() int { return e.stored }
+
+type eagerCtx Eager
+
+func (c *eagerCtx) engine() *Eager { return (*Eager)(c) }
+
+func (c *eagerCtx) Open(id int64) {
+	e := c.engine()
+	q := e.active
+	if _, dup := q.open[id]; dup {
+		return
+	}
+	q.open[id] = &eagerWin{}
+}
+
+func (c *eagerCtx) CloseHere(id, end int64) { c.close(id, end) }
+
+func (c *eagerCtx) CloseAt(id, end, cutoff int64) { c.close(id, end) }
+
+func (c *eagerCtx) close(id, end int64) {
+	e := c.engine()
+	q := e.active
+	w, ok := q.open[id]
+	if !ok {
+		return
+	}
+	delete(q.open, id)
+	e.stored -= len(w.vals)
+	// Fold on fire: the eager recomputation the strategy is named for.
+	acc := q.fn.Identity
+	for i, v := range w.vals {
+		if i == 0 {
+			acc = q.fn.Lift(v)
+		} else {
+			acc = q.fn.Combine(acc, q.fn.Lift(v))
+		}
+	}
+	e.emit(engine.Result{
+		QueryID: q.id,
+		Start:   id,
+		End:     end,
+		Value:   q.fn.Lower(acc),
+		Count:   acc.N,
+	})
+}

@@ -1,0 +1,373 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// periodicSlicer is the shared machinery behind the Pairs and Panes
+// baselines. Both pre-slice the stream on a *schedule derived from the
+// registered periodic windows* — independent of window begins — and answer
+// each window by linearly combining the slices it covers (the published
+// evaluation cost for both techniques). They differ only in the boundary
+// schedule:
+//
+//	Panes (Li et al., SIGMOD Record 2005): slice length gcd(size, slide),
+//	extended to multiple queries with the gcd across all queries.
+//
+//	Pairs (Krishnamurthy et al., 2006): two alternating slice lengths per
+//	query, (size mod slide) and slide-(size mod slide); for multiple
+//	queries the union of all boundary points.
+//
+// Neither technique is defined for non-periodic windows (sessions,
+// punctuations, deltas, count windows): AddQuery rejects them, and the
+// experiment harness reports "n/a" — which is precisely the gap Cutty closes.
+type periodicSlicer struct {
+	name     string
+	schedule scheduler
+	emit     engine.Emit
+
+	pos     int64
+	curWM   int64
+	queries map[int]*psQuery
+	nextQID int
+	active  *psQuery
+
+	fns    []*agg.FnF64 // distinct functions, indexed by slice acc slot
+	fnSlot map[string]int
+
+	slices    []psSlice // ascending by bStart; linear eval per window
+	curEnd    int64     // schedule end of the newest slice, valid if len > 0
+	haveSlice bool
+}
+
+// scheduler yields the periodic boundary schedule.
+type scheduler interface {
+	// rebuild recomputes the schedule from the registered queries.
+	rebuild(qs []engine.Query)
+	// boundaryAtOrBefore returns the largest boundary <= t.
+	boundaryAtOrBefore(t int64) int64
+	// boundaryAfter returns the smallest boundary > t.
+	boundaryAfter(t int64) int64
+}
+
+type psSlice struct {
+	bStart int64
+	accs   []agg.Acc
+	begun  []bool
+}
+
+type psQuery struct {
+	id       int
+	spec     engine.Query
+	assigner window.Assigner
+	slot     int
+	open     map[int64]struct{} // open window starts
+	minOpen  int64
+}
+
+// NewPairs returns the Pairs baseline engine.
+func NewPairs(emit engine.Emit) engine.Engine {
+	return &periodicSlicer{
+		name:     "pairs",
+		schedule: &pairsSchedule{},
+		emit:     emit,
+		curWM:    math.MinInt64,
+		queries:  make(map[int]*psQuery),
+		fnSlot:   make(map[string]int),
+	}
+}
+
+// NewPanes returns the Panes baseline engine.
+func NewPanes(emit engine.Emit) engine.Engine {
+	return &periodicSlicer{
+		name:     "panes",
+		schedule: &panesSchedule{},
+		emit:     emit,
+		curWM:    math.MinInt64,
+		queries:  make(map[int]*psQuery),
+		fnSlot:   make(map[string]int),
+	}
+}
+
+func (p *periodicSlicer) Name() string { return p.name }
+
+// AddQuery implements engine.Engine; only periodic time windows are
+// accepted.
+func (p *periodicSlicer) AddQuery(q engine.Query) (int, error) {
+	if q.Fn == nil || q.Window.Factory == nil {
+		return 0, fmt.Errorf("%s: query requires a window spec and an aggregate function", p.name)
+	}
+	if !q.Window.IsPeriodic() {
+		return 0, fmt.Errorf("%s: window %q is not periodic; %s supports only tumbling and sliding time windows",
+			p.name, q.Window.Name, p.name)
+	}
+	slot, ok := p.fnSlot[q.Fn.Name]
+	if !ok {
+		slot = len(p.fns)
+		p.fns = append(p.fns, q.Fn)
+		p.fnSlot[q.Fn.Name] = slot
+		for i := range p.slices {
+			p.slices[i].accs = append(p.slices[i].accs, q.Fn.Identity)
+			p.slices[i].begun = append(p.slices[i].begun, false)
+		}
+	}
+	id := p.nextQID
+	p.nextQID++
+	p.queries[id] = &psQuery{
+		id:       id,
+		spec:     q,
+		assigner: q.Window.Factory(),
+		slot:     slot,
+		open:     make(map[int64]struct{}),
+	}
+	p.rebuildSchedule()
+	return id, nil
+}
+
+// RemoveQuery implements engine.Engine.
+func (p *periodicSlicer) RemoveQuery(id int) {
+	if _, ok := p.queries[id]; !ok {
+		return
+	}
+	delete(p.queries, id)
+	p.rebuildSchedule()
+	p.evict()
+}
+
+func (p *periodicSlicer) rebuildSchedule() {
+	qs := make([]engine.Query, 0, len(p.queries))
+	for _, q := range p.queries {
+		qs = append(qs, q.spec)
+	}
+	p.schedule.rebuild(qs)
+}
+
+// OnElement implements engine.Engine.
+func (p *periodicSlicer) OnElement(ts int64, v float64) {
+	for _, q := range p.queries {
+		p.active = q
+		q.assigner.OnElement(ts, p.pos, v, (*psCtx)(p))
+	}
+	p.active = nil
+	// Assign the element to the schedule slice covering ts.
+	if !p.haveSlice || ts >= p.curEnd {
+		start := p.schedule.boundaryAtOrBefore(ts)
+		p.curEnd = p.schedule.boundaryAfter(ts)
+		s := psSlice{bStart: start, accs: make([]agg.Acc, len(p.fns)), begun: make([]bool, len(p.fns))}
+		for i, fn := range p.fns {
+			s.accs[i] = fn.Identity
+		}
+		p.slices = append(p.slices, s)
+		p.haveSlice = true
+	}
+	s := &p.slices[len(p.slices)-1]
+	for i, fn := range p.fns {
+		if s.begun[i] {
+			s.accs[i] = fn.Combine(s.accs[i], fn.Lift(v))
+		} else {
+			s.accs[i] = fn.Lift(v)
+			s.begun[i] = true
+		}
+	}
+	p.pos++
+}
+
+// OnWatermark implements engine.Engine.
+func (p *periodicSlicer) OnWatermark(wm int64) {
+	if wm <= p.curWM {
+		return
+	}
+	p.curWM = wm
+	for _, q := range p.queries {
+		p.active = q
+		q.assigner.OnTime(wm, (*psCtx)(p))
+	}
+	p.active = nil
+	p.evict()
+}
+
+// StoredPartials implements engine.Engine.
+func (p *periodicSlicer) StoredPartials() int { return len(p.slices) * len(p.fns) }
+
+func (p *periodicSlicer) evict() {
+	minNeeded := int64(math.MaxInt64)
+	for _, q := range p.queries {
+		if len(q.open) > 0 && q.minOpen < minNeeded {
+			minNeeded = q.minOpen
+		}
+	}
+	cut := 0
+	for cut < len(p.slices) && p.slices[cut].bStart < minNeeded {
+		// A slice starting before the earliest open window also *ends* at
+		// or before that window's start (boundaries align), except the
+		// newest slice which may still grow — keep it.
+		if cut == len(p.slices)-1 && p.haveSlice && p.curEnd > minNeeded {
+			break
+		}
+		cut++
+	}
+	if cut > 0 {
+		p.slices = append(p.slices[:0], p.slices[cut:]...)
+		if len(p.slices) == 0 {
+			p.haveSlice = false
+		}
+	}
+}
+
+type psCtx periodicSlicer
+
+func (c *psCtx) engine() *periodicSlicer { return (*periodicSlicer)(c) }
+
+func (c *psCtx) Open(id int64) {
+	p := c.engine()
+	q := p.active
+	if _, dup := q.open[id]; dup {
+		return
+	}
+	if len(q.open) == 0 || id < q.minOpen {
+		q.minOpen = id
+	}
+	q.open[id] = struct{}{}
+}
+
+// CloseHere: periodic assigners never use it (all closes are watermark
+// driven), but implement it defensively as "everything so far".
+func (c *psCtx) CloseHere(id, end int64) { c.CloseAt(id, end, math.MaxInt64) }
+
+func (c *psCtx) CloseAt(id, end, cutoff int64) {
+	p := c.engine()
+	q := p.active
+	if _, ok := q.open[id]; !ok {
+		return
+	}
+	delete(q.open, id)
+	if id == q.minOpen && len(q.open) > 0 {
+		q.minOpen = math.MaxInt64
+		for s := range q.open {
+			if s < q.minOpen {
+				q.minOpen = s
+			}
+		}
+	}
+	// Linear combine over the slices covering [id, cutoff) — the published
+	// evaluation cost of Pairs and Panes.
+	fn := p.fns[q.slot]
+	lo := sort.Search(len(p.slices), func(i int) bool { return p.slices[i].bStart >= id })
+	acc := fn.Identity
+	begun := false
+	for i := lo; i < len(p.slices) && p.slices[i].bStart < cutoff; i++ {
+		if !p.slices[i].begun[q.slot] {
+			continue
+		}
+		if begun {
+			acc = fn.Combine(acc, p.slices[i].accs[q.slot])
+		} else {
+			acc = p.slices[i].accs[q.slot]
+			begun = true
+		}
+	}
+	p.emit(engine.Result{QueryID: q.id, Start: id, End: end, Value: fn.Lower(acc), Count: acc.N})
+}
+
+// panesSchedule slices at multiples of the gcd of all sizes and slides.
+type panesSchedule struct {
+	g int64
+}
+
+func (s *panesSchedule) rebuild(qs []engine.Query) {
+	s.g = 0
+	for _, q := range qs {
+		s.g = gcd64(s.g, gcd64(q.Window.Size, q.Window.Slide))
+	}
+	if s.g == 0 {
+		s.g = 1
+	}
+}
+
+func (s *panesSchedule) boundaryAtOrBefore(t int64) int64 { return (t / s.g) * s.g }
+func (s *panesSchedule) boundaryAfter(t int64) int64      { return (t/s.g + 1) * s.g }
+
+// pairsSchedule slices at the union of every query's window starts
+// (t ≡ 0 mod slide) and window ends (t ≡ size mod slide).
+type pairsSchedule struct {
+	// offsets per modulus: for each query, slide and the two residues.
+	entries []pairEntry
+}
+
+type pairEntry struct {
+	slide int64
+	r0    int64 // 0
+	r1    int64 // size mod slide
+}
+
+func (s *pairsSchedule) rebuild(qs []engine.Query) {
+	s.entries = s.entries[:0]
+	for _, q := range qs {
+		s.entries = append(s.entries, pairEntry{
+			slide: q.Window.Slide,
+			r0:    0,
+			r1:    q.Window.Size % q.Window.Slide,
+		})
+	}
+}
+
+func (s *pairsSchedule) boundaryAtOrBefore(t int64) int64 {
+	best := int64(math.MinInt64)
+	for _, e := range s.entries {
+		for _, r := range [2]int64{e.r0, e.r1} {
+			b := floorTo(t, e.slide, r)
+			if b > best {
+				best = b
+			}
+		}
+	}
+	if best == math.MinInt64 {
+		return 0
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+func (s *pairsSchedule) boundaryAfter(t int64) int64 {
+	best := int64(math.MaxInt64)
+	for _, e := range s.entries {
+		for _, r := range [2]int64{e.r0, e.r1} {
+			b := floorTo(t, e.slide, r)
+			for b <= t {
+				b += e.slide
+			}
+			if b < best {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// floorTo returns the largest x <= t with x ≡ r (mod m).
+func floorTo(t, m, r int64) int64 {
+	d := t - r
+	q := d / m
+	if d%m < 0 {
+		q--
+	}
+	return q*m + r
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

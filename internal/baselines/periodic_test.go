@@ -1,0 +1,137 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{12, 8, 4}, {8, 12, 4}, {7, 3, 1}, {0, 5, 5}, {5, 0, 5}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := gcd64(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloorTo(t *testing.T) {
+	cases := []struct{ t_, m, r, want int64 }{
+		{10, 5, 0, 10},
+		{12, 5, 0, 10},
+		{12, 5, 2, 12},
+		{11, 5, 2, 7},
+		{-3, 5, 0, -5},
+		{2, 5, 2, 2},
+	}
+	for _, c := range cases {
+		if got := floorTo(c.t_, c.m, c.r); got != c.want {
+			t.Errorf("floorTo(%d,%d,%d) = %d, want %d", c.t_, c.m, c.r, got, c.want)
+		}
+	}
+}
+
+func TestPanesScheduleGCD(t *testing.T) {
+	s := &panesSchedule{}
+	s.rebuild([]engine.Query{
+		{Window: window.Sliding(12, 8)},
+		{Window: window.Sliding(6, 6)},
+	})
+	// gcd(gcd(12,8), gcd(6,6)) = gcd(4, 6) = 2
+	if s.g != 2 {
+		t.Fatalf("g = %d, want 2", s.g)
+	}
+	if s.boundaryAtOrBefore(7) != 6 || s.boundaryAfter(7) != 8 {
+		t.Fatalf("boundaries wrong: %d / %d", s.boundaryAtOrBefore(7), s.boundaryAfter(7))
+	}
+}
+
+func TestPanesEmptyScheduleDefaults(t *testing.T) {
+	s := &panesSchedule{}
+	s.rebuild(nil)
+	if s.g != 1 {
+		t.Fatalf("empty schedule g = %d, want 1", s.g)
+	}
+}
+
+func TestPairsScheduleBoundaries(t *testing.T) {
+	s := &pairsSchedule{}
+	s.rebuild([]engine.Query{{Window: window.Sliding(7, 3)}})
+	// Boundaries at t ≡ 0 (mod 3) and t ≡ 1 (mod 3): 0,1,3,4,6,7,9,...
+	wantAfter := map[int64]int64{0: 1, 1: 3, 2: 3, 3: 4, 4: 6, 6: 7}
+	for in, want := range wantAfter {
+		if got := s.boundaryAfter(in); got != want {
+			t.Errorf("boundaryAfter(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if got := s.boundaryAtOrBefore(5); got != 4 {
+		t.Errorf("boundaryAtOrBefore(5) = %d, want 4", got)
+	}
+}
+
+// Pairs cuts at most 2 slices per slide for a single query — the property
+// the technique is named for.
+func TestPairsSliceCountBound(t *testing.T) {
+	e := NewPairs(func(engine.Result) {}).(*periodicSlicer)
+	if _, err := e.AddQuery(engine.Query{Window: window.Sliding(70, 30), Fn: agg.SumF64()}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 3000; ts++ {
+		e.OnWatermark(ts)
+		e.OnElement(ts, 1)
+	}
+	// Live slices cover at most one window range (70) plus the growing
+	// slice; with 2 slices per slide the bound is ~2*(70/30)+2.
+	if n := len(e.slices); n > 8 {
+		t.Fatalf("pairs holds %d slices, want <= 8", n)
+	}
+}
+
+// Panes slice count is range/gcd per live window span.
+func TestPanesSliceCountBound(t *testing.T) {
+	e := NewPanes(func(engine.Result) {}).(*periodicSlicer)
+	if _, err := e.AddQuery(engine.Query{Window: window.Sliding(80, 20), Fn: agg.SumF64()}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 2000; ts++ {
+		e.OnWatermark(ts)
+		e.OnElement(ts, 1)
+	}
+	if n := len(e.slices); n > 8 { // 80/gcd(80,20)=4 live + growth slack
+		t.Fatalf("panes holds %d slices, want <= 8", n)
+	}
+}
+
+func TestBucketsStoredPartialsTracksOpenWindows(t *testing.T) {
+	b := NewBuckets(func(engine.Result) {})
+	if _, err := b.AddQuery(engine.Query{Window: window.Sliding(100, 10), Fn: agg.SumF64()}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 1000; ts++ {
+		b.OnWatermark(ts)
+		b.OnElement(ts, 1)
+	}
+	// ~range/slide = 10 open windows.
+	if p := b.StoredPartials(); p < 8 || p > 12 {
+		t.Fatalf("buckets partials = %d, want ~10", p)
+	}
+}
+
+func TestEagerStoredTuplesBounded(t *testing.T) {
+	e := NewEager(func(engine.Result) {})
+	if _, err := e.AddQuery(engine.Query{Window: window.Sliding(100, 50), Fn: agg.SumF64()}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 5000; ts++ {
+		e.OnWatermark(ts)
+		e.OnElement(ts, 1)
+	}
+	// Two overlapping open windows of <=100 tuples each.
+	if p := e.StoredPartials(); p > 250 {
+		t.Fatalf("eager buffers %d tuples, want <= 250", p)
+	}
+}

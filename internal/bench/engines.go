@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/cutty"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// strategies enumerates the window aggregation engines compared by E1–E5.
+func strategies() []struct {
+	name string
+	make func(engine.Emit) engine.Engine
+} {
+	return []struct {
+		name string
+		make func(engine.Emit) engine.Engine
+	}{
+		{"cutty", func(e engine.Emit) engine.Engine { return cutty.New(e) }},
+		{"pairs", baselines.NewPairs},
+		{"panes", baselines.NewPanes},
+		{"b-int", func(e engine.Emit) engine.Engine { return baselines.NewBInt(e) }},
+		{"buckets", func(e engine.Emit) engine.Engine { return baselines.NewBuckets(e) }},
+		{"eager", func(e engine.Emit) engine.Engine { return baselines.NewEager(e) }},
+	}
+}
+
+// identityTs is the sparse timeline: one event per millisecond tick.
+func identityTs(i int64) int64 { return i }
+
+// denseTs is the dense timeline: five events per millisecond tick, so
+// aggregation work dominates window-function dispatch (the regime of the
+// published multi-query experiments).
+func denseTs(i int64) int64 { return i / 5 }
+
+// DriveResult summarizes one engine run.
+type DriveResult struct {
+	Elapsed     time.Duration
+	Events      int64
+	Results     int64
+	MaxPartials int
+}
+
+// Throughput returns events per second.
+func (d DriveResult) Throughput() float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return float64(d.Events) / d.Elapsed.Seconds()
+}
+
+// Drive feeds n events through the engine under the canonical protocol,
+// sampling stored partials. tsOf maps the event index to its timestamp
+// (identity = 1000 ev/s on the millisecond timeline; i/5 = 5000 ev/s).
+func Drive(e engine.Engine, n int64, tsOf func(i int64) int64, value func(i int64) float64) DriveResult {
+	var results int64
+	start := time.Now()
+	maxPartials := 0
+	sampleEvery := n / 64
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	for i := int64(0); i < n; i++ {
+		ts := tsOf(i)
+		e.OnWatermark(ts)
+		e.OnElement(ts, value(i))
+		if i%sampleEvery == 0 {
+			if p := e.StoredPartials(); p > maxPartials {
+				maxPartials = p
+			}
+		}
+	}
+	e.OnWatermark(math.MaxInt64)
+	return DriveResult{Elapsed: time.Since(start), Events: n, MaxPartials: maxPartials, Results: results}
+}
+
+// driveCounted drives and counts emitted results.
+func driveCounted(mk func(engine.Emit) engine.Engine, qs []engine.Query, n int64, tsOf func(i int64) int64, value func(i int64) float64) (DriveResult, error) {
+	var results int64
+	e := mk(func(engine.Result) { results++ })
+	for _, q := range qs {
+		if _, err := e.AddQuery(q); err != nil {
+			return DriveResult{}, err
+		}
+	}
+	r := Drive(e, n, tsOf, value)
+	r.Results = results
+	return r, nil
+}
+
+// E1SinglePeriodic measures single-query sliding-window throughput as the
+// slide shrinks (range fixed at 10 s on a 1000 ev/s timeline).
+func E1SinglePeriodic(quick bool) *Table {
+	n := int64(100_000)
+	if quick {
+		n = 20_000
+	}
+	t := &Table{
+		ID:     "E1",
+		Title:  "single periodic query: throughput vs slide (range 10s, 1000 ev/s)",
+		Claim:  "Cutty \"outperforms previous solutions\" on periodic windows",
+		Header: []string{"slide", "cutty", "pairs", "panes", "b-int", "buckets", "eager"},
+	}
+	for _, slide := range []int64{10, 100, 1000, 10000} {
+		row := []string{fmt.Sprintf("%dms", slide)}
+		for _, s := range strategies() {
+			qs := []engine.Query{{Window: window.Sliding(10_000, slide), Fn: agg.SumF64()}}
+			nEff := n
+			if (s.name == "eager" || s.name == "buckets") && slide <= 10 {
+				nEff = n / 4 // tuple-buffer baselines are quadratic here
+			}
+			res, err := driveCounted(s.make, qs, nEff, identityTs, func(i int64) float64 { return float64(i % 97) })
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmtRate(res.Throughput()))
+		}
+		t.Add(row...)
+	}
+	t.Note("eager/buckets driven with n/4 events at slide<=10ms (quadratic cost); rates normalized per event")
+	return t
+}
+
+// e2Queries builds N deterministic random periodic queries.
+func e2Queries(nQueries int, seed int64) []engine.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]engine.Query, nQueries)
+	for i := range qs {
+		slide := int64(rng.Intn(10)+1) * 100 // 100ms..1s
+		size := slide * int64(rng.Intn(8)+2) // 2..9 slides
+		qs[i] = engine.Query{Window: window.Sliding(size, slide), Fn: agg.SumF64()}
+	}
+	return qs
+}
+
+// E2MultiQuery measures throughput as concurrent periodic queries grow.
+func E2MultiQuery(quick bool) *Table {
+	n := int64(50_000)
+	counts := []int{1, 2, 5, 10, 20, 40}
+	if quick {
+		n = 10_000
+		counts = []int{1, 5, 10}
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "multi-query sharing: throughput vs concurrent queries (5000 ev/s timeline)",
+		Claim:  "\"suitable for multi query aggregation sharing\" / \"order of magnitudes\"",
+		Header: []string{"queries", "cutty", "pairs", "panes", "b-int", "buckets", "eager"},
+	}
+	var cuttyAt, bucketsAt float64
+	maxN := counts[len(counts)-1]
+	for _, nq := range counts {
+		row := []string{fmt.Sprintf("%d", nq)}
+		for _, s := range strategies() {
+			res, err := driveCounted(s.make, e2Queries(nq, 42), n, denseTs, func(i int64) float64 { return float64(i % 97) })
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			th := res.Throughput()
+			row = append(row, fmtRate(th))
+			if nq == maxN {
+				switch s.name {
+				case "cutty":
+					cuttyAt = th
+				case "buckets":
+					bucketsAt = th
+				}
+			}
+		}
+		t.Add(row...)
+	}
+	if bucketsAt > 0 {
+		t.Note("speedup cutty/buckets at %d queries: %.1fx", maxN, cuttyAt/bucketsAt)
+	}
+	return t
+}
+
+// E3Redundancy counts aggregation work (Combine/Invert + Lift invocations)
+// per record — the paper's "window aggregations are one of the most
+// redundancy-prone operations".
+func E3Redundancy(quick bool) *Table {
+	n := int64(20_000)
+	counts := []int{1, 5, 20}
+	if quick {
+		n = 5_000
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "aggregation redundancy: combine invocations per input record",
+		Claim:  "shared slicing eliminates redundant per-window aggregation work",
+		Header: []string{"queries", "cutty", "pairs", "panes", "b-int", "buckets", "eager"},
+	}
+	for _, nq := range counts {
+		row := []string{fmt.Sprintf("%d", nq)}
+		for _, s := range strategies() {
+			var combines, lifts atomic.Int64
+			qs := e2Queries(nq, 42)
+			counted := make([]engine.Query, len(qs))
+			for i, q := range qs {
+				counted[i] = engine.Query{Window: q.Window, Fn: agg.Counting(q.Fn, &combines, &lifts)}
+			}
+			if _, err := driveCounted(s.make, counted, n, denseTs, func(i int64) float64 { return 1 }); err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(combines.Load())/float64(n)))
+		}
+		t.Add(row...)
+	}
+	t.Note("lower is better; cutty pays ~1 combine/record + O(log slices) per window result")
+	return t
+}
+
+// sessionTimeline produces a bursty timeline: bursts of 20 events 10ms
+// apart, separated by 1.5s gaps — sessions under a 1s gap window.
+func sessionTimeline(i int64) int64 {
+	burst := i / 20
+	within := i % 20
+	return burst*(20*10+1500) + within*10
+}
+
+// E4Sessions measures non-periodic (session and punctuation) windows, the
+// workloads Pairs and Panes cannot express.
+func E4Sessions(quick bool) *Table {
+	n := int64(50_000)
+	counts := []int{1, 5, 20}
+	if quick {
+		n = 10_000
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "user-defined windows (sessions, gap 1s): throughput vs queries",
+		Claim:  "\"non-periodic windows, such as session windows\"",
+		Header: []string{"queries", "cutty", "pairs", "panes", "b-int", "buckets", "eager"},
+	}
+	for _, nq := range counts {
+		row := []string{fmt.Sprintf("%d", nq)}
+		for _, s := range strategies() {
+			rng := rand.New(rand.NewSource(7))
+			qs := make([]engine.Query, nq)
+			for i := range qs {
+				qs[i] = engine.Query{Window: window.Session(int64(rng.Intn(10)+5) * 100), Fn: agg.SumF64()}
+			}
+			e := s.make(func(engine.Result) {})
+			rejected := false
+			for _, q := range qs {
+				if _, err := e.AddQuery(q); err != nil {
+					rejected = true
+					break
+				}
+			}
+			if rejected {
+				row = append(row, "n/a")
+				continue
+			}
+			start := time.Now()
+			for i := int64(0); i < n; i++ {
+				ts := sessionTimeline(i)
+				e.OnWatermark(ts)
+				e.OnElement(ts, 1)
+			}
+			e.OnWatermark(math.MaxInt64)
+			row = append(row, fmtRate(float64(n)/time.Since(start).Seconds()))
+		}
+		t.Add(row...)
+	}
+	t.Note("pairs/panes report n/a: periodic-only techniques cannot express sessions")
+	return t
+}
+
+// E5Memory reports the peak number of stored partial aggregates.
+func E5Memory(quick bool) *Table {
+	n := int64(50_000)
+	if quick {
+		n = 10_000
+	}
+	t := &Table{
+		ID:     "E5",
+		Title:  "state: peak stored partial aggregates (sliding 10s/100ms timeline)",
+		Claim:  "slices store one partial per begin, not per element or window",
+		Header: []string{"queries", "cutty", "pairs", "panes", "b-int", "buckets", "eager"},
+	}
+	for _, nq := range []int{1, 10, 40} {
+		row := []string{fmt.Sprintf("%d", nq)}
+		for _, s := range strategies() {
+			res, err := driveCounted(s.make, e2Queries(nq, 42), n, denseTs, func(i int64) float64 { return 1 })
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmtCount(float64(res.MaxPartials)))
+		}
+		t.Add(row...)
+	}
+	t.Note("eager counts buffered raw tuples; b-int counts per-element tree leaves")
+	return t
+}

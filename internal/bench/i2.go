@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/i2"
+	"repro/internal/workloads"
+)
+
+// E6DataRate measures transferred tuples vs input rate for a fixed viewport
+// — the paper's "reduces the amount of data in a data-rate independent
+// manner".
+func E6DataRate(quick bool) *Table {
+	rates := []int64{1_000, 10_000, 100_000, 1_000_000}
+	if quick {
+		rates = []int64{1_000, 10_000, 100_000}
+	}
+	const windowSec = 10
+	vp := i2.Viewport{From: 0, To: windowSec * 1000, Width: 600}
+	t := &Table{
+		ID:     "E6",
+		Title:  "I2 transfer volume vs input rate (10s range, 600px viewport)",
+		Claim:  "\"reduces the amount of data in a data-rate independent manner\"",
+		Header: []string{"rate", "raw tuples", "m4 tuples", "reduction", "bound 4w"},
+	}
+	for _, rate := range rates {
+		gen := workloads.TimeSeries{Seed: 5, PerSec: rate}
+		n := rate * windowSec
+		pts := make([]i2.Point, n)
+		for i := int64(0); i < n; i++ {
+			e := gen.At(i)
+			pts[i] = i2.Point{Ts: e.Ts, V: e.Value}
+		}
+		cols := i2.AggregateM4(pts, vp)
+		size := i2.TransferSize(cols)
+		t.Add(
+			fmtRate(float64(rate)),
+			fmtCount(float64(n)),
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.0fx", float64(n)/float64(size)),
+			fmt.Sprintf("%d", 4*vp.Width),
+		)
+	}
+	t.Note("m4 tuples stay bounded by 4*width while raw grows linearly with rate")
+	return t
+}
+
+// E7M4Cost verifies pixel-exactness and reports aggregation throughput and
+// reduction per viewport width.
+func E7M4Cost(quick bool) *Table {
+	n := int64(500_000)
+	if quick {
+		n = 100_000
+	}
+	gen := workloads.TimeSeries{Seed: 9, PerSec: 50_000}
+	pts := make([]i2.Point, n)
+	for i := int64(0); i < n; i++ {
+		e := gen.At(i)
+		pts[i] = i2.Point{Ts: e.Ts, V: e.Value}
+	}
+	span := pts[len(pts)-1].Ts + 1
+	t := &Table{
+		ID:     "E7",
+		Title:  "I2 correctness and cost per viewport width",
+		Claim:  "\"proven to be correct and minimal in terms of transferred data\"",
+		Header: []string{"width", "m4 tuples", "reduction", "pixel errors", "agg throughput"},
+	}
+	for _, width := range []int{100, 600, 1920} {
+		vp := i2.Viewport{From: 0, To: span, Width: width}
+		start := time.Now()
+		cols := i2.AggregateM4(pts, vp)
+		elapsed := time.Since(start)
+		size := i2.TransferSize(cols)
+
+		lo, hi := i2.ValueRange(pts)
+		sc := i2.Scale{VP: vp, VMin: lo, VMax: hi, H: 240}
+		raw := i2.RenderLine(pts, sc)
+		red := i2.RenderLine(i2.Points(cols), sc)
+		t.Add(
+			fmt.Sprintf("%dpx", width),
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.0fx", float64(n)/float64(size)),
+			fmt.Sprintf("%d", raw.Diff(red)),
+			fmtRate(float64(n)/elapsed.Seconds()),
+		)
+	}
+	t.Note("pixel errors must be 0 at every width: the correctness theorem")
+	return t
+}

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/state"
+	"repro/internal/window"
+	"repro/internal/workloads"
+)
+
+// adPipeline builds the target-advertisement CTR pipeline used by E8/E9:
+// impressions keyed by campaign, tumbling 1s click-through counts.
+func adPipeline(env *core.Environment, n int64, perSec float64) *dataflow.CollectSink {
+	gen := workloads.NewAdClicks(99, 50, 1000)
+	var src *core.Stream
+	mk := func(sub, par int, i int64) dataflow.Record {
+		e := gen.At(i*int64(par) + int64(sub))
+		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
+	}
+	if perSec > 0 {
+		src = env.FromPacedGenerator("ads", 1, n, perSec, mk)
+	} else {
+		src = env.FromGenerator("ads", 1, n, mk)
+	}
+	return src.
+		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
+		WindowAggregate("ctr",
+			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
+			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
+		).
+		Collect("out")
+}
+
+// E8Unified compares the unified continuous pipeline against the simulated
+// lambda architecture (periodic batch recomputation) — the "system and
+// human latency" argument of the paper.
+func E8Unified(quick bool) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "unified model: one program over data at rest and in motion",
+		Claim:  "\"reduction of complexity, costs, and latency\" via one engine",
+		Header: []string{"mode", "input", "runtime", "result freshness"},
+	}
+	sizes := []int64{100_000, 200_000, 400_000}
+	if quick {
+		sizes = []int64{50_000, 100_000}
+	}
+	// Batch runs: same program, bounded input ("data at rest").
+	var batchRuntimes []time.Duration
+	for _, n := range sizes {
+		env := core.NewEnvironment(core.WithParallelism(2))
+		sink := adPipeline(env, n, 0)
+		start := time.Now()
+		if err := env.Execute(context.Background()); err != nil {
+			t.Note("batch n=%d failed: %v", n, err)
+			continue
+		}
+		el := time.Since(start)
+		batchRuntimes = append(batchRuntimes, el)
+		t.Add("batch", fmtCount(float64(n))+" events", el.Round(time.Millisecond).String(),
+			fmt.Sprintf("stale by full period (results: %d)", len(sink.Records())))
+	}
+	// Continuous run: identical program, paced live input ("data in motion").
+	// Event time == wall time offset at 1000 ev/s, so freshness of a window
+	// ending at b is (receive wall time - start - b). The sink records the
+	// receive time synchronously.
+	n := int64(4000)
+	if quick {
+		n = 2000
+	}
+	env := core.NewEnvironment(core.WithParallelism(2))
+	gen := workloads.NewAdClicks(99, 50, 1000)
+	var lat []time.Duration
+	start := time.Now()
+	env.FromPacedGenerator("ads", 1, n, 1000, func(sub, par int, i int64) dataflow.Record {
+		e := gen.At(i)
+		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
+	}).
+		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
+		WindowAggregate("ctr",
+			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
+			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
+		).
+		Sink("fresh", func(r dataflow.Record) {
+			wr := r.Value.(dataflow.WindowResult)
+			fresh := time.Since(start) - time.Duration(wr.End)*time.Millisecond
+			if fresh > 0 && wr.End < int64(n) { // skip the end-of-stream flush
+				lat = append(lat, fresh)
+			}
+		})
+	if err := env.Execute(context.Background()); err != nil {
+		t.Note("continuous run failed: %v", err)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		mean := time.Duration(0)
+		for _, l := range lat {
+			mean += l
+		}
+		mean /= time.Duration(len(lat))
+		p99 := lat[len(lat)*99/100]
+		t.Add("continuous", fmt.Sprintf("%d ev/s live", 1000),
+			"(runs forever)", fmt.Sprintf("mean %s, p99 %s", mean.Round(time.Millisecond), p99.Round(time.Millisecond)))
+	}
+	// Lambda staleness model: recompute every T; average staleness is T/2
+	// plus the batch runtime at the largest measured size.
+	if len(batchRuntimes) > 0 {
+		T := 60 * time.Second
+		stale := T/2 + batchRuntimes[len(batchRuntimes)-1]
+		t.Add("lambda (T=60s)", fmtCount(float64(sizes[len(sizes)-1]))+" events",
+			batchRuntimes[len(batchRuntimes)-1].Round(time.Millisecond).String(),
+			fmt.Sprintf("mean staleness %s", stale.Round(time.Millisecond)))
+	}
+	t.Note("continuous freshness is bounded by window length + pipeline latency, not by a batch period")
+	return t
+}
+
+// E9Checkpoint measures the throughput cost of asynchronous barrier
+// snapshotting at different intervals, on the windowed ad pipeline.
+func E9Checkpoint(quick bool) *Table {
+	n := int64(200_000)
+	if quick {
+		n = 50_000
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "checkpointing overhead (windowed ad pipeline, bounded run)",
+		Claim:  "pipelined engine with exactly-once state via barrier snapshots",
+		Header: []string{"interval", "runtime", "throughput", "checkpoints"},
+	}
+	var base time.Duration
+	for _, interval := range []time.Duration{0, time.Second, 250 * time.Millisecond, 50 * time.Millisecond} {
+		opts := []core.Option{core.WithParallelism(2)}
+		if interval > 0 {
+			opts = append(opts, core.WithCheckpointing(state.NewMemoryBackend(3), interval))
+		}
+		env := core.NewEnvironment(opts...)
+		adPipeline(env, n, 0)
+		start := time.Now()
+		if err := env.Execute(context.Background()); err != nil {
+			t.Note("interval %s failed: %v", interval, err)
+			continue
+		}
+		el := time.Since(start)
+		label := "off"
+		if interval > 0 {
+			label = interval.String()
+		} else {
+			base = el
+		}
+		over := ""
+		if interval > 0 && base > 0 {
+			over = fmt.Sprintf(" (%+.1f%%)", (el.Seconds()/base.Seconds()-1)*100)
+		}
+		t.Add(label, el.Round(time.Millisecond).String()+over,
+			fmtRate(float64(n)/el.Seconds()),
+			fmt.Sprintf("%d", env.CompletedCheckpoints()))
+	}
+	return t
+}
+
+// E10Optimizer ablates the optimizer's levers: operator chaining, combiner
+// insertion under key skew, and parallelism.
+func E10Optimizer(quick bool) *Table {
+	n := int64(300_000)
+	if quick {
+		n = 80_000
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  "optimizer ablation: chaining, adaptive combiner, parallelism",
+		Claim:  "\"automatically be optimized, parallelized, and adopted to ... data distribution\"",
+		Header: []string{"configuration", "workload", "runtime", "throughput"},
+	}
+
+	// Chaining: a map-heavy linear pipeline.
+	chainRun := func(on bool) time.Duration {
+		env := core.NewEnvironment(core.WithParallelism(1), core.WithChaining(on))
+		s := env.FromGenerator("gen", 1, n, func(sub, par int, i int64) dataflow.Record {
+			return dataflow.Data(i, uint64(i%64), float64(i%101))
+		})
+		for k := 0; k < 4; k++ {
+			s = s.Map(fmt.Sprintf("m%d", k), func(r dataflow.Record) dataflow.Record {
+				r.Value = r.Value.(float64) + 1
+				return r
+			})
+		}
+		s.Sink("out", func(dataflow.Record) {})
+		start := time.Now()
+		if err := env.Execute(context.Background()); err != nil {
+			return 0
+		}
+		return time.Since(start)
+	}
+	for _, on := range []bool{true, false} {
+		el := chainRun(on)
+		label := "chaining off"
+		if on {
+			label = "chaining on"
+		}
+		t.Add(label, "4 chained maps", el.Round(time.Millisecond).String(), fmtRate(float64(n)/el.Seconds()))
+	}
+
+	// Combiner under skew: reduce-by-key over zipf keys.
+	combRun := func(mode core.CombinerMode, skew float64) time.Duration {
+		gen := workloads.NewZipf(5, 100_000, 10_000, skew)
+		env := core.NewEnvironment(core.WithParallelism(2), core.WithCombiner(mode))
+		env.FromGenerator("gen", 1, n, func(sub, par int, i int64) dataflow.Record {
+			e := gen.At(i)
+			return dataflow.Data(e.Ts, e.Key, e.Value)
+		}).
+			KeyBy("key", func(r dataflow.Record) uint64 { return r.Key }).
+			ReduceByKey("sum", func(acc, v float64) float64 { return acc + v }, false).
+			Sink("out", func(dataflow.Record) {})
+		start := time.Now()
+		if err := env.Execute(context.Background()); err != nil {
+			return 0
+		}
+		return time.Since(start)
+	}
+	for _, cfg := range []struct {
+		mode  core.CombinerMode
+		label string
+		skew  float64
+		wl    string
+	}{
+		{core.CombinerOff, "combiner off", 1.4, "zipf s=1.4"},
+		{core.CombinerOn, "combiner on", 1.4, "zipf s=1.4"},
+		{core.CombinerAuto, "combiner auto", 1.4, "zipf s=1.4"},
+		{core.CombinerOff, "combiner off", 1.0, "uniform keys"},
+		{core.CombinerOn, "combiner on", 1.0, "uniform keys"},
+		{core.CombinerAuto, "combiner auto", 1.0, "uniform keys"},
+	} {
+		el := combRun(cfg.mode, cfg.skew)
+		t.Add(cfg.label, cfg.wl, el.Round(time.Millisecond).String(), fmtRate(float64(n)/el.Seconds()))
+	}
+
+	// Parallelism scaling on the windowed pipeline.
+	for _, p := range []int{1, 2} {
+		env := core.NewEnvironment(core.WithParallelism(p))
+		adPipeline(env, n/2, 0)
+		start := time.Now()
+		if err := env.Execute(context.Background()); err != nil {
+			continue
+		}
+		el := time.Since(start)
+		t.Add(fmt.Sprintf("parallelism %d", p), "windowed ads", el.Round(time.Millisecond).String(),
+			fmtRate(float64(n/2)/el.Seconds()))
+	}
+	t.Note("auto combiner should match 'on' under skew and 'off' on unique keys")
+	return t
+}
+
+// All runs every experiment.
+func All(quick bool) []*Table {
+	return []*Table{
+		E1SinglePeriodic(quick),
+		E2MultiQuery(quick),
+		E3Redundancy(quick),
+		E4Sessions(quick),
+		E5Memory(quick),
+		E6DataRate(quick),
+		E7M4Cost(quick),
+		E8Unified(quick),
+		E9Checkpoint(quick),
+		E10Optimizer(quick),
+		E11Ablation(quick),
+	}
+}
+
+// ByID returns the named experiment runner, or nil.
+func ByID(id string) func(bool) *Table {
+	switch id {
+	case "E1":
+		return E1SinglePeriodic
+	case "E2":
+		return E2MultiQuery
+	case "E3":
+		return E3Redundancy
+	case "E4":
+		return E4Sessions
+	case "E5":
+		return E5Memory
+	case "E6":
+		return E6DataRate
+	case "E7":
+		return E7M4Cost
+	case "E8":
+		return E8Unified
+	case "E9":
+		return E9Checkpoint
+	case "E10":
+		return E10Optimizer
+	case "E11":
+		return E11Ablation
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+// Package core is STREAMLINE's primary contribution: the single uniform
+// programming model over data at rest and data in motion. One fluent
+// pipeline API describes a computation; whether the input is a bounded
+// collection (batch) or an unbounded generator (stream), the identical plan
+// runs on the identical pipelined engine (internal/dataflow) — eliminating
+// the dual-system architectures (and their "system and human latency") the
+// paper motivates.
+//
+// The paper promises a model that "can automatically be optimized,
+// parallelized, and adopted to the system load, data distribution, and
+// architecture". The optimizer here implements exactly those levers:
+//
+//   - operator chaining (forward edges fuse into one goroutine),
+//   - automatic combiner (pre-aggregation) insertion before hash shuffles,
+//     with a runtime-adaptive mode that samples the key distribution and
+//     enables combining only when duplicates make it profitable,
+//   - parallelism defaulting to the machine's CPU count (architecture) with
+//     per-stage overrides,
+//   - Cutty-backed window aggregation, sharing slices across all window
+//     queries registered on the same keyed stream.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/dataflow"
+	"repro/internal/state"
+	"repro/internal/window"
+)
+
+// CombinerMode controls automatic pre-aggregation before hash shuffles.
+type CombinerMode uint8
+
+const (
+	// CombinerAuto samples the key distribution at runtime and enables
+	// combining when it is profitable (the default).
+	CombinerAuto CombinerMode = iota
+	// CombinerOn always pre-aggregates.
+	CombinerOn
+	// CombinerOff never pre-aggregates (ablation baseline).
+	CombinerOff
+)
+
+// Environment owns a pipeline under construction and its execution options.
+type Environment struct {
+	graph       *dataflow.Graph
+	parallelism int
+	chaining    bool
+	combiner    CombinerMode
+	backend     state.Backend
+	ckptEvery   time.Duration
+	buildErr    error
+	job         *dataflow.Job
+}
+
+// Option configures an Environment.
+type Option func(*Environment)
+
+// WithParallelism sets the default operator parallelism. Zero (default)
+// means "adapt to the architecture": the machine's CPU count, capped at 4.
+func WithParallelism(p int) Option {
+	return func(e *Environment) { e.parallelism = p }
+}
+
+// WithChaining toggles operator chaining (default on).
+func WithChaining(on bool) Option {
+	return func(e *Environment) { e.chaining = on }
+}
+
+// WithCombiner sets the combiner mode (default CombinerAuto).
+func WithCombiner(m CombinerMode) Option {
+	return func(e *Environment) { e.combiner = m }
+}
+
+// WithCheckpointing enables asynchronous barrier snapshots.
+func WithCheckpointing(b state.Backend, every time.Duration) Option {
+	return func(e *Environment) {
+		e.backend = b
+		e.ckptEvery = every
+	}
+}
+
+// NewEnvironment returns an empty pipeline environment.
+func NewEnvironment(opts ...Option) *Environment {
+	e := &Environment{
+		graph:    dataflow.NewGraph("streamline"),
+		chaining: true,
+		combiner: CombinerAuto,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.parallelism <= 0 {
+		// "adopted to ... the architecture": size to the machine.
+		p := runtime.NumCPU()
+		if p > 4 {
+			p = 4
+		}
+		e.parallelism = p
+	}
+	return e
+}
+
+func (e *Environment) fail(err error) {
+	if e.buildErr == nil {
+		e.buildErr = err
+	}
+}
+
+// Execute runs the pipeline to completion (bounded sources) or until the
+// context is cancelled (unbounded sources).
+func (e *Environment) Execute(ctx context.Context) error {
+	if e.buildErr != nil {
+		return e.buildErr
+	}
+	opts := []dataflow.JobOption{dataflow.WithChaining(e.chaining)}
+	if e.backend != nil {
+		opts = append(opts, dataflow.WithCheckpointing(e.backend, e.ckptEvery))
+	}
+	e.job = dataflow.NewJob(e.graph, opts...)
+	return e.job.Run(ctx)
+}
+
+// ExecuteRestored runs the pipeline starting from a recovery snapshot.
+func (e *Environment) ExecuteRestored(ctx context.Context, snap *state.Snapshot) error {
+	if e.buildErr != nil {
+		return e.buildErr
+	}
+	opts := []dataflow.JobOption{
+		dataflow.WithChaining(e.chaining),
+		dataflow.WithRestore(snap),
+	}
+	if e.backend != nil {
+		opts = append(opts, dataflow.WithCheckpointing(e.backend, e.ckptEvery))
+	}
+	e.job = dataflow.NewJob(e.graph, opts...)
+	return e.job.Run(ctx)
+}
+
+// CompletedCheckpoints reports the number of persisted checkpoints of the
+// last Execute call.
+func (e *Environment) CompletedCheckpoints() int64 {
+	if e.job == nil {
+		return 0
+	}
+	return e.job.CompletedCheckpoints()
+}
+
+// Graph exposes the underlying job graph (diagnostics and tests).
+func (e *Environment) Graph() *dataflow.Graph { return e.graph }
+
+// Stream is a handle to one stage of a pipeline — the unified abstraction
+// for data at rest and data in motion. All transformations derive new
+// streams; none execute until Environment.Execute.
+type Stream struct {
+	env   *Environment
+	node  *dataflow.Node
+	keyed bool
+}
+
+// FromRecords creates a bounded stream from in-memory records (data at
+// rest). Records are split across source subtasks round-robin.
+func (e *Environment) FromRecords(name string, recs []dataflow.Record) *Stream {
+	n := e.graph.AddSource(name, 1, dataflow.SliceSource(recs))
+	return &Stream{env: e, node: n}
+}
+
+// FromGenerator creates a stream from a deterministic generator. count < 0
+// makes it unbounded (data in motion); otherwise it is a bounded stream that
+// ends — the same plan either way.
+func (e *Environment) FromGenerator(name string, parallelism int, count int64, gen func(subtask, parallelism int, i int64) dataflow.Record) *Stream {
+	if parallelism <= 0 {
+		parallelism = e.parallelism
+	}
+	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
+		c := count
+		if c > 0 {
+			c = count / int64(par)
+			if int64(sub) < count%int64(par) {
+				c++
+			}
+		}
+		return &dataflow.GenSource{
+			N:   c,
+			Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
+		}
+	})
+	return &Stream{env: e, node: n}
+}
+
+// FromPacedGenerator is FromGenerator throttled to perSec records per second
+// per subtask — the live-stream simulation used by the latency experiments.
+func (e *Environment) FromPacedGenerator(name string, parallelism int, count int64, perSec float64, gen func(subtask, parallelism int, i int64) dataflow.Record) *Stream {
+	if parallelism <= 0 {
+		parallelism = e.parallelism
+	}
+	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
+		c := count
+		if c > 0 {
+			c = count / int64(par)
+			if int64(sub) < count%int64(par) {
+				c++
+			}
+		}
+		return &dataflow.PacedSource{
+			PerSec: perSec,
+			Inner: &dataflow.GenSource{
+				N:   c,
+				Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
+			},
+		}
+	})
+	return &Stream{env: e, node: n}
+}
+
+// Map derives a stream by applying f to every record.
+func (s *Stream) Map(name string, f func(dataflow.Record) dataflow.Record) *Stream {
+	n := s.env.graph.AddOperator(name, s.node.Parallelism, func() dataflow.Operator {
+		return &dataflow.MapOp{F: f}
+	}, dataflow.Edge{From: s.node, Part: dataflow.Forward})
+	return &Stream{env: s.env, node: n, keyed: s.keyed}
+}
+
+// Filter derives a stream keeping records for which f returns true.
+func (s *Stream) Filter(name string, f func(dataflow.Record) bool) *Stream {
+	n := s.env.graph.AddOperator(name, s.node.Parallelism, func() dataflow.Operator {
+		return &dataflow.FilterOp{F: f}
+	}, dataflow.Edge{From: s.node, Part: dataflow.Forward})
+	return &Stream{env: s.env, node: n, keyed: s.keyed}
+}
+
+// FlatMap derives a stream where f may emit any number of records per input.
+func (s *Stream) FlatMap(name string, f func(dataflow.Record, dataflow.Collector)) *Stream {
+	n := s.env.graph.AddOperator(name, s.node.Parallelism, func() dataflow.Operator {
+		return &dataflow.FlatMapOp{F: f}
+	}, dataflow.Edge{From: s.node, Part: dataflow.Forward})
+	return &Stream{env: s.env, node: n, keyed: s.keyed}
+}
+
+// KeyBy re-keys every record with keyFn. The next shuffling transformation
+// partitions by this key.
+func (s *Stream) KeyBy(name string, keyFn func(dataflow.Record) uint64) *Stream {
+	n := s.env.graph.AddOperator(name, s.node.Parallelism, func() dataflow.Operator {
+		return &dataflow.MapOp{F: func(r dataflow.Record) dataflow.Record {
+			r.Key = keyFn(r)
+			return r
+		}}
+	}, dataflow.Edge{From: s.node, Part: dataflow.Forward})
+	return &Stream{env: s.env, node: n, keyed: true}
+}
+
+// ReduceByKey aggregates float64 values per key with the associative,
+// commutative function f. In bounded execution it emits one record per key
+// at the end; in continuous mode (emitEach) it emits every update. The
+// optimizer inserts a combiner before the shuffle according to the
+// environment's CombinerMode.
+func (s *Stream) ReduceByKey(name string, f func(acc, v float64) float64, emitEach bool) *Stream {
+	upstream := s.node
+	// Combiner insertion: pre-aggregate on the producer side of the hash
+	// shuffle so the shuffle moves partial aggregates, not raw records.
+	if s.env.combiner != CombinerOff {
+		adaptive := s.env.combiner == CombinerAuto
+		comb := s.env.graph.AddOperator(name+"-combine", upstream.Parallelism, func() dataflow.Operator {
+			return &CombinerOp{F: f, FlushEvery: 1024, Adaptive: adaptive}
+		}, dataflow.Edge{From: upstream, Part: dataflow.Forward})
+		upstream = comb
+	}
+	n := s.env.graph.AddOperator(name, s.env.parallelism, func() dataflow.Operator {
+		return &dataflow.KeyedReduceOp{F: f, EmitEach: emitEach}
+	}, dataflow.Edge{From: upstream, Part: dataflow.HashPartition})
+	return &Stream{env: s.env, node: n, keyed: true}
+}
+
+// WindowAggregate runs one or more window queries over the keyed stream,
+// sharing aggregation work between them with the Cutty engine. Records'
+// values must be float64. Results carry dataflow.WindowResult values.
+func (s *Stream) WindowAggregate(name string, queries ...WindowedQuery) *Stream {
+	if len(queries) == 0 {
+		s.env.fail(fmt.Errorf("core: WindowAggregate %q requires at least one query", name))
+		return s
+	}
+	if !s.keyed {
+		s.env.fail(fmt.Errorf("core: WindowAggregate %q requires a keyed stream (call KeyBy first)", name))
+		return s
+	}
+	wq := make([]dataflow.WindowQuery, len(queries))
+	for i, q := range queries {
+		wq[i] = dataflow.WindowQuery{Spec: q.Window, Fn: q.Fn}
+	}
+	n := s.env.graph.AddOperator(name, s.env.parallelism, dataflow.NewWindowOp(wq...),
+		dataflow.Edge{From: s.node, Part: dataflow.HashPartition})
+	return &Stream{env: s.env, node: n, keyed: true}
+}
+
+// WindowedQuery pairs a window spec with an aggregate for WindowAggregate.
+type WindowedQuery struct {
+	Window window.Spec
+	Fn     *agg.FnF64
+}
+
+// JoinWindow equi-joins this stream (left) with other (right) on the record
+// key within tumbling event-time windows of the given size. Both streams
+// must be keyed. Results carry dataflow.JoinedPair values.
+func (s *Stream) JoinWindow(name string, other *Stream, size int64) *Stream {
+	if !s.keyed || !other.keyed {
+		s.env.fail(fmt.Errorf("core: JoinWindow %q requires both streams keyed (call KeyBy first)", name))
+		return s
+	}
+	n := s.env.graph.AddOperator(name, s.env.parallelism, dataflow.NewWindowJoinOp(size),
+		dataflow.Edge{From: s.node, Part: dataflow.HashPartition},
+		dataflow.Edge{From: other.node, Part: dataflow.HashPartition},
+	)
+	return &Stream{env: s.env, node: n, keyed: true}
+}
+
+// Union merges this stream with others (no ordering guarantee).
+func (s *Stream) Union(name string, others ...*Stream) *Stream {
+	edges := []dataflow.Edge{{From: s.node, Part: dataflow.Rebalance}}
+	for _, o := range others {
+		edges = append(edges, dataflow.Edge{From: o.node, Part: dataflow.Rebalance})
+	}
+	n := s.env.graph.AddOperator(name, s.env.parallelism, func() dataflow.Operator {
+		return &dataflow.MapOp{F: func(r dataflow.Record) dataflow.Record { return r }}
+	}, edges...)
+	return &Stream{env: s.env, node: n}
+}
+
+// Sink terminates the stream invoking f for every record.
+func (s *Stream) Sink(name string, f func(dataflow.Record)) {
+	s.env.graph.AddOperator(name, 1, func() dataflow.Operator {
+		return &dataflow.FuncSink{F: f}
+	}, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+}
+
+// Collect terminates the stream into a CollectSink whose records can be read
+// after Execute returns.
+func (s *Stream) Collect(name string) *dataflow.CollectSink {
+	sink := &dataflow.CollectSink{}
+	s.env.graph.AddOperator(name, 1, sink.Factory(), dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	return sink
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+func TestJoinWindowThroughCore(t *testing.T) {
+	env := NewEnvironment(WithParallelism(2))
+	impressions := env.FromGenerator("imps", 1, 90, func(sub, par int, i int64) dataflow.Record {
+		return dataflow.Data(i, uint64(i%3), float64(1))
+	}).KeyBy("k", func(r dataflow.Record) uint64 { return r.Key })
+	costs := env.FromGenerator("costs", 1, 30, func(sub, par int, i int64) dataflow.Record {
+		return dataflow.Data(i*3, uint64(i%3), float64(2))
+	}).KeyBy("k", func(r dataflow.Record) uint64 { return r.Key })
+
+	sink := impressions.JoinWindow("join", costs, 30).Collect("out")
+	execute(t, env)
+
+	// Per window [w, w+30) and key k: lefts = 10 (30 ts, every 3rd key),
+	// rights = #i with i*3 in window and i%3==k.
+	count := 0
+	for _, r := range sink.Records() {
+		p := r.Value.(dataflow.JoinedPair)
+		if p.Left != 1 || p.Right != 2 {
+			t.Fatalf("bad pair %+v", p)
+		}
+		count++
+	}
+	// Exact expectation: 3 windows x 3 keys; lefts per (w,k) = 10;
+	// rights per (w,k): i in [w/3,(w+30)/3) with i%3==k -> 10/3 ≈ 3 or 4.
+	want := 0
+	for w := int64(0); w < 90; w += 30 {
+		for k := uint64(0); k < 3; k++ {
+			l, rr := 0, 0
+			for i := int64(0); i < 90; i++ {
+				if i >= w && i < w+30 && uint64(i%3) == k {
+					l++
+				}
+			}
+			for i := int64(0); i < 30; i++ {
+				if i*3 >= w && i*3 < w+30 && uint64(i%3) == k {
+					rr++
+				}
+			}
+			want += l * rr
+		}
+	}
+	if count != want {
+		t.Fatalf("joined %d pairs, want %d", count, want)
+	}
+}
+
+func TestJoinWindowRequiresKeyed(t *testing.T) {
+	env := NewEnvironment()
+	a := env.FromRecords("a", genRecords(10))
+	b := env.FromRecords("b", genRecords(10))
+	a.JoinWindow("j", b, 10)
+	if err := env.Execute(context.Background()); err == nil {
+		t.Fatalf("unkeyed join must fail at build")
+	}
+}

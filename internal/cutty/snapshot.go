@@ -1,0 +1,156 @@
+package cutty
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/window"
+)
+
+// Snapshot/Restore make the Cutty engine checkpointable, which is what the
+// dataflow layer's asynchronous barrier snapshotting needs to give windowed
+// aggregations exactly-once state (experiment E9).
+//
+// Protocol: the restoring side first reconstructs the engine with the same
+// AddQuery sequence (specs and functions are part of the job definition and
+// survive failures in the job graph, not in the snapshot), then calls
+// Restore. Only mutable state is serialized: the slice ring, the per-store
+// tree leaves, each query's open windows and — via window.Checkpointable —
+// each assigner's mutable fields.
+
+type engineState struct {
+	Pos        int64
+	CurWM      int64
+	CutPending bool
+	MetaBase   int64
+	MetaFirst  []int64
+	MetaCount  []int64
+	Stores     []storeState
+	Queries    []queryStateBlob
+}
+
+type storeState struct {
+	FnName string
+	Leaves []agg.Acc
+}
+
+type queryStateBlob struct {
+	ID        int
+	OpenIDs   []int64
+	OpenBegin []int64
+	MinBegin  int64
+}
+
+// Snapshot serializes the engine's mutable state.
+func (e *Engine) Snapshot(enc *gob.Encoder) error {
+	st := engineState{
+		Pos:        e.pos,
+		CurWM:      e.curWM,
+		CutPending: e.cutPending,
+		MetaBase:   e.meta.base,
+	}
+	for _, m := range e.meta.items {
+		st.MetaFirst = append(st.MetaFirst, m.firstTs)
+		st.MetaCount = append(st.MetaCount, m.count)
+	}
+	storeNames := make([]string, 0, len(e.stores))
+	for name := range e.stores {
+		storeNames = append(storeNames, name)
+	}
+	sort.Strings(storeNames)
+	for _, name := range storeNames {
+		s := e.stores[name]
+		ss := storeState{FnName: name}
+		for i := 0; i < s.tree.Len(); i++ {
+			ss.Leaves = append(ss.Leaves, s.tree.Range(i, i+1))
+		}
+		st.Stores = append(st.Stores, ss)
+	}
+	qids := make([]int, 0, len(e.queries))
+	for id := range e.queries {
+		qids = append(qids, id)
+	}
+	sort.Ints(qids)
+	for _, id := range qids {
+		q := e.queries[id]
+		qb := queryStateBlob{ID: id, MinBegin: q.minBegin}
+		wids := make([]int64, 0, len(q.open))
+		for wid := range q.open {
+			wids = append(wids, wid)
+		}
+		sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+		for _, wid := range wids {
+			qb.OpenIDs = append(qb.OpenIDs, wid)
+			qb.OpenBegin = append(qb.OpenBegin, q.open[wid].begin)
+		}
+		st.Queries = append(st.Queries, qb)
+	}
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("cutty: snapshot: %w", err)
+	}
+	// Assigner state, in query-id order.
+	for _, id := range qids {
+		ck, ok := e.queries[id].assigner.(window.Checkpointable)
+		if !ok {
+			return fmt.Errorf("cutty: assigner of query %d is not checkpointable", id)
+		}
+		if err := ck.SaveState(enc); err != nil {
+			return fmt.Errorf("cutty: snapshot assigner %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Restore loads state produced by Snapshot into an engine that was rebuilt
+// with the same AddQuery sequence.
+func (e *Engine) Restore(dec *gob.Decoder) error {
+	var st engineState
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("cutty: restore: %w", err)
+	}
+	e.pos = st.Pos
+	e.curWM = st.CurWM
+	e.cutPending = st.CutPending
+	e.meta = metaRing{base: st.MetaBase}
+	for i := range st.MetaFirst {
+		e.meta.append(sliceMeta{firstTs: st.MetaFirst[i], count: st.MetaCount[i]})
+	}
+	for _, ss := range st.Stores {
+		s, ok := e.stores[ss.FnName]
+		if !ok {
+			return fmt.Errorf("cutty: restore: no store for function %q (query set mismatch)", ss.FnName)
+		}
+		s.tree = agg.NewFlatFAT(s.fn.Identity, s.fn.Combine, len(ss.Leaves)+1)
+		for _, leaf := range ss.Leaves {
+			s.tree.Append(leaf)
+		}
+	}
+	for _, qb := range st.Queries {
+		q, ok := e.queries[qb.ID]
+		if !ok {
+			return fmt.Errorf("cutty: restore: query %d missing (query set mismatch)", qb.ID)
+		}
+		q.minBegin = qb.MinBegin
+		q.open = make(map[int64]openWin, len(qb.OpenIDs))
+		for i, wid := range qb.OpenIDs {
+			q.open[wid] = openWin{begin: qb.OpenBegin[i]}
+		}
+	}
+	qids := make([]int, 0, len(e.queries))
+	for id := range e.queries {
+		qids = append(qids, id)
+	}
+	sort.Ints(qids)
+	for _, id := range qids {
+		ck, ok := e.queries[id].assigner.(window.Checkpointable)
+		if !ok {
+			return fmt.Errorf("cutty: assigner of query %d is not checkpointable", id)
+		}
+		if err := ck.LoadState(dec); err != nil {
+			return fmt.Errorf("cutty: restore assigner %d: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,788 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+// Job is an executable instance of a Graph: channels, subtask goroutines, an
+// optional checkpoint coordinator, and optional recovery state.
+type Job struct {
+	g        *Graph
+	backend  state.Backend
+	interval time.Duration
+	restore  *state.Snapshot
+	chaining bool
+	reg      *metrics.Registry
+
+	completed atomic.Int64
+}
+
+// JobOption configures a Job.
+type JobOption func(*Job)
+
+// WithCheckpointing enables periodic asynchronous barrier snapshotting to
+// the given backend.
+func WithCheckpointing(b state.Backend, interval time.Duration) JobOption {
+	return func(j *Job) {
+		j.backend = b
+		j.interval = interval
+	}
+}
+
+// WithRestore starts the job from a recovery snapshot: every operator and
+// source subtask is handed its state blob before processing.
+func WithRestore(snap *state.Snapshot) JobOption {
+	return func(j *Job) { j.restore = snap }
+}
+
+// WithChaining toggles operator chaining (fusing forward edges into a single
+// goroutine). Enabled by default; the E10 ablation turns it off.
+func WithChaining(on bool) JobOption {
+	return func(j *Job) { j.chaining = on }
+}
+
+// WithMetrics attaches a metrics registry: the job reports per-node input
+// record counts ("node.<name>.records_in"), per-node watermark progress
+// ("node.<name>.watermark"), completed checkpoint count
+// ("job.checkpoints") and checkpoint end-to-end duration
+// ("job.checkpoint_nanos").
+func WithMetrics(reg *metrics.Registry) JobOption {
+	return func(j *Job) { j.reg = reg }
+}
+
+// nodeMetrics caches a node's instruments so the hot path avoids registry
+// lookups.
+type nodeMetrics struct {
+	recordsIn *metrics.Counter
+	watermark *metrics.Gauge
+}
+
+func (j *Job) nodeMetrics(name string) *nodeMetrics {
+	if j.reg == nil {
+		return nil
+	}
+	return &nodeMetrics{
+		recordsIn: j.reg.Counter("node." + name + ".records_in"),
+		watermark: j.reg.Gauge("node." + name + ".watermark"),
+	}
+}
+
+// NewJob prepares a graph for execution.
+func NewJob(g *Graph, opts ...JobOption) *Job {
+	j := &Job{g: g, chaining: true}
+	for _, o := range opts {
+		o(j)
+	}
+	return j
+}
+
+// CompletedCheckpoints reports how many checkpoints were fully persisted.
+func (j *Job) CompletedCheckpoints() int64 { return j.completed.Load() }
+
+// ---- physical plan -------------------------------------------------------
+
+// chainInfo maps every node to the head of its operator chain.
+type chainInfo struct {
+	head  map[*Node]*Node   // node -> chain head
+	tail  map[*Node]*Node   // head -> last node of the chain
+	links map[*Node][]*Node // head -> chained nodes in order (excluding head)
+}
+
+// buildChains fuses a node into its upstream when the edge is Forward, the
+// upstream has exactly one consumer, and parallelism matches (guaranteed by
+// Validate for Forward edges).
+func (j *Job) buildChains() chainInfo {
+	consumers := make(map[*Node]int)
+	for _, n := range j.g.nodes {
+		for _, e := range n.In {
+			consumers[e.From]++
+		}
+	}
+	ci := chainInfo{
+		head:  make(map[*Node]*Node),
+		tail:  make(map[*Node]*Node),
+		links: make(map[*Node][]*Node),
+	}
+	for _, n := range j.g.nodes {
+		chainable := j.chaining &&
+			n.NewOperator != nil &&
+			len(n.In) == 1 &&
+			n.In[0].Part == Forward &&
+			consumers[n.In[0].From] == 1
+		if chainable {
+			h := ci.head[n.In[0].From]
+			ci.head[n] = h
+			ci.links[h] = append(ci.links[h], n)
+			ci.tail[h] = n
+		} else {
+			ci.head[n] = n
+			ci.tail[n] = n
+		}
+	}
+	return ci
+}
+
+// ---- runtime structures ----------------------------------------------------
+
+type ackMsg struct {
+	ckpt int64
+	key  state.SubtaskKey
+	blob []byte
+}
+
+type runtime struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	errOnce sync.Once
+	err     error
+	wg      sync.WaitGroup
+
+	ackCh    chan ackMsg
+	controls []chan int64 // one per source subtask: checkpoint triggers
+	needAcks int
+}
+
+func (rt *runtime) fail(err error) {
+	if err == nil || err == context.Canceled {
+		return
+	}
+	rt.errOnce.Do(func() { rt.err = err })
+	rt.cancel()
+}
+
+// outputs routes a subtask's emissions to downstream channels.
+type outputs struct {
+	ctx   context.Context
+	edges []outEdge
+	rr    int
+}
+
+type outEdge struct {
+	part  Partitioning
+	chans []chan Record // indexed by downstream subtask (this upstream's slot)
+}
+
+func (o *outputs) send(ch chan Record, r Record) bool {
+	select {
+	case ch <- r:
+		return true
+	case <-o.ctx.Done():
+		return false
+	}
+}
+
+// data routes one data record according to each edge's partitioning.
+func (o *outputs) data(r Record) bool {
+	for i := range o.edges {
+		e := &o.edges[i]
+		n := len(e.chans)
+		switch e.part {
+		case BroadcastPartition:
+			for _, ch := range e.chans {
+				if !o.send(ch, r) {
+					return false
+				}
+			}
+		case HashPartition:
+			if !o.send(e.chans[int(Hash64(r.Key)%uint64(n))], r) {
+				return false
+			}
+		case Rebalance:
+			if !o.send(e.chans[o.rr%n], r) {
+				return false
+			}
+		default: // Forward
+			// Forward edges that were not chained still map subtask i to i;
+			// outputs for subtask i hold exactly that channel in slot i,
+			// but we route by the stored single-slot convention below.
+			if !o.send(e.chans[o.rr%n], r) { // set up as single-slot for forward
+				return false
+			}
+		}
+	}
+	o.rr++
+	return true
+}
+
+// broadcast sends a control record (watermark/barrier/end) to every
+// downstream subtask of every edge.
+func (o *outputs) broadcast(r Record) bool {
+	for i := range o.edges {
+		for _, ch := range o.edges[i].chans {
+			if !o.send(ch, r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// outCollector terminates an operator chain into the channel outputs.
+type outCollector struct{ o *outputs }
+
+func (c outCollector) Collect(r Record) { c.o.data(r) }
+
+// opCollector feeds records into the next operator of a chain.
+type opCollector struct {
+	op   Operator
+	next Collector
+}
+
+func (c opCollector) Collect(r Record) { c.op.OnRecord(r, c.next) }
+
+// chain is the per-subtask instantiation of a chain of operators.
+type chain struct {
+	nodes []*Node    // chain nodes in order (head first for operator chains)
+	ops   []Operator // instances, aligned with nodes
+	colls []Collector
+	out   *outputs
+}
+
+// collector returns the entry collector of the chain (records flow through
+// every operator, then to the outputs).
+func (c *chain) collector() Collector {
+	if len(c.ops) == 0 {
+		return outCollector{c.out}
+	}
+	return opCollector{op: c.ops[0], next: c.colls[0]}
+}
+
+// build creates downstream collectors: colls[i] is what ops[i] emits into.
+func (c *chain) build() {
+	c.colls = make([]Collector, len(c.ops))
+	for i := len(c.ops) - 1; i >= 0; i-- {
+		if i == len(c.ops)-1 {
+			c.colls[i] = outCollector{c.out}
+		} else {
+			c.colls[i] = opCollector{op: c.ops[i+1], next: c.colls[i+1]}
+		}
+	}
+}
+
+func (c *chain) watermark(wm int64) {
+	for i, op := range c.ops {
+		op.OnWatermark(wm, c.colls[i])
+	}
+}
+
+func (c *chain) finish() {
+	for i, op := range c.ops {
+		op.Finish(c.colls[i])
+	}
+}
+
+// snapshotAll snapshots every operator in the chain and acks each.
+func (c *chain) snapshotAll(rt *runtime, ckpt int64, subtask int) error {
+	for i, op := range c.ops {
+		blob, err := op.Snapshot()
+		if err != nil {
+			return fmt.Errorf("snapshot %q: %w", c.nodes[i].Name, err)
+		}
+		msg := ackMsg{ckpt: ckpt, key: state.SubtaskKey{OperatorID: c.nodes[i].ID, Subtask: subtask}, blob: blob}
+		select {
+		case rt.ackCh <- msg:
+		case <-rt.ctx.Done():
+			return rt.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// ---- Run -------------------------------------------------------------------
+
+// Run executes the job until all sinks finish (bounded inputs) or the
+// context is cancelled (unbounded). It returns the first subtask error, or
+// ctx.Err() on cancellation, or nil on normal completion.
+func (j *Job) Run(ctx context.Context) error {
+	if err := j.g.Validate(); err != nil {
+		return err
+	}
+	ci := j.buildChains()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	rt := &runtime{ctx: runCtx, cancel: cancel}
+	defer cancel()
+
+	// Count acks per checkpoint: every node snapshots per subtask.
+	for _, n := range j.g.nodes {
+		rt.needAcks += n.Parallelism
+	}
+	rt.ackCh = make(chan ackMsg, rt.needAcks+16)
+
+	// Channel matrices for unchained edges: in[to][edgeIdx][toSub][fromSub].
+	inCh := make(map[*Node][][][]chan Record)
+	for _, n := range j.g.nodes {
+		if ci.head[n] != n {
+			continue // chained: no physical inputs
+		}
+		if n.NewOperator == nil {
+			continue
+		}
+		mats := make([][][]chan Record, len(n.In))
+		for ei, e := range n.In {
+			mat := make([][]chan Record, n.Parallelism)
+			for ts := 0; ts < n.Parallelism; ts++ {
+				row := make([]chan Record, e.From.Parallelism)
+				for fs := 0; fs < e.From.Parallelism; fs++ {
+					row[fs] = make(chan Record, j.g.BufferSize)
+				}
+				mat[ts] = row
+			}
+			mats[ei] = mat
+		}
+		inCh[n] = mats
+	}
+
+	// outputsFor builds the outputs of chain-tail `tail` for subtask s.
+	outputsFor := func(tail *Node, s int) *outputs {
+		o := &outputs{ctx: runCtx}
+		for _, consumer := range j.g.nodes {
+			if ci.head[consumer] != consumer {
+				continue
+			}
+			for ei, e := range consumer.In {
+				if e.From != tail {
+					continue
+				}
+				var chans []chan Record
+				if e.Part == Forward {
+					// one slot: this subtask's peer
+					chans = []chan Record{inCh[consumer][ei][s][s]}
+				} else {
+					chans = make([]chan Record, consumer.Parallelism)
+					for ts := 0; ts < consumer.Parallelism; ts++ {
+						chans[ts] = inCh[consumer][ei][ts][s]
+					}
+				}
+				o.edges = append(o.edges, outEdge{part: e.Part, chans: chans})
+			}
+		}
+		return o
+	}
+
+	restoreBlob := func(n *Node, s int) []byte {
+		if j.restore == nil {
+			return nil
+		}
+		return j.restore.Get(state.SubtaskKey{OperatorID: n.ID, Subtask: s})
+	}
+
+	// Build and launch subtasks.
+	var launchErr error
+	for _, n := range j.g.nodes {
+		if ci.head[n] != n {
+			continue
+		}
+		chainNodes := append([]*Node{}, ci.links[n]...)
+		tail := ci.tail[n]
+		for s := 0; s < n.Parallelism; s++ {
+			ch := &chain{out: outputsFor(tail, s)}
+			if n.NewOperator != nil {
+				ch.nodes = append([]*Node{n}, chainNodes...)
+			} else {
+				ch.nodes = chainNodes
+			}
+			for _, cn := range ch.nodes {
+				op := cn.NewOperator()
+				if err := op.Open(&OpContext{
+					NodeID: cn.ID, NodeName: cn.Name, Subtask: s,
+					Parallelism: cn.Parallelism, Restore: restoreBlob(cn, s),
+				}); err != nil {
+					launchErr = fmt.Errorf("open %q/%d: %w", cn.Name, s, err)
+					break
+				}
+				ch.ops = append(ch.ops, op)
+			}
+			if launchErr != nil {
+				break
+			}
+			ch.build()
+
+			if n.NewSource != nil {
+				src := n.NewSource(s, n.Parallelism)
+				if blob := restoreBlob(n, s); blob != nil {
+					if err := src.Restore(blob); err != nil {
+						launchErr = fmt.Errorf("restore source %q/%d: %w", n.Name, s, err)
+						break
+					}
+				}
+				control := make(chan int64, 4)
+				rt.controls = append(rt.controls, control)
+				node, sub := n, s
+				rt.wg.Add(1)
+				go func() {
+					defer rt.wg.Done()
+					rt.fail(runSource(rt, node, sub, src, ch, control, j.nodeMetrics(node.Name)))
+				}()
+			} else {
+				ins := make([]chan Record, 0)
+				edges := make([]int, 0)
+				for ei := range n.In {
+					for _, c := range inCh[n][ei][s] {
+						ins = append(ins, c)
+						edges = append(edges, ei)
+					}
+				}
+				node, sub := n, s
+				rt.wg.Add(1)
+				go func() {
+					defer rt.wg.Done()
+					rt.fail(runOperator(rt, node, sub, ins, edges, ch, j.nodeMetrics(node.Name)))
+				}()
+			}
+		}
+		if launchErr != nil {
+			break
+		}
+	}
+	if launchErr != nil {
+		cancel()
+		rt.wg.Wait()
+		return launchErr
+	}
+
+	// Checkpoint coordinator.
+	coordDone := make(chan struct{})
+	if j.backend != nil && j.interval > 0 {
+		go j.coordinate(rt, coordDone)
+	} else {
+		close(coordDone)
+	}
+
+	rt.wg.Wait()
+	cancel()
+	<-coordDone
+	if rt.err != nil {
+		return rt.err
+	}
+	return ctx.Err()
+}
+
+// coordinate triggers periodic checkpoints and assembles completed
+// snapshots. One checkpoint is in flight at a time.
+func (j *Job) coordinate(rt *runtime, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(j.interval)
+	defer ticker.Stop()
+	var nextID int64 = 1
+	if j.restore != nil {
+		nextID = j.restore.CheckpointID + 1
+	}
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		id := nextID
+		nextID++
+		ckptStart := time.Now()
+		// Trigger all sources.
+		for _, c := range rt.controls {
+			select {
+			case c <- id:
+			case <-rt.ctx.Done():
+				return
+			}
+		}
+		// Collect acks.
+		snap := state.NewSnapshot(id)
+		got := 0
+		for got < rt.needAcks {
+			select {
+			case a := <-rt.ackCh:
+				if a.ckpt != id {
+					continue // stale ack from an abandoned checkpoint
+				}
+				snap.Put(a.key, a.blob)
+				got++
+			case <-rt.ctx.Done():
+				return
+			}
+		}
+		if err := j.backend.Persist(snap); err != nil {
+			rt.fail(fmt.Errorf("persist checkpoint %d: %w", id, err))
+			return
+		}
+		j.completed.Add(1)
+		if j.reg != nil {
+			j.reg.Counter("job.checkpoints").Inc()
+			j.reg.Histogram("job.checkpoint_nanos").Observe(time.Since(ckptStart).Nanoseconds())
+		}
+	}
+}
+
+// runSource drives a source subtask: generate records, inject barriers on
+// coordinator triggers, and finish the chain at end of stream.
+func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, control chan int64, nm *nodeMetrics) error {
+	entry := ch.collector()
+	for {
+		// Handle pending control triggers and cancellation.
+		select {
+		case <-rt.ctx.Done():
+			return nil
+		case ckpt := <-control:
+			blob, err := src.Snapshot()
+			if err != nil {
+				return fmt.Errorf("snapshot source %q/%d: %w", n.Name, subtask, err)
+			}
+			msg := ackMsg{ckpt: ckpt, key: state.SubtaskKey{OperatorID: n.ID, Subtask: subtask}, blob: blob}
+			select {
+			case rt.ackCh <- msg:
+			case <-rt.ctx.Done():
+				return nil
+			}
+			if err := ch.snapshotAll(rt, ckpt, subtask); err != nil {
+				return err
+			}
+			if !ch.out.broadcast(Barrier(ckpt)) {
+				return nil
+			}
+			continue
+		default:
+		}
+		r, ok := src.Next()
+		if !ok {
+			ch.watermark(math.MaxInt64)
+			if !ch.out.broadcast(Watermark(math.MaxInt64)) {
+				return nil
+			}
+			ch.finish()
+			ch.out.broadcast(End())
+			return nil
+		}
+		switch r.Kind {
+		case KindWatermark:
+			if nm != nil {
+				nm.watermark.Max(r.Ts)
+			}
+			ch.watermark(r.Ts)
+			if !ch.out.broadcast(r) {
+				return nil
+			}
+		case KindData:
+			if nm != nil {
+				nm.recordsIn.Inc()
+			}
+			entry.Collect(r)
+		}
+	}
+}
+
+// inState tracks one input channel of an operator subtask.
+type inState struct {
+	ch      chan Record
+	wm      int64
+	ended   bool
+	blocked bool // barrier alignment
+}
+
+// runOperator drives an operator subtask: merge inputs, track watermarks,
+// align barriers, and finish when all inputs end. edges[i] is the logical
+// input-edge index of channel i, surfaced to EdgeAware head operators
+// (joins need to know which side a record arrived on).
+func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges []int, ch *chain, nm *nodeMetrics) error {
+	ins := make([]inState, len(inputs))
+	for i, c := range inputs {
+		ins[i] = inState{ch: c, wm: math.MinInt64}
+	}
+	entry := ch.collector()
+	var edgeAware EdgeAware
+	if len(ch.ops) > 0 {
+		edgeAware, _ = ch.ops[0].(EdgeAware)
+	}
+	curWM := int64(math.MinInt64)
+	var aligning int64 // current barrier id, 0 = none
+	var alignSeen int
+
+	activeDirty := true
+	var active []int
+	var cases []reflect.SelectCase
+
+	rebuild := func() {
+		active = active[:0]
+		for i := range ins {
+			if !ins[i].ended && !ins[i].blocked {
+				active = append(active, i)
+			}
+		}
+		cases = cases[:0]
+		cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(rt.ctx.Done())})
+		for _, i := range active {
+			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ins[i].ch)})
+		}
+		activeDirty = false
+	}
+
+	minWM := func() int64 {
+		m := int64(math.MaxInt64)
+		anyOpen := false
+		for i := range ins {
+			if ins[i].ended {
+				continue
+			}
+			anyOpen = true
+			if ins[i].wm < m {
+				m = ins[i].wm
+			}
+		}
+		if !anyOpen {
+			return math.MaxInt64
+		}
+		return m
+	}
+
+	completeBarrier := func(ckpt int64) error {
+		if err := ch.snapshotAll(rt, ckpt, subtask); err != nil {
+			return err
+		}
+		if !ch.out.broadcast(Barrier(ckpt)) {
+			return nil
+		}
+		for i := range ins {
+			ins[i].blocked = false
+		}
+		aligning = 0
+		alignSeen = 0
+		activeDirty = true
+		return nil
+	}
+
+	for {
+		if activeDirty {
+			rebuild()
+		}
+		if len(active) == 0 {
+			allEnded := true
+			for i := range ins {
+				if !ins[i].ended {
+					allEnded = false
+					break
+				}
+			}
+			if allEnded {
+				ch.finish()
+				ch.out.broadcast(End())
+				return nil
+			}
+			// All non-ended inputs are blocked on alignment but the barrier
+			// is incomplete — impossible unless every channel delivered it,
+			// which completeBarrier handles. Defensive:
+			return fmt.Errorf("dataflow: %q/%d deadlocked in barrier alignment", n.Name, subtask)
+		}
+
+		var idx int
+		var r Record
+		if len(active) == 1 {
+			select {
+			case <-rt.ctx.Done():
+				return nil
+			case r = <-ins[active[0]].ch:
+				idx = active[0]
+			}
+		} else {
+			chosen, val, _ := reflect.Select(cases)
+			if chosen == 0 {
+				return nil
+			}
+			idx = active[chosen-1]
+			r = val.Interface().(Record)
+		}
+
+		in := &ins[idx]
+		switch r.Kind {
+		case KindData:
+			if nm != nil {
+				nm.recordsIn.Inc()
+			}
+			if edgeAware != nil {
+				edgeAware.OnRecordEdge(edges[idx], r, ch.colls[0])
+			} else {
+				entry.Collect(r)
+			}
+		case KindWatermark:
+			if r.Ts > in.wm {
+				in.wm = r.Ts
+				if m := minWM(); m > curWM {
+					curWM = m
+					if nm != nil {
+						nm.watermark.Max(curWM)
+					}
+					ch.watermark(curWM)
+					if !ch.out.broadcast(Watermark(curWM)) {
+						return nil
+					}
+				}
+			}
+		case KindBarrier:
+			if aligning == 0 {
+				aligning = r.Ts
+			}
+			if r.Ts != aligning {
+				continue // stale barrier from an abandoned checkpoint
+			}
+			in.blocked = true
+			alignSeen++
+			activeDirty = true
+			need := 0
+			for i := range ins {
+				if !ins[i].ended {
+					need++
+				}
+			}
+			if alignSeen >= need {
+				if err := completeBarrier(aligning); err != nil {
+					return err
+				}
+			}
+		case KindEnd:
+			in.ended = true
+			in.blocked = false
+			activeDirty = true
+			if m := minWM(); m > curWM && m != math.MaxInt64 {
+				curWM = m
+				ch.watermark(curWM)
+				if !ch.out.broadcast(Watermark(curWM)) {
+					return nil
+				}
+			}
+			// An ended channel counts as having delivered any barrier.
+			if aligning != 0 {
+				need := 0
+				for i := range ins {
+					if !ins[i].ended {
+						need++
+					}
+				}
+				if alignSeen >= need {
+					if err := completeBarrier(aligning); err != nil {
+						return err
+					}
+				}
+			}
+			allEnded := true
+			for i := range ins {
+				if !ins[i].ended {
+					allEnded = false
+					break
+				}
+			}
+			if allEnded {
+				ch.watermark(math.MaxInt64)
+				ch.out.broadcast(Watermark(math.MaxInt64))
+				ch.finish()
+				ch.out.broadcast(End())
+				return nil
+			}
+		}
+	}
+}

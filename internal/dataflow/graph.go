@@ -1,0 +1,142 @@
+package dataflow
+
+import "fmt"
+
+// Partitioning selects how data records route from an upstream subtask to
+// the downstream subtasks of an edge. Watermarks, barriers and end markers
+// are always broadcast, regardless of the data partitioning.
+type Partitioning uint8
+
+const (
+	// Forward sends to the same subtask index (requires equal parallelism);
+	// the optimizer chains forward edges into a single goroutine.
+	Forward Partitioning = iota
+	// HashPartition routes by Hash64(record.Key) modulo parallelism.
+	HashPartition
+	// Rebalance distributes round-robin.
+	Rebalance
+	// BroadcastPartition sends every record to every subtask.
+	BroadcastPartition
+)
+
+// String implements fmt.Stringer.
+func (p Partitioning) String() string {
+	switch p {
+	case Forward:
+		return "forward"
+	case HashPartition:
+		return "hash"
+	case Rebalance:
+		return "rebalance"
+	case BroadcastPartition:
+		return "broadcast"
+	}
+	return fmt.Sprintf("partitioning(%d)", uint8(p))
+}
+
+// OperatorFactory produces one Operator instance per subtask.
+type OperatorFactory func() Operator
+
+// SourceFactory produces one SourceFunc instance per subtask.
+type SourceFactory func(subtask, parallelism int) SourceFunc
+
+// Node is one vertex of the job graph.
+type Node struct {
+	ID          int
+	Name        string
+	Parallelism int
+
+	// Exactly one of NewSource / NewOperator is set.
+	NewSource   SourceFactory
+	NewOperator OperatorFactory
+
+	// In lists the incoming edges (empty for sources).
+	In []Edge
+
+	// ChainedFrom, when set by the optimizer, fuses this node into its
+	// single forward-connected upstream node's subtasks.
+	chained bool
+}
+
+// Edge connects an upstream node to a downstream node.
+type Edge struct {
+	From *Node
+	Part Partitioning
+}
+
+// Graph is a job DAG under construction.
+type Graph struct {
+	Name  string
+	nodes []*Node
+	// BufferSize is the capacity of inter-subtask channels (backpressure
+	// granularity). Defaults to 128.
+	BufferSize int
+}
+
+// NewGraph returns an empty job graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, BufferSize: 128}
+}
+
+// Nodes returns the nodes in insertion (topological) order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// AddSource adds a source node.
+func (g *Graph) AddSource(name string, parallelism int, f SourceFactory) *Node {
+	n := &Node{ID: len(g.nodes), Name: name, Parallelism: parallelism, NewSource: f}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddOperator adds an operator node reading from the given edges.
+func (g *Graph) AddOperator(name string, parallelism int, f OperatorFactory, in ...Edge) *Node {
+	n := &Node{ID: len(g.nodes), Name: name, Parallelism: parallelism, NewOperator: f, In: in}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Validate checks structural invariants: sources have no inputs, operators
+// have at least one, Forward edges connect equal parallelism, nodes are
+// topologically ordered (edges only point backwards), and parallelism is
+// positive.
+func (g *Graph) Validate() error {
+	for _, n := range g.nodes {
+		if n.Parallelism <= 0 {
+			return fmt.Errorf("dataflow: node %q: parallelism %d", n.Name, n.Parallelism)
+		}
+		switch {
+		case n.NewSource != nil && n.NewOperator != nil:
+			return fmt.Errorf("dataflow: node %q is both source and operator", n.Name)
+		case n.NewSource == nil && n.NewOperator == nil:
+			return fmt.Errorf("dataflow: node %q has neither source nor operator", n.Name)
+		case n.NewSource != nil && len(n.In) > 0:
+			return fmt.Errorf("dataflow: source %q has inputs", n.Name)
+		case n.NewOperator != nil && len(n.In) == 0:
+			return fmt.Errorf("dataflow: operator %q has no inputs", n.Name)
+		}
+		for _, e := range n.In {
+			if e.From == nil {
+				return fmt.Errorf("dataflow: node %q has nil upstream", n.Name)
+			}
+			if e.From.ID >= n.ID {
+				return fmt.Errorf("dataflow: edge %q -> %q violates topological order (cycles are not supported)",
+					e.From.Name, n.Name)
+			}
+			if e.Part == Forward && e.From.Parallelism != n.Parallelism {
+				return fmt.Errorf("dataflow: forward edge %q(%d) -> %q(%d) requires equal parallelism",
+					e.From.Name, e.From.Parallelism, n.Name, n.Parallelism)
+			}
+		}
+	}
+	return nil
+}
+
+// totalSubtasks counts subtasks across all nodes (chained nodes share their
+// upstream's subtasks but still snapshot separately).
+func (g *Graph) totalSubtasks() int {
+	n := 0
+	for _, node := range g.nodes {
+		n += node.Parallelism
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package dataflow
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+func TestJobMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := NewGraph("metered")
+	src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+		return &GenSource{N: 500, WatermarkEvery: 10, Gen: func(i int64) Record {
+			return Data(i, uint64(i%3), float64(1))
+		}}
+	})
+	mid := g.AddOperator("mid", 1, func() Operator {
+		return &MapOp{F: func(r Record) Record { return r }}
+	}, Edge{From: src, Part: Rebalance}) // rebalance prevents chaining: mid is a head
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: mid, Part: Rebalance})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	job := NewJob(g, WithMetrics(reg), WithCheckpointing(state.NewMemoryBackend(2), 10*time.Millisecond))
+	if err := job.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("node.src.records_in").Value(); got != 500 {
+		t.Fatalf("source records_in = %d, want 500", got)
+	}
+	if got := reg.Counter("node.mid.records_in").Value(); got != 500 {
+		t.Fatalf("mid records_in = %d, want 500", got)
+	}
+	if got := reg.Counter("node.sink.records_in").Value(); got != 500 {
+		t.Fatalf("sink records_in = %d, want 500", got)
+	}
+	if wm := reg.Gauge("node.sink.watermark").Value(); wm <= 0 {
+		t.Fatalf("sink watermark gauge = %d", wm)
+	}
+	if job.CompletedCheckpoints() > 0 {
+		if reg.Counter("job.checkpoints").Value() != job.CompletedCheckpoints() {
+			t.Fatalf("checkpoint counter mismatch")
+		}
+		if reg.Histogram("job.checkpoint_nanos").Count() == 0 {
+			t.Fatalf("no checkpoint durations recorded")
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("registry rendered empty")
+	}
+}
+
+func TestJobWithoutMetricsIsNil(t *testing.T) {
+	j := NewJob(NewGraph("x"))
+	if j.nodeMetrics("any") != nil {
+		t.Fatalf("nodeMetrics should be nil without a registry")
+	}
+}

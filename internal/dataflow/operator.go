@@ -1,0 +1,228 @@
+package dataflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OpContext carries per-subtask information into Operator.Open.
+type OpContext struct {
+	NodeID      int
+	NodeName    string
+	Subtask     int
+	Parallelism int
+	// Restore holds the subtask's state blob from the recovery snapshot,
+	// or nil on a fresh start.
+	Restore []byte
+}
+
+// Collector receives records an operator emits downstream. Operators may
+// emit from OnRecord, OnWatermark and Finish. Watermarks, barriers and end
+// markers are forwarded by the runtime — operators emit only data records.
+type Collector interface {
+	Collect(r Record)
+}
+
+// Operator is one subtask instance of a dataflow operator. Instances are
+// never shared between subtasks, so implementations need no internal
+// locking.
+type Operator interface {
+	// Open initializes the subtask, restoring state from ctx.Restore when
+	// recovering.
+	Open(ctx *OpContext) error
+	// OnRecord processes one data record.
+	OnRecord(r Record, out Collector)
+	// OnWatermark observes the subtask's event-time advance (the minimum
+	// across all input channels).
+	OnWatermark(wm int64, out Collector)
+	// Snapshot serializes the subtask's state for a checkpoint barrier.
+	Snapshot() ([]byte, error)
+	// Finish is called when all inputs have ended (bounded execution);
+	// operators flush their remaining results here.
+	Finish(out Collector)
+}
+
+// Base is a convenience embedding providing no-op Operator methods.
+type Base struct{}
+
+// Open implements Operator.
+func (Base) Open(*OpContext) error { return nil }
+
+// OnRecord implements Operator.
+func (Base) OnRecord(Record, Collector) {}
+
+// OnWatermark implements Operator.
+func (Base) OnWatermark(int64, Collector) {}
+
+// Snapshot implements Operator.
+func (Base) Snapshot() ([]byte, error) { return nil, nil }
+
+// Finish implements Operator.
+func (Base) Finish(Collector) {}
+
+// MapOp applies F to every data record. Stateless.
+type MapOp struct {
+	Base
+	F func(Record) Record
+}
+
+// OnRecord implements Operator.
+func (m *MapOp) OnRecord(r Record, out Collector) { out.Collect(m.F(r)) }
+
+// FilterOp forwards records for which F returns true. Stateless.
+type FilterOp struct {
+	Base
+	F func(Record) bool
+}
+
+// OnRecord implements Operator.
+func (f *FilterOp) OnRecord(r Record, out Collector) {
+	if f.F(r) {
+		out.Collect(r)
+	}
+}
+
+// FlatMapOp applies F, which may emit zero or more records. Stateless.
+type FlatMapOp struct {
+	Base
+	F func(Record, Collector)
+}
+
+// OnRecord implements Operator.
+func (f *FlatMapOp) OnRecord(r Record, out Collector) { f.F(r, out) }
+
+// KeyedReduceOp maintains a float64 accumulator per key, combining values
+// with F. With EmitEach it emits the updated accumulator for every input
+// (continuous results); otherwise it emits one record per key on Finish
+// (bounded/batch results). Checkpointable.
+type KeyedReduceOp struct {
+	Base
+	F        func(acc, v float64) float64
+	Init     float64
+	EmitEach bool
+
+	state map[uint64]float64
+}
+
+type keyedReduceState struct {
+	Keys []uint64
+	Vals []float64
+}
+
+// Open implements Operator.
+func (k *KeyedReduceOp) Open(ctx *OpContext) error {
+	k.state = make(map[uint64]float64)
+	if ctx.Restore == nil {
+		return nil
+	}
+	var s keyedReduceState
+	if err := gob.NewDecoder(bytes.NewReader(ctx.Restore)).Decode(&s); err != nil {
+		return fmt.Errorf("keyed-reduce restore: %w", err)
+	}
+	for i, key := range s.Keys {
+		k.state[key] = s.Vals[i]
+	}
+	return nil
+}
+
+// OnRecord implements Operator.
+func (k *KeyedReduceOp) OnRecord(r Record, out Collector) {
+	v, ok := r.Value.(float64)
+	if !ok {
+		return
+	}
+	acc, exists := k.state[r.Key]
+	if !exists {
+		acc = k.Init
+	}
+	acc = k.F(acc, v)
+	k.state[r.Key] = acc
+	if k.EmitEach {
+		out.Collect(Data(r.Ts, r.Key, acc))
+	}
+}
+
+// Snapshot implements Operator.
+func (k *KeyedReduceOp) Snapshot() ([]byte, error) {
+	s := keyedReduceState{}
+	keys := make([]uint64, 0, len(k.state))
+	for key := range k.state {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		s.Keys = append(s.Keys, key)
+		s.Vals = append(s.Vals, k.state[key])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("keyed-reduce snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Finish implements Operator.
+func (k *KeyedReduceOp) Finish(out Collector) {
+	if k.EmitEach {
+		return
+	}
+	keys := make([]uint64, 0, len(k.state))
+	for key := range k.state {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		out.Collect(Data(0, key, k.state[key]))
+	}
+}
+
+// FuncSink invokes F for every data record; terminal node.
+type FuncSink struct {
+	Base
+	F func(Record)
+	// OnWM, if set, is additionally invoked for watermarks.
+	OnWM func(int64)
+}
+
+// OnRecord implements Operator.
+func (s *FuncSink) OnRecord(r Record, _ Collector) { s.F(r) }
+
+// OnWatermark implements Operator.
+func (s *FuncSink) OnWatermark(wm int64, _ Collector) {
+	if s.OnWM != nil {
+		s.OnWM(wm)
+	}
+}
+
+// CollectSink accumulates all data records; safe for concurrent subtasks
+// and for reading after Run returns. Intended for tests and examples.
+type CollectSink struct {
+	Base
+	mu   sync.Mutex
+	recs []Record
+}
+
+// OnRecord implements Operator.
+func (s *CollectSink) OnRecord(r Record, _ Collector) {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+}
+
+// Records returns a copy of everything collected so far.
+func (s *CollectSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Factory returns an OperatorFactory handing every subtask this same sink
+// (the sink locks internally).
+func (s *CollectSink) Factory() OperatorFactory {
+	return func() Operator { return s }
+}

@@ -1,0 +1,150 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/window"
+	"repro/internal/workloads"
+)
+
+// Diamond: one source feeding two branches whose results merge in one sink.
+func TestDiamondTopology(t *testing.T) {
+	g := NewGraph("diamond")
+	src := g.AddSource("src", 1, SliceSource(intRecords(100)))
+	double := g.AddOperator("double", 1, func() Operator {
+		return &MapOp{F: func(r Record) Record { r.Value = r.Value.(float64) * 2; return r }}
+	}, Edge{From: src, Part: BroadcastPartition})
+	negate := g.AddOperator("negate", 1, func() Operator {
+		return &MapOp{F: func(r Record) Record { r.Value = -r.Value.(float64); return r }}
+	}, Edge{From: src, Part: BroadcastPartition})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(),
+		Edge{From: double, Part: Rebalance}, Edge{From: negate, Part: Rebalance})
+	run(t, g)
+
+	var sum float64
+	for _, r := range sink.Records() {
+		sum += r.Value.(float64)
+	}
+	// sum(2i) + sum(-i) = sum(i) for i in 0..99 = 4950.
+	if sum != 4950 {
+		t.Fatalf("diamond sum = %v, want 4950", sum)
+	}
+	if len(sink.Records()) != 200 {
+		t.Fatalf("got %d records, want 200", len(sink.Records()))
+	}
+}
+
+// Bounded disorder: a source emitting out-of-order timestamps with a lag
+// allowance; windows must still be exact because the watermark lags by the
+// disorder bound and the window operator reorders on release.
+func TestWindowingUnderBoundedDisorder(t *testing.T) {
+	const (
+		n     = 3000
+		bound = 50
+	)
+	base := workloads.Uniform{Seed: 9, Keys: 3, PerSec: 1000, ValMean: 0}
+	dis := workloads.Disordered{Inner: base.At, Bound: bound, Seed: 4}
+
+	g := NewGraph("disorder")
+	src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+		return &GenSource{
+			N:              n,
+			WatermarkEvery: 16,
+			Lag:            bound, // watermark allowance == disorder bound
+			Gen: func(i int64) Record {
+				e := dis.At(i)
+				return Data(e.Ts, e.Key, float64(1))
+			},
+		}
+	})
+	win := g.AddOperator("win", 1, NewWindowOp(
+		WindowQuery{Spec: window.Tumbling(100), Fn: agg.CountF64()},
+	), Edge{From: src, Part: HashPartition})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: win, Part: Rebalance})
+	run(t, g)
+
+	type wk struct {
+		key   uint64
+		start int64
+	}
+	got := map[wk]int64{}
+	for _, r := range sink.Records() {
+		wr := r.Value.(WindowResult)
+		got[wk{r.Key, wr.Start}] += wr.Count
+	}
+	want := map[wk]int64{}
+	for i := int64(0); i < n; i++ {
+		e := dis.At(i)
+		want[wk{e.Key, (e.Ts / 100) * 100}]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("window %+v count = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+// Rescale across a shuffle: parallelism 3 -> 2 -> 1.
+func TestMixedParallelism(t *testing.T) {
+	g := NewGraph("mixed")
+	src := g.AddSource("src", 3, SliceSource(intRecords(300)))
+	mid := g.AddOperator("mid", 2, func() Operator {
+		return &MapOp{F: func(r Record) Record { return r }}
+	}, Edge{From: src, Part: Rebalance})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: mid, Part: Rebalance})
+	run(t, g)
+	if got := len(sink.Records()); got != 300 {
+		t.Fatalf("lost records across rescale: %d", got)
+	}
+}
+
+// A chain hanging off a source (source -> map -> map fused into the source
+// subtask) must produce identical results to the unchained plan.
+func TestSourceChaining(t *testing.T) {
+	build := func(chaining bool) float64 {
+		g := NewGraph("srcchain")
+		src := g.AddSource("src", 1, SliceSource(intRecords(500)))
+		a := g.AddOperator("a", 1, func() Operator {
+			return &MapOp{F: func(r Record) Record { r.Value = r.Value.(float64) + 1; return r }}
+		}, Edge{From: src, Part: Forward})
+		sink := &CollectSink{}
+		g.AddOperator("sink", 1, sink.Factory(), Edge{From: a, Part: Forward})
+		run(t, g, WithChaining(chaining))
+		var sum float64
+		for _, r := range sink.Records() {
+			sum += r.Value.(float64)
+		}
+		return sum
+	}
+	if on, off := build(true), build(false); on != off {
+		t.Fatalf("source chaining changed results: %v vs %v", on, off)
+	}
+}
+
+func TestHash64Spread(t *testing.T) {
+	buckets := make([]int, 4)
+	for k := uint64(0); k < 4000; k++ {
+		buckets[Hash64(k)%4]++
+	}
+	for i, n := range buckets {
+		if n < 800 || n > 1200 {
+			t.Fatalf("bucket %d has %d of 4000 keys (poor spread)", i, n)
+		}
+	}
+}
+
+func TestKeyOfStability(t *testing.T) {
+	if KeyOf("alpha") != KeyOf("alpha") {
+		t.Fatalf("KeyOf not deterministic")
+	}
+	if KeyOf("alpha") == KeyOf("beta") {
+		t.Fatalf("trivial collision")
+	}
+}

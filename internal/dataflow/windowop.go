@@ -1,0 +1,185 @@
+package dataflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/cutty"
+	"repro/internal/engine"
+	"repro/internal/window"
+)
+
+// WindowQuery names a window aggregation declaratively so that the operator
+// can be reconstructed on recovery (specs and functions live in the job
+// definition; only mutable state is checkpointed).
+type WindowQuery struct {
+	Spec window.Spec
+	Fn   *agg.FnF64
+}
+
+// WindowOp is the keyed window aggregation operator. It receives keyed
+// float64 records (after a hash edge), restores event-time order with a
+// watermark-driven reorder buffer (merging the per-upstream in-order streams
+// re-introduces disorder), and runs one Cutty engine per key. Window results
+// are emitted as records whose Value is a WindowResult and whose Ts is the
+// window end.
+//
+// The operator is checkpointable: its snapshot contains the reorder buffer
+// and every per-key engine's state.
+type WindowOp struct {
+	Queries []WindowQuery
+
+	out         Collector
+	buf         []Record
+	curWM       int64
+	engines     map[uint64]*cutty.Engine
+	curKey      uint64
+	droppedLate int64
+}
+
+var _ Operator = (*WindowOp)(nil)
+
+// NewWindowOp returns an operator factory running the given queries.
+func NewWindowOp(queries ...WindowQuery) OperatorFactory {
+	return func() Operator { return &WindowOp{Queries: queries} }
+}
+
+func (w *WindowOp) newEngine() *cutty.Engine {
+	e := cutty.New(w.emitResult)
+	for _, q := range w.Queries {
+		if _, err := e.AddQuery(engine.Query{Window: q.Spec, Fn: q.Fn}); err != nil {
+			// Queries are validated at graph build; this is unreachable in a
+			// validated job.
+			panic(fmt.Sprintf("dataflow: window query rejected: %v", err))
+		}
+	}
+	return e
+}
+
+func (w *WindowOp) emitResult(r engine.Result) {
+	w.out.Collect(Data(r.End, w.curKey, WindowResult{
+		QueryID: r.QueryID,
+		Start:   r.Start,
+		End:     r.End,
+		Value:   r.Value,
+		Count:   r.Count,
+	}))
+}
+
+type windowOpState struct {
+	CurWM   int64
+	BufTs   []int64
+	BufKey  []uint64
+	BufVal  []float64
+	Keys    []uint64
+	Engines [][]byte
+}
+
+// Open implements Operator.
+func (w *WindowOp) Open(ctx *OpContext) error {
+	w.engines = make(map[uint64]*cutty.Engine)
+	w.curWM = math.MinInt64
+	if ctx.Restore == nil {
+		return nil
+	}
+	var s windowOpState
+	if err := gob.NewDecoder(bytes.NewReader(ctx.Restore)).Decode(&s); err != nil {
+		return fmt.Errorf("window restore: %w", err)
+	}
+	w.curWM = s.CurWM
+	for i := range s.BufTs {
+		w.buf = append(w.buf, Data(s.BufTs[i], s.BufKey[i], s.BufVal[i]))
+	}
+	for i, key := range s.Keys {
+		e := w.newEngine()
+		if err := e.Restore(gob.NewDecoder(bytes.NewReader(s.Engines[i]))); err != nil {
+			return fmt.Errorf("window restore key %d: %w", key, err)
+		}
+		w.engines[key] = e
+	}
+	return nil
+}
+
+// OnRecord implements Operator: buffer until the watermark releases. Late
+// elements — older than the current watermark — are dropped (allowed
+// lateness zero): releasing them would feed the per-key engines
+// out-of-order input. The count of dropped records is observable via
+// DroppedLate.
+func (w *WindowOp) OnRecord(r Record, _ Collector) {
+	if _, ok := r.Value.(float64); !ok {
+		return
+	}
+	if r.Ts <= w.curWM {
+		w.droppedLate++
+		return
+	}
+	w.buf = append(w.buf, r)
+}
+
+// DroppedLate reports how many elements arrived after the watermark had
+// passed their timestamp and were therefore excluded.
+func (w *WindowOp) DroppedLate() int64 { return w.droppedLate }
+
+// OnWatermark implements Operator: release buffered records with ts <= wm in
+// event-time order into the per-key engines, then advance every engine's
+// watermark.
+func (w *WindowOp) OnWatermark(wm int64, out Collector) {
+	w.out = out
+	sort.SliceStable(w.buf, func(i, j int) bool { return w.buf[i].Ts < w.buf[j].Ts })
+	i := 0
+	for ; i < len(w.buf) && w.buf[i].Ts <= wm; i++ {
+		r := w.buf[i]
+		e, ok := w.engines[r.Key]
+		if !ok {
+			e = w.newEngine()
+			w.engines[r.Key] = e
+		}
+		w.curKey = r.Key
+		e.OnWatermark(r.Ts)
+		e.OnElement(r.Ts, r.Value.(float64))
+	}
+	w.buf = append(w.buf[:0], w.buf[i:]...)
+	w.curWM = wm
+	for key, e := range w.engines {
+		w.curKey = key
+		e.OnWatermark(wm)
+	}
+	w.out = nil
+}
+
+// Snapshot implements Operator.
+func (w *WindowOp) Snapshot() ([]byte, error) {
+	s := windowOpState{CurWM: w.curWM}
+	for _, r := range w.buf {
+		s.BufTs = append(s.BufTs, r.Ts)
+		s.BufKey = append(s.BufKey, r.Key)
+		s.BufVal = append(s.BufVal, r.Value.(float64))
+	}
+	keys := make([]uint64, 0, len(w.engines))
+	for key := range w.engines {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		var buf bytes.Buffer
+		if err := w.engines[key].Snapshot(gob.NewEncoder(&buf)); err != nil {
+			return nil, fmt.Errorf("window snapshot key %d: %w", key, err)
+		}
+		s.Keys = append(s.Keys, key)
+		s.Engines = append(s.Engines, buf.Bytes())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("window snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Finish implements Operator: flush every remaining window.
+func (w *WindowOp) Finish(out Collector) {
+	w.OnWatermark(math.MaxInt64, out)
+}

@@ -1,0 +1,92 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/window"
+)
+
+func newWindowOp(t *testing.T, qs ...WindowQuery) *WindowOp {
+	t.Helper()
+	op := NewWindowOp(qs...)().(*WindowOp)
+	if err := op.Open(&OpContext{}); err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestWindowOpLateElementsDropped(t *testing.T) {
+	op := newWindowOp(t, WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()})
+	out := &collectList{}
+	op.OnRecord(Data(5, 1, 1.0), out)
+	op.OnWatermark(20, out) // closes [0,10)
+	// ts=7 is now late: the watermark passed it. It must not corrupt the
+	// engine or resurrect the closed window.
+	op.OnRecord(Data(7, 1, 100.0), out)
+	op.OnWatermark(math.MaxInt64, out)
+	if op.DroppedLate() != 1 {
+		t.Fatalf("DroppedLate = %d, want 1", op.DroppedLate())
+	}
+	if len(out.recs) != 1 {
+		t.Fatalf("got %d windows: %+v", len(out.recs), out.recs)
+	}
+	wr := out.recs[0].Value.(WindowResult)
+	if wr.Value != 1 || wr.Start != 0 {
+		t.Fatalf("window %+v, want [0,10) sum 1", wr)
+	}
+}
+
+func TestWindowOpInOrderWithinWatermarkKept(t *testing.T) {
+	// Elements between watermarks may arrive in any order; all with
+	// ts > curWM must be kept and correctly ordered on release.
+	op := newWindowOp(t, WindowQuery{Spec: window.Tumbling(10), Fn: agg.CountF64()})
+	out := &collectList{}
+	op.OnRecord(Data(9, 1, 1.0), out)
+	op.OnRecord(Data(3, 1, 1.0), out) // out of order but not late
+	op.OnRecord(Data(6, 1, 1.0), out)
+	op.OnWatermark(10, out)
+	if len(out.recs) != 1 {
+		t.Fatalf("got %d windows", len(out.recs))
+	}
+	if wr := out.recs[0].Value.(WindowResult); wr.Count != 3 {
+		t.Fatalf("count = %d, want 3", wr.Count)
+	}
+	if op.DroppedLate() != 0 {
+		t.Fatalf("dropped %d in-time elements", op.DroppedLate())
+	}
+}
+
+func TestWindowOpNonFloatValuesIgnored(t *testing.T) {
+	op := newWindowOp(t, WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()})
+	out := &collectList{}
+	op.OnRecord(Data(1, 1, "not a float"), out)
+	op.OnRecord(Data(2, 1, 42), out) // int, not float64
+	op.OnWatermark(math.MaxInt64, out)
+	if len(out.recs) != 0 {
+		t.Fatalf("non-float values produced windows: %+v", out.recs)
+	}
+}
+
+func TestWindowOpSnapshotCarriesBufferAndLateCount(t *testing.T) {
+	op := newWindowOp(t, WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()})
+	out := &collectList{}
+	op.OnWatermark(5, out)
+	op.OnRecord(Data(7, 2, 3.0), out) // buffered, not yet released
+	blob, err := op.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewWindowOp(WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()})().(*WindowOp)
+	if err := restored.Open(&OpContext{Restore: blob}); err != nil {
+		t.Fatal(err)
+	}
+	restored.OnWatermark(math.MaxInt64, out)
+	if len(out.recs) != 1 {
+		t.Fatalf("restored op lost the buffered record: %+v", out.recs)
+	}
+	if wr := out.recs[0].Value.(WindowResult); wr.Value != 3 {
+		t.Fatalf("window %+v", wr)
+	}
+}

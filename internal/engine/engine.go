@@ -1,0 +1,66 @@
+// Package engine defines the contract shared by all window aggregation
+// engines: Cutty (internal/cutty) and the prior-art baselines
+// (internal/baselines). A single interface lets the conformance tests and
+// the E1–E5 experiments drive every strategy identically.
+//
+// Driving protocol: engines consume one in-order stream (per key). For every
+// element the driver must first call OnWatermark(ts) and then
+// OnElement(ts, v); additional watermarks may be injected at any time (they
+// must be non-decreasing), and a final OnWatermark(math.MaxInt64) flushes
+// data-driven windows at end of stream. The watermark-before-element rule
+// guarantees that windows whose end has passed are closed before a newer
+// element arrives, which is what makes "add to all open windows" correct for
+// the bucket-style baselines. The dataflow layer enforces the same protocol.
+package engine
+
+import (
+	"repro/internal/agg"
+	"repro/internal/window"
+)
+
+// Query is one registered window aggregation: a window specification plus an
+// aggregate function. Engines share work between queries where their
+// strategy allows it (Cutty shares slices between all queries with the same
+// Fn.Name; Buckets and Eager share nothing).
+type Query struct {
+	Window window.Spec
+	Fn     *agg.FnF64
+}
+
+// Result is one completed window of one query.
+type Result struct {
+	// QueryID identifies the query as returned by AddQuery.
+	QueryID int
+	// Start and End are the window's logical extent as declared by its
+	// assigner (timestamps for time windows, positions for count windows).
+	Start, End int64
+	// Value is the lowered aggregate of the window's content.
+	Value float64
+	// Count is the number of elements aggregated into the window.
+	Count int64
+}
+
+// Emit receives completed windows. Engines call it synchronously from
+// OnElement/OnWatermark.
+type Emit func(Result)
+
+// Engine is a multi-query window aggregation engine over a single in-order
+// stream.
+type Engine interface {
+	// Name identifies the strategy ("cutty", "buckets", "pairs", ...).
+	Name() string
+	// AddQuery registers a query and returns its id. Queries may be added
+	// while the stream is running; windows of the new query start with the
+	// next element.
+	AddQuery(q Query) (int, error)
+	// RemoveQuery unregisters a query; its open windows are discarded.
+	RemoveQuery(id int)
+	// OnElement processes one element with event timestamp ts.
+	OnElement(ts int64, v float64)
+	// OnWatermark advances event time; must be non-decreasing.
+	OnWatermark(wm int64)
+	// StoredPartials reports the number of partial aggregates (or buffered
+	// raw values, for tuple-buffering strategies) currently held — the
+	// memory metric of experiment E5.
+	StoredPartials() int
+}

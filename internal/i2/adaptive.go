@@ -1,0 +1,92 @@
+package i2
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AdaptiveView is I2's "adaptive aggregation directly on the cluster": a
+// live view whose viewport can be changed while the stream runs (the user
+// zooms or pans during streaming). On a viewport switch the view answers
+// the historical part of the new viewport from the Store (data at rest) and
+// continues incrementally from the live stream (data in motion) — the
+// hand-off the I2 development environment coordinates.
+type AdaptiveView struct {
+	mu    sync.Mutex
+	store *Store
+	vp    Viewport
+	agg   *StreamAgg
+	emit  func(Column)
+	maxTs int64
+}
+
+// NewAdaptiveView creates a view over the store with an initial viewport.
+// emit receives completed pixel columns (both backfilled and live).
+func NewAdaptiveView(store *Store, vp Viewport, emit func(Column)) (*AdaptiveView, error) {
+	if !vp.Valid() {
+		return nil, fmt.Errorf("i2: invalid viewport %+v", vp)
+	}
+	v := &AdaptiveView{store: store, emit: emit}
+	if store.Len() > 0 {
+		_, last := store.Span()
+		v.maxTs = last
+	}
+	v.switchTo(vp)
+	return v, nil
+}
+
+// Viewport returns the current viewport.
+func (v *AdaptiveView) Viewport() Viewport {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vp
+}
+
+// SetViewport switches the view (zoom/pan). Completed columns of the new
+// viewport that lie entirely in the past are emitted immediately from the
+// history store; the live aggregator resumes for the remainder.
+func (v *AdaptiveView) SetViewport(vp Viewport) error {
+	if !vp.Valid() {
+		return fmt.Errorf("i2: invalid viewport %+v", vp)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.switchTo(vp)
+	return nil
+}
+
+// switchTo rebuilds the view state; the caller holds the lock (or is the
+// constructor).
+func (v *AdaptiveView) switchTo(vp Viewport) {
+	v.vp = vp
+	v.agg = NewStreamAgg(vp, v.emit)
+	if v.maxTs <= vp.From {
+		return
+	}
+	for _, c := range v.store.Query(vp) {
+		cc := c
+		switch {
+		case c.T1 <= v.maxTs:
+			// Entirely in the past: final, emit from history.
+			v.emit(c)
+		case c.T0 <= v.maxTs:
+			// The column in progress: seed the live aggregator with its
+			// historical partial so no points are lost across the switch
+			// (M4 columns compose exactly).
+			v.agg.cur = &cc
+		}
+	}
+}
+
+// OnPoint feeds one live in-order sample (also expected to be Append-ed to
+// the store by the caller or by Server.Ingest).
+func (v *AdaptiveView) OnPoint(p Point) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if p.Ts > v.maxTs {
+		v.maxTs = p.Ts
+	}
+	// Skip points already covered by the backfill emitted at switch time.
+	v.agg.OnPoint(p)
+	v.agg.OnWatermark(p.Ts)
+}

@@ -1,0 +1,131 @@
+package i2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// An adaptive view whose viewport never changes must produce exactly the
+// columns of a direct batch aggregation.
+func TestAdaptiveViewStaticMatchesBatch(t *testing.T) {
+	store := NewStore(100000)
+	vp := Viewport{From: 0, To: 1000, Width: 20}
+	var got []Column
+	view, err := NewAdaptiveView(store, vp, func(c Column) { got = append(got, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{Ts: int64(i), V: rng.NormFloat64()}
+		store.Append(pts[i])
+		view.OnPoint(pts[i])
+	}
+	// Last column still open (no watermark past 1000): flush by switching
+	// to the same viewport... not needed; compare the completed prefix.
+	want := AggregateM4(pts, vp)
+	if len(got) < len(want)-1 {
+		t.Fatalf("got %d columns, want at least %d", len(got), len(want)-1)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("column %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Zoom during streaming: after a viewport switch, the union of backfilled
+// and live columns must equal the direct aggregation of the new viewport.
+func TestAdaptiveViewZoomMidStream(t *testing.T) {
+	store := NewStore(100000)
+	initial := Viewport{From: 0, To: 10_000, Width: 10}
+	var got []Column
+	view, err := NewAdaptiveView(store, initial, func(c Column) { got = append(got, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]Point, 6000)
+	for i := range pts {
+		pts[i] = Point{Ts: int64(i), V: rng.NormFloat64()}
+	}
+	// Stream the first 3000 points under the initial viewport.
+	for _, p := range pts[:3000] {
+		store.Append(p)
+		view.OnPoint(p)
+	}
+	// User zooms into [2000, 6000) at 40 px — half historical, half future.
+	zoom := Viewport{From: 2000, To: 6000, Width: 40}
+	got = got[:0]
+	if err := view.SetViewport(zoom); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[3000:] {
+		store.Append(p)
+		view.OnPoint(p)
+	}
+	// Flush the trailing open column.
+	view.agg.Flush()
+
+	want := AggregateM4(pts, zoom)
+	if len(got) != len(want) {
+		t.Fatalf("got %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		// Counts may differ for the seeded hand-off column (the historical
+		// partial contributes its 4 extremes, not its raw count); the four
+		// M4 points must be exact.
+		if g.First != w.First || g.Last != w.Last || g.Min != w.Min || g.Max != w.Max ||
+			g.T0 != w.T0 || g.T1 != w.T1 || g.Index != w.Index {
+			t.Fatalf("column %d:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func TestAdaptiveViewPanBackwardsServesHistory(t *testing.T) {
+	store := NewStore(100000)
+	var got []Column
+	view, err := NewAdaptiveView(store, Viewport{From: 0, To: 1000, Width: 10}, func(c Column) { got = append(got, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Point{Ts: int64(i), V: float64(i % 50)}
+		store.Append(pts[i])
+		view.OnPoint(pts[i])
+	}
+	// Pan fully into the past: all columns must arrive synchronously.
+	got = got[:0]
+	if err := view.SetViewport(Viewport{From: 1000, To: 2000, Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	want := AggregateM4(pts, Viewport{From: 1000, To: 2000, Width: 10})
+	if len(got) != len(want) {
+		t.Fatalf("backfill produced %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAdaptiveViewRejectsInvalid(t *testing.T) {
+	store := NewStore(10)
+	if _, err := NewAdaptiveView(store, Viewport{From: 5, To: 5, Width: 1}, func(Column) {}); err == nil {
+		t.Fatalf("invalid initial viewport accepted")
+	}
+	view, err := NewAdaptiveView(store, Viewport{From: 0, To: 10, Width: 2}, func(Column) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.SetViewport(Viewport{Width: 0, From: 0, To: 1}); err == nil {
+		t.Fatalf("invalid switch accepted")
+	}
+	if vp := view.Viewport(); vp.Width != 2 {
+		t.Fatalf("failed switch mutated viewport: %+v", vp)
+	}
+}

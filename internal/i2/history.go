@@ -1,0 +1,202 @@
+package i2
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is I2's history service: it absorbs the live stream (data in
+// motion) and serves arbitrary viewport queries over the retained window
+// (data at rest) — the two halves every interactive zoom/pan touches.
+//
+// Raw points are kept in a bounded ring. On top of the raw ring the store
+// maintains a pyramid of pre-aggregated M4 tiers (column width multiplying
+// by tierFanout per level), so wide viewports are answered from coarse
+// tiers instead of scanning millions of raw points — the "advanced and
+// adaptive aggregations directly on the cluster" of the paper. Queries pick
+// the coarsest tier whose columns still subdivide the requested pixel
+// columns; the final M4 pass over tier columns is exact because M4 columns
+// compose (min of mins, first of firsts, ...).
+type Store struct {
+	mu sync.RWMutex
+
+	capacity int
+	raw      []Point // time-ordered ring (compacted slice)
+
+	tierBase   int64 // finest tier column width in ticks
+	tierFanout int64
+	tiers      []tier
+}
+
+// tier is one pre-aggregation level: completed columns of fixed time width.
+type tier struct {
+	width int64
+	cols  []Column // time-ordered; Index unused (recomputed per query)
+	open  *Column
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithTiers enables the pre-aggregation pyramid: levels columns of width
+// base, base*fanout, base*fanout^2, ... (levels >= 1, fanout >= 2).
+func WithTiers(base int64, fanout int64, levels int) StoreOption {
+	return func(s *Store) {
+		s.tierBase = base
+		s.tierFanout = fanout
+		for l := 0; l < levels; l++ {
+			w := base
+			for k := 0; k < l; k++ {
+				w *= fanout
+			}
+			s.tiers = append(s.tiers, tier{width: w})
+		}
+	}
+}
+
+// NewStore returns a store retaining up to capacity raw points.
+func NewStore(capacity int, opts ...StoreOption) *Store {
+	s := &Store{capacity: capacity}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Append absorbs one in-order sample.
+func (s *Store) Append(p Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.raw = append(s.raw, p)
+	if len(s.raw) > s.capacity {
+		drop := len(s.raw) - s.capacity
+		s.raw = append(s.raw[:0], s.raw[drop:]...)
+	}
+	for i := range s.tiers {
+		s.tierAppend(&s.tiers[i], p)
+	}
+}
+
+func (s *Store) tierAppend(t *tier, p Point) {
+	colStart := (p.Ts / t.width) * t.width
+	if t.open != nil && t.open.T0 != colStart {
+		t.cols = append(t.cols, *t.open)
+		t.open = nil
+		// Bound tier memory proportionally to the raw retention.
+		if max := s.capacity / int(t.width/s.tierBase) * 4; len(t.cols) > max && max > 0 {
+			t.cols = append(t.cols[:0], t.cols[len(t.cols)-max:]...)
+		}
+	}
+	if t.open == nil {
+		t.open = &Column{T0: colStart, T1: colStart + t.width, First: p, Last: p, Min: p, Max: p, Count: 1}
+		return
+	}
+	t.open.Last = p
+	t.open.Count++
+	if p.V < t.open.Min.V {
+		t.open.Min = p
+	}
+	if p.V > t.open.Max.V {
+		t.open.Max = p
+	}
+}
+
+// Len reports the number of retained raw points.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.raw)
+}
+
+// Span returns the retained time range [first, last] (0, 0 when empty).
+func (s *Store) Span() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.raw) == 0 {
+		return 0, 0
+	}
+	return s.raw[0].Ts, s.raw[len(s.raw)-1].Ts
+}
+
+// Query answers a viewport with M4 columns. It serves from the coarsest
+// tier whose column width divides the viewport's pixel columns evenly
+// enough (>= 1 tier column per pixel column boundary-aligned), falling back
+// to the raw ring for fine zooms.
+func (s *Store) Query(vp Viewport) []Column {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !vp.Valid() {
+		return nil
+	}
+	pixelWidth := (vp.To - vp.From) / int64(vp.Width)
+	// Choose the coarsest tier that still subdivides a pixel column and is
+	// boundary-aligned with the viewport grid.
+	for i := len(s.tiers) - 1; i >= 0; i-- {
+		t := &s.tiers[i]
+		if t.width <= pixelWidth/2 && pixelWidth%t.width == 0 && vp.From%t.width == 0 && len(t.cols) > 0 {
+			return s.queryTier(t, vp)
+		}
+	}
+	return AggregateM4(s.rawInRange(vp.From, vp.To), vp)
+}
+
+// QueriedFromTier reports which tier width a viewport would use (0 = raw);
+// exposed for tests and the E7 ablation.
+func (s *Store) QueriedFromTier(vp Viewport) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !vp.Valid() {
+		return 0
+	}
+	pixelWidth := (vp.To - vp.From) / int64(vp.Width)
+	for i := len(s.tiers) - 1; i >= 0; i-- {
+		t := &s.tiers[i]
+		if t.width <= pixelWidth/2 && pixelWidth%t.width == 0 && vp.From%t.width == 0 && len(t.cols) > 0 {
+			return t.width
+		}
+	}
+	return 0
+}
+
+func (s *Store) rawInRange(from, to int64) []Point {
+	lo := sort.Search(len(s.raw), func(i int) bool { return s.raw[i].Ts >= from })
+	hi := sort.Search(len(s.raw), func(i int) bool { return s.raw[i].Ts >= to })
+	return s.raw[lo:hi]
+}
+
+// queryTier composes tier columns into viewport pixel columns. M4 columns
+// compose exactly: first = first of the earliest, last = last of the
+// latest, min/max = extremes over components.
+func (s *Store) queryTier(t *tier, vp Viewport) []Column {
+	cols := t.cols
+	if t.open != nil {
+		cols = append(append([]Column{}, cols...), *t.open)
+	}
+	lo := sort.Search(len(cols), func(i int) bool { return cols[i].T1 > vp.From })
+	var out []Column
+	var cur *Column
+	for _, tc := range cols[lo:] {
+		if tc.T0 >= vp.To {
+			break
+		}
+		c := vp.columnOf(tc.T0)
+		if cur == nil || cur.Index != c {
+			t0, t1 := vp.columnRange(c)
+			out = append(out, Column{
+				Index: c, T0: t0, T1: t1,
+				First: tc.First, Last: tc.Last, Min: tc.Min, Max: tc.Max, Count: tc.Count,
+			})
+			cur = &out[len(out)-1]
+			continue
+		}
+		cur.Last = tc.Last
+		cur.Count += tc.Count
+		if tc.Min.V < cur.Min.V {
+			cur.Min = tc.Min
+		}
+		if tc.Max.V > cur.Max.V {
+			cur.Max = tc.Max
+		}
+	}
+	return out
+}

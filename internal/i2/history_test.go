@@ -1,0 +1,133 @@
+package i2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fillStore(s *Store, n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Ts: int64(i), V: rng.NormFloat64() * 5}
+		s.Append(pts[i])
+	}
+	return pts
+}
+
+func TestStoreLenAndSpan(t *testing.T) {
+	s := NewStore(1000)
+	if s.Len() != 0 {
+		t.Fatalf("fresh store not empty")
+	}
+	if a, b := s.Span(); a != 0 || b != 0 {
+		t.Fatalf("empty span = %d..%d", a, b)
+	}
+	fillStore(s, 100, 1)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if a, b := s.Span(); a != 0 || b != 99 {
+		t.Fatalf("span = %d..%d", a, b)
+	}
+}
+
+func TestStoreRetentionBound(t *testing.T) {
+	s := NewStore(50)
+	fillStore(s, 500, 2)
+	if s.Len() != 50 {
+		t.Fatalf("retention failed: %d", s.Len())
+	}
+	a, _ := s.Span()
+	if a != 450 {
+		t.Fatalf("oldest retained = %d, want 450", a)
+	}
+}
+
+func TestStoreQueryMatchesDirectM4(t *testing.T) {
+	s := NewStore(10000)
+	pts := fillStore(s, 5000, 3)
+	vp := Viewport{From: 1000, To: 4000, Width: 60}
+	got := s.Query(vp)
+	want := AggregateM4(pts, vp)
+	if len(got) != len(want) {
+		t.Fatalf("got %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStoreTieredQueryIsExact(t *testing.T) {
+	// Tiers of width 10, 40, 160; a viewport whose pixel columns are 80
+	// ticks wide aligns with the 40-tier.
+	s := NewStore(100000, WithTiers(10, 4, 3))
+	pts := fillStore(s, 50000, 4)
+	vp := Viewport{From: 0, To: 48000, Width: 600} // pixel width 80
+	if tw := s.QueriedFromTier(vp); tw != 40 {
+		t.Fatalf("expected the 40-tier, got %d", tw)
+	}
+	got := s.Query(vp)
+	want := AggregateM4(pts, vp)
+	if len(got) != len(want) {
+		t.Fatalf("got %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("column %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStoreFineZoomFallsBackToRaw(t *testing.T) {
+	s := NewStore(100000, WithTiers(10, 4, 3))
+	fillStore(s, 2000, 5)
+	vp := Viewport{From: 100, To: 200, Width: 100} // pixel width 1 < tier 10
+	if tw := s.QueriedFromTier(vp); tw != 0 {
+		t.Fatalf("fine zoom should use raw, got tier %d", tw)
+	}
+	cols := s.Query(vp)
+	if len(cols) == 0 {
+		t.Fatalf("no columns for fine zoom")
+	}
+	for _, c := range cols {
+		if c.Count != 1 {
+			t.Fatalf("pixel width 1 should hold single points, got %+v", c)
+		}
+	}
+}
+
+func TestStoreInvalidViewport(t *testing.T) {
+	s := NewStore(100)
+	fillStore(s, 10, 6)
+	if got := s.Query(Viewport{From: 5, To: 5, Width: 10}); got != nil {
+		t.Fatalf("invalid viewport returned columns")
+	}
+}
+
+// Zoom/pan sequence: every query along the way must be exact vs direct M4.
+func TestStoreInteractiveZoomPan(t *testing.T) {
+	s := NewStore(100000, WithTiers(8, 4, 4))
+	pts := fillStore(s, 60000, 7)
+	views := []Viewport{
+		{From: 0, To: 60000, Width: 100},     // overview
+		{From: 20000, To: 40000, Width: 100}, // zoom
+		{From: 25000, To: 30000, Width: 100}, // deeper
+		{From: 26000, To: 26200, Width: 100}, // pixel width 2: raw
+		{From: 30000, To: 30200, Width: 100}, // pan
+	}
+	for _, vp := range views {
+		got := s.Query(vp)
+		want := AggregateM4(pts, vp)
+		if len(got) != len(want) {
+			t.Fatalf("vp %+v: got %d cols want %d", vp, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vp %+v col %d: got %+v want %+v", vp, i, got[i], want[i])
+			}
+		}
+	}
+}

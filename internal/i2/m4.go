@@ -1,0 +1,223 @@
+// Package i2 implements the I2 research highlight of the STREAMLINE paper
+// (Traub et al., "I2: Interactive Real-Time Visualization for Streaming
+// Data", EDBT 2017): interactive visualization of data in motion, built on
+// an aggregation algorithm for time-series data that "reduces the amount of
+// data in a data-rate independent manner and is proven to be correct and
+// minimal in terms of transferred data".
+//
+// The algorithm is M4-style pixel-column aggregation (after Jugel et al.,
+// VLDB 2014): for a viewport of w pixel columns over time range [t0, t1),
+// each column keeps only the first, last, minimum and maximum points of the
+// raw series within it. Three provable properties carry the paper's claims:
+//
+//	Data-rate independence — at most 4·w tuples are transferred regardless
+//	of how many raw points arrive (E6);
+//	Correctness — a 1-px polyline rendering of the reduced series is
+//	pixel-identical to rendering the raw series (theorem in raster.go,
+//	property-tested);
+//	Minimality — removing any of the four extremes can change the rendered
+//	pixels, so no smaller per-column selection is universally correct.
+//
+// Beyond the operator itself the package provides the pieces of the I2
+// system: a multi-resolution history store for data at rest, a streaming
+// column aggregator for data in motion, and an HTTP/SSE server that
+// coordinates interactive viewports (zoom/pan) against both.
+package i2
+
+// Point is one time-series sample.
+type Point struct {
+	Ts int64   `json:"t"`
+	V  float64 `json:"v"`
+}
+
+// Column is the M4 aggregate of one pixel column.
+type Column struct {
+	// Index is the pixel column index in [0, Width).
+	Index int `json:"i"`
+	// T0 and T1 delimit the column's time range [T0, T1).
+	T0 int64 `json:"t0"`
+	T1 int64 `json:"t1"`
+	// First, Last, Min and Max are the four retained points.
+	First Point `json:"first"`
+	Last  Point `json:"last"`
+	Min   Point `json:"min"`
+	Max   Point `json:"max"`
+	// Count is the number of raw points aggregated (diagnostics).
+	Count int64 `json:"n"`
+}
+
+// Viewport describes a visualization request: a time range rendered into
+// Width pixel columns.
+type Viewport struct {
+	From  int64 `json:"from"`
+	To    int64 `json:"to"` // exclusive
+	Width int   `json:"width"`
+}
+
+// Valid reports whether the viewport is well-formed.
+func (v Viewport) Valid() bool { return v.Width > 0 && v.To > v.From }
+
+// columnOf maps a timestamp to its pixel column.
+func (v Viewport) columnOf(ts int64) int {
+	span := v.To - v.From
+	c := int((ts - v.From) * int64(v.Width) / span)
+	if c < 0 {
+		c = 0
+	}
+	if c >= v.Width {
+		c = v.Width - 1
+	}
+	return c
+}
+
+// columnRange returns the time range [t0, t1) of column c. It is the exact
+// integer inverse of columnOf: ts lands in column c iff t0 <= ts < t1, which
+// requires ceiling division (floor would flush streaming columns one tick
+// early whenever Width does not divide the span).
+func (v Viewport) columnRange(c int) (int64, int64) {
+	span := v.To - v.From
+	w := int64(v.Width)
+	t0 := v.From + ceilDiv(int64(c)*span, w)
+	t1 := v.From + ceilDiv(int64(c+1)*span, w)
+	return t0, t1
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// AggregateM4 reduces the points falling inside the viewport to at most
+// 4·Width tuples: the M4 aggregation over pixel columns. Points must be in
+// non-decreasing timestamp order. Empty columns produce no output.
+func AggregateM4(points []Point, vp Viewport) []Column {
+	if !vp.Valid() {
+		return nil
+	}
+	var cols []Column
+	var cur *Column
+	for _, p := range points {
+		if p.Ts < vp.From || p.Ts >= vp.To {
+			continue
+		}
+		c := vp.columnOf(p.Ts)
+		if cur == nil || cur.Index != c {
+			t0, t1 := vp.columnRange(c)
+			cols = append(cols, Column{
+				Index: c, T0: t0, T1: t1,
+				First: p, Last: p, Min: p, Max: p, Count: 1,
+			})
+			cur = &cols[len(cols)-1]
+			continue
+		}
+		cur.Last = p
+		cur.Count++
+		if p.V < cur.Min.V {
+			cur.Min = p
+		}
+		if p.V > cur.Max.V {
+			cur.Max = p
+		}
+	}
+	return cols
+}
+
+// Points flattens columns back into the reduced point series, deduplicating
+// coincident tuples (a column with a single point contributes one tuple,
+// not four). Within a column, points are emitted in rendering order —
+// First, Min, Max, Last — so the polyline enters the column at the true
+// first point and exits at the true last point even when timestamps
+// collide; across columns the series is time-ordered. This is "the
+// transferred data" whose size E6 and E7 measure.
+func Points(cols []Column) []Point {
+	var out []Point
+	for _, c := range cols {
+		// Entry must be First and exit must be Last: a duplicate may only
+		// be elided when it does not move the polyline's entry or exit
+		// position (otherwise the connector to the neighbouring column
+		// would start from the wrong point and change pixels).
+		out = append(out, c.First)
+		if c.Min != c.First {
+			out = append(out, c.Min)
+		}
+		if c.Max != c.First && c.Max != c.Min {
+			out = append(out, c.Max)
+		}
+		if c.Last != out[len(out)-1] {
+			out = append(out, c.Last)
+		}
+	}
+	return out
+}
+
+// TransferSize reports the number of tuples the reduced series transfers.
+func TransferSize(cols []Column) int { return len(Points(cols)) }
+
+// StreamAgg is the data-in-motion variant: it consumes an in-order stream
+// and emits each pixel column as soon as event time (watermarks) passes the
+// column's end — the incremental protocol the I2 front end renders from.
+// State is one open column, so memory is O(1) regardless of data rate.
+type StreamAgg struct {
+	vp   Viewport
+	emit func(Column)
+	cur  *Column
+	done bool
+}
+
+// NewStreamAgg returns a streaming aggregator for the viewport, emitting
+// completed columns to emit.
+func NewStreamAgg(vp Viewport, emit func(Column)) *StreamAgg {
+	return &StreamAgg{vp: vp, emit: emit}
+}
+
+// OnPoint consumes one in-order sample.
+func (s *StreamAgg) OnPoint(p Point) {
+	if s.done || !s.vp.Valid() || p.Ts < s.vp.From || p.Ts >= s.vp.To {
+		return
+	}
+	c := s.vp.columnOf(p.Ts)
+	if s.cur != nil && c != s.cur.Index {
+		s.emit(*s.cur)
+		s.cur = nil
+	}
+	if s.cur == nil {
+		t0, t1 := s.vp.columnRange(c)
+		s.cur = &Column{Index: c, T0: t0, T1: t1, First: p, Last: p, Min: p, Max: p, Count: 1}
+		return
+	}
+	s.cur.Last = p
+	s.cur.Count++
+	if p.V < s.cur.Min.V {
+		s.cur.Min = p
+	}
+	if p.V > s.cur.Max.V {
+		s.cur.Max = p
+	}
+}
+
+// OnWatermark flushes the open column once event time passes its end.
+func (s *StreamAgg) OnWatermark(wm int64) {
+	if s.done {
+		return
+	}
+	if s.cur != nil && wm >= s.cur.T1 {
+		s.emit(*s.cur)
+		s.cur = nil
+	}
+	if wm >= s.vp.To {
+		s.done = true
+	}
+}
+
+// Flush emits any open column (end of stream).
+func (s *StreamAgg) Flush() {
+	if s.cur != nil {
+		s.emit(*s.cur)
+		s.cur = nil
+	}
+	s.done = true
+}

@@ -1,0 +1,288 @@
+package i2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func series(rng *rand.Rand, n int, maxGap int64) []Point {
+	pts := make([]Point, n)
+	var ts int64
+	for i := range pts {
+		ts += rng.Int63n(maxGap + 1)
+		pts[i] = Point{Ts: ts, V: rng.NormFloat64() * 10}
+		ts++
+	}
+	return pts
+}
+
+func TestViewportColumnMapping(t *testing.T) {
+	vp := Viewport{From: 0, To: 100, Width: 10}
+	cases := map[int64]int{0: 0, 9: 0, 10: 1, 99: 9, 55: 5}
+	for ts, want := range cases {
+		if got := vp.columnOf(ts); got != want {
+			t.Errorf("columnOf(%d) = %d, want %d", ts, got, want)
+		}
+	}
+	t0, t1 := vp.columnRange(3)
+	if t0 != 30 || t1 != 40 {
+		t.Errorf("columnRange(3) = [%d,%d)", t0, t1)
+	}
+}
+
+func TestViewportValid(t *testing.T) {
+	if (Viewport{From: 0, To: 0, Width: 10}).Valid() {
+		t.Errorf("empty range should be invalid")
+	}
+	if (Viewport{From: 0, To: 10, Width: 0}).Valid() {
+		t.Errorf("zero width should be invalid")
+	}
+	if !(Viewport{From: -5, To: 10, Width: 3}).Valid() {
+		t.Errorf("negative from should be valid")
+	}
+}
+
+func TestAggregateM4Basic(t *testing.T) {
+	pts := []Point{{0, 5}, {1, 9}, {2, 1}, {3, 7}, {15, 2}}
+	vp := Viewport{From: 0, To: 20, Width: 2}
+	cols := AggregateM4(pts, vp)
+	if len(cols) != 2 {
+		t.Fatalf("got %d columns, want 2", len(cols))
+	}
+	c := cols[0]
+	if c.First != (Point{0, 5}) || c.Last != (Point{3, 7}) || c.Min != (Point{2, 1}) || c.Max != (Point{1, 9}) {
+		t.Fatalf("column 0 = %+v", c)
+	}
+	if c.Count != 4 {
+		t.Fatalf("count = %d", c.Count)
+	}
+	if cols[1].Count != 1 || cols[1].First != (Point{15, 2}) {
+		t.Fatalf("column 1 = %+v", cols[1])
+	}
+}
+
+func TestAggregateM4OutOfRangeIgnored(t *testing.T) {
+	pts := []Point{{-5, 1}, {3, 2}, {25, 3}}
+	cols := AggregateM4(pts, Viewport{From: 0, To: 20, Width: 4})
+	if len(cols) != 1 || cols[0].Count != 1 {
+		t.Fatalf("cols = %+v", cols)
+	}
+}
+
+// Data-rate independence (the paper's literal claim, E6): growing the input
+// rate by 100x leaves the transfer size bounded by 4*width.
+func TestDataRateIndependence(t *testing.T) {
+	vp := Viewport{From: 0, To: 10000, Width: 50}
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Ts: int64(i) * 10000 / int64(n), V: rng.Float64()}
+		}
+		size := TransferSize(AggregateM4(pts, vp))
+		if size > 4*vp.Width {
+			t.Fatalf("n=%d: transfer %d exceeds 4*width=%d", n, size, 4*vp.Width)
+		}
+	}
+}
+
+// Minimality: each of the four extremes is necessary — dropping it changes
+// rendered pixels on an adversarial series.
+func TestMinimalityOfM4(t *testing.T) {
+	// The middle column has distinct first/min/max/last; its neighbours
+	// anchor the incoming and outgoing connectors, so *every* one of the
+	// four extremes influences pixels.
+	pts := []Point{{2, 5}, {12, 6}, {14, 9}, {16, 0}, {18, 5}, {22, 5}}
+	vp := Viewport{From: 0, To: 30, Width: 3}
+	lo, hi := ValueRange(pts)
+	sc := Scale{VP: vp, VMin: lo, VMax: hi, H: 16}
+	ref := RenderLine(pts, sc)
+
+	cols := AggregateM4(pts, vp)
+	if len(cols) != 3 {
+		t.Fatalf("expected 3 columns, got %d", len(cols))
+	}
+	full := RenderLine(Points(cols), sc)
+	if !ref.Equal(full) {
+		t.Fatalf("M4 itself should be pixel-exact here:\nraw:\n%s\nm4:\n%s", ref, full)
+	}
+	drop := func(mutate func(*Column)) *Bitmap {
+		mut := make([]Column, len(cols))
+		copy(mut, cols)
+		mutate(&mut[1])
+		return RenderLine(Points(mut), sc)
+	}
+	if bm := drop(func(c *Column) { c.Min = c.First }); ref.Equal(bm) {
+		t.Errorf("dropping min did not change pixels — min would be redundant")
+	}
+	if bm := drop(func(c *Column) { c.Max = c.First }); ref.Equal(bm) {
+		t.Errorf("dropping max did not change pixels — max would be redundant")
+	}
+	if bm := drop(func(c *Column) { c.Last = c.Max }); ref.Equal(bm) {
+		t.Errorf("dropping last did not change pixels — last would be redundant")
+	}
+	if bm := drop(func(c *Column) { c.First = c.Min }); ref.Equal(bm) {
+		t.Errorf("dropping first did not change pixels — first would be redundant")
+	}
+}
+
+// Correctness theorem (the paper's "proven to be correct", E7): rendering
+// the M4-reduced series is pixel-identical to rendering the raw series, on
+// random series, viewports and resolutions.
+func TestPixelEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(500) + 2
+		pts := series(rng, n, int64(rng.Intn(20)))
+		span := pts[len(pts)-1].Ts + 1
+		vp := Viewport{From: 0, To: span, Width: rng.Intn(60) + 2}
+		h := rng.Intn(40) + 2
+		lo, hi := ValueRange(pts)
+		sc := Scale{VP: vp, VMin: lo, VMax: hi, H: h}
+
+		raw := RenderLine(clip(pts, vp), sc)
+		red := RenderLine(Points(AggregateM4(pts, vp)), sc)
+		if d := raw.Diff(red); d != 0 {
+			t.Fatalf("trial %d: %d pixel errors (n=%d, vp=%+v, h=%d)\nraw:\n%s\nm4:\n%s",
+				trial, d, n, vp, h, raw, red)
+		}
+	}
+}
+
+func clip(pts []Point, vp Viewport) []Point {
+	var out []Point
+	for _, p := range pts {
+		if p.Ts >= vp.From && p.Ts < vp.To {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Reduction: on dense series the reduced size is far below the raw size.
+func TestReductionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 100000)
+	for i := range pts {
+		pts[i] = Point{Ts: int64(i), V: rng.NormFloat64()}
+	}
+	vp := Viewport{From: 0, To: 100000, Width: 100}
+	size := TransferSize(AggregateM4(pts, vp))
+	if size > 400 {
+		t.Fatalf("transfer %d > 400", size)
+	}
+	if ratio := float64(len(pts)) / float64(size); ratio < 100 {
+		t.Fatalf("reduction ratio %.1f too small", ratio)
+	}
+}
+
+// Streaming aggregator must agree with the batch aggregation.
+func TestStreamAggMatchesBatch(t *testing.T) {
+	f := func(seed int64, widthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := series(rng, rng.Intn(300)+2, 5)
+		span := pts[len(pts)-1].Ts + 1
+		vp := Viewport{From: 0, To: span, Width: int(widthRaw)%40 + 1}
+		want := AggregateM4(pts, vp)
+
+		var got []Column
+		sa := NewStreamAgg(vp, func(c Column) { got = append(got, c) })
+		for _, p := range pts {
+			sa.OnWatermark(p.Ts)
+			sa.OnPoint(p)
+		}
+		sa.Flush()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamAggWatermarkFlush(t *testing.T) {
+	vp := Viewport{From: 0, To: 100, Width: 10}
+	var got []Column
+	sa := NewStreamAgg(vp, func(c Column) { got = append(got, c) })
+	sa.OnPoint(Point{Ts: 3, V: 1})
+	sa.OnPoint(Point{Ts: 7, V: 2})
+	if len(got) != 0 {
+		t.Fatalf("column emitted before watermark")
+	}
+	sa.OnWatermark(9) // column [0,10) not complete yet
+	if len(got) != 0 {
+		t.Fatalf("column emitted at wm=9")
+	}
+	sa.OnWatermark(10)
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	// After the viewport ends the aggregator ignores input.
+	sa.OnWatermark(100)
+	sa.OnPoint(Point{Ts: 50, V: 1})
+	sa.Flush()
+	if len(got) != 1 {
+		t.Fatalf("points accepted after viewport end: %+v", got)
+	}
+}
+
+func TestPointsDedup(t *testing.T) {
+	p := Point{5, 1}
+	cols := []Column{{First: p, Last: p, Min: p, Max: p, Count: 1}}
+	if got := Points(cols); len(got) != 1 {
+		t.Fatalf("single-point column transferred %d tuples", len(got))
+	}
+}
+
+func TestValueRangeEmpty(t *testing.T) {
+	lo, hi := ValueRange(nil)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty range = %v..%v", lo, hi)
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	bm := NewBitmap(4, 3)
+	bm.Set(1, 2)
+	bm.Set(-1, 0) // clipped
+	bm.Set(4, 0)  // clipped
+	if !bm.Get(1, 2) || bm.Get(0, 0) || bm.Get(-1, 0) {
+		t.Fatalf("get/set broken")
+	}
+	if bm.OnPixels() != 1 {
+		t.Fatalf("OnPixels = %d", bm.OnPixels())
+	}
+	other := NewBitmap(4, 3)
+	if bm.Equal(other) || bm.Diff(other) != 1 {
+		t.Fatalf("diff accounting broken")
+	}
+	if bm.Equal(NewBitmap(2, 2)) {
+		t.Fatalf("dimension mismatch must not be equal")
+	}
+	if len(bm.String()) == 0 {
+		t.Fatalf("String should render")
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	sc := Scale{VP: Viewport{From: 0, To: 10, Width: 5}, VMin: 0, VMax: 10, H: 10}
+	if sc.Y(-5) != 0 || sc.Y(100) != 9 {
+		t.Fatalf("Y clamping broken")
+	}
+	flat := Scale{VP: sc.VP, VMin: 3, VMax: 3, H: 10}
+	if flat.Y(3) != 0 {
+		t.Fatalf("degenerate range should map to 0")
+	}
+	if math.IsNaN(float64(flat.Y(3))) {
+		t.Fatalf("NaN row")
+	}
+}

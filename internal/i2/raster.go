@@ -1,0 +1,195 @@
+package i2
+
+import "strings"
+
+// This file provides the rendering model under which I2's aggregation is
+// *proven correct*: a two-color, 1-px polyline chart rasterized with
+// Bresenham lines. The theorem (after Jugel et al.):
+//
+//	raster(raw series) == raster(M4-reduced series)
+//
+// for any viewport, because (a) inter-column segments connect last(c) to
+// first(c') and those are actual raw points, so the connecting segments are
+// identical; and (b) within a column the continuous polyline covers exactly
+// the pixel rows between the column's min and max, which the reduced
+// polyline first→min→max→last (in time order) also covers. The property
+// test in raster_test.go checks the equality on random series; the E7 bench
+// reports the transfer reduction at guaranteed-zero pixel error.
+
+// Bitmap is a w×h two-color pixel matrix (row 0 at the value minimum).
+type Bitmap struct {
+	W, H int
+	bits []bool
+}
+
+// NewBitmap returns a cleared bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	return &Bitmap{W: w, H: h, bits: make([]bool, w*h)}
+}
+
+// Set marks pixel (x, y); out-of-range coordinates are clipped.
+func (b *Bitmap) Set(x, y int) {
+	if x < 0 || x >= b.W || y < 0 || y >= b.H {
+		return
+	}
+	b.bits[y*b.W+x] = true
+}
+
+// Get reports pixel (x, y); out-of-range reads are false.
+func (b *Bitmap) Get(x, y int) bool {
+	if x < 0 || x >= b.W || y < 0 || y >= b.H {
+		return false
+	}
+	return b.bits[y*b.W+x]
+}
+
+// Equal reports whether two bitmaps have identical dimensions and pixels.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.W != o.W || b.H != o.H {
+		return false
+	}
+	for i := range b.bits {
+		if b.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff counts differing pixels (the "pixel error" E7 reports).
+func (b *Bitmap) Diff(o *Bitmap) int {
+	if b.W != o.W || b.H != o.H {
+		return b.W*b.H + o.W*o.H
+	}
+	n := 0
+	for i := range b.bits {
+		if b.bits[i] != o.bits[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// OnPixels counts set pixels.
+func (b *Bitmap) OnPixels() int {
+	n := 0
+	for _, v := range b.bits {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the bitmap as ASCII art (top row = max value), for test
+// failure diagnostics.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	for y := b.H - 1; y >= 0; y-- {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// line draws a Bresenham line between two pixels.
+func (b *Bitmap) line(x0, y0, x1, y1 int) {
+	dx := x1 - x0
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := y1 - y0
+	if dy < 0 {
+		dy = -dy
+	}
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx - dy
+	for {
+		b.Set(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 > -dy {
+			err -= dy
+			x0 += sx
+		}
+		if e2 < dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// Scale maps values to pixel coordinates for a fixed viewport and value
+// range — shared by both renderings so the comparison is meaningful.
+type Scale struct {
+	VP         Viewport
+	VMin, VMax float64
+	H          int
+}
+
+// X maps a timestamp to its pixel column.
+func (s Scale) X(ts int64) int { return s.VP.columnOf(ts) }
+
+// Y maps a value to its pixel row.
+func (s Scale) Y(v float64) int {
+	if s.VMax <= s.VMin {
+		return 0
+	}
+	y := int((v - s.VMin) / (s.VMax - s.VMin) * float64(s.H-1))
+	if y < 0 {
+		y = 0
+	}
+	if y >= s.H {
+		y = s.H - 1
+	}
+	return y
+}
+
+// RenderLine rasterizes the polyline through points (which must be in
+// timestamp order and inside the viewport) under the scale.
+func RenderLine(points []Point, s Scale) *Bitmap {
+	bm := NewBitmap(s.VP.Width, s.H)
+	for i := range points {
+		x, y := s.X(points[i].Ts), s.Y(points[i].V)
+		if i == 0 {
+			bm.Set(x, y)
+			continue
+		}
+		px, py := s.X(points[i-1].Ts), s.Y(points[i-1].V)
+		bm.line(px, py, x, y)
+	}
+	return bm
+}
+
+// ValueRange returns the min and max values of a series (0,1 when empty) —
+// used to fix the render scale.
+func ValueRange(points []Point) (float64, float64) {
+	if len(points) == 0 {
+		return 0, 1
+	}
+	lo, hi := points[0].V, points[0].V
+	for _, p := range points[1:] {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}

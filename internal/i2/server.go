@@ -1,0 +1,231 @@
+package i2
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Server is the I2 interactive development environment's coordination
+// layer: it mediates between the running cluster application (which feeds
+// the Store through Ingest) and any number of interactive front ends, which
+//
+//	GET  /series?from=&to=&width=   — one-shot viewport query (zoom/pan),
+//	POST /view                      — register/update a live viewport,
+//	GET  /stream?id=                — server-sent events with each completed
+//	                                  pixel column of the registered view,
+//	GET  /stats                     — store and view diagnostics.
+//
+// Every response carries M4-reduced data only, so the transfer volume to
+// the front end is bounded by the viewport width — never by the data rate.
+type Server struct {
+	store *Store
+
+	mu     sync.Mutex
+	views  map[int]*liveView
+	nextID int
+}
+
+// liveView is one registered live viewport: an adaptive view feeding a
+// buffered column channel drained by the SSE handler. The viewport can be
+// switched while streaming (PUT /view) — zoom/pan backfills from history
+// and continues live.
+type liveView struct {
+	view *AdaptiveView
+	cols chan Column
+}
+
+// NewServer returns a server over the given store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, views: make(map[int]*liveView)}
+}
+
+// Ingest absorbs one in-order live sample: it lands in the history store
+// and advances every registered live view.
+func (s *Server) Ingest(p Point) {
+	s.store.Append(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.views {
+		v.view.OnPoint(p)
+	}
+}
+
+// RegisterView registers a live viewport and returns its id.
+func (s *Server) RegisterView(vp Viewport) (int, error) {
+	if !vp.Valid() {
+		return 0, fmt.Errorf("i2: invalid viewport %+v", vp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &liveView{cols: make(chan Column, 4*vp.Width+16)}
+	view, err := NewAdaptiveView(s.store, vp, func(c Column) {
+		select {
+		case v.cols <- c:
+		default: // slow consumer: drop the newest column
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	v.view = view
+	id := s.nextID
+	s.nextID++
+	s.views[id] = v
+	return id, nil
+}
+
+// UpdateView switches a registered view's viewport (zoom/pan): completed
+// columns of the new viewport stream out immediately from history, the rest
+// continues live.
+func (s *Server) UpdateView(id int, vp Viewport) error {
+	s.mu.Lock()
+	v, ok := s.views[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("i2: unknown view %d", id)
+	}
+	return v.view.SetViewport(vp)
+}
+
+// DropView removes a live viewport.
+func (s *Server) DropView(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.views[id]; ok {
+		close(v.cols)
+		delete(s.views, id)
+	}
+}
+
+// Handler returns the HTTP handler exposing the I2 protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /series", s.handleSeries)
+	mux.HandleFunc("POST /view", s.handleView)
+	mux.HandleFunc("PUT /view", s.handleViewUpdate)
+	mux.HandleFunc("GET /stream", s.handleStream)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleViewUpdate(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "missing or invalid id", http.StatusBadRequest)
+		return
+	}
+	var vp Viewport
+	if err := json.NewDecoder(r.Body).Decode(&vp); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.UpdateView(id, vp); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	vp, err := parseViewport(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols := s.store.Query(vp)
+	w.Header().Set("Content-Type", "application/json")
+	resp := struct {
+		Viewport Viewport `json:"viewport"`
+		Columns  []Column `json:"columns"`
+		Points   []Point  `json:"points"`
+	}{vp, cols, Points(cols)}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	var vp Viewport
+	if err := json.NewDecoder(r.Body).Decode(&vp); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.RegisterView(vp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"id":%d}`+"\n", id)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "missing or invalid id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	v, ok := s.views[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown view", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	// Flush headers plus a hello event immediately: SSE clients block on
+	// the response header until the first byte arrives.
+	vpData, _ := json.Marshal(v.view.Viewport())
+	fmt.Fprintf(w, "event: hello\ndata: %s\n\n", vpData)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case c, open := <-v.cols:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(c)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: column\ndata: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nViews := len(s.views)
+	s.mu.Unlock()
+	first, last := s.store.Span()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"points":%d,"first":%d,"last":%d,"views":%d}`+"\n",
+		s.store.Len(), first, last, nViews)
+}
+
+func parseViewport(r *http.Request) (Viewport, error) {
+	q := r.URL.Query()
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+	to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+	width, err3 := strconv.Atoi(q.Get("width"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Viewport{}, fmt.Errorf("i2: from, to and width are required integers")
+	}
+	vp := Viewport{From: from, To: to, Width: width}
+	if !vp.Valid() {
+		return Viewport{}, fmt.Errorf("i2: invalid viewport (need to > from, width > 0)")
+	}
+	return vp, nil
+}

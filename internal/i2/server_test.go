@@ -1,0 +1,206 @@
+package i2
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	store := NewStore(100000, WithTiers(10, 4, 3))
+	srv := NewServer(store)
+	for i := 0; i < n; i++ {
+		srv.Ingest(Point{Ts: int64(i), V: float64(i % 17)})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 5000)
+	resp, err := http.Get(ts.URL + "/series?from=0&to=5000&width=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Viewport Viewport `json:"viewport"`
+		Columns  []Column `json:"columns"`
+		Points   []Point  `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Columns) != 50 {
+		t.Fatalf("got %d columns, want 50", len(body.Columns))
+	}
+	if len(body.Points) > 4*50 {
+		t.Fatalf("transfer %d exceeds 4*width", len(body.Points))
+	}
+}
+
+func TestSeriesEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	for _, q := range []string{
+		"/series",
+		"/series?from=10&to=5&width=10",
+		"/series?from=0&to=100&width=0",
+		"/series?from=a&to=b&width=c",
+	} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 123)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Points int   `json:"points"`
+		First  int64 `json:"first"`
+		Last   int64 `json:"last"`
+		Views  int   `json:"views"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Points != 123 || body.Last != 122 {
+		t.Fatalf("stats = %+v", body)
+	}
+}
+
+func TestViewRegistrationAndStream(t *testing.T) {
+	srv, ts := newTestServer(t, 0)
+
+	// Register a live view over [0, 100) with 10 columns.
+	resp, err := http.Post(ts.URL+"/view", "application/json",
+		strings.NewReader(`{"from":0,"to":100,"width":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Start the SSE consumer with a cancellable request so the handler
+	// terminates when the test ends (closing a keep-alive body alone does
+	// not cancel the server-side context).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/stream?id=%d", ts.URL, reg.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Feed live points; columns complete every 10 ticks.
+	go func() {
+		for i := 0; i < 35; i++ {
+			srv.Ingest(Point{Ts: int64(i), V: float64(i)})
+		}
+	}()
+
+	reader := bufio.NewReader(streamResp.Body)
+	deadline := time.After(5 * time.Second)
+	got := 0
+	event := ""
+	for got < 3 {
+		lineCh := make(chan string, 1)
+		go func() {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				close(lineCh)
+				return
+			}
+			lineCh <- line
+		}()
+		select {
+		case <-deadline:
+			t.Fatalf("timed out after %d columns", got)
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream closed after %d columns", got)
+			}
+			line = strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: ") && event == "column":
+				var col Column
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &col); err != nil {
+					t.Fatalf("bad column json: %v", err)
+				}
+				if col.Count != 10 {
+					t.Fatalf("column %+v, want 10 points", col)
+				}
+				got++
+			}
+		}
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, err := http.Post(ts.URL+"/view", "application/json",
+		strings.NewReader(`{"from":10,"to":5,"width":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid view accepted: %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/stream?id=999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown view stream: %d", resp2.StatusCode)
+	}
+}
+
+func TestDropView(t *testing.T) {
+	srv, _ := newTestServer(t, 0)
+	id, err := srv.RegisterView(Viewport{From: 0, To: 100, Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.DropView(id)
+	srv.DropView(id) // double drop must not panic
+	// Ingest after drop must not panic either.
+	srv.Ingest(Point{Ts: 1, V: 1})
+}

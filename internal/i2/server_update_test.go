@@ -1,0 +1,86 @@
+package i2
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestUpdateViewEndpoint(t *testing.T) {
+	store := NewStore(100000)
+	srv := NewServer(store)
+	for i := 0; i < 2000; i++ {
+		srv.Ingest(Point{Ts: int64(i), V: float64(i % 23)})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id, err := srv.RegisterView(Viewport{From: 0, To: 10_000, Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/view?id=0",
+		strings.NewReader(`{"from":500,"to":1500,"width":20}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	// The view's viewport must have switched.
+	srv.mu.Lock()
+	vp := srv.views[id].view.Viewport()
+	srv.mu.Unlock()
+	if vp.From != 500 || vp.To != 1500 || vp.Width != 20 {
+		t.Fatalf("viewport not updated: %+v", vp)
+	}
+
+	// Unknown id and invalid body.
+	req2, _ := http.NewRequest(http.MethodPut, ts.URL+"/view?id=99",
+		strings.NewReader(`{"from":0,"to":10,"width":1}`))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown view update: %d", resp2.StatusCode)
+	}
+	req3, _ := http.NewRequest(http.MethodPut, ts.URL+"/view?id=0", strings.NewReader(`garbage`))
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp3.StatusCode)
+	}
+}
+
+// Registering a view after history exists must backfill completed columns
+// through the SSE buffer.
+func TestRegisterViewBackfillsHistory(t *testing.T) {
+	store := NewStore(100000)
+	srv := NewServer(store)
+	for i := 0; i < 1000; i++ {
+		srv.Ingest(Point{Ts: int64(i), V: float64(i)})
+	}
+	id, err := srv.RegisterView(Viewport{From: 0, To: 1000, Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	v := srv.views[id]
+	srv.mu.Unlock()
+	// Columns [0,100)... up to the one containing maxTs are buffered.
+	if got := len(v.cols); got < 9 {
+		t.Fatalf("backfill buffered %d columns, want >= 9", got)
+	}
+}

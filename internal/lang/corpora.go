@@ -1,0 +1,117 @@
+package lang
+
+// seedCorpora holds small, public-domain-style seed texts per language —
+// enough trigram mass to separate the six languages reliably on sentence-
+// length documents (verified by the accuracy tests). A production system
+// would train on Wikipedia dumps; the detector code is identical.
+var seedCorpora = map[string]string{
+	"en": `the quick brown fox jumps over the lazy dog and runs through the
+forest while the sun is shining brightly in the clear blue sky above the
+mountains where many animals live together in peace and harmony with
+nature every day brings new challenges and opportunities for those who
+are willing to work hard and learn from their mistakes because knowledge
+is power and education is the key to success in the modern world where
+technology changes everything we know about communication and information
+the government announced new policies yesterday that will affect millions
+of people across the country including students workers and families who
+depend on public services for their daily needs and wellbeing this is why
+it matters that we should think about what happens when things change`,
+
+	"de": `der schnelle braune fuchs springt über den faulen hund und läuft
+durch den wald während die sonne hell am klaren blauen himmel über den
+bergen scheint wo viele tiere friedlich zusammenleben jeder tag bringt
+neue herausforderungen und möglichkeiten für diejenigen die bereit sind
+hart zu arbeiten und aus ihren fehlern zu lernen denn wissen ist macht
+und bildung ist der schlüssel zum erfolg in der modernen welt in der die
+technologie alles verändert was wir über kommunikation wissen die
+regierung kündigte gestern neue richtlinien an die millionen von menschen
+im ganzen land betreffen werden einschließlich studenten arbeiter und
+familien die für ihre täglichen bedürfnisse auf öffentliche dienste
+angewiesen sind deshalb ist es wichtig dass wir darüber nachdenken`,
+
+	"fr": `le rapide renard brun saute par dessus le chien paresseux et court
+à travers la forêt pendant que le soleil brille dans le ciel bleu clair
+au dessus des montagnes où de nombreux animaux vivent ensemble en paix
+chaque jour apporte de nouveaux défis et de nouvelles opportunités pour
+ceux qui sont prêts à travailler dur et à apprendre de leurs erreurs car
+le savoir est le pouvoir et l éducation est la clé du succès dans le
+monde moderne où la technologie change tout ce que nous savons sur la
+communication le gouvernement a annoncé hier de nouvelles politiques qui
+toucheront des millions de personnes à travers le pays y compris les
+étudiants les travailleurs et les familles qui dépendent des services
+publics pour leurs besoins quotidiens c est pourquoi il est important`,
+
+	"es": `el rápido zorro marrón salta sobre el perro perezoso y corre por
+el bosque mientras el sol brilla intensamente en el cielo azul claro
+sobre las montañas donde muchos animales viven juntos en paz y armonía
+cada día trae nuevos desafíos y oportunidades para aquellos que están
+dispuestos a trabajar duro y aprender de sus errores porque el
+conocimiento es poder y la educación es la clave del éxito en el mundo
+moderno donde la tecnología cambia todo lo que sabemos sobre la
+comunicación el gobierno anunció ayer nuevas políticas que afectarán a
+millones de personas en todo el país incluidos estudiantes trabajadores
+y familias que dependen de los servicios públicos para sus necesidades
+diarias por eso es importante que pensemos en lo que sucede cuando`,
+
+	"it": `la veloce volpe marrone salta sopra il cane pigro e corre
+attraverso la foresta mentre il sole splende luminoso nel cielo azzurro
+sopra le montagne dove molti animali vivono insieme in pace e armonia
+ogni giorno porta nuove sfide e opportunità per coloro che sono disposti
+a lavorare sodo e imparare dai propri errori perché la conoscenza è
+potere e l istruzione è la chiave del successo nel mondo moderno dove la
+tecnologia cambia tutto ciò che sappiamo sulla comunicazione il governo
+ha annunciato ieri nuove politiche che influenzeranno milioni di persone
+in tutto il paese compresi studenti lavoratori e famiglie che dipendono
+dai servizi pubblici per i loro bisogni quotidiani ecco perché è
+importante pensare a cosa succede quando le cose cambiano nella vita`,
+
+	"hu": `a gyors barna róka átugrik a lusta kutya felett és átfut az erdőn
+miközben a nap fényesen süt a tiszta kék égen a hegyek felett ahol sok
+állat él együtt békében és harmóniában minden nap új kihívásokat és
+lehetőségeket hoz azok számára akik hajlandóak keményen dolgozni és
+tanulni a hibáikból mert a tudás hatalom és az oktatás a siker kulcsa a
+modern világban ahol a technológia mindent megváltoztat amit a
+kommunikációról tudunk a kormány tegnap új irányelveket jelentett be
+amelyek emberek millióit érintik az egész országban beleértve a
+diákokat a munkavállalókat és a családokat akik a közszolgáltatásoktól
+függenek mindennapi szükségleteik kielégítésében ezért fontos hogy
+elgondolkodjunk azon mi történik amikor a dolgok megváltoznak`,
+}
+
+// SampleSentences returns labelled held-out sentences per language used by
+// tests and by the multilingual web-processing workload generator. These do
+// not appear in the training corpora.
+func SampleSentences() map[string][]string {
+	return map[string][]string{
+		"en": {
+			"the weather report says it will rain tomorrow in the northern regions",
+			"she opened the window and looked out at the busy street below",
+			"scientists discovered a new species of butterfly in the rain forest",
+		},
+		"de": {
+			"der wetterbericht sagt dass es morgen in den nördlichen regionen regnen wird",
+			"sie öffnete das fenster und schaute auf die belebte straße hinunter",
+			"wissenschaftler entdeckten eine neue schmetterlingsart im regenwald",
+		},
+		"fr": {
+			"la météo annonce qu il pleuvra demain dans les régions du nord",
+			"elle ouvrit la fenêtre et regarda la rue animée en dessous",
+			"les scientifiques ont découvert une nouvelle espèce de papillon",
+		},
+		"es": {
+			"el pronóstico del tiempo dice que lloverá mañana en las regiones del norte",
+			"ella abrió la ventana y miró la calle concurrida de abajo",
+			"los científicos descubrieron una nueva especie de mariposa en la selva",
+		},
+		"it": {
+			"le previsioni del tempo dicono che domani pioverà nelle regioni settentrionali",
+			"lei aprì la finestra e guardò la strada affollata sottostante",
+			"gli scienziati hanno scoperto una nuova specie di farfalla nella foresta",
+		},
+		"hu": {
+			"az időjárás jelentés szerint holnap esni fog az északi régiókban",
+			"kinyitotta az ablakot és lenézett a forgalmas utcára",
+			"a tudósok új pillangófajt fedeztek fel az esőerdőben",
+		},
+	}
+}

@@ -1,0 +1,147 @@
+// Package lang is the multilingual Web-processing substrate of the fourth
+// STREAMLINE application: a compact trigram-profile language detector and a
+// Unicode-aware tokenizer, built from embedded seed corpora so the whole
+// pipeline is self-contained and offline.
+//
+// Detection follows the classic Cavnar–Trenkle approach simplified to
+// cosine similarity over character-trigram frequency vectors: a profile is
+// trained per language from the seed corpus; classification scores a
+// document's trigram vector against every profile.
+package lang
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased word tokens (letters and digits;
+// everything else separates).
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Profile is a normalized trigram frequency vector for one language.
+type Profile struct {
+	Lang string
+	vec  map[string]float64
+	norm float64
+}
+
+// trigrams extracts padded character trigrams from text.
+func trigrams(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, word := range Tokenize(text) {
+		padded := " " + word + " "
+		runes := []rune(padded)
+		for i := 0; i+3 <= len(runes); i++ {
+			out[string(runes[i:i+3])]++
+		}
+	}
+	return out
+}
+
+func vecNorm(v map[string]float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return sqrt(s)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Train builds a language profile from corpus text.
+func Train(lang, corpus string) Profile {
+	vec := trigrams(corpus)
+	return Profile{Lang: lang, vec: vec, norm: vecNorm(vec)}
+}
+
+// Detector classifies documents against a set of profiles.
+type Detector struct {
+	profiles []Profile
+}
+
+// NewDetector returns a detector over the given profiles.
+func NewDetector(profiles ...Profile) *Detector {
+	return &Detector{profiles: profiles}
+}
+
+// DefaultDetector returns a detector trained on the embedded seed corpora
+// (English, German, French, Spanish, Italian, Hungarian — the last a nod to
+// the paper's SZTAKI partner).
+func DefaultDetector() *Detector {
+	d := &Detector{}
+	for lang, corpus := range seedCorpora {
+		d.profiles = append(d.profiles, Train(lang, corpus))
+	}
+	sort.Slice(d.profiles, func(i, j int) bool { return d.profiles[i].Lang < d.profiles[j].Lang })
+	return d
+}
+
+// Languages lists the detector's languages.
+func (d *Detector) Languages() []string {
+	out := make([]string, len(d.profiles))
+	for i, p := range d.profiles {
+		out[i] = p.Lang
+	}
+	return out
+}
+
+// Score is one language's similarity to a document.
+type Score struct {
+	Lang string
+	Sim  float64
+}
+
+// Detect returns the best-matching language and its cosine similarity;
+// empty input returns ("", 0).
+func (d *Detector) Detect(text string) (string, float64) {
+	scores := d.Scores(text)
+	if len(scores) == 0 {
+		return "", 0
+	}
+	return scores[0].Lang, scores[0].Sim
+}
+
+// Scores returns all languages ranked by similarity (descending; ties by
+// language name for determinism).
+func (d *Detector) Scores(text string) []Score {
+	doc := trigrams(text)
+	if len(doc) == 0 {
+		return nil
+	}
+	docNorm := vecNorm(doc)
+	scores := make([]Score, 0, len(d.profiles))
+	for _, p := range d.profiles {
+		var dot float64
+		for tg, x := range doc {
+			if y, ok := p.vec[tg]; ok {
+				dot += x * y
+			}
+		}
+		sim := 0.0
+		if p.norm > 0 && docNorm > 0 {
+			sim = dot / (p.norm * docNorm)
+		}
+		scores = append(scores, Score{Lang: p.Lang, Sim: sim})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Sim != scores[j].Sim {
+			return scores[i].Sim > scores[j].Sim
+		}
+		return scores[i].Lang < scores[j].Lang
+	})
+	return scores
+}

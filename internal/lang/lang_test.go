@@ -1,0 +1,126 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! Café #42 foo_bar")
+	want := []string{"hello", "world", "café", "42", "foo", "bar"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize("  ... !!! "); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDetectorLanguages(t *testing.T) {
+	d := DefaultDetector()
+	langs := d.Languages()
+	if len(langs) != 6 {
+		t.Fatalf("got %d languages: %v", len(langs), langs)
+	}
+	for i := 1; i < len(langs); i++ {
+		if langs[i-1] >= langs[i] {
+			t.Fatalf("languages not sorted: %v", langs)
+		}
+	}
+}
+
+// Held-out accuracy: every sample sentence must be classified correctly.
+func TestDetectionAccuracyOnHeldOut(t *testing.T) {
+	d := DefaultDetector()
+	total, correct := 0, 0
+	for lang, sentences := range SampleSentences() {
+		for _, s := range sentences {
+			got, sim := d.Detect(s)
+			total++
+			if got == lang {
+				correct++
+			} else {
+				t.Logf("misclassified %q as %s (sim %.3f), want %s", s, got, sim, lang)
+			}
+		}
+	}
+	if correct != total {
+		t.Fatalf("accuracy %d/%d on held-out sentences", correct, total)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	d := DefaultDetector()
+	lang, sim := d.Detect("")
+	if lang != "" || sim != 0 {
+		t.Fatalf("empty detect = %q, %v", lang, sim)
+	}
+	if s := d.Scores("12345 67890"); s == nil {
+		// digits still tokenize; scores may be all ~0 but present
+		t.Logf("numeric-only text produced no scores (acceptable)")
+	}
+}
+
+func TestScoresSortedDescending(t *testing.T) {
+	d := DefaultDetector()
+	scores := d.Scores("the cat sat on the mat and the dog was there too")
+	if len(scores) != 6 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].Sim < scores[i].Sim {
+			t.Fatalf("scores not sorted: %v", scores)
+		}
+	}
+	if scores[0].Lang != "en" {
+		t.Fatalf("top language = %s", scores[0].Lang)
+	}
+}
+
+func TestTrainCustomProfile(t *testing.T) {
+	p := Train("xx", "zzz zzz zzz qqq qqq")
+	d := NewDetector(p, Train("en", seedCorpora["en"]))
+	got, _ := d.Detect("zzz qqq zzz")
+	if got != "xx" {
+		t.Fatalf("custom profile not matched, got %s", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{{0, 0}, {-3, 0}, {4, 2}, {9, 3}, {2, 1.41421356}} {
+		got := sqrt(c.in)
+		if diff := got - c.want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("sqrt(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	d := DefaultDetector()
+	for _, sentences := range SampleSentences() {
+		for _, s := range sentences {
+			for _, sc := range d.Scores(s) {
+				if sc.Sim < -1e-9 || sc.Sim > 1+1e-9 {
+					t.Fatalf("cosine similarity out of range: %v", sc)
+				}
+			}
+		}
+	}
+}
+
+func TestLongDocumentDetection(t *testing.T) {
+	d := DefaultDetector()
+	doc := strings.Repeat(SampleSentences()["de"][0]+" ", 20)
+	got, sim := d.Detect(doc)
+	if got != "de" || sim < 0.3 {
+		t.Fatalf("long de doc: got %s (%.3f)", got, sim)
+	}
+}

@@ -1,0 +1,192 @@
+// Package state implements the snapshot state backend used by the dataflow
+// engine's asynchronous barrier checkpointing: a checkpoint is a consistent
+// bundle of per-subtask operator state blobs, persisted either in memory
+// (tests, benches) or on disk (gob files).
+package state
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SubtaskKey identifies one operator subtask's state within a snapshot.
+type SubtaskKey struct {
+	OperatorID int
+	Subtask    int
+}
+
+// String renders the key as "op/subtask".
+func (k SubtaskKey) String() string { return fmt.Sprintf("%d/%d", k.OperatorID, k.Subtask) }
+
+// Snapshot is a completed checkpoint: every subtask's serialized state.
+type Snapshot struct {
+	CheckpointID int64
+	Entries      map[SubtaskKey][]byte
+}
+
+// NewSnapshot returns an empty snapshot for the given checkpoint id.
+func NewSnapshot(id int64) *Snapshot {
+	return &Snapshot{CheckpointID: id, Entries: make(map[SubtaskKey][]byte)}
+}
+
+// Put stores one subtask's state blob.
+func (s *Snapshot) Put(k SubtaskKey, blob []byte) { s.Entries[k] = blob }
+
+// Get returns one subtask's state blob, or nil if absent.
+func (s *Snapshot) Get(k SubtaskKey) []byte { return s.Entries[k] }
+
+// Backend persists completed snapshots and serves the latest one for
+// recovery.
+type Backend interface {
+	// Persist durably stores a completed snapshot. Later snapshots must
+	// have larger checkpoint ids.
+	Persist(snap *Snapshot) error
+	// Latest returns the most recent persisted snapshot, or ok=false if
+	// none exists.
+	Latest() (*Snapshot, bool)
+	// Load returns the snapshot with the given checkpoint id.
+	Load(checkpointID int64) (*Snapshot, error)
+}
+
+// MemoryBackend keeps snapshots in memory; safe for concurrent use.
+type MemoryBackend struct {
+	mu    sync.Mutex
+	snaps map[int64]*Snapshot
+	ids   []int64
+	// Retain limits how many snapshots are kept (0 = unlimited).
+	Retain int
+}
+
+// NewMemoryBackend returns an empty in-memory backend retaining the last
+// `retain` snapshots (0 = all).
+func NewMemoryBackend(retain int) *MemoryBackend {
+	return &MemoryBackend{snaps: make(map[int64]*Snapshot), Retain: retain}
+}
+
+// Persist implements Backend.
+func (m *MemoryBackend) Persist(snap *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.snaps[snap.CheckpointID]; dup {
+		return fmt.Errorf("state: checkpoint %d already persisted", snap.CheckpointID)
+	}
+	m.snaps[snap.CheckpointID] = snap
+	m.ids = append(m.ids, snap.CheckpointID)
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	if m.Retain > 0 {
+		for len(m.ids) > m.Retain {
+			delete(m.snaps, m.ids[0])
+			m.ids = m.ids[1:]
+		}
+	}
+	return nil
+}
+
+// Latest implements Backend.
+func (m *MemoryBackend) Latest() (*Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.ids) == 0 {
+		return nil, false
+	}
+	return m.snaps[m.ids[len(m.ids)-1]], true
+}
+
+// Load implements Backend.
+func (m *MemoryBackend) Load(id int64) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[id]
+	if !ok {
+		return nil, fmt.Errorf("state: checkpoint %d not found", id)
+	}
+	return s, nil
+}
+
+// FileBackend persists each snapshot as a gob file in a directory.
+type FileBackend struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileBackend returns a backend writing to dir, creating it if needed.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state: create dir: %w", err)
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+type fileSnapshot struct {
+	CheckpointID int64
+	Keys         []SubtaskKey
+	Blobs        [][]byte
+}
+
+func (f *FileBackend) path(id int64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("chk-%012d.gob", id))
+}
+
+// Persist implements Backend.
+func (f *FileBackend) Persist(snap *Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := fileSnapshot{CheckpointID: snap.CheckpointID}
+	for k, b := range snap.Entries {
+		fs.Keys = append(fs.Keys, k)
+		fs.Blobs = append(fs.Blobs, b)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fs); err != nil {
+		return fmt.Errorf("state: encode checkpoint %d: %w", snap.CheckpointID, err)
+	}
+	tmp := f.path(snap.CheckpointID) + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.path(snap.CheckpointID))
+}
+
+// Latest implements Backend.
+func (f *FileBackend) Latest() (*Snapshot, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	matches, err := filepath.Glob(filepath.Join(f.dir, "chk-*.gob"))
+	if err != nil || len(matches) == 0 {
+		return nil, false
+	}
+	sort.Strings(matches)
+	snap, err := f.read(matches[len(matches)-1])
+	if err != nil {
+		return nil, false
+	}
+	return snap, true
+}
+
+// Load implements Backend.
+func (f *FileBackend) Load(id int64) (*Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.read(f.path(id))
+}
+
+func (f *FileBackend) read(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("state: read %s: %w", path, err)
+	}
+	var fs fileSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&fs); err != nil {
+		return nil, fmt.Errorf("state: decode %s: %w", path, err)
+	}
+	snap := NewSnapshot(fs.CheckpointID)
+	for i, k := range fs.Keys {
+		snap.Put(k, fs.Blobs[i])
+	}
+	return snap, nil
+}

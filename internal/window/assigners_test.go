@@ -1,0 +1,349 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func elems(ts ...int64) []Element {
+	out := make([]Element, len(ts))
+	for i, t := range ts {
+		out[i] = Element{Ts: t, V: float64(i + 1)}
+	}
+	return out
+}
+
+func TestTumblingBasic(t *testing.T) {
+	// size 10: elements at 1,5,12,19,25 -> windows [0,10) {pos0,1}, [10,20) {2,3}, [20,30) {4}
+	ext := Drive(Tumbling(10), Interleave(elems(1, 5, 12, 19, 25), math.MaxInt64))
+	want := []Extent{
+		{Start: 0, End: 10, FromPos: 0, ToPos: 2},
+		{Start: 10, End: 20, FromPos: 2, ToPos: 4},
+		{Start: 20, End: 30, FromPos: 4, ToPos: 5},
+	}
+	if len(ext) != len(want) {
+		t.Fatalf("got %d windows %v, want %d", len(ext), ext, len(want))
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("window %d = %+v, want %+v", i, ext[i], want[i])
+		}
+	}
+}
+
+func TestTumblingEmptyPeriodsProduceNoWindows(t *testing.T) {
+	// Gap between 5 and 95 skips nine empty windows.
+	ext := Drive(Tumbling(10), Interleave(elems(5, 95), math.MaxInt64))
+	if len(ext) != 2 {
+		t.Fatalf("got %d windows %v, want 2 (no empty windows)", len(ext), ext)
+	}
+	if ext[0].Start != 0 || ext[1].Start != 90 {
+		t.Fatalf("unexpected starts: %v", ext)
+	}
+}
+
+func TestSlidingOverlap(t *testing.T) {
+	// size 10 slide 5: element at 7 belongs to [0,10) and [5,15).
+	ext := Drive(Sliding(10, 5), Interleave(elems(7), math.MaxInt64))
+	if len(ext) != 2 {
+		t.Fatalf("got %v, want 2 windows", ext)
+	}
+	if ext[0] != (Extent{Start: 0, End: 10, FromPos: 0, ToPos: 1}) {
+		t.Fatalf("first = %+v", ext[0])
+	}
+	if ext[1] != (Extent{Start: 5, End: 15, FromPos: 0, ToPos: 1}) {
+		t.Fatalf("second = %+v", ext[1])
+	}
+}
+
+func TestSlidingWindowContentsCorrect(t *testing.T) {
+	// size 4 slide 2, elements at 0..9: window [k,k+4) holds ts in range.
+	ts := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ext := Drive(Sliding(4, 2), Interleave(elems(ts...), math.MaxInt64))
+	for _, e := range ext {
+		for p := e.FromPos; p < e.ToPos; p++ {
+			if ts[p] < e.Start || ts[p] >= e.End {
+				t.Fatalf("window %+v contains ts %d out of range", e, ts[p])
+			}
+		}
+		// and completeness: neighbors outside
+		if e.FromPos > 0 && ts[e.FromPos-1] >= e.Start {
+			t.Fatalf("window %+v missing element before FromPos", e)
+		}
+		if int(e.ToPos) < len(ts) && ts[e.ToPos] < e.End {
+			t.Fatalf("window %+v missing element at ToPos", e)
+		}
+	}
+}
+
+func TestSlidingPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Sliding(0, 1) },
+		func() { Sliding(10, 0) },
+		func() { Sliding(5, 10) },
+		func() { Tumbling(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSessionBasic(t *testing.T) {
+	// gap 10: elements 1,5,8 | 30,35 | 60
+	ext := Drive(Session(10), Interleave(elems(1, 5, 8, 30, 35, 60), math.MaxInt64))
+	want := []Extent{
+		{Start: 1, End: 18, FromPos: 0, ToPos: 3},
+		{Start: 30, End: 45, FromPos: 3, ToPos: 5},
+		{Start: 60, End: 70, FromPos: 5, ToPos: 6},
+	}
+	if len(ext) != len(want) {
+		t.Fatalf("got %v, want %v", ext, want)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("session %d = %+v, want %+v", i, ext[i], want[i])
+		}
+	}
+}
+
+func TestSessionClosesOnWatermarkOnly(t *testing.T) {
+	// No element after the session; the final watermark must close it.
+	events := []Event{
+		{Kind: ElementEvent, Elem: Element{Ts: 5}},
+		{Kind: WatermarkEvent, WM: 5},
+		{Kind: WatermarkEvent, WM: 14}, // 5+10=15 > 14: still open
+	}
+	ext := Drive(Session(10), events)
+	if len(ext) != 0 {
+		t.Fatalf("session closed too early: %v", ext)
+	}
+	events = append(events, Event{Kind: WatermarkEvent, WM: 15})
+	ext = Drive(Session(10), events)
+	if len(ext) != 1 || ext[0].End != 15 {
+		t.Fatalf("session not closed at wm=15: %v", ext)
+	}
+}
+
+func TestCountTumbling(t *testing.T) {
+	ext := Drive(CountTumbling(3), Interleave(elems(1, 2, 3, 4, 5, 6, 7), math.MaxInt64))
+	want := []Extent{
+		{Start: 0, End: 3, FromPos: 0, ToPos: 3},
+		{Start: 3, End: 6, FromPos: 3, ToPos: 6},
+		{Start: 6, End: 9, FromPos: 6, ToPos: 7}, // flushed incomplete at end
+	}
+	if len(ext) != len(want) {
+		t.Fatalf("got %v, want %v", ext, want)
+	}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("count window %d = %+v, want %+v", i, ext[i], want[i])
+		}
+	}
+}
+
+func TestCountSliding(t *testing.T) {
+	ext := Drive(CountSliding(4, 2), Interleave(elems(1, 2, 3, 4, 5, 6), math.MaxInt64))
+	// Opens at pos 0,2,4; closes: [0,4) content 0..4, [2,6) content 2..6, [4,8) flushed 4..6.
+	if len(ext) != 3 {
+		t.Fatalf("got %d extents: %v", len(ext), ext)
+	}
+	if ext[0] != (Extent{Start: 0, End: 4, FromPos: 0, ToPos: 4}) {
+		t.Fatalf("first = %+v", ext[0])
+	}
+	if ext[1] != (Extent{Start: 2, End: 6, FromPos: 2, ToPos: 6}) {
+		t.Fatalf("second = %+v", ext[1])
+	}
+}
+
+func TestPunctuation(t *testing.T) {
+	// markers are values < 0; elements (ts, v): (1, -1), (2, 5), (3, 6), (4, -1), (5, 7)
+	els := []Element{{1, -1}, {2, 5}, {3, 6}, {4, -1}, {5, 7}}
+	spec := Punctuation(func(v float64) bool { return v < 0 })
+	ext := Drive(spec, Interleave(els, math.MaxInt64))
+	if len(ext) != 2 {
+		t.Fatalf("got %v, want 2 windows", ext)
+	}
+	if ext[0] != (Extent{Start: 1, End: 4, FromPos: 0, ToPos: 3}) {
+		t.Fatalf("first = %+v", ext[0])
+	}
+	if ext[1].FromPos != 3 || ext[1].ToPos != 5 {
+		t.Fatalf("second = %+v", ext[1])
+	}
+}
+
+func TestDelta(t *testing.T) {
+	// threshold 10: values 0, 5, 12 -> new window at 12
+	els := []Element{{1, 0}, {2, 5}, {3, 12}, {4, 15}}
+	ext := Drive(Delta(10), Interleave(els, math.MaxInt64))
+	if len(ext) != 2 {
+		t.Fatalf("got %v", ext)
+	}
+	if ext[0].FromPos != 0 || ext[0].ToPos != 2 {
+		t.Fatalf("first window = %+v", ext[0])
+	}
+}
+
+func TestSessionWithMaxDuration(t *testing.T) {
+	// gap 10, maxDur 15: steady elements every 5 ticks force duration split.
+	els := elems(0, 5, 10, 15, 20, 25, 30)
+	ext := Drive(SessionWithMaxDuration(10, 15), Interleave(els, math.MaxInt64))
+	if len(ext) < 2 {
+		t.Fatalf("maxDur did not split steady stream: %v", ext)
+	}
+	for _, e := range ext {
+		if e.End-e.Start > 25 { // start..lastTs+gap bounded by maxDur cut
+			t.Fatalf("window too long: %+v", e)
+		}
+	}
+}
+
+// Property: tumbling window extents partition the element positions — every
+// element belongs to exactly one window, and windows are disjoint.
+func TestTumblingPartitionProperty(t *testing.T) {
+	f := func(deltas []uint16, sizeRaw uint8) bool {
+		size := int64(sizeRaw)%50 + 1
+		ts := make([]int64, 0, len(deltas))
+		var cur int64
+		for _, d := range deltas {
+			cur += int64(d % 100)
+			ts = append(ts, cur)
+		}
+		if len(ts) == 0 {
+			return true
+		}
+		ext := Drive(Tumbling(size), Interleave(elems(ts...), math.MaxInt64))
+		covered := make([]int, len(ts))
+		for _, e := range ext {
+			for p := e.FromPos; p < e.ToPos; p++ {
+				covered[p]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: session extents are separated by at least gap and contain
+// elements separated by less than gap.
+func TestSessionGapProperty(t *testing.T) {
+	f := func(deltas []uint16, gapRaw uint8) bool {
+		gap := int64(gapRaw)%30 + 1
+		ts := make([]int64, 0, len(deltas))
+		var cur int64
+		for _, d := range deltas {
+			cur += int64(d % 50)
+			ts = append(ts, cur)
+		}
+		if len(ts) == 0 {
+			return true
+		}
+		ext := Drive(Session(gap), Interleave(elems(ts...), math.MaxInt64))
+		for _, e := range ext {
+			for p := e.FromPos + 1; p < e.ToPos; p++ {
+				if ts[p]-ts[p-1] >= gap {
+					return false
+				}
+			}
+			if e.ToPos < int64(len(ts)) && ts[e.ToPos]-ts[e.ToPos-1] < gap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sliding windows with slide s and size r contain exactly the
+// elements with ts in [start, start+r), for random in-order streams.
+func TestSlidingContentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		slide := int64(rng.Intn(9) + 1)
+		size := slide * int64(rng.Intn(4)+1)
+		n := rng.Intn(60) + 1
+		ts := make([]int64, n)
+		var cur int64
+		for i := range ts {
+			cur += int64(rng.Intn(7))
+			ts[i] = cur
+		}
+		ext := Drive(Sliding(size, slide), Interleave(elems(ts...), math.MaxInt64))
+		for _, e := range ext {
+			// expected positions
+			var from, to int64 = -1, -1
+			for p, tv := range ts {
+				if tv >= e.Start && tv < e.End {
+					if from == -1 {
+						from = int64(p)
+					}
+					to = int64(p) + 1
+				}
+			}
+			if from == -1 {
+				t.Fatalf("iter %d: empty window emitted: %+v", iter, e)
+			}
+			if e.FromPos != from || e.ToPos != to {
+				t.Fatalf("iter %d: window %+v, want [%d,%d) for ts=%v", iter, e, from, to, ts)
+			}
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Open(5)
+	r.CloseHere(5, 10)
+	if len(r.Opens) != 1 || r.Opens[0] != 5 {
+		t.Fatalf("opens = %v", r.Opens)
+	}
+	if len(r.Closes) != 1 || r.Closes[0].Start != 5 || r.Closes[0].End != 10 {
+		t.Fatalf("closes = %v", r.Closes)
+	}
+}
+
+func TestSpecIsPeriodic(t *testing.T) {
+	if !Sliding(10, 2).IsPeriodic() || !Tumbling(10).IsPeriodic() {
+		t.Fatalf("sliding/tumbling must be periodic")
+	}
+	if Session(5).IsPeriodic() || CountTumbling(3).IsPeriodic() {
+		t.Fatalf("session/count must not be periodic")
+	}
+}
+
+func TestPeriodicInterface(t *testing.T) {
+	a := Sliding(10, 2).Factory()
+	p, ok := a.(Periodic)
+	if !ok {
+		t.Fatalf("sliding assigner should implement Periodic")
+	}
+	size, slide := p.Periodic()
+	if size != 10 || slide != 2 {
+		t.Fatalf("Periodic() = %d,%d", size, slide)
+	}
+}
+
+func TestCloseWithoutOpenIgnored(t *testing.T) {
+	ctx := &oracleCtx{opens: map[int64]int64{}}
+	ctx.CloseHere(99, 100) // must not panic or record
+	ctx.CloseAt(99, 100, 100)
+	if len(ctx.out) != 0 {
+		t.Fatalf("unexpected extent recorded")
+	}
+}

@@ -1,0 +1,136 @@
+package window
+
+import "encoding/gob"
+
+// Checkpointable is implemented by assigners whose mutable state can be
+// saved and restored across failures. The recovery path first reconstructs
+// the assigner from its Spec factory (which carries the immutable
+// parameters and any closures) and then calls LoadState, so only mutable
+// fields are serialized.
+type Checkpointable interface {
+	SaveState(enc *gob.Encoder) error
+	LoadState(dec *gob.Decoder) error
+}
+
+type slidingState struct {
+	Open        []int64
+	NextStart   int64
+	Initialized bool
+}
+
+// SaveState implements Checkpointable.
+func (a *slidingAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(slidingState{Open: a.open, NextStart: a.nextStart, Initialized: a.initialized})
+}
+
+// LoadState implements Checkpointable.
+func (a *slidingAssigner) LoadState(dec *gob.Decoder) error {
+	var s slidingState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.open, a.nextStart, a.initialized = s.Open, s.NextStart, s.Initialized
+	return nil
+}
+
+type sessionState struct {
+	Active bool
+	Start  int64
+	LastTs int64
+}
+
+// SaveState implements Checkpointable.
+func (a *sessionAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(sessionState{Active: a.active, Start: a.start, LastTs: a.lastTs})
+}
+
+// LoadState implements Checkpointable.
+func (a *sessionAssigner) LoadState(dec *gob.Decoder) error {
+	var s sessionState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.active, a.start, a.lastTs = s.Active, s.Start, s.LastTs
+	return nil
+}
+
+type countState struct {
+	Open []int64
+}
+
+// SaveState implements Checkpointable.
+func (a *countAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(countState{Open: a.open})
+}
+
+// LoadState implements Checkpointable.
+func (a *countAssigner) LoadState(dec *gob.Decoder) error {
+	var s countState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.open = s.Open
+	return nil
+}
+
+type punctuationState struct {
+	Active bool
+	Start  int64
+}
+
+// SaveState implements Checkpointable.
+func (a *punctuationAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(punctuationState{Active: a.active, Start: a.start})
+}
+
+// LoadState implements Checkpointable.
+func (a *punctuationAssigner) LoadState(dec *gob.Decoder) error {
+	var s punctuationState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.active, a.start = s.Active, s.Start
+	return nil
+}
+
+type deltaState struct {
+	Active bool
+	Start  int64
+	Ref    float64
+}
+
+// SaveState implements Checkpointable.
+func (a *deltaAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(deltaState{Active: a.active, Start: a.start, Ref: a.ref})
+}
+
+// LoadState implements Checkpointable.
+func (a *deltaAssigner) LoadState(dec *gob.Decoder) error {
+	var s deltaState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.active, a.start, a.ref = s.Active, s.Start, s.Ref
+	return nil
+}
+
+type sessionMaxState struct {
+	Active bool
+	Start  int64
+	LastTs int64
+}
+
+// SaveState implements Checkpointable.
+func (a *sessionMaxAssigner) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(sessionMaxState{Active: a.active, Start: a.start, LastTs: a.lastTs})
+}
+
+// LoadState implements Checkpointable.
+func (a *sessionMaxAssigner) LoadState(dec *gob.Decoder) error {
+	var s sessionMaxState
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	a.active, a.start, a.lastTs = s.Active, s.Start, s.LastTs
+	return nil
+}

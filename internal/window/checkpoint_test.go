@@ -1,0 +1,100 @@
+package window
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkpointSpecs enumerates every checkpointable assigner family.
+func checkpointSpecs() []Spec {
+	return []Spec{
+		Tumbling(10),
+		Sliding(20, 5),
+		Session(7),
+		CountTumbling(6),
+		CountSliding(8, 4),
+		Punctuation(func(v float64) bool { return v < 0 }),
+		Delta(5),
+		SessionWithMaxDuration(6, 25),
+		TimeOrCount(15, 7),
+	}
+}
+
+// Save/Load equivalence: running events straight through an assigner yields
+// the same window extents as running a prefix, snapshotting the assigner,
+// loading into a fresh instance, and running the suffix.
+func TestAssignerCheckpointEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, spec := range checkpointSpecs() {
+		for trial := 0; trial < 5; trial++ {
+			n := 80 + rng.Intn(120)
+			elems := make([]Element, n)
+			var ts int64
+			for i := range elems {
+				ts += rng.Int63n(6)
+				elems[i] = Element{Ts: ts, V: float64(rng.Intn(21) - 10)}
+			}
+			events := Interleave(elems, math.MaxInt64)
+			straight := Drive(spec, events)
+
+			// Split run with snapshot/restore at a random event boundary.
+			cut := 1 + rng.Intn(len(events)-1)
+			a1 := spec.Factory()
+			ctx := &oracleCtx{opens: map[int64]int64{}}
+			var pos int64
+			feed := func(a Assigner, evs []Event) {
+				for _, ev := range evs {
+					switch ev.Kind {
+					case ElementEvent:
+						ctx.boundary = pos
+						a.OnElement(ev.Elem.Ts, pos, ev.Elem.V, ctx)
+						ctx.ts = append(ctx.ts, ev.Elem.Ts)
+						pos++
+					case WatermarkEvent:
+						ctx.boundary = pos
+						a.OnTime(ev.WM, ctx)
+					}
+				}
+			}
+			feed(a1, events[:cut])
+			ck, ok := a1.(Checkpointable)
+			if !ok {
+				t.Fatalf("%s: assigner not checkpointable", spec.Name)
+			}
+			var buf bytes.Buffer
+			if err := ck.SaveState(gob.NewEncoder(&buf)); err != nil {
+				t.Fatalf("%s: save: %v", spec.Name, err)
+			}
+			a2 := spec.Factory()
+			if err := a2.(Checkpointable).LoadState(gob.NewDecoder(&buf)); err != nil {
+				t.Fatalf("%s: load: %v", spec.Name, err)
+			}
+			feed(a2, events[cut:])
+			split := ctx.out
+
+			if len(split) != len(straight) {
+				t.Fatalf("%s trial %d (cut %d): %d extents straight, %d split",
+					spec.Name, trial, cut, len(straight), len(split))
+			}
+			for i := range straight {
+				if split[i] != straight[i] {
+					t.Fatalf("%s trial %d: extent %d = %+v, want %+v",
+						spec.Name, trial, i, split[i], straight[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	for _, spec := range checkpointSpecs() {
+		a := spec.Factory()
+		ck := a.(Checkpointable)
+		if err := ck.LoadState(gob.NewDecoder(bytes.NewReader([]byte("not gob")))); err == nil {
+			t.Errorf("%s: garbage accepted", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeOrCountClosesOnCount(t *testing.T) {
+	// maxDur huge: only the count bound (3) applies.
+	ext := Drive(TimeOrCount(1_000_000, 3), Interleave(elems(1, 2, 3, 4, 5, 6, 7), math.MaxInt64))
+	if len(ext) != 3 {
+		t.Fatalf("got %v", ext)
+	}
+	if ext[0] != (Extent{Start: 1, End: 4, FromPos: 0, ToPos: 3}) {
+		t.Fatalf("first = %+v", ext[0])
+	}
+	if ext[1].FromPos != 3 || ext[1].ToPos != 6 {
+		t.Fatalf("second = %+v", ext[1])
+	}
+	// Final flush carries the single remaining element.
+	if ext[2].FromPos != 6 || ext[2].ToPos != 7 {
+		t.Fatalf("flush = %+v", ext[2])
+	}
+}
+
+func TestTimeOrCountClosesOnTime(t *testing.T) {
+	// maxCount huge: only the duration bound (10) applies.
+	ext := Drive(TimeOrCount(10, 1_000_000), Interleave(elems(0, 3, 6, 12, 15), math.MaxInt64))
+	if len(ext) != 2 {
+		t.Fatalf("got %v", ext)
+	}
+	if ext[0] != (Extent{Start: 0, End: 10, FromPos: 0, ToPos: 3}) {
+		t.Fatalf("first = %+v", ext[0])
+	}
+	if ext[1].FromPos != 3 || ext[1].ToPos != 5 {
+		t.Fatalf("second = %+v", ext[1])
+	}
+}
+
+func TestTimeOrCountMixedBounds(t *testing.T) {
+	// Duration 10, count 2: dense elements close by count, a lull closes by
+	// time via the watermark.
+	els := elems(0, 1, 2, 3, 30)
+	ext := Drive(TimeOrCount(10, 2), Interleave(els, math.MaxInt64))
+	// Windows: [0,1] by count; [2,3] by count; [30] flushed.
+	if len(ext) != 3 {
+		t.Fatalf("got %v", ext)
+	}
+	if ext[0].ToPos-ext[0].FromPos != 2 || ext[1].ToPos-ext[1].FromPos != 2 {
+		t.Fatalf("count bound violated: %v", ext)
+	}
+}
+
+func TestTimeOrCountWatermarkClose(t *testing.T) {
+	events := []Event{
+		{Kind: WatermarkEvent, WM: 0},
+		{Kind: ElementEvent, Elem: Element{Ts: 0, V: 1}},
+		{Kind: WatermarkEvent, WM: 5}, // window [0, 10) still open
+	}
+	ext := Drive(TimeOrCount(10, 100), events)
+	if len(ext) != 0 {
+		t.Fatalf("closed too early: %v", ext)
+	}
+	events = append(events, Event{Kind: WatermarkEvent, WM: 10})
+	ext = Drive(TimeOrCount(10, 100), events)
+	if len(ext) != 1 || ext[0].End != 10 {
+		t.Fatalf("not closed at wm=10: %v", ext)
+	}
+}
+
+func TestTimeOrCountPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { TimeOrCount(0, 5) },
+		func() { TimeOrCount(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: no window ever exceeds either bound.
+func TestTimeOrCountBoundsProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		els := make([]Element, 100)
+		var ts int64
+		for i := range els {
+			ts += (seed*7 + int64(i)*13) % 9
+			els[i] = Element{Ts: ts}
+		}
+		ext := Drive(TimeOrCount(20, 5), Interleave(els, math.MaxInt64))
+		covered := int64(0)
+		for _, e := range ext {
+			if e.ToPos-e.FromPos > 5 {
+				t.Fatalf("seed %d: count bound exceeded: %+v", seed, e)
+			}
+			if els[e.ToPos-1].Ts-e.Start >= 20+20 { // content within duration (+slack for flush)
+				t.Fatalf("seed %d: duration wildly exceeded: %+v", seed, e)
+			}
+			covered += e.ToPos - e.FromPos
+		}
+		if covered != 100 {
+			t.Fatalf("seed %d: %d of 100 elements covered", seed, covered)
+		}
+	}
+}

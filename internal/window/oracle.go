@@ -1,0 +1,136 @@
+package window
+
+// This file provides the reference evaluator ("oracle") used by conformance
+// tests: it drives an Assigner over an explicit event sequence and
+// materializes each completed window's element-position extent. Window
+// aggregation engines (internal/cutty, internal/baselines) must produce
+// exactly the windows the oracle produces, with aggregates equal to folding
+// the elements in [FromPos, ToPos).
+
+// Element is one stream element: an event timestamp and a value. Streams fed
+// to the window machinery must be in non-decreasing timestamp order (the
+// dataflow layer reorders bounded disorder before windowing).
+type Element struct {
+	Ts int64
+	V  float64
+}
+
+// EventKind discriminates Event.
+type EventKind uint8
+
+const (
+	// ElementEvent carries a stream element.
+	ElementEvent EventKind = iota
+	// WatermarkEvent advances event time.
+	WatermarkEvent
+)
+
+// Event is one input to a window engine: an element or a watermark.
+type Event struct {
+	Kind EventKind
+	Elem Element // valid when Kind == ElementEvent
+	WM   int64   // valid when Kind == WatermarkEvent
+}
+
+// Extent is a completed window as the oracle sees it: the logical window
+// identity [Start, End) and the half-open element-position range
+// [FromPos, ToPos) of its content.
+type Extent struct {
+	Start   int64
+	End     int64
+	FromPos int64
+	ToPos   int64
+}
+
+type oracleCtx struct {
+	boundary int64
+	ts       []int64 // timestamps of elements processed so far
+	opens    map[int64]int64
+	out      []Extent
+}
+
+func (c *oracleCtx) Open(id int64) { c.opens[id] = c.boundary }
+
+func (c *oracleCtx) CloseHere(id, end int64) {
+	from, ok := c.opens[id]
+	if !ok {
+		// Close without a matching open: ignore, mirroring engine behaviour.
+		return
+	}
+	delete(c.opens, id)
+	c.out = append(c.out, Extent{Start: id, End: end, FromPos: from, ToPos: c.boundary})
+}
+
+func (c *oracleCtx) CloseAt(id, end, cutoff int64) {
+	from, ok := c.opens[id]
+	if !ok {
+		return
+	}
+	delete(c.opens, id)
+	// Content boundary: first processed element at or after `from` whose
+	// timestamp reached the cutoff (in-order stream).
+	to := int64(len(c.ts))
+	for p := from; p < int64(len(c.ts)); p++ {
+		if c.ts[p] >= cutoff {
+			to = p
+			break
+		}
+	}
+	c.out = append(c.out, Extent{Start: id, End: end, FromPos: from, ToPos: to})
+}
+
+// Drive runs the assigner produced by spec over the event sequence and
+// returns the completed window extents in completion order.
+func Drive(spec Spec, events []Event) []Extent {
+	a := spec.Factory()
+	ctx := &oracleCtx{opens: map[int64]int64{}}
+	var pos int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case ElementEvent:
+			ctx.boundary = pos
+			a.OnElement(ev.Elem.Ts, pos, ev.Elem.V, ctx)
+			ctx.ts = append(ctx.ts, ev.Elem.Ts)
+			pos++
+		case WatermarkEvent:
+			ctx.boundary = pos
+			a.OnTime(ev.WM, ctx)
+		}
+	}
+	return ctx.out
+}
+
+// Interleave builds an event sequence from elements following the canonical
+// engine driving protocol (see package engine): a watermark equal to each
+// element's timestamp immediately *before* it — valid for in-order streams,
+// and the rule that lets bucket-style engines treat "open" as "accepting" —
+// plus a final watermark at finalWM.
+func Interleave(elems []Element, finalWM int64) []Event {
+	events := make([]Event, 0, 2*len(elems)+1)
+	for _, e := range elems {
+		events = append(events, Event{Kind: WatermarkEvent, WM: e.Ts})
+		events = append(events, Event{Kind: ElementEvent, Elem: e})
+	}
+	events = append(events, Event{Kind: WatermarkEvent, WM: finalWM})
+	return events
+}
+
+// Recorder is a Context that records Open and Close calls, for assigner unit
+// tests.
+type Recorder struct {
+	Opens  []int64
+	Closes []Extent // FromPos/ToPos unused; Start and End populated
+}
+
+// Open implements Context.
+func (r *Recorder) Open(id int64) { r.Opens = append(r.Opens, id) }
+
+// CloseHere implements Context.
+func (r *Recorder) CloseHere(id, end int64) {
+	r.Closes = append(r.Closes, Extent{Start: id, End: end})
+}
+
+// CloseAt implements Context.
+func (r *Recorder) CloseAt(id, end, cutoff int64) {
+	r.Closes = append(r.Closes, Extent{Start: id, End: end})
+}

@@ -1,0 +1,259 @@
+// Package workloads provides the synthetic data generators standing in for
+// the production streams of STREAMLINE's industrial partners. The paper
+// motivates four applications — customer retention, personalized
+// recommendations, target advertisement, and multilingual Web processing —
+// and each has a generator here whose knobs (rate, key skew, session gaps,
+// bounded disorder) control exactly the stream properties the experiments
+// depend on.
+//
+// All generators are deterministic functions of (seed, index), which makes
+// them replayable sources for exactly-once recovery and makes every
+// experiment reproducible.
+package workloads
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Event is one generated stream element.
+type Event struct {
+	// Ts is the event timestamp in milliseconds since stream start.
+	Ts int64
+	// Key identifies the entity (user, campaign, item...).
+	Key uint64
+	// Value is the measurement carried by the event.
+	Value float64
+	// Attr is an application-specific attribute (ad id, item id, ...).
+	Attr uint64
+}
+
+// Uniform generates rate events per second with uniformly distributed keys.
+type Uniform struct {
+	Seed    int64
+	Keys    int
+	PerSec  int64
+	ValMean float64
+}
+
+// At returns event i.
+func (u Uniform) At(i int64) Event {
+	rng := rand.New(rand.NewSource(u.Seed ^ i*0x5851F42D4C957F2D))
+	perSec := u.PerSec
+	if perSec <= 0 {
+		perSec = 1000
+	}
+	keys := u.Keys
+	if keys <= 0 {
+		keys = 16
+	}
+	return Event{
+		Ts:    i * 1000 / perSec,
+		Key:   uint64(rng.Intn(keys)),
+		Value: u.ValMean + rng.NormFloat64(),
+	}
+}
+
+// Zipf generates rate events per second with Zipf-skewed keys (exponent s),
+// the key-distribution knob of the optimizer experiment E10.
+type Zipf struct {
+	Seed   int64
+	Keys   int
+	PerSec int64
+	S      float64 // skew exponent; s <= 1.0001 is treated as ~uniform
+
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// NewZipf returns a stateful Zipf generator (At must be called with
+// ascending i; the underlying generator is consumed sequentially).
+func NewZipf(seed int64, keys int, perSec int64, s float64) *Zipf {
+	z := &Zipf{Seed: seed, Keys: keys, PerSec: perSec, S: s}
+	z.rng = rand.New(rand.NewSource(seed))
+	if s > 1.0001 {
+		z.zipf = rand.NewZipf(z.rng, s, 1, uint64(keys-1))
+	}
+	return z
+}
+
+// At returns event i (sequential access).
+func (z *Zipf) At(i int64) Event {
+	var key uint64
+	if z.zipf != nil {
+		key = z.zipf.Uint64()
+	} else {
+		key = uint64(z.rng.Intn(z.Keys))
+	}
+	return Event{
+		Ts:    i * 1000 / z.PerSec,
+		Key:   key,
+		Value: 1,
+	}
+}
+
+// Disordered wraps a generator adding bounded timestamp disorder: each
+// event's timestamp is shifted back by up to Bound ms, deterministically.
+// Consumers must use a watermark lag >= Bound.
+type Disordered struct {
+	Inner func(i int64) Event
+	Bound int64
+	Seed  int64
+}
+
+// At returns event i with perturbed timestamp (never below zero).
+func (d Disordered) At(i int64) Event {
+	e := d.Inner(i)
+	if d.Bound > 0 {
+		rng := rand.New(rand.NewSource(d.Seed ^ i*0x7F4A7C15))
+		e.Ts -= rng.Int63n(d.Bound + 1)
+		if e.Ts < 0 {
+			e.Ts = 0
+		}
+	}
+	return e
+}
+
+// Sessions generates the customer-retention stream: users produce bursts of
+// activity (sessions) separated by idle gaps; the churn signal is session
+// length and inter-session gap growth. Deterministic per (seed, index).
+type Sessions struct {
+	Seed         int64
+	Users        int
+	PerSec       int64
+	MeanSession  int64 // events per session
+	GapMs        int64 // idle gap between sessions (per user, mean)
+	SessionGapMs int64 // intra-session inter-event gap (mean)
+}
+
+// At returns event i: a user's activity event. The generator interleaves
+// users round-robin, each progressing through its own session schedule.
+func (s Sessions) At(i int64) Event {
+	users := int64(s.Users)
+	if users <= 0 {
+		users = 100
+	}
+	user := i % users
+	step := i / users // the user's own event counter
+	rng := rand.New(rand.NewSource(s.Seed ^ user*31 ^ step*0x9E3779B9))
+	mean := s.MeanSession
+	if mean <= 0 {
+		mean = 10
+	}
+	sessionIdx := step / mean
+	within := step % mean
+	gap := s.GapMs
+	if gap <= 0 {
+		gap = 30_000
+	}
+	intra := s.SessionGapMs
+	if intra <= 0 {
+		intra = 1000
+	}
+	// Session start: idx * (session duration + gap), jittered.
+	start := sessionIdx * (mean*intra + gap)
+	ts := start + within*intra + rng.Int63n(intra/2+1)
+	// Engagement value: declines across sessions for half the users — the
+	// churn cohort the retention example detects.
+	val := 10.0
+	if user%2 == 0 {
+		val = math.Max(1, 10.0-float64(sessionIdx))
+	}
+	return Event{Ts: ts, Key: uint64(user), Value: val}
+}
+
+// AdClicks generates the target-advertisement stream: impressions and
+// clicks for Zipf-skewed campaigns. Value is 1 for an impression; Attr is 1
+// when the impression converted to a click (CTR ~ per-campaign base rate).
+type AdClicks struct {
+	Seed      int64
+	Campaigns int
+	PerSec    int64
+
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// NewAdClicks returns a stateful generator (sequential access).
+func NewAdClicks(seed int64, campaigns int, perSec int64) *AdClicks {
+	a := &AdClicks{Seed: seed, Campaigns: campaigns, PerSec: perSec}
+	a.rng = rand.New(rand.NewSource(seed))
+	a.zipf = rand.NewZipf(a.rng, 1.3, 1, uint64(campaigns-1))
+	return a
+}
+
+// At returns event i (sequential access).
+func (a *AdClicks) At(i int64) Event {
+	campaign := a.zipf.Uint64()
+	// Per-campaign click probability between 1% and ~11%.
+	p := 0.01 + float64(campaign%17)/160.0
+	click := uint64(0)
+	if a.rng.Float64() < p {
+		click = 1
+	}
+	return Event{
+		Ts:    i * 1000 / a.PerSec,
+		Key:   campaign,
+		Value: 1,
+		Attr:  click,
+	}
+}
+
+// Ratings generates the recommendation stream: (user, item, rating)
+// triples with popularity-skewed items.
+type Ratings struct {
+	Seed   int64
+	Users  int
+	Items  int
+	PerSec int64
+
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// NewRatings returns a stateful generator (sequential access).
+func NewRatings(seed int64, users, items int, perSec int64) *Ratings {
+	r := &Ratings{Seed: seed, Users: users, Items: items, PerSec: perSec}
+	r.rng = rand.New(rand.NewSource(seed))
+	r.zipf = rand.NewZipf(r.rng, 1.2, 1, uint64(items-1))
+	return r
+}
+
+// At returns event i: Key = user, Attr = item, Value = rating 1..5.
+func (r *Ratings) At(i int64) Event {
+	item := r.zipf.Uint64()
+	user := uint64(r.rng.Intn(r.Users))
+	// Ratings biased by item popularity (popular items rate higher).
+	base := 3.0 + 2.0/(1.0+float64(item)/10.0)
+	rating := math.Min(5, math.Max(1, base+r.rng.NormFloat64()*0.8))
+	return Event{
+		Ts:    i * 1000 / r.PerSec,
+		Key:   user,
+		Value: math.Round(rating),
+		Attr:  item,
+	}
+}
+
+// TimeSeries generates the I2 demo signal: a composite of slow and fast
+// oscillations with noise and occasional spikes — visually interesting at
+// any zoom level.
+type TimeSeries struct {
+	Seed   int64
+	PerSec int64
+}
+
+// At returns sample i.
+func (t TimeSeries) At(i int64) Event {
+	perSec := t.PerSec
+	if perSec <= 0 {
+		perSec = 1000
+	}
+	ts := i * 1000 / perSec
+	sec := float64(ts) / 1000.0
+	rng := rand.New(rand.NewSource(t.Seed ^ i*0x2545F4914F6CDD1D))
+	v := 10*math.Sin(2*math.Pi*sec/60) + 3*math.Sin(2*math.Pi*sec/2.5) + rng.NormFloat64()
+	if rng.Float64() < 0.001 {
+		v += 40 // spike
+	}
+	return Event{Ts: ts, Value: v}
+}

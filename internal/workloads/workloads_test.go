@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	u := Uniform{Seed: 1, Keys: 8, PerSec: 1000}
+	a, b := u.At(42), u.At(42)
+	if a != b {
+		t.Fatalf("generator not deterministic: %+v vs %+v", a, b)
+	}
+	if u.At(42) == u.At(43) {
+		t.Fatalf("consecutive events identical")
+	}
+}
+
+func TestUniformTimestampsMatchRate(t *testing.T) {
+	u := Uniform{Seed: 1, Keys: 8, PerSec: 500}
+	if ts := u.At(500).Ts; ts != 1000 {
+		t.Fatalf("event 500 at %d ms, want 1000", ts)
+	}
+	if u.At(0).Ts != 0 {
+		t.Fatalf("first event not at 0")
+	}
+}
+
+func TestUniformDefaults(t *testing.T) {
+	u := Uniform{Seed: 9}
+	e := u.At(1)
+	if e.Key >= 16 {
+		t.Fatalf("default key range violated: %d", e.Key)
+	}
+}
+
+func TestUniformKeyCoverage(t *testing.T) {
+	u := Uniform{Seed: 3, Keys: 4, PerSec: 1000}
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 200; i++ {
+		seen[u.At(i).Key] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d of 4 keys seen", len(seen))
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	const n = 20000
+	counts := func(s float64) map[uint64]int64 {
+		z := NewZipf(7, 1000, 10000, s)
+		out := map[uint64]int64{}
+		for i := int64(0); i < n; i++ {
+			out[z.At(i).Key]++
+		}
+		return out
+	}
+	top := func(c map[uint64]int64) float64 {
+		var max int64
+		for _, v := range c {
+			if v > max {
+				max = v
+			}
+		}
+		return float64(max) / n
+	}
+	skewed := top(counts(1.5))
+	uniform := top(counts(1.0))
+	if skewed < 3*uniform {
+		t.Fatalf("zipf 1.5 top-key share %.3f not >> uniform %.3f", skewed, uniform)
+	}
+}
+
+func TestDisorderedBounded(t *testing.T) {
+	base := Uniform{Seed: 2, Keys: 4, PerSec: 1000}
+	d := Disordered{Inner: base.At, Bound: 50, Seed: 11}
+	for i := int64(0); i < 1000; i++ {
+		orig := base.At(i)
+		pert := d.At(i)
+		if pert.Ts > orig.Ts || orig.Ts-pert.Ts > 50 {
+			t.Fatalf("event %d: disorder out of bound: %d -> %d", i, orig.Ts, pert.Ts)
+		}
+		if pert.Ts < 0 {
+			t.Fatalf("negative timestamp")
+		}
+	}
+}
+
+func TestSessionsStructure(t *testing.T) {
+	s := Sessions{Seed: 5, Users: 10, PerSec: 1000, MeanSession: 5, GapMs: 60000, SessionGapMs: 1000}
+	// Per-user timestamps must be non-decreasing and exhibit gaps >= GapMs
+	// between sessions.
+	perUser := map[uint64][]int64{}
+	for i := int64(0); i < 2000; i++ {
+		e := s.At(i)
+		perUser[e.Key] = append(perUser[e.Key], e.Ts)
+	}
+	if len(perUser) != 10 {
+		t.Fatalf("got %d users", len(perUser))
+	}
+	for user, ts := range perUser {
+		gaps := 0
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1] {
+				t.Fatalf("user %d timestamps regress at %d: %d < %d", user, i, ts[i], ts[i-1])
+			}
+			if ts[i]-ts[i-1] >= 30000 {
+				gaps++
+			}
+		}
+		if gaps == 0 {
+			t.Fatalf("user %d shows no session gaps", user)
+		}
+	}
+}
+
+func TestSessionsChurnSignal(t *testing.T) {
+	s := Sessions{Seed: 5, Users: 4, PerSec: 1000, MeanSession: 5, GapMs: 10000, SessionGapMs: 500}
+	// Even users decline in engagement over sessions; odd users stay flat.
+	lateEven := s.At(4 * 100).Value // user 0, step 100 -> session 20
+	earlyEven := s.At(0).Value      // user 0, step 0
+	if lateEven >= earlyEven {
+		t.Fatalf("churn cohort should decline: early %v late %v", earlyEven, lateEven)
+	}
+	lateOdd := s.At(4*100 + 1).Value
+	if lateOdd != 10 {
+		t.Fatalf("retained cohort should stay at 10, got %v", lateOdd)
+	}
+}
+
+func TestAdClicksCTRPlausible(t *testing.T) {
+	a := NewAdClicks(13, 100, 10000)
+	var clicks, imps int64
+	for i := int64(0); i < 50000; i++ {
+		e := a.At(i)
+		imps++
+		clicks += int64(e.Attr)
+		if e.Value != 1 {
+			t.Fatalf("impression value must be 1")
+		}
+		if e.Key >= 100 {
+			t.Fatalf("campaign out of range: %d", e.Key)
+		}
+	}
+	ctr := float64(clicks) / float64(imps)
+	if ctr < 0.005 || ctr > 0.2 {
+		t.Fatalf("aggregate CTR %.4f implausible", ctr)
+	}
+}
+
+func TestRatingsDomain(t *testing.T) {
+	r := NewRatings(17, 50, 200, 1000)
+	for i := int64(0); i < 5000; i++ {
+		e := r.At(i)
+		if e.Value < 1 || e.Value > 5 || e.Value != math.Round(e.Value) {
+			t.Fatalf("rating %v out of domain", e.Value)
+		}
+		if e.Key >= 50 || e.Attr >= 200 {
+			t.Fatalf("user/item out of range: %+v", e)
+		}
+	}
+}
+
+func TestTimeSeriesDeterministicAndBounded(t *testing.T) {
+	g := TimeSeries{Seed: 23, PerSec: 100}
+	if g.At(5) != g.At(5) {
+		t.Fatalf("not deterministic")
+	}
+	for i := int64(0); i < 10000; i++ {
+		v := g.At(i).Value
+		if math.IsNaN(v) || math.Abs(v) > 100 {
+			t.Fatalf("sample %d out of expected envelope: %v", i, v)
+		}
+	}
+}
