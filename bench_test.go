@@ -17,14 +17,12 @@ import (
 	"repro/internal/agg"
 	"repro/internal/baselines"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/cutty"
-	"repro/internal/dataflow"
 	"repro/internal/engine"
 	"repro/internal/i2"
-	"repro/internal/state"
 	"repro/internal/window"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
 
 func mkEngines() map[string]func(engine.Emit) engine.Engine {
@@ -223,22 +221,25 @@ func BenchmarkE7Raster(b *testing.B) {
 
 // pipelineBench runs the windowed ad pipeline once per iteration. mkOpts is
 // invoked per iteration so stateful options (checkpoint backends, whose
-// checkpoint ids must not collide across runs) are created fresh.
-func pipelineBench(b *testing.B, n int64, mkOpts func() []core.Option) {
+// checkpoint ids must not collide across runs) are created fresh. The
+// campaign id rides as the stamped key so the plan carries no projection
+// stages — identical to the hand-built untyped pipeline it replaced.
+func pipelineBench(b *testing.B, n int64, mkOpts func() []streamline.Option) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		env := core.NewEnvironment(mkOpts()...)
+		env := streamline.New(mkOpts()...)
 		gen := workloads.NewAdClicks(99, 50, 1000)
-		env.FromGenerator("ads", 1, n, func(sub, par int, j int64) dataflow.Record {
-			e := gen.At(j)
-			return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
-		}).
-			KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
-			WindowAggregate("ctr",
-				core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
-				core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
-			).
-			Sink("out", func(dataflow.Record) {})
+		src := streamline.FromGenerator(env, "ads", 1, n,
+			func(sub, par int, j int64) streamline.Keyed[float64] {
+				e := gen.At(j)
+				return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: float64(e.Attr)}
+			})
+		keyed := streamline.KeyByRecord(src, "campaign", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+		wins := streamline.WindowAggregate(keyed, "ctr",
+			streamline.Query(streamline.Tumbling(1000), streamline.Sum()),
+			streamline.Query(streamline.Tumbling(1000), streamline.Count()),
+		)
+		streamline.Sink(wins, "out", func(streamline.Keyed[streamline.WindowResult]) {})
 		if err := env.Execute(context.Background()); err != nil {
 			b.Fatal(err)
 		}
@@ -250,8 +251,8 @@ func pipelineBench(b *testing.B, n int64, mkOpts func() []core.Option) {
 func BenchmarkE8Unified(b *testing.B) {
 	for _, n := range []int64{20_000, 100_000} {
 		b.Run(fmt.Sprintf("events=%d", n), func(b *testing.B) {
-			pipelineBench(b, n, func() []core.Option {
-				return []core.Option{core.WithParallelism(2)}
+			pipelineBench(b, n, func() []streamline.Option {
+				return []streamline.Option{streamline.WithParallelism(2)}
 			})
 		})
 	}
@@ -266,10 +267,10 @@ func BenchmarkE9Checkpoint(b *testing.B) {
 		}
 		b.Run("interval="+name, func(b *testing.B) {
 			iv := interval
-			pipelineBench(b, 50_000, func() []core.Option {
-				opts := []core.Option{core.WithParallelism(2)}
+			pipelineBench(b, 50_000, func() []streamline.Option {
+				opts := []streamline.Option{streamline.WithParallelism(2)}
 				if iv > 0 {
-					opts = append(opts, core.WithCheckpointing(state.NewMemoryBackend(3), iv))
+					opts = append(opts, streamline.WithCheckpointing(streamline.NewMemoryBackend(3), iv))
 				}
 				return opts
 			})
@@ -281,27 +282,28 @@ func BenchmarkE9Checkpoint(b *testing.B) {
 func BenchmarkE10Optimizer(b *testing.B) {
 	for _, cfg := range []struct {
 		name string
-		mode core.CombinerMode
+		mode streamline.CombinerMode
 		skew float64
 	}{
-		{"combiner=off/zipf", core.CombinerOff, 1.4},
-		{"combiner=on/zipf", core.CombinerOn, 1.4},
-		{"combiner=auto/zipf", core.CombinerAuto, 1.4},
-		{"combiner=off/uniform", core.CombinerOff, 1.0},
-		{"combiner=auto/uniform", core.CombinerAuto, 1.0},
+		{"combiner=off/zipf", streamline.CombinerOff, 1.4},
+		{"combiner=on/zipf", streamline.CombinerOn, 1.4},
+		{"combiner=auto/zipf", streamline.CombinerAuto, 1.4},
+		{"combiner=off/uniform", streamline.CombinerOff, 1.0},
+		{"combiner=auto/uniform", streamline.CombinerAuto, 1.0},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			const n = 100_000
 			for i := 0; i < b.N; i++ {
 				gen := workloads.NewZipf(5, 100_000, 10_000, cfg.skew)
-				env := core.NewEnvironment(core.WithParallelism(2), core.WithCombiner(cfg.mode))
-				env.FromGenerator("gen", 1, n, func(sub, par int, j int64) dataflow.Record {
-					e := gen.At(j)
-					return dataflow.Data(e.Ts, e.Key, e.Value)
-				}).
-					KeyBy("key", func(r dataflow.Record) uint64 { return r.Key }).
-					ReduceByKey("sum", func(acc, v float64) float64 { return acc + v }, false).
-					Sink("out", func(dataflow.Record) {})
+				env := streamline.New(streamline.WithParallelism(2), streamline.WithCombiner(cfg.mode))
+				src := streamline.FromGenerator(env, "gen", 1, n,
+					func(sub, par int, j int64) streamline.Keyed[float64] {
+						e := gen.At(j)
+						return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: e.Value}
+					})
+				keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+				sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+				streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
 				if err := env.Execute(context.Background()); err != nil {
 					b.Fatal(err)
 				}
@@ -313,17 +315,15 @@ func BenchmarkE10Optimizer(b *testing.B) {
 		b.Run(fmt.Sprintf("chaining=%v", chaining), func(b *testing.B) {
 			const n = 100_000
 			for i := 0; i < b.N; i++ {
-				env := core.NewEnvironment(core.WithParallelism(1), core.WithChaining(chaining))
-				s := env.FromGenerator("gen", 1, n, func(sub, par int, j int64) dataflow.Record {
-					return dataflow.Data(j, uint64(j%64), float64(j%101))
-				})
-				for k := 0; k < 4; k++ {
-					s = s.Map(fmt.Sprintf("m%d", k), func(r dataflow.Record) dataflow.Record {
-						r.Value = r.Value.(float64) + 1
-						return r
+				env := streamline.New(streamline.WithParallelism(1), streamline.WithChaining(chaining))
+				s := streamline.FromGenerator(env, "gen", 1, n,
+					func(sub, par int, j int64) streamline.Keyed[float64] {
+						return streamline.Keyed[float64]{Ts: j, Key: uint64(j % 64), Value: float64(j % 101)}
 					})
+				for k := 0; k < 4; k++ {
+					s = streamline.Map(s, fmt.Sprintf("m%d", k), func(v float64) float64 { return v + 1 })
 				}
-				s.Sink("out", func(dataflow.Record) {})
+				streamline.Sink(s, "out", func(streamline.Keyed[float64]) {})
 				if err := env.Execute(context.Background()); err != nil {
 					b.Fatal(err)
 				}

@@ -33,7 +33,7 @@ func main() {
 		id = strings.TrimSpace(strings.ToUpper(id))
 		run := bench.ByID(id)
 		if run == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: E1..E10)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: E1..E11)\n", id)
 			os.Exit(2)
 		}
 		run(*quick).Fprint(os.Stdout)

@@ -1,7 +1,8 @@
 // Command wordcount is the classic demonstration of STREAMLINE's unified
 // model: the same pipeline counts words over data at rest (a file) or data
 // in motion (a synthetic document stream), selected by a flag — no code
-// changes between batch and streaming.
+// changes between batch and streaming. Both modes produce a typed
+// Stream[string] of words, so the counting stage is shared verbatim.
 //
 //	wordcount -mode batch -file input.txt
 //	wordcount -mode stream -docs 1000
@@ -15,9 +16,8 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/dataflow"
 	"repro/internal/lang"
+	"repro/streamline"
 )
 
 func main() {
@@ -27,8 +27,8 @@ func main() {
 	top := flag.Int("top", 10, "how many words to print")
 	flag.Parse()
 
-	env := core.NewEnvironment()
-	var src *core.Stream
+	env := streamline.New()
+	var words *streamline.Stream[string]
 	switch *mode {
 	case "batch":
 		text := builtinCorpus()
@@ -39,20 +39,16 @@ func main() {
 			}
 			text = string(data)
 		}
-		words := lang.Tokenize(text)
-		recs := make([]dataflow.Record, len(words))
-		for i, w := range words {
-			recs[i] = dataflow.Data(int64(i), dataflow.KeyOf(w), w)
-		}
-		src = env.FromRecords("file", recs)
+		words = streamline.FromSlice(env, "file", lang.Tokenize(text))
 	case "stream":
 		sentences := allSentences()
-		src = env.FromGenerator("docs", 1, *docs, func(sub, par int, i int64) dataflow.Record {
-			s := sentences[i%int64(len(sentences))]
-			return dataflow.Data(i, 0, s)
-		}).FlatMap("tokenize", func(r dataflow.Record, out dataflow.Collector) {
-			for _, w := range lang.Tokenize(r.Value.(string)) {
-				out.Collect(dataflow.Data(r.Ts, dataflow.KeyOf(w), w))
+		feed := streamline.FromGenerator(env, "docs", 1, *docs,
+			func(sub, par int, i int64) streamline.Keyed[string] {
+				return streamline.Keyed[string]{Ts: i, Value: sentences[i%int64(len(sentences))]}
+			})
+		words = streamline.FlatMap(feed, "tokenize", func(doc string, out streamline.Emitter[string]) {
+			for _, w := range lang.Tokenize(doc) {
+				out.Emit(w)
 			}
 		})
 	default:
@@ -64,14 +60,10 @@ func main() {
 		n    int64
 	}
 	counts := map[string]int64{}
-	src.
-		Map("one", func(r dataflow.Record) dataflow.Record {
-			word := r.Value.(string)
-			return dataflow.Data(r.Ts, r.Key, word)
-		}).
-		Sink("count", func(r dataflow.Record) {
-			counts[r.Value.(string)]++
-		})
+	byWord := streamline.KeyByString(words, "word", func(w string) string { return w })
+	streamline.Sink(byWord, "count", func(k streamline.Keyed[string]) {
+		counts[k.Value]++
+	})
 	if err := env.Execute(context.Background()); err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,15 @@
 // user-defined windows and the I2 interactive visualization system with its
 // data-rate-independent M4 time-series aggregation.
 //
+// The importable product surface is the streamline package: a typed,
+// generics-based pipeline API (Stream[T] handles carrying Keyed[T] records)
+// that lowers onto the untyped record engine in internal/core and
+// internal/dataflow. Programs written against it — all examples/ and the
+// CLIs — never perform a type assertion; the optimizer (operator chaining,
+// adaptive combiner insertion, Cutty multi-query window sharing,
+// architecture-sized parallelism) applies to typed plans unchanged.
+//
 // See README.md for the tour, DESIGN.md for the system inventory and
-// experiment index (E1–E10), and EXPERIMENTS.md for recorded results. The
+// experiment index (E1–E11), and EXPERIMENTS.md for recorded results. The
 // benchmarks in bench_test.go regenerate every experiment table.
 package repro

@@ -12,35 +12,39 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/dataflow"
-	"repro/internal/window"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
+
+// impression is one ad view; Click is 1 when it was clicked.
+type impression struct {
+	Campaign uint64
+	Click    float64
+}
 
 func main() {
 	const campaigns = 30
 	gen := workloads.NewAdClicks(31, campaigns, 2000)
 
-	env := core.NewEnvironment(core.WithParallelism(2))
-	results := env.FromGenerator("impressions", 1, 60_000, func(sub, par int, i int64) dataflow.Record {
-		e := gen.At(i)
-		// Value carries the click flag; every record is one impression.
-		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
-	}).
-		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("dashboards",
+	env := streamline.New(streamline.WithParallelism(2))
+	impressions := streamline.FromGenerator(env, "impressions", 1, 60_000,
+		func(sub, par int, i int64) streamline.Keyed[impression] {
+			e := gen.At(i)
+			return streamline.Keyed[impression]{Ts: e.Ts, Value: impression{Campaign: e.Key, Click: float64(e.Attr)}}
+		})
+	perCampaign := streamline.KeyBy(impressions, "campaign", func(im impression) uint64 { return im.Campaign })
+	clicks := streamline.Map(perCampaign, "clicks", func(im impression) float64 { return im.Click })
+	results := streamline.Collect(
+		streamline.WindowAggregate(clicks, "dashboards",
 			// Three dashboard refresh rates + one count per horizon; all six
 			// queries share slicing per campaign.
-			core.WindowedQuery{Window: window.Sliding(5_000, 1_000), Fn: agg.SumF64()},
-			core.WindowedQuery{Window: window.Sliding(5_000, 1_000), Fn: agg.CountF64()},
-			core.WindowedQuery{Window: window.Sliding(15_000, 5_000), Fn: agg.SumF64()},
-			core.WindowedQuery{Window: window.Sliding(15_000, 5_000), Fn: agg.CountF64()},
-			core.WindowedQuery{Window: window.Tumbling(30_000), Fn: agg.SumF64()},
-			core.WindowedQuery{Window: window.Tumbling(30_000), Fn: agg.CountF64()},
-		).
-		Collect("out")
+			streamline.Query(streamline.Sliding(5_000, 1_000), streamline.Sum()),
+			streamline.Query(streamline.Sliding(5_000, 1_000), streamline.Count()),
+			streamline.Query(streamline.Sliding(15_000, 5_000), streamline.Sum()),
+			streamline.Query(streamline.Sliding(15_000, 5_000), streamline.Count()),
+			streamline.Query(streamline.Tumbling(30_000), streamline.Sum()),
+			streamline.Query(streamline.Tumbling(30_000), streamline.Count()),
+		), "out")
 
 	if err := env.Execute(context.Background()); err != nil {
 		log.Fatal(err)
@@ -51,16 +55,15 @@ func main() {
 		campaign uint64
 		start    int64
 	}
-	clicks := map[key]float64{}
+	clicked := map[key]float64{}
 	imps := map[key]float64{}
 	for _, r := range results.Records() {
-		wr := r.Value.(dataflow.WindowResult)
-		k := key{r.Key, wr.Start}
-		switch wr.QueryID {
+		k := key{r.Key, r.Value.Start}
+		switch r.Value.QueryID {
 		case 4:
-			clicks[k] += wr.Value
+			clicked[k] += r.Value.Value
 		case 5:
-			imps[k] += wr.Value
+			imps[k] += r.Value.Value
 		}
 	}
 	type row struct {
@@ -76,7 +79,7 @@ func main() {
 			agg30[k.campaign] = r
 		}
 		r.imps += n
-		r.ctr += clicks[k]
+		r.ctr += clicked[k]
 	}
 	rows := make([]*row, 0, len(agg30))
 	for _, r := range agg30 {
@@ -85,7 +88,12 @@ func main() {
 		}
 		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].ctr > rows[j].ctr })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ctr != rows[j].ctr {
+			return rows[i].ctr > rows[j].ctr
+		}
+		return rows[i].campaign < rows[j].campaign
+	})
 	fmt.Println("top campaigns by CTR (30s tumbling dashboard):")
 	for i, r := range rows {
 		if i >= 8 {

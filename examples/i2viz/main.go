@@ -1,16 +1,20 @@
-// I2 visualization demo (offline): ingest a synthetic signal into the I2
-// history store, then walk through an interactive session — overview, zoom,
-// pan — printing the ASCII rendering and the transfer statistics at every
-// step, including the pixel-exactness check against the raw data.
+// I2 visualization demo (offline): ingest a synthetic signal through a
+// typed streamline pipeline into the I2 history store, then walk through an
+// interactive session — overview, zoom, pan — printing the ASCII rendering
+// and the transfer statistics at every step, including the pixel-exactness
+// check against the raw data.
 //
 //	go run ./examples/i2viz
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"repro/internal/i2"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
 
 func main() {
@@ -22,12 +26,22 @@ func main() {
 	)
 	store := i2.NewStore(n, i2.WithTiers(50, 4, 4))
 	gen := workloads.TimeSeries{Seed: 3, PerSec: rate}
-	raw := make([]i2.Point, n)
-	for i := int64(0); i < n; i++ {
-		e := gen.At(i)
-		p := i2.Point{Ts: e.Ts, V: e.Value}
-		raw[i] = p
-		store.Append(p)
+
+	// Ingest: a bounded signal source feeding the history store — the same
+	// Stream[i2.Point] pipeline would ingest a live unbounded signal.
+	env := streamline.New(streamline.WithParallelism(1))
+	signal := streamline.FromGenerator(env, "signal", 1, n,
+		func(sub, par int, i int64) streamline.Keyed[i2.Point] {
+			e := gen.At(i)
+			return streamline.Keyed[i2.Point]{Ts: e.Ts, Value: i2.Point{Ts: e.Ts, V: e.Value}}
+		})
+	raw := make([]i2.Point, 0, n)
+	streamline.Sink(signal, "ingest", func(k streamline.Keyed[i2.Point]) {
+		raw = append(raw, k.Value)
+		store.Append(k.Value)
+	})
+	if err := env.Execute(context.Background()); err != nil {
+		log.Fatal(err)
 	}
 	first, last := store.Span()
 	fmt.Printf("ingested %d points over %.1fs of signal\n\n", store.Len(), float64(last-first)/1000)

@@ -1,9 +1,10 @@
-// Quickstart: the smallest complete STREAMLINE pipeline.
+// Quickstart: the smallest complete STREAMLINE pipeline, on the typed API.
 //
 // One program, one engine: a bounded generator ("data at rest") flows
-// through keyBy -> windowed aggregation -> sink. Swap the source for an
+// through keyBy -> windowed aggregation -> collect. Swap the source for an
 // unbounded one and nothing else changes — that is the paper's uniform
-// programming model.
+// programming model. Every stage is a streamline.Stream[T]; records are
+// streamline.Keyed[T] values, so no type assertions appear anywhere.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,30 +14,34 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/dataflow"
-	"repro/internal/window"
+	"repro/streamline"
 )
 
+// reading is one sensor sample.
+type reading struct {
+	Sensor uint64
+	Value  float64
+}
+
 func main() {
-	env := core.NewEnvironment(core.WithParallelism(2))
+	env := streamline.New(streamline.WithParallelism(2))
 
 	// 10k sensor readings from 4 sensors, one per millisecond.
-	readings := env.FromGenerator("sensors", 1, 10_000, func(sub, par int, i int64) dataflow.Record {
-		sensor := uint64(i % 4)
-		value := float64(sensor*10) + float64(i%7)
-		return dataflow.Data(i, sensor, value)
-	})
+	readings := streamline.FromGenerator(env, "sensors", 1, 10_000,
+		func(sub, par int, i int64) streamline.Keyed[reading] {
+			sensor := uint64(i % 4)
+			value := float64(sensor*10) + float64(i%7)
+			return streamline.Keyed[reading]{Ts: i, Value: reading{Sensor: sensor, Value: value}}
+		})
 
 	// Per-sensor tumbling 1s averages — Cutty shares the aggregation work
 	// if more queries are added to the same WindowAggregate call.
-	results := readings.
-		KeyBy("sensor", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("avg-1s",
-			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.AvgF64()},
-		).
-		Collect("out")
+	perSensor := streamline.KeyBy(readings, "sensor", func(r reading) uint64 { return r.Sensor })
+	values := streamline.Map(perSensor, "value", func(r reading) float64 { return r.Value })
+	results := streamline.Collect(
+		streamline.WindowAggregate(values, "avg-1s",
+			streamline.Query(streamline.Tumbling(1000), streamline.Avg()),
+		), "out")
 
 	if err := env.Execute(context.Background()); err != nil {
 		log.Fatal(err)
@@ -44,11 +49,10 @@ func main() {
 
 	byWindow := map[int64]map[uint64]float64{}
 	for _, r := range results.Records() {
-		wr := r.Value.(dataflow.WindowResult)
-		if byWindow[wr.Start] == nil {
-			byWindow[wr.Start] = map[uint64]float64{}
+		if byWindow[r.Value.Start] == nil {
+			byWindow[r.Value.Start] = map[uint64]float64{}
 		}
-		byWindow[wr.Start][r.Key] = wr.Value
+		byWindow[r.Value.Start][r.Key] = r.Value.Value
 	}
 	fmt.Printf("windows: %d (10 seconds of data, tumbling 1s, 4 sensors)\n", len(byWindow))
 	for start := int64(0); start < 3000; start += 1000 {

@@ -1,8 +1,7 @@
 // Personalized recommendations — the second STREAMLINE application: a
 // streaming item-popularity and per-user-mean model over a rating stream.
-// The pipeline keeps (a) windowed item rating counts (trending items) and
-// (b) per-user mean ratings via the keyed reduce with adaptive combining;
-// the sink assembles "users who rate high get trending items" suggestions.
+// The pipeline keeps windowed item rating counts and means (trending
+// items); the sink assembles "popular and well-rated" suggestions.
 //
 //	go run ./examples/recommend
 package main
@@ -12,14 +11,16 @@ import (
 	"fmt"
 	"log"
 	"sort"
-	"sync"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/dataflow"
-	"repro/internal/window"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
+
+// rating is one user rating of an item.
+type rating struct {
+	Item  uint64
+	Score float64
+}
 
 func main() {
 	const (
@@ -28,21 +29,22 @@ func main() {
 	)
 	gen := workloads.NewRatings(41, users, items, 2000)
 
-	env := core.NewEnvironment(core.WithParallelism(2))
+	env := streamline.New(streamline.WithParallelism(2))
 
-	// Branch 1: trending items — tumbling 10s rating counts per item.
-	ratings := env.FromGenerator("ratings", 1, 80_000, func(sub, par int, i int64) dataflow.Record {
-		e := gen.At(i)
-		// Re-key by item for popularity; stash the rating as the value.
-		return dataflow.Data(e.Ts, e.Attr, e.Value)
-	})
-	trending := ratings.
-		KeyBy("item", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("popularity",
-			core.WindowedQuery{Window: window.Tumbling(10_000), Fn: agg.CountF64()},
-			core.WindowedQuery{Window: window.Tumbling(10_000), Fn: agg.AvgF64()},
-		).
-		Collect("trending")
+	// Trending items — tumbling 10s rating counts and means per item.
+	ratings := streamline.FromGenerator(env, "ratings", 1, 80_000,
+		func(sub, par int, i int64) streamline.Keyed[rating] {
+			e := gen.At(i)
+			// Key by item for popularity; the score rides in the value.
+			return streamline.Keyed[rating]{Ts: e.Ts, Value: rating{Item: e.Attr, Score: e.Value}}
+		})
+	perItem := streamline.KeyBy(ratings, "item", func(r rating) uint64 { return r.Item })
+	scores := streamline.Map(perItem, "score", func(r rating) float64 { return r.Score })
+	trending := streamline.Collect(
+		streamline.WindowAggregate(scores, "popularity",
+			streamline.Query(streamline.Tumbling(10_000), streamline.Count()),
+			streamline.Query(streamline.Tumbling(10_000), streamline.Avg()),
+		), "trending")
 
 	if err := env.Execute(context.Background()); err != nil {
 		log.Fatal(err)
@@ -54,23 +56,19 @@ func main() {
 		count float64
 		mean  float64
 	}
-	var mu sync.Mutex
 	stats := map[uint64]*itemStat{}
 	for _, r := range trending.Records() {
-		wr := r.Value.(dataflow.WindowResult)
-		mu.Lock()
 		st := stats[r.Key]
 		if st == nil {
 			st = &itemStat{item: r.Key}
 			stats[r.Key] = st
 		}
-		switch wr.QueryID {
+		switch r.Value.QueryID {
 		case 0:
-			st.count += wr.Value
+			st.count += r.Value.Value
 		case 1:
-			st.mean = (st.mean + wr.Value) / 2
+			st.mean = (st.mean + r.Value.Value) / 2
 		}
-		mu.Unlock()
 	}
 	list := make([]*itemStat, 0, len(stats))
 	for _, st := range stats {

@@ -13,12 +13,15 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/dataflow"
-	"repro/internal/window"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
+
+// activity is one user interaction with an engagement score.
+type activity struct {
+	User       uint64
+	Engagement float64
+}
 
 func main() {
 	const users = 40
@@ -27,19 +30,21 @@ func main() {
 		MeanSession: 8, GapMs: 20_000, SessionGapMs: 800,
 	}
 
-	env := core.NewEnvironment(core.WithParallelism(2))
-	sessions := env.FromGenerator("activity", 1, 40_000, func(sub, par int, i int64) dataflow.Record {
-		e := gen.At(i)
-		return dataflow.Data(e.Ts, e.Key, e.Value)
-	}).
-		KeyBy("user", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("sessions",
+	env := streamline.New(streamline.WithParallelism(2))
+	events := streamline.FromGenerator(env, "activity", 1, 40_000,
+		func(sub, par int, i int64) streamline.Keyed[activity] {
+			e := gen.At(i)
+			return streamline.Keyed[activity]{Ts: e.Ts, Value: activity{User: e.Key, Engagement: e.Value}}
+		})
+	perUser := streamline.KeyBy(events, "user", func(a activity) uint64 { return a.User })
+	engagement := streamline.Map(perUser, "engagement", func(a activity) float64 { return a.Engagement })
+	sessions := streamline.Collect(
+		streamline.WindowAggregate(engagement, "sessions",
 			// Mean engagement and event count per session (gap 5s):
 			// both queries share one slice store per key.
-			core.WindowedQuery{Window: window.Session(5000), Fn: agg.AvgF64()},
-			core.WindowedQuery{Window: window.Session(5000), Fn: agg.CountF64()},
-		).
-		Collect("out")
+			streamline.Query(streamline.Session(5000), streamline.Avg()),
+			streamline.Query(streamline.Session(5000), streamline.Count()),
+		), "out")
 
 	if err := env.Execute(context.Background()); err != nil {
 		log.Fatal(err)
@@ -50,16 +55,15 @@ func main() {
 		start int64
 		avg   float64
 	}
-	perUser := map[uint64][]sess{}
+	byUser := map[uint64][]sess{}
 	for _, r := range sessions.Records() {
-		wr := r.Value.(dataflow.WindowResult)
-		if wr.QueryID != 0 { // engagement query
+		if r.Value.QueryID != 0 { // engagement query
 			continue
 		}
-		perUser[r.Key] = append(perUser[r.Key], sess{start: wr.Start, avg: wr.Value})
+		byUser[r.Key] = append(byUser[r.Key], sess{start: r.Value.Start, avg: r.Value.Value})
 	}
 	var atRisk, healthy []uint64
-	for user, ss := range perUser {
+	for user, ss := range byUser {
 		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
 		if len(ss) < 2 {
 			continue
@@ -72,10 +76,10 @@ func main() {
 	}
 	sort.Slice(atRisk, func(i, j int) bool { return atRisk[i] < atRisk[j] })
 	total := 0
-	for _, ss := range perUser {
+	for _, ss := range byUser {
 		total += len(ss)
 	}
-	fmt.Printf("users analysed: %d, sessions: %d\n", len(perUser), total)
+	fmt.Printf("users analysed: %d, sessions: %d\n", len(byUser), total)
 	fmt.Printf("at-risk (declining engagement): %d users %v...\n", len(atRisk), head(atRisk, 8))
 	fmt.Printf("healthy: %d users\n", len(healthy))
 }

@@ -1,7 +1,8 @@
 // Multilingual Web processing — the fourth STREAMLINE application: the
 // same pipeline classifies documents by language and counts per-language
-// token volume, first over a document collection at rest, then over a
-// document stream in motion. The two runs share every operator.
+// volume, first over a document collection at rest, then over a document
+// stream in motion. The two runs share every operator — and on the typed
+// API both are a Stream[string] end to end.
 //
 //	go run ./examples/weblang
 package main
@@ -13,9 +14,8 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/dataflow"
 	"repro/internal/lang"
+	"repro/streamline"
 )
 
 func main() {
@@ -33,16 +33,16 @@ func main() {
 		docs[i] = samples[l][rng.Intn(len(samples[l]))]
 	}
 
-	runPipeline := func(mode string, src *core.Stream, env *core.Environment) map[string]int {
+	runPipeline := func(src *streamline.Stream[string], env *streamline.Env) map[string]int {
 		perLang := map[string]int{}
-		src.
-			Map("detect", func(r dataflow.Record) dataflow.Record {
-				detected, _ := detector.Detect(r.Value.(string))
-				return dataflow.Data(r.Ts, dataflow.KeyOf(detected), detected)
-			}).
-			Sink("count", func(r dataflow.Record) {
-				perLang[r.Value.(string)]++
-			})
+		detected := streamline.Map(src, "detect", func(doc string) string {
+			l, _ := detector.Detect(doc)
+			return l
+		})
+		byLang := streamline.KeyByString(detected, "lang", func(l string) string { return l })
+		streamline.Sink(byLang, "count", func(k streamline.Keyed[string]) {
+			perLang[k.Value]++
+		})
 		if err := env.Execute(context.Background()); err != nil {
 			log.Fatal(err)
 		}
@@ -50,19 +50,16 @@ func main() {
 	}
 
 	// Data at rest: the crawl as a bounded collection.
-	envB := core.NewEnvironment(core.WithParallelism(1))
-	recs := make([]dataflow.Record, len(docs))
-	for i, d := range docs {
-		recs[i] = dataflow.Data(int64(i), 0, d)
-	}
-	atRest := runPipeline("batch", envB.FromRecords("crawl", recs), envB)
+	envB := streamline.New(streamline.WithParallelism(1))
+	atRest := runPipeline(streamline.FromSlice(envB, "crawl", docs), envB)
 
 	// Data in motion: the same documents as a stream.
-	envS := core.NewEnvironment(core.WithParallelism(1))
-	stream := envS.FromGenerator("feed", 1, int64(len(docs)), func(sub, par int, i int64) dataflow.Record {
-		return dataflow.Data(i, 0, docs[i])
-	})
-	inMotion := runPipeline("stream", stream, envS)
+	envS := streamline.New(streamline.WithParallelism(1))
+	feed := streamline.FromGenerator(envS, "feed", 1, int64(len(docs)),
+		func(sub, par int, i int64) streamline.Keyed[string] {
+			return streamline.Keyed[string]{Ts: i, Value: docs[i]}
+		})
+	inMotion := runPipeline(feed, envS)
 
 	// Both runs must agree (unified model), and match ground truth.
 	keys := make([]string, 0, len(atRest))

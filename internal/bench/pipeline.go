@@ -6,35 +6,42 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/dataflow"
-	"repro/internal/state"
-	"repro/internal/window"
 	"repro/internal/workloads"
+	"repro/streamline"
 )
+
+// adClicks lowers one AdClicks event into a typed record: the campaign id
+// rides as the stamped key, the click flag as the float64 payload — keeping
+// the benchmark plan free of projection stages.
+func adClicks(gen *workloads.AdClicks, i int64) streamline.Keyed[float64] {
+	e := gen.At(i)
+	return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: float64(e.Attr)}
+}
+
+// adWindows aggregates an impression stream into the tumbling 1s CTR
+// dashboard (sum of clicks + impression count, shared slicing per campaign).
+func adWindows(src *streamline.Stream[float64], name string) *streamline.Stream[streamline.WindowResult] {
+	keyed := streamline.KeyByRecord(src, "campaign", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	return streamline.WindowAggregate(keyed, name,
+		streamline.Query(streamline.Tumbling(1000), streamline.Sum()),
+		streamline.Query(streamline.Tumbling(1000), streamline.Count()),
+	)
+}
 
 // adPipeline builds the target-advertisement CTR pipeline used by E8/E9:
 // impressions keyed by campaign, tumbling 1s click-through counts.
-func adPipeline(env *core.Environment, n int64, perSec float64) *dataflow.CollectSink {
+func adPipeline(env *streamline.Env, n int64, perSec float64) *streamline.Results[streamline.WindowResult] {
 	gen := workloads.NewAdClicks(99, 50, 1000)
-	var src *core.Stream
-	mk := func(sub, par int, i int64) dataflow.Record {
-		e := gen.At(i*int64(par) + int64(sub))
-		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
+	mk := func(sub, par int, i int64) streamline.Keyed[float64] {
+		return adClicks(gen, i*int64(par)+int64(sub))
 	}
+	var src *streamline.Stream[float64]
 	if perSec > 0 {
-		src = env.FromPacedGenerator("ads", 1, n, perSec, mk)
+		src = streamline.FromPacedGenerator(env, "ads", 1, n, perSec, mk)
 	} else {
-		src = env.FromGenerator("ads", 1, n, mk)
+		src = streamline.FromGenerator(env, "ads", 1, n, mk)
 	}
-	return src.
-		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("ctr",
-			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
-			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
-		).
-		Collect("out")
+	return streamline.Collect(adWindows(src, "ctr"), "out")
 }
 
 // E8Unified compares the unified continuous pipeline against the simulated
@@ -54,7 +61,7 @@ func E8Unified(quick bool) *Table {
 	// Batch runs: same program, bounded input ("data at rest").
 	var batchRuntimes []time.Duration
 	for _, n := range sizes {
-		env := core.NewEnvironment(core.WithParallelism(2))
+		env := streamline.New(streamline.WithParallelism(2))
 		sink := adPipeline(env, n, 0)
 		start := time.Now()
 		if err := env.Execute(context.Background()); err != nil {
@@ -74,26 +81,20 @@ func E8Unified(quick bool) *Table {
 	if quick {
 		n = 2000
 	}
-	env := core.NewEnvironment(core.WithParallelism(2))
+	env := streamline.New(streamline.WithParallelism(2))
 	gen := workloads.NewAdClicks(99, 50, 1000)
 	var lat []time.Duration
 	start := time.Now()
-	env.FromPacedGenerator("ads", 1, n, 1000, func(sub, par int, i int64) dataflow.Record {
-		e := gen.At(i)
-		return dataflow.Data(e.Ts, e.Key, float64(e.Attr))
-	}).
-		KeyBy("campaign", func(r dataflow.Record) uint64 { return r.Key }).
-		WindowAggregate("ctr",
-			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.SumF64()},
-			core.WindowedQuery{Window: window.Tumbling(1000), Fn: agg.CountF64()},
-		).
-		Sink("fresh", func(r dataflow.Record) {
-			wr := r.Value.(dataflow.WindowResult)
-			fresh := time.Since(start) - time.Duration(wr.End)*time.Millisecond
-			if fresh > 0 && wr.End < int64(n) { // skip the end-of-stream flush
-				lat = append(lat, fresh)
-			}
+	live := streamline.FromPacedGenerator(env, "ads", 1, n, 1000,
+		func(sub, par int, i int64) streamline.Keyed[float64] {
+			return adClicks(gen, i)
 		})
+	streamline.Sink(adWindows(live, "ctr"), "fresh", func(k streamline.Keyed[streamline.WindowResult]) {
+		fresh := time.Since(start) - time.Duration(k.Value.End)*time.Millisecond
+		if fresh > 0 && k.Value.End < int64(n) { // skip the end-of-stream flush
+			lat = append(lat, fresh)
+		}
+	})
 	if err := env.Execute(context.Background()); err != nil {
 		t.Note("continuous run failed: %v", err)
 	}
@@ -136,11 +137,11 @@ func E9Checkpoint(quick bool) *Table {
 	}
 	var base time.Duration
 	for _, interval := range []time.Duration{0, time.Second, 250 * time.Millisecond, 50 * time.Millisecond} {
-		opts := []core.Option{core.WithParallelism(2)}
+		opts := []streamline.Option{streamline.WithParallelism(2)}
 		if interval > 0 {
-			opts = append(opts, core.WithCheckpointing(state.NewMemoryBackend(3), interval))
+			opts = append(opts, streamline.WithCheckpointing(streamline.NewMemoryBackend(3), interval))
 		}
-		env := core.NewEnvironment(opts...)
+		env := streamline.New(opts...)
 		adPipeline(env, n, 0)
 		start := time.Now()
 		if err := env.Execute(context.Background()); err != nil {
@@ -181,17 +182,15 @@ func E10Optimizer(quick bool) *Table {
 
 	// Chaining: a map-heavy linear pipeline.
 	chainRun := func(on bool) time.Duration {
-		env := core.NewEnvironment(core.WithParallelism(1), core.WithChaining(on))
-		s := env.FromGenerator("gen", 1, n, func(sub, par int, i int64) dataflow.Record {
-			return dataflow.Data(i, uint64(i%64), float64(i%101))
-		})
-		for k := 0; k < 4; k++ {
-			s = s.Map(fmt.Sprintf("m%d", k), func(r dataflow.Record) dataflow.Record {
-				r.Value = r.Value.(float64) + 1
-				return r
+		env := streamline.New(streamline.WithParallelism(1), streamline.WithChaining(on))
+		s := streamline.FromGenerator(env, "gen", 1, n,
+			func(sub, par int, i int64) streamline.Keyed[float64] {
+				return streamline.Keyed[float64]{Ts: i, Key: uint64(i % 64), Value: float64(i % 101)}
 			})
+		for k := 0; k < 4; k++ {
+			s = streamline.Map(s, fmt.Sprintf("m%d", k), func(v float64) float64 { return v + 1 })
 		}
-		s.Sink("out", func(dataflow.Record) {})
+		streamline.Sink(s, "out", func(streamline.Keyed[float64]) {})
 		start := time.Now()
 		if err := env.Execute(context.Background()); err != nil {
 			return 0
@@ -208,16 +207,17 @@ func E10Optimizer(quick bool) *Table {
 	}
 
 	// Combiner under skew: reduce-by-key over zipf keys.
-	combRun := func(mode core.CombinerMode, skew float64) time.Duration {
+	combRun := func(mode streamline.CombinerMode, skew float64) time.Duration {
 		gen := workloads.NewZipf(5, 100_000, 10_000, skew)
-		env := core.NewEnvironment(core.WithParallelism(2), core.WithCombiner(mode))
-		env.FromGenerator("gen", 1, n, func(sub, par int, i int64) dataflow.Record {
-			e := gen.At(i)
-			return dataflow.Data(e.Ts, e.Key, e.Value)
-		}).
-			KeyBy("key", func(r dataflow.Record) uint64 { return r.Key }).
-			ReduceByKey("sum", func(acc, v float64) float64 { return acc + v }, false).
-			Sink("out", func(dataflow.Record) {})
+		env := streamline.New(streamline.WithParallelism(2), streamline.WithCombiner(mode))
+		src := streamline.FromGenerator(env, "gen", 1, n,
+			func(sub, par int, i int64) streamline.Keyed[float64] {
+				e := gen.At(i)
+				return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: e.Value}
+			})
+		keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+		sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+		streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
 		start := time.Now()
 		if err := env.Execute(context.Background()); err != nil {
 			return 0
@@ -225,17 +225,17 @@ func E10Optimizer(quick bool) *Table {
 		return time.Since(start)
 	}
 	for _, cfg := range []struct {
-		mode  core.CombinerMode
+		mode  streamline.CombinerMode
 		label string
 		skew  float64
 		wl    string
 	}{
-		{core.CombinerOff, "combiner off", 1.4, "zipf s=1.4"},
-		{core.CombinerOn, "combiner on", 1.4, "zipf s=1.4"},
-		{core.CombinerAuto, "combiner auto", 1.4, "zipf s=1.4"},
-		{core.CombinerOff, "combiner off", 1.0, "uniform keys"},
-		{core.CombinerOn, "combiner on", 1.0, "uniform keys"},
-		{core.CombinerAuto, "combiner auto", 1.0, "uniform keys"},
+		{streamline.CombinerOff, "combiner off", 1.4, "zipf s=1.4"},
+		{streamline.CombinerOn, "combiner on", 1.4, "zipf s=1.4"},
+		{streamline.CombinerAuto, "combiner auto", 1.4, "zipf s=1.4"},
+		{streamline.CombinerOff, "combiner off", 1.0, "uniform keys"},
+		{streamline.CombinerOn, "combiner on", 1.0, "uniform keys"},
+		{streamline.CombinerAuto, "combiner auto", 1.0, "uniform keys"},
 	} {
 		el := combRun(cfg.mode, cfg.skew)
 		t.Add(cfg.label, cfg.wl, el.Round(time.Millisecond).String(), fmtRate(float64(n)/el.Seconds()))
@@ -243,7 +243,7 @@ func E10Optimizer(quick bool) *Table {
 
 	// Parallelism scaling on the windowed pipeline.
 	for _, p := range []int{1, 2} {
-		env := core.NewEnvironment(core.WithParallelism(p))
+		env := streamline.New(streamline.WithParallelism(p))
 		adPipeline(env, n/2, 0)
 		start := time.Now()
 		if err := env.Execute(context.Background()); err != nil {

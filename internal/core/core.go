@@ -169,6 +169,31 @@ func (e *Environment) FromRecords(name string, recs []dataflow.Record) *Stream {
 	return &Stream{env: e, node: n}
 }
 
+// splitCount divides a bounded record count across parallelism subtasks,
+// handing the remainder to the lowest subtask indices. Non-positive counts
+// (unbounded or empty sources) pass through unchanged.
+func splitCount(count int64, subtask, parallelism int) int64 {
+	if count <= 0 {
+		return count
+	}
+	c := count / int64(parallelism)
+	if int64(subtask) < count%int64(parallelism) {
+		c++
+	}
+	return c
+}
+
+// genSource builds the per-subtask GenSource for a generator stream,
+// splitting a bounded count across subtasks.
+func genSource(count int64, gen func(subtask, parallelism int, i int64) dataflow.Record) func(sub, par int) *dataflow.GenSource {
+	return func(sub, par int) *dataflow.GenSource {
+		return &dataflow.GenSource{
+			N:   splitCount(count, sub, par),
+			Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
+		}
+	}
+}
+
 // FromGenerator creates a stream from a deterministic generator. count < 0
 // makes it unbounded (data in motion); otherwise it is a bounded stream that
 // ends — the same plan either way.
@@ -176,18 +201,9 @@ func (e *Environment) FromGenerator(name string, parallelism int, count int64, g
 	if parallelism <= 0 {
 		parallelism = e.parallelism
 	}
+	mk := genSource(count, gen)
 	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
-		c := count
-		if c > 0 {
-			c = count / int64(par)
-			if int64(sub) < count%int64(par) {
-				c++
-			}
-		}
-		return &dataflow.GenSource{
-			N:   c,
-			Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
-		}
+		return mk(sub, par)
 	})
 	return &Stream{env: e, node: n}
 }
@@ -198,21 +214,9 @@ func (e *Environment) FromPacedGenerator(name string, parallelism int, count int
 	if parallelism <= 0 {
 		parallelism = e.parallelism
 	}
+	mk := genSource(count, gen)
 	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
-		c := count
-		if c > 0 {
-			c = count / int64(par)
-			if int64(sub) < count%int64(par) {
-				c++
-			}
-		}
-		return &dataflow.PacedSource{
-			PerSec: perSec,
-			Inner: &dataflow.GenSource{
-				N:   c,
-				Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
-			},
-		}
+		return &dataflow.PacedSource{PerSec: perSec, Inner: mk(sub, par)}
 	})
 	return &Stream{env: e, node: n}
 }

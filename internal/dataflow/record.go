@@ -78,31 +78,30 @@ type WindowResult struct {
 	Count      int64
 }
 
+// FNV-1a parameters shared by every key hash in the engine.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvByte folds one byte into an FNV-1a hash state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
 // Hash64 is the key hash used by hash partitioning (FNV-1a over the 8 key
 // bytes); exposed so tests can predict routing.
 func Hash64(key uint64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := fnvOffset64
 	for i := 0; i < 8; i++ {
-		h ^= (key >> (8 * i)) & 0xff
-		h *= prime64
+		h = fnvByte(h, byte(key>>(8*i)))
 	}
 	return h
 }
 
-// KeyOf hashes an arbitrary string to a partitioning key.
+// KeyOf hashes an arbitrary string to a partitioning key (FNV-1a).
 func KeyOf(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := fnvOffset64
 	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
+		h = fnvByte(h, s[i])
 	}
 	return h
 }

@@ -1,0 +1,35 @@
+// Package streamline is the public, typed surface of the STREAMLINE
+// reproduction: one fluent, generics-based programming model over data at
+// rest and data in motion.
+//
+// A Stream[T] is a handle to one stage of a lazily-built pipeline. Typed
+// operators — Map, Filter, FlatMap, KeyBy, ReduceByKey, WindowAggregate,
+// JoinWindow, Union — derive new streams; Collect and Sink terminate them;
+// Env.Execute runs the whole plan. Whether the source is a bounded slice
+// (data at rest) or an unbounded generator (data in motion), the identical
+// plan runs on the identical pipelined engine.
+//
+// Every typed operator lowers onto the untyped record engine in
+// internal/core and internal/dataflow, boxing values at operator
+// boundaries. The facade therefore inherits the optimizer unchanged:
+// operator chaining, adaptive combiner insertion before hash shuffles,
+// architecture-sized parallelism, and Cutty multi-query window sharing all
+// fire exactly as they do for hand-built untyped plans — a typed layer
+// compiled onto an untyped dataflow, in the tradition of Flink's
+// TypeInformation machinery.
+//
+// The smallest complete pipeline:
+//
+//	env := streamline.New(streamline.WithParallelism(2))
+//	nums := streamline.FromSlice(env, "nums", []float64{1, 2, 3, 4})
+//	keyed := streamline.KeyBy(nums, "parity", func(v float64) uint64 { return uint64(v) % 2 })
+//	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+//	out := streamline.Collect(sums, "out")
+//	if err := env.Execute(context.Background()); err != nil { ... }
+//	for _, k := range out.Records() { // []streamline.Keyed[float64]
+//		fmt.Println(k.Key, k.Value)
+//	}
+//
+// User-visible records are Keyed[T] values — no type assertions required
+// anywhere downstream of a typed source.
+package streamline

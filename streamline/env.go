@@ -1,0 +1,73 @@
+package streamline
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Env owns a pipeline under construction and its execution options. It is a
+// thin typed veneer over core.Environment; one Env builds one job.
+type Env struct {
+	core *core.Environment
+}
+
+// Option configures an Env at construction.
+type Option = core.Option
+
+// CombinerMode controls automatic pre-aggregation before hash shuffles.
+type CombinerMode = core.CombinerMode
+
+// Combiner modes, re-exported so pipelines need only this package.
+const (
+	// CombinerAuto samples the key distribution at runtime and enables
+	// combining when it is profitable (the default).
+	CombinerAuto = core.CombinerAuto
+	// CombinerOn always pre-aggregates.
+	CombinerOn = core.CombinerOn
+	// CombinerOff never pre-aggregates (ablation baseline).
+	CombinerOff = core.CombinerOff
+)
+
+// Backend persists checkpoints for exactly-once recovery.
+type Backend = state.Backend
+
+// WithParallelism sets the default operator parallelism. Zero (default)
+// means "adapt to the architecture": the machine's CPU count, capped at 4.
+func WithParallelism(p int) Option { return core.WithParallelism(p) }
+
+// WithChaining toggles operator chaining (default on).
+func WithChaining(on bool) Option { return core.WithChaining(on) }
+
+// WithCombiner sets the combiner mode (default CombinerAuto).
+func WithCombiner(m CombinerMode) Option { return core.WithCombiner(m) }
+
+// WithCheckpointing enables asynchronous barrier snapshots on the given
+// backend at the given interval.
+func WithCheckpointing(b Backend, every time.Duration) Option {
+	return core.WithCheckpointing(b, every)
+}
+
+// NewMemoryBackend returns an in-memory checkpoint backend retaining the
+// last `retain` snapshots (0 keeps all).
+func NewMemoryBackend(retain int) Backend { return state.NewMemoryBackend(retain) }
+
+// New returns an empty pipeline environment.
+func New(opts ...Option) *Env {
+	return &Env{core: core.NewEnvironment(opts...)}
+}
+
+// Execute runs the pipeline to completion (bounded sources) or until the
+// context is cancelled (unbounded sources).
+func (e *Env) Execute(ctx context.Context) error { return e.core.Execute(ctx) }
+
+// CompletedCheckpoints reports the number of persisted checkpoints of the
+// last Execute call.
+func (e *Env) CompletedCheckpoints() int64 { return e.core.CompletedCheckpoints() }
+
+// Core exposes the untyped lowering environment this Env builds onto —
+// the escape hatch for diagnostics, plan inspection, and tests that
+// compare typed plans against hand-built untyped ones.
+func (e *Env) Core() *core.Environment { return e.core }

@@ -1,0 +1,45 @@
+package streamline
+
+import "repro/internal/dataflow"
+
+// FromSlice creates a bounded stream from an in-memory slice (data at
+// rest), read by a single source subtask in order. Element i carries event
+// timestamp i; keys are assigned by a later KeyBy.
+func FromSlice[T any](env *Env, name string, items []T) *Stream[T] {
+	recs := make([]dataflow.Record, len(items))
+	for i, v := range items {
+		recs[i] = dataflow.Data(int64(i), 0, v)
+	}
+	return &Stream[T]{env: env, inner: env.core.FromRecords(name, recs)}
+}
+
+// FromKeyedSlice creates a bounded stream from records carrying explicit
+// timestamps and keys.
+func FromKeyedSlice[T any](env *Env, name string, items []Keyed[T]) *Stream[T] {
+	recs := make([]dataflow.Record, len(items))
+	for i, k := range items {
+		recs[i] = box(k)
+	}
+	return &Stream[T]{env: env, inner: env.core.FromRecords(name, recs)}
+}
+
+// FromGenerator creates a stream from a deterministic generator. count < 0
+// makes it unbounded (data in motion); otherwise it is a bounded stream
+// that ends — the same plan either way. gen computes the i-th record of the
+// given subtask; parallelism <= 0 uses the environment default.
+func FromGenerator[T any](env *Env, name string, parallelism int, count int64, gen func(subtask, parallelism int, i int64) Keyed[T]) *Stream[T] {
+	inner := env.core.FromGenerator(name, parallelism, count, func(sub, par int, i int64) dataflow.Record {
+		return box(gen(sub, par, i))
+	})
+	return &Stream[T]{env: env, inner: inner}
+}
+
+// FromPacedGenerator is FromGenerator throttled to perSec records per
+// second per subtask — the live-stream simulation used by the latency
+// experiments.
+func FromPacedGenerator[T any](env *Env, name string, parallelism int, count int64, perSec float64, gen func(subtask, parallelism int, i int64) Keyed[T]) *Stream[T] {
+	inner := env.core.FromPacedGenerator(name, parallelism, count, perSec, func(sub, par int, i int64) dataflow.Record {
+		return box(gen(sub, par, i))
+	})
+	return &Stream[T]{env: env, inner: inner}
+}

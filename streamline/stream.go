@@ -1,0 +1,193 @@
+package streamline
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+)
+
+// Keyed is the user-visible record of a typed stream: an event timestamp, a
+// partitioning key, and a payload of the stream's element type. It is the
+// typed rendering of the engine's untyped record.
+type Keyed[T any] struct {
+	// Ts is the event timestamp in event-time ticks (milliseconds in the
+	// examples and experiments).
+	Ts int64
+	// Key is the partitioning key (meaningful after KeyBy).
+	Key uint64
+	// Value is the payload.
+	Value T
+}
+
+// Stream is a typed handle to one stage of a pipeline — the unified
+// abstraction over data at rest and data in motion. All transformations
+// derive new streams; none execute until Env.Execute. Each typed operator
+// lowers to the untyped record plan, so the optimizer (chaining, combiner
+// insertion, Cutty sharing) applies unchanged.
+type Stream[T any] struct {
+	env   *Env
+	inner *core.Stream
+}
+
+// box converts a typed record to the engine representation.
+func box[T any](k Keyed[T]) dataflow.Record {
+	return dataflow.Data(k.Ts, k.Key, k.Value)
+}
+
+// unbox converts an engine record back to its typed form. It panics on a
+// payload of the wrong type, which indicates a bug in the lowering layer —
+// typed plans never mix payload types on one edge.
+func unbox[T any](r dataflow.Record) Keyed[T] {
+	return Keyed[T]{Ts: r.Ts, Key: r.Key, Value: r.Value.(T)}
+}
+
+// Inner exposes the untyped stream this handle lowers to (diagnostics and
+// interop with internal/core builders).
+func (s *Stream[T]) Inner() *core.Stream { return s.inner }
+
+// Map derives a stream by applying f to every element. Timestamps and keys
+// are preserved.
+func Map[T, U any](s *Stream[T], name string, f func(T) U) *Stream[U] {
+	inner := s.inner.Map(name, func(r dataflow.Record) dataflow.Record {
+		r.Value = f(r.Value.(T))
+		return r
+	})
+	return &Stream[U]{env: s.env, inner: inner}
+}
+
+// Filter derives a stream keeping elements for which f returns true.
+func Filter[T any](s *Stream[T], name string, f func(T) bool) *Stream[T] {
+	inner := s.inner.Filter(name, func(r dataflow.Record) bool {
+		return f(r.Value.(T))
+	})
+	return &Stream[T]{env: s.env, inner: inner}
+}
+
+// Emitter receives the elements a FlatMap function produces. Emitted
+// elements inherit the input record's timestamp and key unless EmitAt is
+// used. It is passed by value — per-record, no heap allocation.
+type Emitter[U any] struct {
+	ts  int64
+	key uint64
+	out dataflow.Collector
+}
+
+// Emit sends one element downstream with the input's timestamp and key.
+func (e Emitter[U]) Emit(v U) { e.out.Collect(dataflow.Data(e.ts, e.key, v)) }
+
+// EmitAt sends one element downstream with an explicit timestamp; the key
+// is still inherited from the input record.
+func (e Emitter[U]) EmitAt(ts int64, v U) { e.out.Collect(dataflow.Data(ts, e.key, v)) }
+
+// FlatMap derives a stream where f may emit any number of elements per
+// input.
+func FlatMap[T, U any](s *Stream[T], name string, f func(T, Emitter[U])) *Stream[U] {
+	inner := s.inner.FlatMap(name, func(r dataflow.Record, out dataflow.Collector) {
+		f(r.Value.(T), Emitter[U]{ts: r.Ts, key: r.Key, out: out})
+	})
+	return &Stream[U]{env: s.env, inner: inner}
+}
+
+// KeyBy re-keys every element with keyFn. The next shuffling transformation
+// (ReduceByKey, WindowAggregate, JoinWindow) partitions by this key.
+func KeyBy[T any](s *Stream[T], name string, keyFn func(T) uint64) *Stream[T] {
+	inner := s.inner.KeyBy(name, func(r dataflow.Record) uint64 {
+		return keyFn(r.Value.(T))
+	})
+	return &Stream[T]{env: s.env, inner: inner}
+}
+
+// KeyByRecord re-keys every element with keyFn, which sees the full Keyed
+// record — timestamp and currently stamped key included. Use it when the
+// source already stamps a meaningful key; KeyBy is the value-only form.
+func KeyByRecord[T any](s *Stream[T], name string, keyFn func(Keyed[T]) uint64) *Stream[T] {
+	inner := s.inner.KeyBy(name, func(r dataflow.Record) uint64 {
+		return keyFn(unbox[T](r))
+	})
+	return &Stream[T]{env: s.env, inner: inner}
+}
+
+// KeyByString re-keys every element by hashing the string keyFn extracts
+// (FNV-1a, via the engine's KeyOf).
+func KeyByString[T any](s *Stream[T], name string, keyFn func(T) string) *Stream[T] {
+	return KeyBy(s, name, func(v T) uint64 { return dataflow.KeyOf(keyFn(v)) })
+}
+
+// KeyOf hashes an arbitrary string to a partitioning key — the same hash
+// KeyByString applies, exposed for callers that pre-compute keys.
+func KeyOf(s string) uint64 { return dataflow.KeyOf(s) }
+
+// ReduceByKey aggregates float64 elements per key with the associative,
+// commutative function f. In bounded execution it emits one element per key
+// at the end; in continuous mode (emitEach) it emits every update. The
+// optimizer inserts a combiner before the shuffle according to the
+// environment's CombinerMode.
+func ReduceByKey(s *Stream[float64], name string, f func(acc, v float64) float64, emitEach bool) *Stream[float64] {
+	return &Stream[float64]{env: s.env, inner: s.inner.ReduceByKey(name, f, emitEach)}
+}
+
+// JoinedPair is one match of a windowed equi-join: the left and right
+// values that shared a key within one tumbling window.
+type JoinedPair[L, R any] struct {
+	WindowStart int64
+	WindowEnd   int64
+	Left        L
+	Right       R
+}
+
+// JoinWindow equi-joins this stream (left) with other (right) on the
+// element key within tumbling event-time windows of the given size. Both
+// streams must be keyed (KeyBy first). The engine's join operates on
+// float64 payloads, so both sides are Stream[float64]. Unlike the other
+// operators, the lowering appends one re-typing map stage after the join;
+// it sits on a forward edge, so chaining fuses it into the join subtask.
+func JoinWindow(s *Stream[float64], name string, other *Stream[float64], size int64) *Stream[JoinedPair[float64, float64]] {
+	joined := s.inner.JoinWindow(name, other.inner, size)
+	// Rebox the engine's pair type into the typed pair on a chained edge.
+	inner := joined.Map(name+"-typed", func(r dataflow.Record) dataflow.Record {
+		p := r.Value.(dataflow.JoinedPair)
+		r.Value = JoinedPair[float64, float64]{
+			WindowStart: p.WindowStart,
+			WindowEnd:   p.WindowEnd,
+			Left:        p.Left,
+			Right:       p.Right,
+		}
+		return r
+	})
+	return &Stream[JoinedPair[float64, float64]]{env: s.env, inner: inner}
+}
+
+// Union merges this stream with others of the same element type (no
+// ordering guarantee).
+func Union[T any](s *Stream[T], name string, others ...*Stream[T]) *Stream[T] {
+	rest := make([]*core.Stream, len(others))
+	for i, o := range others {
+		rest[i] = o.inner
+	}
+	return &Stream[T]{env: s.env, inner: s.inner.Union(name, rest...)}
+}
+
+// Sink terminates the stream invoking f for every element.
+func Sink[T any](s *Stream[T], name string, f func(Keyed[T])) {
+	s.inner.Sink(name, func(r dataflow.Record) { f(unbox[T](r)) })
+}
+
+// Results holds the records a Collect terminal gathered; read it after
+// Env.Execute returns.
+type Results[T any] struct {
+	sink *dataflow.CollectSink
+}
+
+// Records returns everything collected so far, unboxed.
+func (c *Results[T]) Records() []Keyed[T] {
+	recs := c.sink.Records()
+	out := make([]Keyed[T], len(recs))
+	for i, r := range recs {
+		out[i] = unbox[T](r)
+	}
+	return out
+}
+
+// Collect terminates the stream into an in-memory Results handle.
+func Collect[T any](s *Stream[T], name string) *Results[T] {
+	return &Results[T]{sink: s.inner.Collect(name)}
+}
