@@ -229,11 +229,11 @@ func pipelineBench(b *testing.B, n int64, mkOpts func() []streamline.Option) {
 	for i := 0; i < b.N; i++ {
 		env := streamline.New(mkOpts()...)
 		gen := workloads.NewAdClicks(99, 50, 1000)
-		src := streamline.FromGenerator(env, "ads", 1, n,
+		src := streamline.From(env, "ads", streamline.Generator(n,
 			func(sub, par int, j int64) streamline.Keyed[float64] {
 				e := gen.At(j)
 				return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: float64(e.Attr)}
-			})
+			}), streamline.WithSourceParallelism(1))
 		keyed := streamline.KeyByRecord(src, "campaign", func(k streamline.Keyed[float64]) uint64 { return k.Key })
 		wins := streamline.WindowAggregate(keyed, "ctr",
 			streamline.Query(streamline.Tumbling(1000), streamline.Sum()),
@@ -296,11 +296,11 @@ func BenchmarkE10Optimizer(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				gen := workloads.NewZipf(5, 100_000, 10_000, cfg.skew)
 				env := streamline.New(streamline.WithParallelism(2), streamline.WithCombiner(cfg.mode))
-				src := streamline.FromGenerator(env, "gen", 1, n,
+				src := streamline.From(env, "gen", streamline.Generator(n,
 					func(sub, par int, j int64) streamline.Keyed[float64] {
 						e := gen.At(j)
 						return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: e.Value}
-					})
+					}), streamline.WithSourceParallelism(1))
 				keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
 				sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
 				streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
@@ -316,10 +316,10 @@ func BenchmarkE10Optimizer(b *testing.B) {
 			const n = 100_000
 			for i := 0; i < b.N; i++ {
 				env := streamline.New(streamline.WithParallelism(1), streamline.WithChaining(chaining))
-				s := streamline.FromGenerator(env, "gen", 1, n,
+				s := streamline.From(env, "gen", streamline.Generator(n,
 					func(sub, par int, j int64) streamline.Keyed[float64] {
 						return streamline.Keyed[float64]{Ts: j, Key: uint64(j % 64), Value: float64(j % 101)}
-					})
+					}), streamline.WithSourceParallelism(1))
 				for k := 0; k < 4; k++ {
 					s = streamline.Map(s, fmt.Sprintf("m%d", k), func(v float64) float64 { return v + 1 })
 				}

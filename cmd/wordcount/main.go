@@ -39,13 +39,13 @@ func main() {
 			}
 			text = string(data)
 		}
-		words = streamline.FromSlice(env, "file", lang.Tokenize(text))
+		words = streamline.From(env, "file", streamline.Slice(lang.Tokenize(text)))
 	case "stream":
 		sentences := allSentences()
-		feed := streamline.FromGenerator(env, "docs", 1, *docs,
+		feed := streamline.From(env, "docs", streamline.Generator(*docs,
 			func(sub, par int, i int64) streamline.Keyed[string] {
 				return streamline.Keyed[string]{Ts: i, Value: sentences[i%int64(len(sentences))]}
-			})
+			}), streamline.WithSourceParallelism(1))
 		words = streamline.FlatMap(feed, "tokenize", func(doc string, out streamline.Emitter[string]) {
 			for _, w := range lang.Tokenize(doc) {
 				out.Emit(w)

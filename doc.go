@@ -8,13 +8,27 @@
 //
 // The importable product surface is the streamline package: a typed,
 // generics-based pipeline API (Stream[T] handles carrying Keyed[T] records)
-// that lowers onto the untyped record engine in internal/core and
-// internal/dataflow. Programs written against it — all examples/ and the
-// CLIs — never perform a type assertion; the optimizer (operator chaining,
-// adaptive combiner insertion, Cutty multi-query window sharing,
-// architecture-sized parallelism) applies to typed plans unchanged.
+// fed through a composable Source[T] connector API — slices and files for
+// data at rest, channels and generators for data in motion, and the Hybrid
+// connector for the paper's headline scenario, replaying stored history and
+// seamlessly continuing on the live stream. Everything lowers onto the
+// untyped record engine in internal/core and internal/dataflow. Programs
+// written against it — all examples/ and the CLIs — never perform a type
+// assertion; the optimizer (operator chaining, adaptive combiner insertion,
+// Cutty multi-query window sharing, architecture-sized parallelism) applies
+// to typed plans unchanged.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// experiment index (E1–E11), and EXPERIMENTS.md for recorded results. The
-// benchmarks in bench_test.go regenerate every experiment table.
+// The examples tour the application scenarios:
+//
+//   - examples/quickstart — the smallest complete windowed pipeline
+//   - examples/hybrid — at-rest→in-motion handoff: JSONL history replay
+//     into a live channel, one plan across both
+//   - examples/advertising — targeted-advertising CTR dashboards
+//   - examples/retention — session windows for user retention
+//   - examples/recommend — trending items and per-user taste profiles
+//   - examples/weblang — multilingual Web classification, batch == stream
+//   - examples/i2viz — I2/M4 interactive visualization
+//
+// The benchmarks in bench_test.go regenerate every experiment table
+// (E1–E11).
 package repro

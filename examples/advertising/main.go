@@ -27,11 +27,11 @@ func main() {
 	gen := workloads.NewAdClicks(31, campaigns, 2000)
 
 	env := streamline.New(streamline.WithParallelism(2))
-	impressions := streamline.FromGenerator(env, "impressions", 1, 60_000,
+	impressions := streamline.From(env, "impressions", streamline.Generator(60_000,
 		func(sub, par int, i int64) streamline.Keyed[impression] {
 			e := gen.At(i)
 			return streamline.Keyed[impression]{Ts: e.Ts, Value: impression{Campaign: e.Key, Click: float64(e.Attr)}}
-		})
+		}), streamline.WithSourceParallelism(1))
 	perCampaign := streamline.KeyBy(impressions, "campaign", func(im impression) uint64 { return im.Campaign })
 	clicks := streamline.Map(perCampaign, "clicks", func(im impression) float64 { return im.Click })
 	results := streamline.Collect(

@@ -30,11 +30,11 @@ func main() {
 	// Ingest: a bounded signal source feeding the history store — the same
 	// Stream[i2.Point] pipeline would ingest a live unbounded signal.
 	env := streamline.New(streamline.WithParallelism(1))
-	signal := streamline.FromGenerator(env, "signal", 1, n,
+	signal := streamline.From(env, "signal", streamline.Generator(n,
 		func(sub, par int, i int64) streamline.Keyed[i2.Point] {
 			e := gen.At(i)
 			return streamline.Keyed[i2.Point]{Ts: e.Ts, Value: i2.Point{Ts: e.Ts, V: e.Value}}
-		})
+		}), streamline.WithSourceParallelism(1))
 	raw := make([]i2.Point, 0, n)
 	streamline.Sink(signal, "ingest", func(k streamline.Keyed[i2.Point]) {
 		raw = append(raw, k.Value)

@@ -26,13 +26,15 @@ type reading struct {
 func main() {
 	env := streamline.New(streamline.WithParallelism(2))
 
-	// 10k sensor readings from 4 sensors, one per millisecond.
-	readings := streamline.FromGenerator(env, "sensors", 1, 10_000,
+	// 10k sensor readings from 4 sensors, one per millisecond. Generator is
+	// a connector; swapping it for Channel (live) or JSONL (a file of
+	// history) — or a Hybrid of both — changes nothing downstream.
+	readings := streamline.From(env, "sensors", streamline.Generator(10_000,
 		func(sub, par int, i int64) streamline.Keyed[reading] {
 			sensor := uint64(i % 4)
 			value := float64(sensor*10) + float64(i%7)
 			return streamline.Keyed[reading]{Ts: i, Value: reading{Sensor: sensor, Value: value}}
-		})
+		}), streamline.WithSourceParallelism(1))
 
 	// Per-sensor tumbling 1s averages — Cutty shares the aggregation work
 	// if more queries are added to the same WindowAggregate call.

@@ -32,12 +32,12 @@ func main() {
 	env := streamline.New(streamline.WithParallelism(2))
 
 	// Trending items — tumbling 10s rating counts and means per item.
-	ratings := streamline.FromGenerator(env, "ratings", 1, 80_000,
+	ratings := streamline.From(env, "ratings", streamline.Generator(80_000,
 		func(sub, par int, i int64) streamline.Keyed[rating] {
 			e := gen.At(i)
 			// Key by item for popularity; the score rides in the value.
 			return streamline.Keyed[rating]{Ts: e.Ts, Value: rating{Item: e.Attr, Score: e.Value}}
-		})
+		}), streamline.WithSourceParallelism(1))
 	perItem := streamline.KeyBy(ratings, "item", func(r rating) uint64 { return r.Item })
 	scores := streamline.Map(perItem, "score", func(r rating) float64 { return r.Score })
 	trending := streamline.Collect(

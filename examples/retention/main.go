@@ -31,11 +31,11 @@ func main() {
 	}
 
 	env := streamline.New(streamline.WithParallelism(2))
-	events := streamline.FromGenerator(env, "activity", 1, 40_000,
+	events := streamline.From(env, "activity", streamline.Generator(40_000,
 		func(sub, par int, i int64) streamline.Keyed[activity] {
 			e := gen.At(i)
 			return streamline.Keyed[activity]{Ts: e.Ts, Value: activity{User: e.Key, Engagement: e.Value}}
-		})
+		}), streamline.WithSourceParallelism(1))
 	perUser := streamline.KeyBy(events, "user", func(a activity) uint64 { return a.User })
 	engagement := streamline.Map(perUser, "engagement", func(a activity) float64 { return a.Engagement })
 	sessions := streamline.Collect(

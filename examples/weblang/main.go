@@ -51,14 +51,14 @@ func main() {
 
 	// Data at rest: the crawl as a bounded collection.
 	envB := streamline.New(streamline.WithParallelism(1))
-	atRest := runPipeline(streamline.FromSlice(envB, "crawl", docs), envB)
+	atRest := runPipeline(streamline.From(envB, "crawl", streamline.Slice(docs)), envB)
 
 	// Data in motion: the same documents as a stream.
 	envS := streamline.New(streamline.WithParallelism(1))
-	feed := streamline.FromGenerator(envS, "feed", 1, int64(len(docs)),
+	feed := streamline.From(envS, "feed", streamline.Generator(int64(len(docs)),
 		func(sub, par int, i int64) streamline.Keyed[string] {
 			return streamline.Keyed[string]{Ts: i, Value: docs[i]}
-		})
+		}), streamline.WithSourceParallelism(1))
 	inMotion := runPipeline(feed, envS)
 
 	// Both runs must agree (unified model), and match ground truth.

@@ -35,12 +35,11 @@ func adPipeline(env *streamline.Env, n int64, perSec float64) *streamline.Result
 	mk := func(sub, par int, i int64) streamline.Keyed[float64] {
 		return adClicks(gen, i*int64(par)+int64(sub))
 	}
-	var src *streamline.Stream[float64]
+	conn := streamline.Source[float64](streamline.Generator(n, mk))
 	if perSec > 0 {
-		src = streamline.FromPacedGenerator(env, "ads", 1, n, perSec, mk)
-	} else {
-		src = streamline.FromGenerator(env, "ads", 1, n, mk)
+		conn = streamline.Paced(conn, perSec)
 	}
+	src := streamline.From(env, "ads", conn, streamline.WithSourceParallelism(1))
 	return streamline.Collect(adWindows(src, "ctr"), "out")
 }
 
@@ -85,10 +84,11 @@ func E8Unified(quick bool) *Table {
 	gen := workloads.NewAdClicks(99, 50, 1000)
 	var lat []time.Duration
 	start := time.Now()
-	live := streamline.FromPacedGenerator(env, "ads", 1, n, 1000,
-		func(sub, par int, i int64) streamline.Keyed[float64] {
+	live := streamline.From(env, "ads",
+		streamline.Paced(streamline.Generator(n, func(sub, par int, i int64) streamline.Keyed[float64] {
 			return adClicks(gen, i)
-		})
+		}), 1000),
+		streamline.WithSourceParallelism(1))
 	streamline.Sink(adWindows(live, "ctr"), "fresh", func(k streamline.Keyed[streamline.WindowResult]) {
 		fresh := time.Since(start) - time.Duration(k.Value.End)*time.Millisecond
 		if fresh > 0 && k.Value.End < int64(n) { // skip the end-of-stream flush
@@ -183,10 +183,10 @@ func E10Optimizer(quick bool) *Table {
 	// Chaining: a map-heavy linear pipeline.
 	chainRun := func(on bool) time.Duration {
 		env := streamline.New(streamline.WithParallelism(1), streamline.WithChaining(on))
-		s := streamline.FromGenerator(env, "gen", 1, n,
+		s := streamline.From(env, "gen", streamline.Generator(n,
 			func(sub, par int, i int64) streamline.Keyed[float64] {
 				return streamline.Keyed[float64]{Ts: i, Key: uint64(i % 64), Value: float64(i % 101)}
-			})
+			}), streamline.WithSourceParallelism(1))
 		for k := 0; k < 4; k++ {
 			s = streamline.Map(s, fmt.Sprintf("m%d", k), func(v float64) float64 { return v + 1 })
 		}
@@ -210,11 +210,11 @@ func E10Optimizer(quick bool) *Table {
 	combRun := func(mode streamline.CombinerMode, skew float64) time.Duration {
 		gen := workloads.NewZipf(5, 100_000, 10_000, skew)
 		env := streamline.New(streamline.WithParallelism(2), streamline.WithCombiner(mode))
-		src := streamline.FromGenerator(env, "gen", 1, n,
+		src := streamline.From(env, "gen", streamline.Generator(n,
 			func(sub, par int, i int64) streamline.Keyed[float64] {
 				e := gen.At(i)
 				return streamline.Keyed[float64]{Ts: e.Ts, Key: e.Key, Value: e.Value}
-			})
+			}), streamline.WithSourceParallelism(1))
 		keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
 		sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
 		streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})

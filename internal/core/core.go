@@ -111,6 +111,11 @@ func (e *Environment) fail(err error) {
 	}
 }
 
+// Fail records a pipeline construction error; Execute will return the first
+// one. Typed facades layered over this environment use it to surface their
+// own build-time failures through the same channel.
+func (e *Environment) Fail(err error) { e.fail(err) }
+
 // Execute runs the pipeline to completion (bounded sources) or until the
 // context is cancelled (unbounded sources).
 func (e *Environment) Execute(ctx context.Context) error {
@@ -162,17 +167,30 @@ type Stream struct {
 	keyed bool
 }
 
-// FromRecords creates a bounded stream from in-memory records (data at
-// rest). Records are split across source subtasks round-robin.
-func (e *Environment) FromRecords(name string, recs []dataflow.Record) *Stream {
-	n := e.graph.AddSource(name, 1, dataflow.SliceSource(recs))
+// FromSource creates a stream from a pluggable source connector: the
+// factory builds one reader per subtask. This is the single entry point
+// every specialized constructor (records, generators, channels, files,
+// hybrid history→live compositions) lowers through. parallelism <= 0 uses
+// the environment default.
+func (e *Environment) FromSource(name string, parallelism int, f dataflow.SourceFactory) *Stream {
+	if parallelism <= 0 {
+		parallelism = e.parallelism
+	}
+	n := e.graph.AddSource(name, parallelism, f)
 	return &Stream{env: e, node: n}
 }
 
-// splitCount divides a bounded record count across parallelism subtasks,
+// FromRecords creates a bounded stream from in-memory records (data at
+// rest). Records are split across the source's subtasks round-robin; the
+// source runs at the environment's default parallelism.
+func (e *Environment) FromRecords(name string, recs []dataflow.Record) *Stream {
+	return e.FromSource(name, 0, dataflow.SliceSource(recs))
+}
+
+// SplitCount divides a bounded record count across parallelism subtasks,
 // handing the remainder to the lowest subtask indices. Non-positive counts
 // (unbounded or empty sources) pass through unchanged.
-func splitCount(count int64, subtask, parallelism int) int64 {
+func SplitCount(count int64, subtask, parallelism int) int64 {
 	if count <= 0 {
 		return count
 	}
@@ -188,7 +206,7 @@ func splitCount(count int64, subtask, parallelism int) int64 {
 func genSource(count int64, gen func(subtask, parallelism int, i int64) dataflow.Record) func(sub, par int) *dataflow.GenSource {
 	return func(sub, par int) *dataflow.GenSource {
 		return &dataflow.GenSource{
-			N:   splitCount(count, sub, par),
+			N:   SplitCount(count, sub, par),
 			Gen: func(i int64) dataflow.Record { return gen(sub, par, i) },
 		}
 	}
@@ -198,27 +216,19 @@ func genSource(count int64, gen func(subtask, parallelism int, i int64) dataflow
 // makes it unbounded (data in motion); otherwise it is a bounded stream that
 // ends — the same plan either way.
 func (e *Environment) FromGenerator(name string, parallelism int, count int64, gen func(subtask, parallelism int, i int64) dataflow.Record) *Stream {
-	if parallelism <= 0 {
-		parallelism = e.parallelism
-	}
 	mk := genSource(count, gen)
-	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
+	return e.FromSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
 		return mk(sub, par)
 	})
-	return &Stream{env: e, node: n}
 }
 
 // FromPacedGenerator is FromGenerator throttled to perSec records per second
 // per subtask — the live-stream simulation used by the latency experiments.
 func (e *Environment) FromPacedGenerator(name string, parallelism int, count int64, perSec float64, gen func(subtask, parallelism int, i int64) dataflow.Record) *Stream {
-	if parallelism <= 0 {
-		parallelism = e.parallelism
-	}
 	mk := genSource(count, gen)
-	n := e.graph.AddSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
+	return e.FromSource(name, parallelism, func(sub, par int) dataflow.SourceFunc {
 		return &dataflow.PacedSource{PerSec: perSec, Inner: mk(sub, par)}
 	})
-	return &Stream{env: e, node: n}
 }
 
 // Map derives a stream by applying f to every record.

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// FromRecords must honor the environment's default parallelism — the slice
+// source round-robins across subtasks, so pinning it to 1 wasted the
+// machine.
+func TestFromRecordsHonorsEnvParallelism(t *testing.T) {
+	env := NewEnvironment(WithParallelism(3))
+	s := env.FromRecords("src", genRecords(30))
+	if got := s.node.Parallelism; got != 3 {
+		t.Fatalf("FromRecords parallelism = %d, want env default 3", got)
+	}
+	sink := s.
+		KeyBy("key", func(r dataflow.Record) uint64 { return r.Key }).
+		ReduceByKey("sum", func(acc, v float64) float64 { return acc + v }, false).
+		Collect("out")
+	execute(t, env)
+	got := map[uint64]float64{}
+	for _, r := range sink.Records() {
+		got[r.Key] += r.Value.(float64)
+	}
+	want := map[uint64]float64{}
+	for i := 0; i < 30; i++ {
+		want[uint64(i%5)] += float64(i)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("key %d = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+// FromSource is the single lowering entry point: a custom factory plugs in
+// directly, and explicit parallelism overrides the environment default.
+func TestFromSourcePluggableFactory(t *testing.T) {
+	env := NewEnvironment(WithParallelism(2))
+	s := env.FromSource("chan", 1, func(sub, par int) dataflow.SourceFunc {
+		return &dataflow.GenSource{N: 10, Gen: func(i int64) dataflow.Record {
+			return dataflow.Data(i, uint64(i), float64(i))
+		}}
+	})
+	if got := s.node.Parallelism; got != 1 {
+		t.Fatalf("explicit parallelism = %d, want 1", got)
+	}
+	var n int
+	s.Sink("count", func(dataflow.Record) { n++ })
+	execute(t, env)
+	if n != 10 {
+		t.Fatalf("sink saw %d records, want 10", n)
+	}
+}

@@ -552,6 +552,9 @@ func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, con
 		}
 		r, ok := src.Next()
 		if !ok {
+			if err := sourceErr(src); err != nil {
+				return fmt.Errorf("source %q/%d: %w", n.Name, subtask, err)
+			}
 			ch.watermark(math.MaxInt64)
 			if !ch.out.broadcast(Watermark(math.MaxInt64)) {
 				return nil

@@ -1,0 +1,240 @@
+package dataflow
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File sources bring data at rest into the engine as plain streams that
+// end — the same code path as data in motion. Both readers below are
+// replayable by construction: records are addressed by their index in the
+// file, Snapshot captures the next index, and Restore re-scans from the
+// start of the file to that index (files are the cheap-to-reread tier of
+// the at-rest spectrum). Rows are split round-robin across subtasks by
+// global index, like SliceSource.
+
+// maxLineBytes bounds a single line for LineFileSource (4 MiB).
+const maxLineBytes = 4 << 20
+
+// fileCursorState is the snapshot of both file readers: the next global
+// record index to emit from.
+type fileCursorState struct {
+	Next int64
+}
+
+// LineFileSource reads a newline-delimited file, decoding one record per
+// line with Decode — the substrate of the JSONL connector. Lines whose
+// global index is not congruent to Subtask modulo Parallelism are skipped,
+// as are lines Decode rejects with keep=false (blank lines, comments).
+// A Decode error or I/O error ends the stream and surfaces through Err.
+type LineFileSource struct {
+	Path                 string
+	Subtask, Parallelism int
+	// Decode turns one line (without its newline) into a record. The line
+	// buffer is only valid during the call.
+	Decode func(line []byte, index int64) (r Record, keep bool, err error)
+
+	f    *os.File
+	sc   *bufio.Scanner
+	cur  int64 // global index of the next line the scanner returns
+	next int64 // restore target: skip lines below this index
+	err  error
+}
+
+// open (re)opens the file and positions the scanner at the start.
+func (l *LineFileSource) open() bool {
+	f, err := os.Open(l.Path)
+	if err != nil {
+		l.err = fmt.Errorf("line source %q: %w", l.Path, err)
+		return false
+	}
+	l.f = f
+	l.sc = bufio.NewScanner(f)
+	l.sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	l.cur = 0
+	return true
+}
+
+func (l *LineFileSource) close() {
+	if l.f != nil {
+		l.f.Close()
+		l.f, l.sc = nil, nil
+	}
+}
+
+// Next implements SourceFunc.
+func (l *LineFileSource) Next() (Record, bool) {
+	if l.err != nil {
+		return Record{}, false
+	}
+	if l.f == nil && !l.open() {
+		return Record{}, false
+	}
+	par := l.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	for l.sc.Scan() {
+		idx := l.cur
+		l.cur++
+		if idx < l.next || idx%int64(par) != int64(l.Subtask%par) {
+			continue
+		}
+		r, keep, err := l.Decode(l.sc.Bytes(), idx)
+		if err != nil {
+			l.err = fmt.Errorf("line source %q: line %d: %w", l.Path, idx+1, err)
+			l.close()
+			return Record{}, false
+		}
+		if !keep {
+			continue
+		}
+		return r, true
+	}
+	if err := l.sc.Err(); err != nil {
+		l.err = fmt.Errorf("line source %q: %w", l.Path, err)
+	}
+	l.close()
+	return Record{}, false
+}
+
+// Snapshot implements SourceFunc.
+func (l *LineFileSource) Snapshot() ([]byte, error) {
+	next := l.cur
+	if l.f == nil {
+		next = l.next // not started (or restored and not resumed) yet
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(fileCursorState{Next: next})
+	return buf.Bytes(), err
+}
+
+// Restore implements SourceFunc: the file is re-scanned from the start and
+// lines before the snapshot position are skipped.
+func (l *LineFileSource) Restore(blob []byte) error {
+	var s fileCursorState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("line source restore: %w", err)
+	}
+	l.close()
+	l.next, l.err = s.Next, nil
+	return nil
+}
+
+// Err implements Failable.
+func (l *LineFileSource) Err() error { return l.err }
+
+// CSVFileSource reads a CSV file with encoding/csv (quoted fields may span
+// lines), decoding one record per row with Decode — the substrate of the
+// CSV connector. Rows are split round-robin across subtasks by global row
+// index; the header row, when SkipHeader is set, is not indexed.
+type CSVFileSource struct {
+	Path                 string
+	SkipHeader           bool
+	Subtask, Parallelism int
+	// Decode turns one row into a record. The row slice is only valid
+	// during the call.
+	Decode func(row []string, index int64) (r Record, err error)
+
+	f    *os.File
+	rd   *csv.Reader
+	cur  int64
+	next int64
+	err  error
+}
+
+// open (re)opens the file, consuming the header row if configured.
+func (c *CSVFileSource) open() bool {
+	f, err := os.Open(c.Path)
+	if err != nil {
+		c.err = fmt.Errorf("csv source %q: %w", c.Path, err)
+		return false
+	}
+	c.f = f
+	c.rd = csv.NewReader(bufio.NewReader(f))
+	c.rd.FieldsPerRecord = -1
+	c.cur = 0
+	if c.SkipHeader {
+		if _, err := c.rd.Read(); err != nil && err != io.EOF {
+			c.err = fmt.Errorf("csv source %q: header: %w", c.Path, err)
+			c.close()
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CSVFileSource) close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f, c.rd = nil, nil
+	}
+}
+
+// Next implements SourceFunc.
+func (c *CSVFileSource) Next() (Record, bool) {
+	if c.err != nil {
+		return Record{}, false
+	}
+	if c.f == nil && !c.open() {
+		return Record{}, false
+	}
+	par := c.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	for {
+		row, err := c.rd.Read()
+		if err == io.EOF {
+			c.close()
+			return Record{}, false
+		}
+		if err != nil {
+			c.err = fmt.Errorf("csv source %q: %w", c.Path, err)
+			c.close()
+			return Record{}, false
+		}
+		idx := c.cur
+		c.cur++
+		if idx < c.next || idx%int64(par) != int64(c.Subtask%par) {
+			continue
+		}
+		r, err := c.Decode(row, idx)
+		if err != nil {
+			c.err = fmt.Errorf("csv source %q: row %d: %w", c.Path, idx+1, err)
+			c.close()
+			return Record{}, false
+		}
+		return r, true
+	}
+}
+
+// Snapshot implements SourceFunc.
+func (c *CSVFileSource) Snapshot() ([]byte, error) {
+	next := c.cur
+	if c.f == nil {
+		next = c.next
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(fileCursorState{Next: next})
+	return buf.Bytes(), err
+}
+
+// Restore implements SourceFunc.
+func (c *CSVFileSource) Restore(blob []byte) error {
+	var s fileCursorState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("csv source restore: %w", err)
+	}
+	c.close()
+	c.next, c.err = s.Next, nil
+	return nil
+}
+
+// Err implements Failable.
+func (c *CSVFileSource) Err() error { return c.err }

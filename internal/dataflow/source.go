@@ -10,6 +10,8 @@ import (
 // SourceFunc produces the records of a source subtask. Implementations must
 // be replayable for exactly-once recovery: Snapshot captures the read
 // position and Restore resumes from it, re-emitting everything after.
+// Sources backed by inputs that cannot replay (live channels) document the
+// weaker guarantee instead.
 //
 // A SourceFunc may emit Watermark records interleaved with data; the runtime
 // emits the final +inf watermark and end-of-stream marker itself.
@@ -20,6 +22,25 @@ type SourceFunc interface {
 	Snapshot() ([]byte, error)
 	// Restore resumes from a snapshot taken by Snapshot.
 	Restore([]byte) error
+}
+
+// Failable is an optional SourceFunc extension for sources whose input can
+// fail mid-stream (files, networks). Next has no error return — a failing
+// source ends its stream (ok=false) and reports the cause through Err, which
+// the runtime checks at end of stream and surfaces as the job error.
+type Failable interface {
+	// Err returns the error that terminated the stream, or nil if the
+	// stream is still healthy / ended normally.
+	Err() error
+}
+
+// sourceErr returns the terminal error of a source, if it is Failable and
+// failed.
+func sourceErr(src SourceFunc) error {
+	if f, ok := src.(Failable); ok {
+		return f.Err()
+	}
+	return nil
 }
 
 // GenSource is a deterministic generator source: record i is computed by Gen
@@ -109,34 +130,287 @@ func SliceSource(recs []Record) SourceFactory {
 	}
 }
 
-// PacedSource throttles an inner SourceFunc to approximately PerSec records
-// per second (wall clock), used by the latency experiments. Pacing sleeps in
-// small batches to stay efficient at high rates.
-type PacedSource struct {
-	Inner  SourceFunc
-	PerSec float64
-
+// Pacer throttles emissions to approximately perSec per second of wall
+// clock, sleeping until the next emission is due. The schedule is anchored
+// at the first Wait call; Reset re-anchors it (after a recovery restore,
+// pacing must restart from the resume point, not replay the old schedule).
+type Pacer struct {
 	start time.Time
 	count int64
 }
 
-// Next implements SourceFunc.
-func (p *PacedSource) Next() (Record, bool) {
+// Wait sleeps until the next emission is due at the given rate. perSec <= 0
+// waits nothing.
+func (p *Pacer) Wait(perSec float64) {
 	if p.start.IsZero() {
 		p.start = time.Now()
 	}
-	if p.PerSec > 0 {
-		due := p.start.Add(time.Duration(float64(p.count) / p.PerSec * float64(time.Second)))
+	if perSec > 0 {
+		due := p.start.Add(time.Duration(float64(p.count) / perSec * float64(time.Second)))
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
 	}
 	p.count++
+}
+
+// Reset re-anchors the pacing schedule at the next Wait call.
+func (p *Pacer) Reset() { *p = Pacer{} }
+
+// Started reports whether the pacer has begun its schedule (diagnostics).
+func (p *Pacer) Started() bool { return !p.start.IsZero() }
+
+// PacedSource throttles an inner SourceFunc to approximately PerSec records
+// per second (wall clock), used by the latency experiments.
+type PacedSource struct {
+	Inner  SourceFunc
+	PerSec float64
+
+	pacer Pacer
+}
+
+// Next implements SourceFunc.
+func (p *PacedSource) Next() (Record, bool) {
+	p.pacer.Wait(p.PerSec)
 	return p.Inner.Next()
 }
 
 // Snapshot implements SourceFunc.
 func (p *PacedSource) Snapshot() ([]byte, error) { return p.Inner.Snapshot() }
 
+// Restore implements SourceFunc. The pacing schedule is re-anchored: a
+// restored source must emit at PerSec from the resume point onward, not
+// sleep (or burst) to catch up with the pre-crash schedule.
+func (p *PacedSource) Restore(blob []byte) error {
+	p.pacer.Reset()
+	return p.Inner.Restore(blob)
+}
+
+// Err implements Failable by delegation.
+func (p *PacedSource) Err() error { return sourceErr(p.Inner) }
+
+// ChannelSource ingests live records from a Go channel — data in motion that
+// exists only once, pushed by an external producer. A closed channel ends
+// the stream. Watermarks lagging the max seen timestamp by Lag are emitted
+// every WatermarkEvery records (default 64) and whenever the channel stays
+// idle for Poll (default 25ms), so event time keeps advancing and the
+// runtime stays responsive to checkpoints and cancellation while the
+// producer is quiet. Producers may also inject Watermark records directly.
+//
+// A channel cannot be replayed: Snapshot records only the watermark
+// bookkeeping, so recovery resumes at the live position ("at most once" for
+// records consumed before the crash). Exactly-once replay of history belongs
+// to replayable sources — compose both with HybridSource.
+type ChannelSource struct {
+	C <-chan Record
+	// WatermarkEvery controls watermark cadence in records (default 64).
+	WatermarkEvery int64
+	// Lag is the bounded-disorder allowance subtracted from the max seen
+	// timestamp when emitting watermarks.
+	Lag int64
+	// Poll is how long Next waits for a record before emitting an idle
+	// watermark (default 25ms).
+	Poll time.Duration
+
+	emitted   int64
+	maxTs     int64
+	haveTs    bool
+	sinceWM   int64
+	havePend  bool
+	pendingWM int64
+}
+
+type channelSourceState struct {
+	Emitted int64
+	MaxTs   int64
+	HaveTs  bool
+	SinceWM int64
+}
+
+// watermark returns the current watermark value of the source.
+func (c *ChannelSource) watermark() int64 {
+	if !c.haveTs {
+		return minInt64
+	}
+	return c.maxTs - c.Lag
+}
+
+const minInt64 = -1 << 63
+
+// Next implements SourceFunc.
+func (c *ChannelSource) Next() (Record, bool) {
+	if c.havePend {
+		c.havePend = false
+		return Watermark(c.pendingWM), true
+	}
+	// Fast path: a busy producer keeps the channel non-empty, so the idle
+	// timer (an allocation per call) is only armed when it is needed.
+	select {
+	case r, ok := <-c.C:
+		return c.received(r, ok)
+	default:
+	}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	select {
+	case r, ok := <-c.C:
+		return c.received(r, ok)
+	case <-timer.C:
+		return Watermark(c.watermark()), true
+	}
+}
+
+// received folds one channel delivery into the source's bookkeeping.
+func (c *ChannelSource) received(r Record, ok bool) (Record, bool) {
+	if !ok {
+		return Record{}, false
+	}
+	switch r.Kind {
+	case KindWatermark:
+		if r.Ts > c.maxTs || !c.haveTs {
+			c.maxTs, c.haveTs = r.Ts+c.Lag, true
+		}
+		return r, true
+	case KindData:
+		c.emitted++
+		if r.Ts > c.maxTs || !c.haveTs {
+			c.maxTs, c.haveTs = r.Ts, true
+		}
+		every := c.WatermarkEvery
+		if every <= 0 {
+			every = 64
+		}
+		c.sinceWM++
+		if c.sinceWM >= every {
+			c.sinceWM = 0
+			c.havePend = true
+			c.pendingWM = c.watermark()
+		}
+		return r, true
+	default:
+		// Barriers and end markers belong to the runtime, not producers;
+		// drop them and emit the current watermark to keep the loop moving.
+		return Watermark(c.watermark()), true
+	}
+}
+
+// Snapshot implements SourceFunc (watermark bookkeeping only — see the type
+// comment for the recovery semantics of non-replayable channels).
+func (c *ChannelSource) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(channelSourceState{
+		Emitted: c.emitted, MaxTs: c.maxTs, HaveTs: c.haveTs, SinceWM: c.sinceWM,
+	})
+	return buf.Bytes(), err
+}
+
 // Restore implements SourceFunc.
-func (p *PacedSource) Restore(blob []byte) error { return p.Inner.Restore(blob) }
+func (c *ChannelSource) Restore(blob []byte) error {
+	var s channelSourceState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("channel source restore: %w", err)
+	}
+	c.emitted, c.maxTs, c.haveTs, c.sinceWM, c.havePend = s.Emitted, s.MaxTs, s.HaveTs, s.SinceWM, false
+	return nil
+}
+
+// Hybrid phases, in snapshot order.
+const (
+	hybridHistory byte = iota
+	hybridLive
+)
+
+// HybridSource is the at-rest→in-motion handoff: it replays a bounded
+// History source, emits a handoff watermark at the history's max data
+// timestamp the moment history ends, then switches to the Live source — one
+// source stage bootstrapped from stored data and continued on the live
+// stream, the scenario the paper eliminates the Lambda architecture with.
+//
+// The switch is atomic within one Next call, and Snapshot records the phase
+// plus both inner positions, so a checkpoint taken during replay restores
+// into the history phase and still crosses the handoff exactly once.
+//
+// Live records must carry timestamps after the history's max timestamp;
+// older ones arrive late relative to the handoff watermark (standard
+// bounded-disorder semantics apply).
+type HybridSource struct {
+	History SourceFunc
+	Live    SourceFunc
+
+	phase  byte
+	maxTs  int64
+	haveTs bool
+}
+
+type hybridSourceState struct {
+	Phase   byte
+	MaxTs   int64
+	HaveTs  bool
+	History []byte
+	Live    []byte
+}
+
+// Next implements SourceFunc.
+func (h *HybridSource) Next() (Record, bool) {
+	if h.phase == hybridHistory {
+		r, ok := h.History.Next()
+		if ok {
+			if r.Kind == KindData && (r.Ts > h.maxTs || !h.haveTs) {
+				h.maxTs, h.haveTs = r.Ts, true
+			}
+			return r, true
+		}
+		h.phase = hybridLive
+		if h.haveTs {
+			// Handoff: close out event time over the whole history before
+			// the first live record, so history windows can fire.
+			return Watermark(h.maxTs), true
+		}
+	}
+	return h.Live.Next()
+}
+
+// Snapshot implements SourceFunc.
+func (h *HybridSource) Snapshot() ([]byte, error) {
+	hist, err := h.History.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("hybrid history snapshot: %w", err)
+	}
+	live, err := h.Live.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("hybrid live snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(hybridSourceState{
+		Phase: h.phase, MaxTs: h.maxTs, HaveTs: h.haveTs, History: hist, Live: live,
+	})
+	return buf.Bytes(), err
+}
+
+// Restore implements SourceFunc.
+func (h *HybridSource) Restore(blob []byte) error {
+	var s hybridSourceState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("hybrid source restore: %w", err)
+	}
+	if err := h.History.Restore(s.History); err != nil {
+		return fmt.Errorf("hybrid history restore: %w", err)
+	}
+	if err := h.Live.Restore(s.Live); err != nil {
+		return fmt.Errorf("hybrid live restore: %w", err)
+	}
+	h.phase, h.maxTs, h.haveTs = s.Phase, s.MaxTs, s.HaveTs
+	return nil
+}
+
+// Err implements Failable by checking both phases' sources.
+func (h *HybridSource) Err() error {
+	if err := sourceErr(h.History); err != nil {
+		return err
+	}
+	return sourceErr(h.Live)
+}

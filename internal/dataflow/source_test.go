@@ -1,0 +1,473 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/state"
+)
+
+// drainData pulls from a source until end of stream, returning the data
+// records and the watermark values seen, in order.
+func drainData(t *testing.T, src SourceFunc, limit int) (data []Record, wms []int64) {
+	t.Helper()
+	for i := 0; i < limit; i++ {
+		r, ok := src.Next()
+		if !ok {
+			return data, wms
+		}
+		switch r.Kind {
+		case KindData:
+			data = append(data, r)
+		case KindWatermark:
+			wms = append(wms, r.Ts)
+		}
+	}
+	t.Fatalf("source did not end within %d records", limit)
+	return nil, nil
+}
+
+// GenSource restore must drop a pending watermark: the snapshot records the
+// read position, and the watermark belonging to the pre-snapshot record
+// must not resurface after recovery ahead of replayed data.
+func TestGenSourcePendingWatermarkDroppedOnRestore(t *testing.T) {
+	mk := func() *GenSource {
+		return &GenSource{N: 10, WatermarkEvery: 1, Gen: func(i int64) Record {
+			return Data(i, 0, float64(i))
+		}}
+	}
+	src := mk()
+	if r, ok := src.Next(); !ok || r.Kind != KindData {
+		t.Fatalf("first Next = %+v, want data", r)
+	}
+	// A watermark is now pending. Snapshot and restore into a fresh source.
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk()
+	if err := resumed.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := resumed.Next()
+	if !ok || r.Kind != KindData || r.Ts != 1 {
+		t.Fatalf("post-restore Next = %+v ok=%v, want data record 1 (pending watermark must be dropped)", r, ok)
+	}
+}
+
+// PacedSource restore must re-anchor the pacing schedule: after recovery
+// the source emits at PerSec from the resume point instead of sleeping (or
+// bursting) to catch up with the pre-crash schedule.
+func TestPacedSourceRestoreResetsPacing(t *testing.T) {
+	inner := &GenSource{N: 1000, Gen: func(i int64) Record { return Data(i, 0, float64(i)) }}
+	src := &PacedSource{Inner: inner, PerSec: 1_000_000}
+	for i := 0; i < 100; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("source ended early")
+		}
+	}
+	if !src.pacer.Started() {
+		t.Fatalf("pacer did not start its schedule")
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if src.pacer.Started() || src.pacer.count != 0 {
+		t.Fatalf("restore did not reset pacing: started=%v count=%d", src.pacer.Started(), src.pacer.count)
+	}
+	// And the restored schedule must not make the next record wait for the
+	// 100 pre-restore slots: at 10 rec/s that would be 10s; fresh pacing
+	// emits the first record immediately.
+	src.PerSec = 10
+	start := time.Now()
+	if _, ok := src.Next(); !ok {
+		t.Fatalf("source ended early after restore")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("first post-restore record took %v; pacing replayed the old schedule", el)
+	}
+}
+
+func TestChannelSourceEmitsDataAndIdleWatermarks(t *testing.T) {
+	ch := make(chan Record, 8)
+	src := &ChannelSource{C: ch, Poll: 5 * time.Millisecond, WatermarkEvery: 2}
+	ch <- Data(100, 1, 1.0)
+	ch <- Data(200, 2, 2.0)
+
+	r, ok := src.Next()
+	if !ok || r.Kind != KindData || r.Ts != 100 {
+		t.Fatalf("first = %+v, want data ts=100", r)
+	}
+	r, ok = src.Next()
+	if !ok || r.Kind != KindData || r.Ts != 200 {
+		t.Fatalf("second = %+v, want data ts=200", r)
+	}
+	// Cadence watermark after WatermarkEvery=2 records.
+	r, ok = src.Next()
+	if !ok || r.Kind != KindWatermark || r.Ts != 200 {
+		t.Fatalf("third = %+v, want watermark 200", r)
+	}
+	// Idle: the channel is empty, so the poll times out with a watermark.
+	r, ok = src.Next()
+	if !ok || r.Kind != KindWatermark || r.Ts != 200 {
+		t.Fatalf("idle = %+v, want watermark 200", r)
+	}
+	// Closing the channel ends the stream.
+	close(ch)
+	if _, ok := src.Next(); ok {
+		t.Fatalf("closed channel must end the stream")
+	}
+}
+
+func TestChannelSourcePassesProducerWatermarks(t *testing.T) {
+	ch := make(chan Record, 2)
+	src := &ChannelSource{C: ch, Poll: 5 * time.Millisecond}
+	ch <- Watermark(500)
+	r, ok := src.Next()
+	if !ok || r.Kind != KindWatermark || r.Ts != 500 {
+		t.Fatalf("got %+v, want producer watermark 500", r)
+	}
+	// The idle watermark must not regress behind it.
+	r, ok = src.Next()
+	if !ok || r.Kind != KindWatermark || r.Ts != 500 {
+		t.Fatalf("idle after producer watermark = %+v, want watermark 500", r)
+	}
+	close(ch)
+}
+
+// The hybrid handoff: all history records, then a watermark at the
+// history's max timestamp, then live records.
+func TestHybridSourceHandoff(t *testing.T) {
+	history := &GenSource{N: 100, WatermarkEvery: 1000, Gen: func(i int64) Record {
+		return Data(i, 0, float64(i))
+	}}
+	live := &GenSource{N: 50, WatermarkEvery: 1000, Gen: func(i int64) Record {
+		return Data(100+i, 0, float64(100+i))
+	}}
+	src := &HybridSource{History: history, Live: live}
+
+	var seq []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		seq = append(seq, r)
+	}
+	// Locate the handoff watermark.
+	wmAt := -1
+	for i, r := range seq {
+		if r.Kind == KindWatermark && r.Ts == 99 {
+			wmAt = i
+			break
+		}
+	}
+	if wmAt != 100 {
+		t.Fatalf("handoff watermark at position %d, want 100 (after all history)", wmAt)
+	}
+	for i, r := range seq {
+		switch {
+		case i < 100:
+			if r.Kind != KindData || r.Ts != int64(i) {
+				t.Fatalf("position %d = %+v, want history record %d", i, r, i)
+			}
+		case i > 100:
+			if r.Kind != KindData || r.Ts != int64(i-1) {
+				t.Fatalf("position %d = %+v, want live record %d", i, r, i-1)
+			}
+		}
+	}
+	if len(seq) != 151 {
+		t.Fatalf("sequence length %d, want 151 (100 history + watermark + 50 live)", len(seq))
+	}
+}
+
+// mkHybrid builds a replayable hybrid (generator history and generator
+// live) for snapshot/restore tests.
+func mkHybrid() *HybridSource {
+	return &HybridSource{
+		History: &GenSource{N: 60, WatermarkEvery: 1000, Gen: func(i int64) Record {
+			return Data(i, 0, float64(i))
+		}},
+		Live: &GenSource{N: 40, WatermarkEvery: 1000, Gen: func(i int64) Record {
+			return Data(60+i, 0, float64(60+i))
+		}},
+	}
+}
+
+// A snapshot taken in any phase must restore to exactly-once emission of
+// the remaining records, including across the handoff boundary.
+func TestHybridSourceSnapshotRestoreAcrossHandoff(t *testing.T) {
+	for _, consumed := range []int{10, 59, 60, 61, 80} {
+		t.Run(fmt.Sprintf("after%d", consumed), func(t *testing.T) {
+			src := mkHybrid()
+			var first []Record
+			for len(first) < consumed {
+				r, ok := src.Next()
+				if !ok {
+					t.Fatalf("source ended after %d data records", len(first))
+				}
+				if r.Kind == KindData {
+					first = append(first, r)
+				}
+			}
+			blob, err := src.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed := mkHybrid()
+			if err := resumed.Restore(blob); err != nil {
+				t.Fatal(err)
+			}
+			rest, wms := drainData(t, resumed, 1000)
+			seen := map[int64]int{}
+			for _, r := range append(first, rest...) {
+				seen[r.Ts]++
+			}
+			for i := int64(0); i < 100; i++ {
+				if seen[i] != 1 {
+					t.Fatalf("record %d emitted %d times across restore", i, seen[i])
+				}
+			}
+			// The handoff watermark must appear exactly when the snapshot
+			// precedes the phase switch (which happens on the Next call
+			// after history's last record), and not again after it.
+			sawHandoff := false
+			for _, wm := range wms {
+				if wm == 59 {
+					sawHandoff = true
+				}
+			}
+			if consumed <= 60 && !sawHandoff {
+				t.Fatalf("snapshot before handoff: restored run must emit the handoff watermark")
+			}
+			if consumed > 60 && sawHandoff {
+				t.Fatalf("snapshot after handoff: restored run must not re-emit the handoff watermark")
+			}
+		})
+	}
+}
+
+func writeTempFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLineFileSourceSplitsAndRestores(t *testing.T) {
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("v%d", i))
+	}
+	path := writeTempFile(t, "data.txt", strings.Join(lines, "\n")+"\n")
+	decode := func(line []byte, idx int64) (Record, bool, error) {
+		return Data(idx, 0, string(line)), true, nil
+	}
+	mk := func(sub, par int) *LineFileSource {
+		return &LineFileSource{Path: path, Subtask: sub, Parallelism: par, Decode: decode}
+	}
+
+	// Two subtasks must partition the lines exactly.
+	seen := map[int64]string{}
+	for sub := 0; sub < 2; sub++ {
+		data, _ := drainData(t, mk(sub, 2), 100)
+		for _, r := range data {
+			if r.Ts%2 != int64(sub) {
+				t.Fatalf("subtask %d saw line %d", sub, r.Ts)
+			}
+			seen[r.Ts] = r.Value.(string)
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("union covers %d lines, want 20", len(seen))
+	}
+
+	// Snapshot mid-read, restore into a fresh reader: exactly-once union.
+	src := mk(0, 1)
+	var first []Record
+	for i := 0; i < 7; i++ {
+		r, ok := src.Next()
+		if !ok {
+			t.Fatalf("ended early")
+		}
+		first = append(first, r)
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk(0, 1)
+	if err := resumed.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := drainData(t, resumed, 100)
+	if got := len(first) + len(rest); got != 20 {
+		t.Fatalf("restore run total = %d records, want 20", got)
+	}
+	for i, r := range append(first, rest...) {
+		if r.Ts != int64(i) {
+			t.Fatalf("position %d carries line index %d", i, r.Ts)
+		}
+	}
+}
+
+func TestLineFileSourceDecodeErrorFailsJob(t *testing.T) {
+	path := writeTempFile(t, "bad.txt", "ok\nBOOM\nok\n")
+	g := NewGraph("files")
+	src := g.AddSource("lines", 1, func(sub, par int) SourceFunc {
+		return &LineFileSource{Path: path, Subtask: sub, Parallelism: par,
+			Decode: func(line []byte, idx int64) (Record, bool, error) {
+				if string(line) == "BOOM" {
+					return Record{}, false, fmt.Errorf("corrupt line")
+				}
+				return Data(idx, 0, string(line)), true, nil
+			}}
+	})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: src, Part: Rebalance})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := NewJob(g).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "corrupt line") {
+		t.Fatalf("job error = %v, want the decode error surfaced", err)
+	}
+}
+
+func TestCSVFileSourceReadsAndRestores(t *testing.T) {
+	content := "ts,name,value\n" +
+		"10,a,1.5\n" +
+		"20,\"b,with comma\",2.5\n" +
+		"30,c,3.5\n" +
+		"40,d,4.5\n"
+	path := writeTempFile(t, "data.csv", content)
+	mk := func() *CSVFileSource {
+		return &CSVFileSource{Path: path, SkipHeader: true, Subtask: 0, Parallelism: 1,
+			Decode: func(row []string, idx int64) (Record, error) {
+				return Data(idx, 0, row[1]), nil
+			}}
+	}
+	data, _ := drainData(t, mk(), 100)
+	if len(data) != 4 {
+		t.Fatalf("got %d rows, want 4 (header skipped)", len(data))
+	}
+	if data[1].Value.(string) != "b,with comma" {
+		t.Fatalf("quoted field = %q", data[1].Value)
+	}
+
+	src := mk()
+	if _, ok := src.Next(); !ok {
+		t.Fatalf("ended early")
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk()
+	if err := resumed.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := drainData(t, resumed, 100)
+	if len(rest) != 3 {
+		t.Fatalf("post-restore rows = %d, want 3", len(rest))
+	}
+	if rest[0].Value.(string) != "b,with comma" {
+		t.Fatalf("restore resumed at %q, want the second row", rest[0].Value)
+	}
+}
+
+func TestCSVFileSourceMissingFileFailsJob(t *testing.T) {
+	g := NewGraph("missing")
+	src := g.AddSource("csv", 1, func(sub, par int) SourceFunc {
+		return &CSVFileSource{Path: filepath.Join(t.TempDir(), "nope.csv"), Subtask: sub, Parallelism: par,
+			Decode: func(row []string, idx int64) (Record, error) { return Data(idx, 0, row), nil }}
+	})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: src, Part: Rebalance})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := NewJob(g).Run(ctx); err == nil {
+		t.Fatalf("missing file must fail the job")
+	}
+}
+
+// The hybrid source through the engine with checkpointing: kill during the
+// history replay, recover, and the deduplicated results must equal a
+// failure-free run — exactly-once across the handoff boundary.
+func TestHybridSourceCheckpointRecoveryThroughEngine(t *testing.T) {
+	const histN, liveN = 3000, 1000
+	build := func(paced bool, sink *CollectSink) *Graph {
+		g := NewGraph("hybrid-recovery")
+		src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+			var history SourceFunc = &GenSource{N: histN, WatermarkEvery: 16, Gen: func(i int64) Record {
+				return Data(i, uint64(i%4), 1.0)
+			}}
+			if paced {
+				history = &PacedSource{PerSec: 15000, Inner: history}
+			}
+			return &HybridSource{
+				History: history,
+				Live: &GenSource{N: liveN, WatermarkEvery: 16, Gen: func(i int64) Record {
+					return Data(histN+i, uint64(i%4), 1.0)
+				}},
+			}
+		})
+		red := g.AddOperator("sum", 2, func() Operator {
+			return &KeyedReduceOp{F: func(acc, v float64) float64 { return acc + v }}
+		}, Edge{From: src, Part: HashPartition})
+		g.AddOperator("sink", 1, sink.Factory(), Edge{From: red, Part: Rebalance})
+		return g
+	}
+	sums := func(s *CollectSink) map[uint64]float64 {
+		out := map[uint64]float64{}
+		for _, r := range s.Records() {
+			out[r.Key] = r.Value.(float64) // final emission per key wins
+		}
+		return out
+	}
+
+	refSink := &CollectSink{}
+	run(t, build(false, refSink))
+	want := sums(refSink)
+
+	backend := state.NewMemoryBackend(0)
+	crashSink := &CollectSink{}
+	job := NewJob(build(true, crashSink), WithCheckpointing(backend, 20*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	err := job.Run(ctx)
+	cancel()
+	if err == nil {
+		t.Skip("job finished before kill on this machine")
+	}
+	snap, ok := backend.Latest()
+	if !ok {
+		t.Skip("no checkpoint before kill")
+	}
+	recSink := &CollectSink{}
+	job2 := NewJob(build(false, recSink), WithRestore(snap))
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := job2.Run(ctx2); err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	got := sums(recSink)
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %v, want %v (exactly-once across the handoff)", k, got[k], v)
+		}
+	}
+}

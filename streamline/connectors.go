@@ -1,0 +1,438 @@
+package streamline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+)
+
+// Built-in connectors. Each returns a Source[T] for From; they compose —
+// Hybrid(JSONL[...](path), Channel(live)) is a pipeline bootstrapped from a
+// file of history and continued on a live channel, and Paced(src, rate)
+// throttles any connector into a live-stream simulation.
+
+// ---- slices (data at rest) ------------------------------------------------
+
+// Slice returns a bounded in-memory source (data at rest). Element i
+// carries event timestamp i; keys are assigned by a later KeyBy (or a
+// WithTimestamps option). Elements are split round-robin across subtasks.
+func Slice[T any](items []T) Source[T] {
+	return sliceSource[T]{make: func(i int64) Keyed[T] { return Keyed[T]{Ts: i, Value: items[i]} }, n: int64(len(items))}
+}
+
+// KeyedSlice returns a bounded in-memory source of records carrying
+// explicit timestamps and keys, split round-robin across subtasks.
+func KeyedSlice[T any](items []Keyed[T]) Source[T] {
+	return sliceSource[T]{make: func(i int64) Keyed[T] { return items[i] }, n: int64(len(items))}
+}
+
+type sliceSource[T any] struct {
+	make func(i int64) Keyed[T]
+	n    int64
+}
+
+func (s sliceSource[T]) Open(sub, par int) Reader[T] {
+	return &sliceReader[T]{src: s, idx: int64(sub), stride: int64(par)}
+}
+
+// sliceReader walks the global indices of one subtask's round-robin share.
+type sliceReader[T any] struct {
+	src    sliceSource[T]
+	idx    int64 // next global index
+	stride int64
+}
+
+func (r *sliceReader[T]) Next() (Keyed[T], ReadStatus) {
+	if r.idx >= r.src.n {
+		return Keyed[T]{}, ReadEnd
+	}
+	k := r.src.make(r.idx)
+	r.idx += r.stride
+	return k, ReadData
+}
+
+func (r *sliceReader[T]) Snapshot() ([]byte, error) { return encodeCursor(r.idx) }
+
+func (r *sliceReader[T]) Restore(blob []byte) error {
+	idx, err := decodeCursor(blob)
+	if err != nil {
+		return err
+	}
+	r.idx = idx
+	return nil
+}
+
+// ---- generators (at rest or in motion, by count) --------------------------
+
+// Generator returns a deterministic generator source. count < 0 makes it
+// unbounded (data in motion); otherwise it is a bounded source that ends —
+// the same plan either way. gen computes the i-th record of the given
+// subtask; a bounded count is split across subtasks.
+func Generator[T any](count int64, gen func(subtask, parallelism int, i int64) Keyed[T]) Source[T] {
+	return generatorSource[T]{count: count, gen: gen}
+}
+
+type generatorSource[T any] struct {
+	count int64
+	gen   func(sub, par int, i int64) Keyed[T]
+}
+
+func (g generatorSource[T]) Open(sub, par int) Reader[T] {
+	return &generatorReader[T]{
+		n:   core.SplitCount(g.count, sub, par),
+		gen: func(i int64) Keyed[T] { return g.gen(sub, par, i) },
+	}
+}
+
+type generatorReader[T any] struct {
+	n   int64
+	gen func(i int64) Keyed[T]
+	idx int64
+}
+
+func (r *generatorReader[T]) Next() (Keyed[T], ReadStatus) {
+	if r.n >= 0 && r.idx >= r.n {
+		return Keyed[T]{}, ReadEnd
+	}
+	k := r.gen(r.idx)
+	r.idx++
+	return k, ReadData
+}
+
+func (r *generatorReader[T]) Snapshot() ([]byte, error) { return encodeCursor(r.idx) }
+
+func (r *generatorReader[T]) Restore(blob []byte) error {
+	idx, err := decodeCursor(blob)
+	if err != nil {
+		return err
+	}
+	r.idx = idx
+	return nil
+}
+
+// ---- pacing decorator -----------------------------------------------------
+
+// Paced throttles any source to approximately perSec records per second per
+// subtask (wall clock) — the live-stream simulation used by the latency
+// experiments, now composable over every connector.
+func Paced[T any](src Source[T], perSec float64) Source[T] {
+	return pacedSource[T]{inner: src, perSec: perSec}
+}
+
+type pacedSource[T any] struct {
+	inner  Source[T]
+	perSec float64
+}
+
+func (p pacedSource[T]) Open(sub, par int) Reader[T] {
+	return &pacedReader[T]{inner: p.inner.Open(sub, par), perSec: p.perSec}
+}
+
+type pacedReader[T any] struct {
+	inner  Reader[T]
+	perSec float64
+	pacer  dataflow.Pacer
+}
+
+func (r *pacedReader[T]) Next() (Keyed[T], ReadStatus) {
+	r.pacer.Wait(r.perSec)
+	return r.inner.Next()
+}
+
+func (r *pacedReader[T]) Snapshot() ([]byte, error) { return r.inner.Snapshot() }
+
+// Restore re-anchors the pacing schedule: a restored source emits at perSec
+// from the resume point, it does not sleep (or burst) to catch up with the
+// pre-crash schedule.
+func (r *pacedReader[T]) Restore(blob []byte) error {
+	r.pacer.Reset()
+	return r.inner.Restore(blob)
+}
+
+func (r *pacedReader[T]) Err() error { return readerErr(r.inner) }
+
+// ---- channels (data in motion) --------------------------------------------
+
+// Channel returns a live in-motion source fed by a Go channel; closing the
+// channel ends the stream. Subtasks share the channel (each record is
+// consumed by exactly one), so single-subtask sources keep event time
+// simplest — FromChannel defaults to parallelism 1 for that reason.
+//
+// A channel cannot be replayed: records consumed before a crash are not
+// re-emitted after recovery (operator state remains exactly-once).
+// Bootstrapping from replayable history belongs to Hybrid.
+func Channel[T any](c <-chan Keyed[T]) Source[T] {
+	return channelSource[T]{c: c}
+}
+
+type channelSource[T any] struct {
+	c <-chan Keyed[T]
+}
+
+func (s channelSource[T]) Open(sub, par int) Reader[T] {
+	return &channelReader[T]{c: s.c, poll: 25 * time.Millisecond}
+}
+
+type channelReader[T any] struct {
+	c       <-chan Keyed[T]
+	poll    time.Duration
+	emitted int64
+}
+
+func (r *channelReader[T]) Next() (Keyed[T], ReadStatus) {
+	// Fast path: a busy producer keeps the channel non-empty, so the idle
+	// timer (an allocation per call) is only armed when it is actually
+	// needed.
+	select {
+	case k, ok := <-r.c:
+		return r.received(k, ok)
+	default:
+	}
+	timer := time.NewTimer(r.poll)
+	defer timer.Stop()
+	select {
+	case k, ok := <-r.c:
+		return r.received(k, ok)
+	case <-timer.C:
+		return Keyed[T]{}, ReadIdle
+	}
+}
+
+func (r *channelReader[T]) received(k Keyed[T], ok bool) (Keyed[T], ReadStatus) {
+	if !ok {
+		return Keyed[T]{}, ReadEnd
+	}
+	r.emitted++
+	return k, ReadData
+}
+
+func (r *channelReader[T]) Snapshot() ([]byte, error) { return encodeCursor(r.emitted) }
+
+func (r *channelReader[T]) Restore(blob []byte) error {
+	n, err := decodeCursor(blob)
+	if err != nil {
+		return err
+	}
+	r.emitted = n
+	return nil
+}
+
+// ---- files (data at rest) -------------------------------------------------
+
+// JSONL returns a bounded source reading one JSON document per line from a
+// file at rest, decoded into T with encoding/json. Blank lines are skipped.
+// Records default to their line index as event timestamp — pair with
+// WithTimestamps to extract real event time. Lines are split round-robin
+// across subtasks; Snapshot records the line position, so recovery replays
+// the file exactly-once.
+func JSONL[T any](path string) Source[T] {
+	return jsonlSource[T]{path: path}
+}
+
+type jsonlSource[T any] struct {
+	path string
+}
+
+func (j jsonlSource[T]) Open(sub, par int) Reader[T] {
+	return &funcReader[T]{src: &dataflow.LineFileSource{
+		Path: j.path, Subtask: sub, Parallelism: par,
+		Decode: func(line []byte, idx int64) (dataflow.Record, bool, error) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				return dataflow.Record{}, false, nil
+			}
+			var v T
+			if err := json.Unmarshal(line, &v); err != nil {
+				return dataflow.Record{}, false, fmt.Errorf("decode %s: %w", typeName[T](), err)
+			}
+			return dataflow.Data(idx, 0, v), true, nil
+		},
+	}}
+}
+
+// CSV returns a bounded source reading rows from a CSV file at rest, parsed
+// into T with the given row parser (quoted fields may span lines; rows may
+// vary in width). skipHeader drops the first row. Records default to their
+// row index as event timestamp — pair with WithTimestamps to extract real
+// event time. Rows are split round-robin across subtasks; Snapshot records
+// the row position, so recovery replays the file exactly-once.
+func CSV[T any](path string, skipHeader bool, parse func(row []string) (T, error)) Source[T] {
+	return csvSource[T]{path: path, skipHeader: skipHeader, parse: parse}
+}
+
+type csvSource[T any] struct {
+	path       string
+	skipHeader bool
+	parse      func(row []string) (T, error)
+}
+
+func (c csvSource[T]) Open(sub, par int) Reader[T] {
+	return &funcReader[T]{src: &dataflow.CSVFileSource{
+		Path: c.path, SkipHeader: c.skipHeader, Subtask: sub, Parallelism: par,
+		Decode: func(row []string, idx int64) (dataflow.Record, error) {
+			v, err := c.parse(row)
+			if err != nil {
+				return dataflow.Record{}, err
+			}
+			return dataflow.Data(idx, 0, v), nil
+		},
+	}}
+}
+
+// funcReader bridges an engine-level SourceFunc whose data records carry T
+// payloads into a typed Reader.
+type funcReader[T any] struct {
+	src dataflow.SourceFunc
+}
+
+func (f *funcReader[T]) Next() (Keyed[T], ReadStatus) {
+	r, ok := f.src.Next()
+	if !ok {
+		return Keyed[T]{}, ReadEnd
+	}
+	if r.Kind == dataflow.KindWatermark {
+		return Keyed[T]{Ts: r.Ts}, ReadWatermark
+	}
+	return unbox[T](r), ReadData
+}
+
+func (f *funcReader[T]) Snapshot() ([]byte, error) { return f.src.Snapshot() }
+
+func (f *funcReader[T]) Restore(blob []byte) error { return f.src.Restore(blob) }
+
+func (f *funcReader[T]) Err() error {
+	if fail, ok := f.src.(dataflow.Failable); ok {
+		return fail.Err()
+	}
+	return nil
+}
+
+// ---- hybrid (at rest → in motion) -----------------------------------------
+
+// Hybrid is the at-rest→in-motion handoff — the paper's headline scenario:
+// replay a bounded history source, emit a handoff watermark at the
+// history's max event timestamp the moment it ends, then atomically switch
+// to the live source. One pipeline bootstraps from stored data and
+// continues on the live stream, with no Lambda-style second system.
+//
+// Snapshots record the phase and both inner positions, so a checkpoint
+// taken during replay restores into the history phase and still crosses
+// the handoff exactly once. Live records must carry timestamps after the
+// history's max; older ones are late relative to the handoff watermark.
+func Hybrid[T any](history, live Source[T]) Source[T] {
+	return hybridSource[T]{history: history, live: live}
+}
+
+type hybridSource[T any] struct {
+	history, live Source[T]
+}
+
+func (h hybridSource[T]) Open(sub, par int) Reader[T] {
+	return &hybridReader[T]{history: h.history.Open(sub, par), live: h.live.Open(sub, par)}
+}
+
+type hybridReader[T any] struct {
+	history, live Reader[T]
+	inLive        bool // past the handoff
+	maxTs         int64
+	haveTs        bool
+}
+
+type hybridReaderState struct {
+	Live    bool
+	MaxTs   int64
+	HaveTs  bool
+	History []byte
+	LivePos []byte
+}
+
+func (h *hybridReader[T]) Next() (Keyed[T], ReadStatus) {
+	if !h.inLive {
+		k, st := h.history.Next()
+		switch st {
+		case ReadData:
+			if k.Ts > h.maxTs || !h.haveTs {
+				h.maxTs, h.haveTs = k.Ts, true
+			}
+			return k, ReadData
+		case ReadWatermark, ReadIdle:
+			return k, st
+		}
+		// History exhausted: hand off. The switch and the handoff
+		// watermark happen in this one call, so a checkpoint can never
+		// fall between them.
+		h.inLive = true
+		if h.haveTs {
+			return Keyed[T]{Ts: h.maxTs}, ReadWatermark
+		}
+	}
+	return h.live.Next()
+}
+
+func (h *hybridReader[T]) Snapshot() ([]byte, error) {
+	hist, err := h.history.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("hybrid history snapshot: %w", err)
+	}
+	live, err := h.live.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("hybrid live snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(hybridReaderState{
+		Live: h.inLive, MaxTs: h.maxTs, HaveTs: h.haveTs, History: hist, LivePos: live,
+	})
+	return buf.Bytes(), err
+}
+
+func (h *hybridReader[T]) Restore(blob []byte) error {
+	var s hybridReaderState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("hybrid restore: %w", err)
+	}
+	if err := h.history.Restore(s.History); err != nil {
+		return fmt.Errorf("hybrid history restore: %w", err)
+	}
+	if err := h.live.Restore(s.LivePos); err != nil {
+		return fmt.Errorf("hybrid live restore: %w", err)
+	}
+	h.inLive, h.maxTs, h.haveTs = s.Live, s.MaxTs, s.HaveTs
+	return nil
+}
+
+func (h *hybridReader[T]) Err() error {
+	if err := readerErr(h.history); err != nil {
+		return err
+	}
+	return readerErr(h.live)
+}
+
+// readerErr returns the terminal error of a reader, if it reports one.
+func readerErr[T any](r Reader[T]) error {
+	if f, ok := r.(interface{ Err() error }); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// ---- cursor encoding ------------------------------------------------------
+
+// encodeCursor serializes a single position counter — the snapshot format
+// shared by the index-addressed readers.
+func encodeCursor(idx int64) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(idx)
+	return buf.Bytes(), err
+}
+
+func decodeCursor(blob []byte) (int64, error) {
+	var idx int64
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&idx); err != nil {
+		return 0, fmt.Errorf("source cursor restore: %w", err)
+	}
+	return idx, nil
+}

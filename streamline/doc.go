@@ -1,16 +1,56 @@
 // Package streamline is the public, typed surface of the STREAMLINE
 // reproduction: one fluent, generics-based programming model over data at
-// rest and data in motion.
+// rest and data in motion, fed through one composable connector API.
+//
+// # Streams and operators
 //
 // A Stream[T] is a handle to one stage of a lazily-built pipeline. Typed
 // operators — Map, Filter, FlatMap, KeyBy, ReduceByKey, WindowAggregate,
 // JoinWindow, Union — derive new streams; Collect and Sink terminate them;
-// Env.Execute runs the whole plan. Whether the source is a bounded slice
-// (data at rest) or an unbounded generator (data in motion), the identical
-// plan runs on the identical pipelined engine.
+// Env.Execute runs the whole plan (Env.ExecuteRestored resumes it from a
+// checkpoint). User-visible records are Keyed[T] values — no type
+// assertions appear anywhere downstream of a typed source.
 //
-// Every typed operator lowers onto the untyped record engine in
-// internal/core and internal/dataflow, boxing values at operator
+// # Sources: the connector API
+//
+// Every pipeline starts at From(env, name, src, opts...), where src is a
+// Source[T] — a pluggable connector producing one Reader[T] per source
+// subtask. The built-in connectors cover the whole at-rest/in-motion
+// spectrum:
+//
+//   - Slice, KeyedSlice — bounded in-memory collections (data at rest)
+//   - JSONL, CSV — files at rest, decoded into T, replayed exactly-once
+//     through checkpoints
+//   - Generator — deterministic generators, bounded or unbounded
+//   - Channel — live ingestion from a Go channel (data in motion)
+//   - Paced — a rate-limiting decorator over any connector
+//   - Hybrid — the at-rest→in-motion handoff: replay a bounded history
+//     source, emit a handoff watermark at its max event timestamp, then
+//     atomically switch to the live source
+//
+// Source options configure the stage without changing the connector:
+// WithSourceParallelism, WithWatermarkEvery and WithWatermarkLag (event
+// time cadence and bounded-disorder allowance), and WithTimestamps (an
+// extractor re-stamping records with event time taken from the values).
+// FromChannel, FromJSONL and FromCSV are one-line sugar over From; the
+// legacy FromSlice/FromGenerator/FromPacedGenerator trio remains as
+// deprecated wrappers that lower through the same path.
+//
+// Whether the source is a file of history, a live channel, or a Hybrid of
+// both, the identical plan runs on the identical pipelined engine — that is
+// the paper's uniform model, and Hybrid is its headline scenario: a
+// pipeline that bootstraps from stored data and continues on the live
+// stream, with snapshot state recording phase and position so exactly-once
+// recovery works across the handoff.
+//
+// Custom connectors implement Source[T]/Reader[T] directly: Next reports
+// elements plus a ReadStatus (data, watermark, idle, end), and
+// Snapshot/Restore serialize the read position for exactly-once recovery.
+//
+// # Lowering
+//
+// Every typed operator and connector lowers onto the untyped record engine
+// in internal/core and internal/dataflow, boxing values at operator
 // boundaries. The facade therefore inherits the optimizer unchanged:
 // operator chaining, adaptive combiner insertion before hash shuffles,
 // architecture-sized parallelism, and Cutty multi-query window sharing all
@@ -21,7 +61,7 @@
 // The smallest complete pipeline:
 //
 //	env := streamline.New(streamline.WithParallelism(2))
-//	nums := streamline.FromSlice(env, "nums", []float64{1, 2, 3, 4})
+//	nums := streamline.From(env, "nums", streamline.Slice([]float64{1, 2, 3, 4}))
 //	keyed := streamline.KeyBy(nums, "parity", func(v float64) uint64 { return uint64(v) % 2 })
 //	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
 //	out := streamline.Collect(sums, "out")
@@ -30,6 +70,15 @@
 //		fmt.Println(k.Key, k.Value)
 //	}
 //
-// User-visible records are Keyed[T] values — no type assertions required
-// anywhere downstream of a typed source.
+// And the hybrid replay→live scenario (see examples/hybrid for the full
+// program):
+//
+//	events := streamline.From(env, "events",
+//		streamline.Hybrid(
+//			streamline.JSONL[reading]("history.jsonl"), // data at rest
+//			streamline.Channel(liveFeed),               // data in motion
+//		),
+//		streamline.WithSourceParallelism(1),
+//		streamline.WithTimestamps(func(r reading) int64 { return r.Ts }),
+//	)
 package streamline

@@ -34,6 +34,10 @@ const (
 // Backend persists checkpoints for exactly-once recovery.
 type Backend = state.Backend
 
+// Snapshot is one completed checkpoint: every subtask's serialized state.
+// Backends hand it back for recovery via Latest or Load.
+type Snapshot = state.Snapshot
+
 // WithParallelism sets the default operator parallelism. Zero (default)
 // means "adapt to the architecture": the machine's CPU count, capped at 4.
 func WithParallelism(p int) Option { return core.WithParallelism(p) }
@@ -62,6 +66,14 @@ func New(opts ...Option) *Env {
 // Execute runs the pipeline to completion (bounded sources) or until the
 // context is cancelled (unbounded sources).
 func (e *Env) Execute(ctx context.Context) error { return e.core.Execute(ctx) }
+
+// ExecuteRestored runs the pipeline starting from a recovery snapshot:
+// every operator and source subtask is handed its checkpointed state before
+// processing. Rebuild the identical pipeline on a fresh Env, then resume
+// with the snapshot from the backend's Latest.
+func (e *Env) ExecuteRestored(ctx context.Context, snap *Snapshot) error {
+	return e.core.ExecuteRestored(ctx, snap)
+}
 
 // CompletedCheckpoints reports the number of persisted checkpoints of the
 // last Execute call.

@@ -1,0 +1,277 @@
+package streamline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// ReadStatus is what a Reader's Next call reports about its input — the
+// typed rendering of Flink's InputStatus. Data-at-rest readers only ever
+// return ReadData and ReadEnd; live (in-motion) readers additionally use
+// ReadIdle so the runtime stays responsive while the input is quiet, and
+// composite readers use ReadWatermark to steer event time explicitly.
+type ReadStatus uint8
+
+const (
+	// ReadData means the returned element is valid.
+	ReadData ReadStatus = iota
+	// ReadWatermark means the returned element's Ts carries an event-time
+	// watermark: a promise that no later element of this subtask has a
+	// smaller timestamp.
+	ReadWatermark
+	// ReadIdle means no element is available right now; the runtime emits
+	// the current watermark and polls again. Readers should wait briefly
+	// before returning ReadIdle rather than spinning.
+	ReadIdle
+	// ReadEnd means the input is exhausted (bounded sources).
+	ReadEnd
+)
+
+// Reader produces the elements of one source subtask. Implementations
+// should be replayable for exactly-once recovery: Snapshot captures the
+// read position, Restore resumes from it, re-emitting everything after.
+// Sources that cannot replay (live channels) snapshot their bookkeeping and
+// document the weaker guarantee.
+//
+// A Reader whose input can fail mid-stream (files, networks) may
+// additionally implement `Err() error`; the runtime checks it at end of
+// stream and fails the job with the reported error.
+type Reader[T any] interface {
+	// Next returns the next element and its status. The element is only
+	// meaningful for ReadData (a record) and ReadWatermark (Ts is the
+	// watermark).
+	Next() (Keyed[T], ReadStatus)
+	// Snapshot serializes the read position.
+	Snapshot() ([]byte, error)
+	// Restore resumes from a snapshot taken by Snapshot.
+	Restore([]byte) error
+}
+
+// Source is a typed, pluggable connector: a factory of per-subtask Readers.
+// Built-in connectors cover slices (Slice, KeyedSlice), deterministic
+// generators (Generator, Paced), live channels (Channel), files at rest
+// (JSONL, CSV), and the at-rest→in-motion handoff (Hybrid); custom
+// connectors implement this interface directly and plug into the same From
+// entry point, options and checkpointing machinery.
+type Source[T any] interface {
+	// Open builds the reader feeding one subtask of the source stage.
+	Open(subtask, parallelism int) Reader[T]
+}
+
+// sourceConfig is the resolved set of source options.
+type sourceConfig struct {
+	parallelism int
+	lag         int64
+	wmEvery     int64
+	ts          any // func(T) int64, asserted by From against the stream type
+}
+
+// SourceOption configures a source stage built by From.
+type SourceOption interface{ applySource(*sourceConfig) }
+
+type sourceOptionFunc func(*sourceConfig)
+
+func (f sourceOptionFunc) applySource(c *sourceConfig) { f(c) }
+
+// WithSourceParallelism sets the number of subtasks of the source stage.
+// Zero or negative (the default) uses the environment default.
+func WithSourceParallelism(p int) SourceOption {
+	return sourceOptionFunc(func(c *sourceConfig) { c.parallelism = p })
+}
+
+// WithWatermarkLag sets the bounded-disorder allowance: watermarks trail the
+// max seen event timestamp by lag ticks (default 0).
+func WithWatermarkLag(lag int64) SourceOption {
+	return sourceOptionFunc(func(c *sourceConfig) { c.lag = lag })
+}
+
+// WithWatermarkEvery sets the watermark cadence: one watermark per `every`
+// records per subtask (default 64).
+func WithWatermarkEvery(every int64) SourceOption {
+	return sourceOptionFunc(func(c *sourceConfig) { c.wmEvery = every })
+}
+
+// WithTimestamps installs an event-timestamp extractor: every element the
+// source produces is re-stamped with f(value) before entering the pipeline.
+// The extractor's input type must equal the stream's element type.
+func WithTimestamps[T any](f func(T) int64) SourceOption {
+	return sourceOptionFunc(func(c *sourceConfig) { c.ts = f })
+}
+
+// From creates a stream reading from a source connector — the single entry
+// point of the connector API. Whether src is data at rest (Slice, JSONL,
+// CSV), data in motion (Channel, Paced), or a Hybrid of both, the identical
+// plan runs on the identical engine. Options control the stage's
+// parallelism, watermark cadence and lag, and timestamp extraction.
+func From[T any](env *Env, name string, src Source[T], opts ...SourceOption) *Stream[T] {
+	cfg := sourceConfig{wmEvery: 64}
+	for _, o := range opts {
+		o.applySource(&cfg)
+	}
+	var ts func(T) int64
+	if cfg.ts != nil {
+		f, ok := cfg.ts.(func(T) int64)
+		if !ok {
+			env.core.Fail(fmt.Errorf("streamline: From %q: WithTimestamps extractor is %T, want func(%s) int64",
+				name, cfg.ts, typeName[T]()))
+			return &Stream[T]{env: env, inner: env.core.FromSource(name, cfg.parallelism, emptySourceFactory)}
+		}
+		ts = f
+	}
+	factory := func(sub, par int) dataflow.SourceFunc {
+		return &loweredReader[T]{
+			r:       src.Open(sub, par),
+			ts:      ts,
+			every:   cfg.wmEvery,
+			lag:     cfg.lag,
+			wmFloor: minInt64,
+		}
+	}
+	return &Stream[T]{env: env, inner: env.core.FromSource(name, cfg.parallelism, factory)}
+}
+
+// typeName renders T for error messages.
+func typeName[T any]() string {
+	var zero T
+	return fmt.Sprintf("%T", zero)
+}
+
+// emptySourceFactory keeps a failed From structurally valid; the build
+// error recorded on the environment wins before anything runs.
+func emptySourceFactory(sub, par int) dataflow.SourceFunc {
+	return &dataflow.GenSource{N: 0, Gen: func(int64) dataflow.Record { return dataflow.Record{} }}
+}
+
+// loweredReader adapts a typed Reader to the engine's SourceFunc: it boxes
+// elements, applies the timestamp extractor, and generates cadence
+// watermarks (one per `every` records, trailing the max seen timestamp by
+// `lag`), mirroring GenSource's watermarking so connector-built sources
+// behave exactly like the legacy constructors.
+type loweredReader[T any] struct {
+	r     Reader[T]
+	ts    func(T) int64
+	every int64
+	lag   int64
+
+	maxTs     int64
+	haveTs    bool
+	sinceWM   int64
+	havePend  bool
+	pendingWM int64
+	wmFloor   int64 // max watermark emitted on the wire; never regress
+}
+
+type loweredReaderState struct {
+	MaxTs   int64
+	HaveTs  bool
+	SinceWM int64
+	WMFloor int64
+	Inner   []byte
+}
+
+const minInt64 = -1 << 63
+
+// watermark returns the adapter's current watermark value.
+func (l *loweredReader[T]) watermark() int64 {
+	if !l.haveTs {
+		return minInt64
+	}
+	return l.maxTs - l.lag
+}
+
+// emitWM stamps a watermark on the wire, clamped so the source's event
+// time never regresses.
+func (l *loweredReader[T]) emitWM(v int64) (dataflow.Record, bool) {
+	if v > l.wmFloor {
+		l.wmFloor = v
+	}
+	return dataflow.Watermark(l.wmFloor), true
+}
+
+// Next implements dataflow.SourceFunc.
+func (l *loweredReader[T]) Next() (dataflow.Record, bool) {
+	if l.havePend {
+		l.havePend = false
+		return l.emitWM(l.pendingWM)
+	}
+	k, st := l.r.Next()
+	switch st {
+	case ReadEnd:
+		return dataflow.Record{}, false
+	case ReadIdle:
+		// Keep the runtime loop moving and event time visible while the
+		// input is quiet.
+		return l.emitWM(l.watermark())
+	case ReadWatermark:
+		// Reader-steered watermark (hybrid handoff, custom connectors): an
+		// explicit promise that the reader's input is complete up to here.
+		// The reader computes it from its own pre-extraction clock, so
+		// when a WithTimestamps extractor is installed also close out
+		// everything already emitted in extracted event time — the hybrid
+		// handoff must cover the whole history either way.
+		wm := k.Ts
+		if l.haveTs && l.maxTs > wm {
+			wm = l.maxTs
+		}
+		if k.Ts > l.maxTs || !l.haveTs {
+			l.maxTs, l.haveTs = k.Ts, true
+		}
+		return l.emitWM(wm)
+	}
+	if l.ts != nil {
+		k.Ts = l.ts(k.Value)
+	}
+	if k.Ts > l.maxTs || !l.haveTs {
+		l.maxTs, l.haveTs = k.Ts, true
+	}
+	every := l.every
+	if every <= 0 {
+		every = 64
+	}
+	l.sinceWM++
+	if l.sinceWM >= every {
+		l.sinceWM = 0
+		l.havePend = true
+		l.pendingWM = l.watermark()
+	}
+	return box(k), true
+}
+
+// Snapshot implements dataflow.SourceFunc.
+func (l *loweredReader[T]) Snapshot() ([]byte, error) {
+	inner, err := l.r.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(loweredReaderState{
+		MaxTs: l.maxTs, HaveTs: l.haveTs, SinceWM: l.sinceWM, WMFloor: l.wmFloor, Inner: inner,
+	})
+	return buf.Bytes(), err
+}
+
+// Restore implements dataflow.SourceFunc. A pending cadence watermark is
+// dropped, like GenSource's.
+func (l *loweredReader[T]) Restore(blob []byte) error {
+	var s loweredReaderState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return fmt.Errorf("source restore: %w", err)
+	}
+	if err := l.r.Restore(s.Inner); err != nil {
+		return err
+	}
+	l.maxTs, l.haveTs, l.sinceWM, l.wmFloor, l.havePend = s.MaxTs, s.HaveTs, s.SinceWM, s.WMFloor, false
+	return nil
+}
+
+// Err implements dataflow.Failable by delegating to the reader, if it
+// reports errors.
+func (l *loweredReader[T]) Err() error {
+	if f, ok := l.r.(interface{ Err() error }); ok {
+		return f.Err()
+	}
+	return nil
+}

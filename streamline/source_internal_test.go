@@ -1,0 +1,100 @@
+package streamline
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// scriptedReader plays back a fixed sequence of reader events.
+type scriptedReader struct {
+	steps []struct {
+		k  Keyed[float64]
+		st ReadStatus
+	}
+	pos int
+}
+
+func (s *scriptedReader) add(k Keyed[float64], st ReadStatus) {
+	s.steps = append(s.steps, struct {
+		k  Keyed[float64]
+		st ReadStatus
+	}{k, st})
+}
+
+func (s *scriptedReader) Next() (Keyed[float64], ReadStatus) {
+	if s.pos >= len(s.steps) {
+		return Keyed[float64]{}, ReadEnd
+	}
+	step := s.steps[s.pos]
+	s.pos++
+	return step.k, step.st
+}
+
+func (s *scriptedReader) Snapshot() ([]byte, error) { return nil, nil }
+func (s *scriptedReader) Restore([]byte) error      { return nil }
+
+// A reader-steered watermark (the hybrid handoff) is computed from the
+// reader's pre-extraction clock. With a WithTimestamps extractor installed,
+// the lowering must still close out the extracted event time — and must
+// never emit a regressing watermark on the wire.
+func TestLoweredReaderWatermarkWithExtractor(t *testing.T) {
+	r := &scriptedReader{}
+	// Two data records whose extracted timestamps (the values) are far
+	// ahead of the reader's own clock (the Ts fields, e.g. line indices).
+	r.add(Keyed[float64]{Ts: 0, Value: 500}, ReadData)
+	r.add(Keyed[float64]{Ts: 1, Value: 900}, ReadData)
+	// The handoff watermark, stamped with the reader-clock max.
+	r.add(Keyed[float64]{Ts: 1}, ReadWatermark)
+	// An idle poll afterwards.
+	r.add(Keyed[float64]{}, ReadIdle)
+
+	l := &loweredReader[float64]{
+		r:       r,
+		ts:      func(v float64) int64 { return int64(v) },
+		every:   1000,
+		wmFloor: minInt64,
+	}
+	var wms []int64
+	for {
+		rec, ok := l.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind == dataflow.KindWatermark {
+			wms = append(wms, rec.Ts)
+		} else if rec.Ts != int64(rec.Value.(float64)) {
+			t.Fatalf("data record not re-stamped by the extractor: %+v", rec)
+		}
+	}
+	if len(wms) != 2 {
+		t.Fatalf("saw %d watermarks, want 2 (handoff + idle): %v", len(wms), wms)
+	}
+	if wms[0] != 900 {
+		t.Fatalf("handoff watermark = %d, want 900 (the max extracted timestamp, not the reader clock)", wms[0])
+	}
+	if wms[1] < wms[0] {
+		t.Fatalf("watermark regressed on the wire: %v", wms)
+	}
+}
+
+// Without an extractor the reader's watermark passes through unchanged.
+func TestLoweredReaderWatermarkPassThrough(t *testing.T) {
+	r := &scriptedReader{}
+	r.add(Keyed[float64]{Ts: 10, Value: 1}, ReadData)
+	r.add(Keyed[float64]{Ts: 10}, ReadWatermark)
+	l := &loweredReader[float64]{r: r, every: 1000, wmFloor: minInt64}
+	var wms []int64
+	for {
+		rec, ok := l.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind == dataflow.KindWatermark {
+			wms = append(wms, rec.Ts)
+		}
+	}
+	if len(wms) != 1 || wms[0] != 10 {
+		t.Fatalf("watermarks = %v, want [10]", wms)
+	}
+}

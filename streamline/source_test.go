@@ -1,0 +1,397 @@
+package streamline_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/streamline"
+)
+
+// The acceptance bar of the connector redesign: From with the Slice
+// connector must build the exact same job graph as the legacy FromSlice —
+// the deprecated constructors are thin wrappers, not a parallel code path.
+func TestSliceConnectorPlanIdentity(t *testing.T) {
+	items := []float64{1, 2, 3, 4, 5, 6, 7}
+	build := func(useConnector bool) (*streamline.Env, *streamline.Results[float64]) {
+		env := streamline.New(streamline.WithParallelism(2))
+		var src *streamline.Stream[float64]
+		if useConnector {
+			src = streamline.From(env, "src", streamline.Slice(items))
+		} else {
+			src = streamline.FromSlice(env, "src", items)
+		}
+		keyed := streamline.KeyBy(src, "key", func(v float64) uint64 { return uint64(v) % 2 })
+		sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+		return env, streamline.Collect(sums, "out")
+	}
+
+	newEnv, newOut := build(true)
+	oldEnv, oldOut := build(false)
+	newPlan := planString(newEnv.Core().Graph())
+	oldPlan := planString(oldEnv.Core().Graph())
+	if newPlan != oldPlan {
+		t.Fatalf("plans differ:\nFrom+Slice:\n%s\nFromSlice:\n%s", newPlan, oldPlan)
+	}
+
+	execute(t, newEnv.Execute)
+	execute(t, oldEnv.Execute)
+	sums := func(res *streamline.Results[float64]) map[uint64]float64 {
+		out := map[uint64]float64{}
+		for _, k := range res.Records() {
+			out[k.Key] += k.Value
+		}
+		return out
+	}
+	got, want := sums(newOut), sums(oldOut)
+	if len(got) != len(want) {
+		t.Fatalf("key counts differ: %d vs %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: connector %v, legacy %v", k, got[k], v)
+		}
+	}
+}
+
+// Generator and paced-generator wrappers must likewise lower to identical
+// plans through the connector path.
+func TestGeneratorConnectorPlanIdentity(t *testing.T) {
+	gen := func(sub, par int, i int64) streamline.Keyed[float64] {
+		return streamline.Keyed[float64]{Ts: i, Value: float64(i)}
+	}
+	plan := func(build func(env *streamline.Env) *streamline.Stream[float64]) string {
+		env := streamline.New(streamline.WithParallelism(2))
+		streamline.Sink(build(env), "out", func(streamline.Keyed[float64]) {})
+		return planString(env.Core().Graph())
+	}
+	if got, want := plan(func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "gen", streamline.Generator(100, gen), streamline.WithSourceParallelism(1))
+	}), plan(func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.FromGenerator(env, "gen", 1, 100, gen)
+	}); got != want {
+		t.Fatalf("generator plans differ:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := plan(func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "gen", streamline.Paced(streamline.Generator(100, gen), 1e6), streamline.WithSourceParallelism(2))
+	}), plan(func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.FromPacedGenerator(env, "gen", 2, 100, 1e6, gen)
+	}); got != want {
+		t.Fatalf("paced plans differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestChannelConnectorEndToEnd(t *testing.T) {
+	ch := make(chan streamline.Keyed[float64])
+	go func() {
+		for i := 0; i < 50; i++ {
+			ch <- streamline.Keyed[float64]{Ts: int64(i), Value: float64(i)}
+		}
+		close(ch)
+	}()
+	env := streamline.New(streamline.WithParallelism(2))
+	src := streamline.FromChannel(env, "live", ch)
+	keyed := streamline.KeyBy(src, "key", func(v float64) uint64 { return uint64(v) % 3 })
+	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+	out := streamline.Collect(sums, "out")
+	execute(t, env.Execute)
+
+	got := map[uint64]float64{}
+	for _, k := range out.Records() {
+		got[k.Key] += k.Value
+	}
+	want := map[uint64]float64{}
+	for i := 0; i < 50; i++ {
+		want[uint64(i%3)] += float64(i)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("key %d = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+// event is the element type of the file/hybrid tests.
+type event struct {
+	TsMs  int64   `json:"ts"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func writeJSONL(t *testing.T, events []event) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "{\"ts\":%d,\"name\":%q,\"value\":%g}\n", e.TsMs, e.Name, e.Value)
+	}
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mkEvents(n int, startTs int64) []event {
+	events := make([]event, n)
+	for i := range events {
+		events[i] = event{TsMs: startTs + int64(i), Name: fmt.Sprintf("s%d", i%3), Value: 1}
+	}
+	return events
+}
+
+func TestJSONLConnectorWithTimestamps(t *testing.T) {
+	events := mkEvents(200, 1000)
+	path := writeJSONL(t, events)
+
+	env := streamline.New(streamline.WithParallelism(2))
+	src := streamline.FromJSONL[event](env, "history", path,
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+	keyed := streamline.KeyByString(src, "name", func(e event) string { return e.Name })
+	vals := streamline.Map(keyed, "value", func(e event) float64 { return e.Value })
+	win := streamline.WindowAggregate(vals, "count-100ms",
+		streamline.Query(streamline.Tumbling(100), streamline.Count()))
+	out := streamline.Collect(win, "out")
+	execute(t, env.Execute)
+
+	total := int64(0)
+	for _, k := range out.Records() {
+		if k.Value.Start < 1000 || k.Value.End > 1200 {
+			t.Fatalf("window [%d,%d) outside the extracted event-time range", k.Value.Start, k.Value.End)
+		}
+		total += k.Value.Count
+	}
+	if total != 200 {
+		t.Fatalf("windows cover %d events, want 200", total)
+	}
+}
+
+func TestCSVConnectorParsesRows(t *testing.T) {
+	content := "name,value\na,1\nb,2\na,3\nb,4\n"
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		name  string
+		value float64
+	}
+	env := streamline.New(streamline.WithParallelism(1))
+	src := streamline.FromCSV(env, "csv", path, true, func(r []string) (row, error) {
+		var v float64
+		if _, err := fmt.Sscanf(r[1], "%g", &v); err != nil {
+			return row{}, err
+		}
+		return row{name: r[0], value: v}, nil
+	})
+	keyed := streamline.KeyByString(src, "name", func(r row) string { return r.name })
+	vals := streamline.Map(keyed, "value", func(r row) float64 { return r.value })
+	sums := streamline.ReduceByKey(vals, "sum", func(acc, v float64) float64 { return acc + v }, false)
+	out := streamline.Collect(sums, "out")
+	execute(t, env.Execute)
+
+	got := map[uint64]float64{}
+	for _, k := range out.Records() {
+		got[k.Key] += k.Value
+	}
+	if got[streamline.KeyOf("a")] != 4 || got[streamline.KeyOf("b")] != 6 {
+		t.Fatalf("sums = %v, want a=4 b=6", got)
+	}
+}
+
+func TestCSVConnectorParseErrorFailsExecute(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("1\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := streamline.New(streamline.WithParallelism(1))
+	src := streamline.FromCSV(env, "csv", path, false, func(r []string) (float64, error) {
+		var v float64
+		_, err := fmt.Sscanf(r[0], "%g", &v)
+		return v, err
+	})
+	streamline.Sink(src, "out", func(streamline.Keyed[float64]) {})
+	if err := env.Execute(context.Background()); err == nil {
+		t.Fatalf("parse error must fail Execute")
+	}
+}
+
+func TestWithTimestampsTypeMismatchFailsBuild(t *testing.T) {
+	env := streamline.New(streamline.WithParallelism(1))
+	src := streamline.From(env, "src", streamline.Slice([]string{"a", "b"}),
+		streamline.WithTimestamps(func(v float64) int64 { return int64(v) })) // wrong element type
+	streamline.Sink(src, "out", func(streamline.Keyed[string]) {})
+	err := env.Execute(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "WithTimestamps") {
+		t.Fatalf("Execute error = %v, want a WithTimestamps type mismatch", err)
+	}
+}
+
+// windowKey dedups window results for the hybrid equivalence tests.
+type windowKey struct {
+	key   uint64
+	query int
+	start int64
+}
+
+func collectWindows(res *streamline.Results[streamline.WindowResult]) map[windowKey]float64 {
+	out := map[windowKey]float64{}
+	for _, k := range res.Records() {
+		out[windowKey{key: k.Key, query: k.Value.QueryID, start: k.Value.Start}] = k.Value.Value
+	}
+	return out
+}
+
+// buildHybridPipeline assembles the paper's headline scenario: a windowed
+// aggregation over a source that replays JSONL history and continues on a
+// live channel.
+func buildHybridPipeline(env *streamline.Env, src *streamline.Stream[event]) *streamline.Results[streamline.WindowResult] {
+	keyed := streamline.KeyByString(src, "name", func(e event) string { return e.Name })
+	vals := streamline.Map(keyed, "value", func(e event) float64 { return e.Value })
+	win := streamline.WindowAggregate(vals, "sum-50ms",
+		streamline.Query(streamline.Tumbling(50), streamline.Sum()))
+	return streamline.Collect(win, "out")
+}
+
+// feedLive pushes the live tail into a channel and closes it.
+func feedLive(events []event) <-chan streamline.Keyed[event] {
+	ch := make(chan streamline.Keyed[event], len(events))
+	for _, e := range events {
+		ch <- streamline.Keyed[event]{Ts: e.TsMs, Value: e}
+	}
+	close(ch)
+	return ch
+}
+
+// The hybrid acceptance test: history file → live channel must produce the
+// same windows as the equivalent single-source run over the concatenation.
+func TestHybridFileThenChannelMatchesSingleSource(t *testing.T) {
+	// Event timestamps deliberately do not equal file line indices, so the
+	// handoff watermark must come from the extracted event time.
+	history := mkEvents(400, 5000) // ts 5000..5399
+	live := mkEvents(200, 5400)    // ts 5400..5599
+	all := append(append([]event{}, history...), live...)
+	path := writeJSONL(t, history)
+
+	// Reference: one bounded source over the concatenation.
+	refEnv := streamline.New(streamline.WithParallelism(2))
+	refOut := buildHybridPipeline(refEnv, streamline.From(refEnv, "events",
+		streamline.Slice(all), streamline.WithSourceParallelism(1),
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs })))
+	execute(t, refEnv.Execute)
+	want := collectWindows(refOut)
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no windows")
+	}
+
+	// Hybrid: replay the JSONL history, hand off to the live channel.
+	env := streamline.New(streamline.WithParallelism(2))
+	src := streamline.From(env, "events",
+		streamline.Hybrid(streamline.JSONL[event](path), streamline.Channel(feedLive(live))),
+		streamline.WithSourceParallelism(1),
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+	out := buildHybridPipeline(env, src)
+	execute(t, env.Execute)
+	got := collectWindows(out)
+
+	if len(got) != len(want) {
+		t.Fatalf("hybrid produced %d windows, single-source %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("window %+v = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// The recovery acceptance test: kill the hybrid pipeline during the history
+// replay, restore from the last checkpoint, continue across the handoff
+// into the live channel — deduplicated windows must match the reference.
+func TestHybridCheckpointRestoreMidHandoff(t *testing.T) {
+	history := mkEvents(3000, 5000) // ts 5000..7999 (≠ line indices)
+	live := mkEvents(600, 8000)     // ts 8000..8599
+	all := append(append([]event{}, history...), live...)
+	path := writeJSONL(t, history)
+
+	refEnv := streamline.New(streamline.WithParallelism(2))
+	refOut := buildHybridPipeline(refEnv, streamline.From(refEnv, "events",
+		streamline.Slice(all), streamline.WithSourceParallelism(1),
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs })))
+	execute(t, refEnv.Execute)
+	want := collectWindows(refOut)
+
+	build := func(paceHistory float64, liveCh <-chan streamline.Keyed[event], backend streamline.Backend) (*streamline.Env, *streamline.Results[streamline.WindowResult]) {
+		env := streamline.New(streamline.WithParallelism(2),
+			streamline.WithCheckpointing(backend, 15*time.Millisecond))
+		var hist streamline.Source[event] = streamline.JSONL[event](path)
+		if paceHistory > 0 {
+			hist = streamline.Paced(hist, paceHistory)
+		}
+		src := streamline.From(env, "events",
+			streamline.Hybrid(hist, streamline.Channel(liveCh)),
+			streamline.WithSourceParallelism(1),
+			streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+		return env, buildHybridPipeline(env, src)
+	}
+
+	// Crash run: pace the history so the kill lands mid-replay, before the
+	// handoff. The live channel stays untouched.
+	backend := streamline.NewMemoryBackend(0)
+	crashCh := make(chan streamline.Keyed[event]) // never fed; the kill hits during history
+	crashEnv, crashOut := build(20_000, crashCh, backend)
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	err := crashEnv.Execute(ctx)
+	cancel()
+	close(crashCh)
+	if err == nil {
+		t.Skip("job finished before kill on this machine")
+	}
+	snap, ok := backend.Latest()
+	if !ok {
+		t.Skip("no checkpoint completed before kill")
+	}
+
+	// Recovery run: rebuild the identical pipeline (fresh channel carrying
+	// the live tail), resume from the snapshot, run through the handoff.
+	// Windows that fired before the checkpoint live in the crash run's
+	// sink; replays overwrite idempotently (same key, same value).
+	recEnv, recOut := build(0, feedLive(live), streamline.NewMemoryBackend(0))
+	recCtx, recCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer recCancel()
+	if err := recEnv.ExecuteRestored(recCtx, snap); err != nil {
+		t.Fatalf("restored run failed: %v", err)
+	}
+	got := collectWindows(crashOut)
+	for k, v := range collectWindows(recOut) {
+		got[k] = v
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored run produced %d windows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("window %+v = %v, want %v (exactly-once across the handoff)", k, got[k], v)
+		}
+	}
+}
+
+// Sanity: the legacy wrappers still produce working pipelines (they are
+// deprecated, not removed).
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	env := streamline.New(streamline.WithParallelism(1))
+	nums := streamline.FromSlice(env, "src", []float64{3, 1, 2})
+	out := streamline.Collect(nums, "out")
+	execute(t, env.Execute)
+	var vals []float64
+	for _, k := range out.Records() {
+		vals = append(vals, k.Value)
+	}
+	sort.Float64s(vals)
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+}

@@ -1,45 +1,73 @@
 package streamline
 
-import "repro/internal/dataflow"
+// Convenience source entry points over the connector API. Each is sugar for
+// From with a built-in connector; the legacy trio at the bottom is kept as
+// deprecated wrappers so existing pipelines migrate mechanically.
+
+// FromChannel creates a live in-motion stream fed by a Go channel; closing
+// the channel ends the stream. The source defaults to parallelism 1 —
+// subtasks would share the channel, splitting records — which
+// WithSourceParallelism overrides.
+//
+// Equivalent to From(env, name, Channel(c), WithSourceParallelism(1), ...).
+func FromChannel[T any](env *Env, name string, c <-chan Keyed[T], opts ...SourceOption) *Stream[T] {
+	return From(env, name, Channel(c), append([]SourceOption{WithSourceParallelism(1)}, opts...)...)
+}
+
+// FromJSONL creates a bounded stream from a JSON-lines file at rest, one
+// document per line decoded into T. Pair with WithTimestamps to extract
+// event time from the decoded values.
+//
+// Equivalent to From(env, name, JSONL[T](path), ...).
+func FromJSONL[T any](env *Env, name string, path string, opts ...SourceOption) *Stream[T] {
+	return From(env, name, JSONL[T](path), opts...)
+}
+
+// FromCSV creates a bounded stream from a CSV file at rest, one row per
+// record parsed into T. skipHeader drops the first row. Pair with
+// WithTimestamps to extract event time from the parsed values.
+//
+// Equivalent to From(env, name, CSV(path, skipHeader, parse), ...).
+func FromCSV[T any](env *Env, name string, path string, skipHeader bool, parse func(row []string) (T, error), opts ...SourceOption) *Stream[T] {
+	return From(env, name, CSV(path, skipHeader, parse), opts...)
+}
 
 // FromSlice creates a bounded stream from an in-memory slice (data at
-// rest), read by a single source subtask in order. Element i carries event
-// timestamp i; keys are assigned by a later KeyBy.
+// rest). Element i carries event timestamp i; keys are assigned by a later
+// KeyBy.
+//
+// Deprecated: Use From with the Slice connector:
+// From(env, name, Slice(items)).
 func FromSlice[T any](env *Env, name string, items []T) *Stream[T] {
-	recs := make([]dataflow.Record, len(items))
-	for i, v := range items {
-		recs[i] = dataflow.Data(int64(i), 0, v)
-	}
-	return &Stream[T]{env: env, inner: env.core.FromRecords(name, recs)}
+	return From(env, name, Slice(items))
 }
 
 // FromKeyedSlice creates a bounded stream from records carrying explicit
 // timestamps and keys.
+//
+// Deprecated: Use From with the KeyedSlice connector:
+// From(env, name, KeyedSlice(items)).
 func FromKeyedSlice[T any](env *Env, name string, items []Keyed[T]) *Stream[T] {
-	recs := make([]dataflow.Record, len(items))
-	for i, k := range items {
-		recs[i] = box(k)
-	}
-	return &Stream[T]{env: env, inner: env.core.FromRecords(name, recs)}
+	return From(env, name, KeyedSlice(items))
 }
 
 // FromGenerator creates a stream from a deterministic generator. count < 0
 // makes it unbounded (data in motion); otherwise it is a bounded stream
 // that ends — the same plan either way. gen computes the i-th record of the
 // given subtask; parallelism <= 0 uses the environment default.
+//
+// Deprecated: Use From with the Generator connector:
+// From(env, name, Generator(count, gen), WithSourceParallelism(parallelism)).
 func FromGenerator[T any](env *Env, name string, parallelism int, count int64, gen func(subtask, parallelism int, i int64) Keyed[T]) *Stream[T] {
-	inner := env.core.FromGenerator(name, parallelism, count, func(sub, par int, i int64) dataflow.Record {
-		return box(gen(sub, par, i))
-	})
-	return &Stream[T]{env: env, inner: inner}
+	return From(env, name, Generator(count, gen), WithSourceParallelism(parallelism))
 }
 
 // FromPacedGenerator is FromGenerator throttled to perSec records per
 // second per subtask — the live-stream simulation used by the latency
 // experiments.
+//
+// Deprecated: Use From with the Paced and Generator connectors:
+// From(env, name, Paced(Generator(count, gen), perSec), WithSourceParallelism(parallelism)).
 func FromPacedGenerator[T any](env *Env, name string, parallelism int, count int64, perSec float64, gen func(subtask, parallelism int, i int64) Keyed[T]) *Stream[T] {
-	inner := env.core.FromPacedGenerator(name, parallelism, count, perSec, func(sub, par int, i int64) dataflow.Record {
-		return box(gen(sub, par, i))
-	})
-	return &Stream[T]{env: env, inner: inner}
+	return From(env, name, Paced(Generator(count, gen), perSec), WithSourceParallelism(parallelism))
 }
