@@ -85,13 +85,13 @@ func main() {
 
 	env := streamline.New(streamline.WithParallelism(2))
 
-	// The source: stored history, then the live feed — one connector.
+	// The source: stored history, then the live feed — one connector. The
+	// Channel live phase hints parallelism 1, so no explicit option needed.
 	events := streamline.From(env, "readings",
 		streamline.Hybrid(
 			streamline.JSONL[reading](historyPath), // data at rest
 			streamline.Channel(feedLive()),         // data in motion
 		),
-		streamline.WithSourceParallelism(1),
 		streamline.WithTimestamps(func(r reading) int64 { return r.Ts }),
 	)
 

@@ -64,6 +64,11 @@ func (l *LineFileSource) close() {
 	if l.f != nil {
 		l.f.Close()
 		l.f, l.sc = nil, nil
+		// A finished reader snapshots the position it reached: Snapshot's
+		// f==nil branch returns next, which would otherwise still hold the
+		// pre-start restore target and replay the whole file. (Restore
+		// overwrites next right after calling close.)
+		l.next = l.cur
 	}
 }
 
@@ -173,6 +178,9 @@ func (c *CSVFileSource) close() {
 	if c.f != nil {
 		c.f.Close()
 		c.f, c.rd = nil, nil
+		// Like LineFileSource.close: a finished reader snapshots the
+		// position it reached, not the pre-start restore target.
+		c.next = c.cur
 	}
 }
 

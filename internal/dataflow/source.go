@@ -215,24 +215,33 @@ type ChannelSource struct {
 	emitted   int64
 	maxTs     int64
 	haveTs    bool
+	wmFloor   int64 // max producer-promised watermark; emissions never regress below it
+	haveFloor bool
 	sinceWM   int64
 	havePend  bool
 	pendingWM int64
 }
 
 type channelSourceState struct {
-	Emitted int64
-	MaxTs   int64
-	HaveTs  bool
-	SinceWM int64
+	Emitted   int64
+	MaxTs     int64
+	HaveTs    bool
+	WMFloor   int64
+	HaveFloor bool
+	SinceWM   int64
 }
 
-// watermark returns the current watermark value of the source.
+// watermark returns the current watermark value of the source: the max seen
+// data timestamp minus Lag, floored at the highest producer promise.
 func (c *ChannelSource) watermark() int64 {
-	if !c.haveTs {
-		return minInt64
+	wm := int64(minInt64)
+	if c.haveTs {
+		wm = c.maxTs - c.Lag
 	}
-	return c.maxTs - c.Lag
+	if c.haveFloor && c.wmFloor > wm {
+		wm = c.wmFloor
+	}
+	return wm
 }
 
 const minInt64 = -1 << 63
@@ -271,10 +280,15 @@ func (c *ChannelSource) received(r Record, ok bool) (Record, bool) {
 	}
 	switch r.Kind {
 	case KindWatermark:
-		if r.Ts > c.maxTs || !c.haveTs {
-			c.maxTs, c.haveTs = r.Ts+c.Lag, true
+		// A producer promise becomes a floor on the emitted watermark —
+		// not a Lag-adjusted maxTs update, which would overflow for a +inf
+		// close-out promise — and is emitted through watermark(), so later
+		// idle/cadence watermarks can never regress behind it (a regressing
+		// watermark re-opens windows downstream).
+		if r.Ts > c.wmFloor || !c.haveFloor {
+			c.wmFloor, c.haveFloor = r.Ts, true
 		}
-		return r, true
+		return Watermark(c.watermark()), true
 	case KindData:
 		c.emitted++
 		if r.Ts > c.maxTs || !c.haveTs {
@@ -303,7 +317,8 @@ func (c *ChannelSource) received(r Record, ok bool) (Record, bool) {
 func (c *ChannelSource) Snapshot() ([]byte, error) {
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(channelSourceState{
-		Emitted: c.emitted, MaxTs: c.maxTs, HaveTs: c.haveTs, SinceWM: c.sinceWM,
+		Emitted: c.emitted, MaxTs: c.maxTs, HaveTs: c.haveTs,
+		WMFloor: c.wmFloor, HaveFloor: c.haveFloor, SinceWM: c.sinceWM,
 	})
 	return buf.Bytes(), err
 }
@@ -315,6 +330,7 @@ func (c *ChannelSource) Restore(blob []byte) error {
 		return fmt.Errorf("channel source restore: %w", err)
 	}
 	c.emitted, c.maxTs, c.haveTs, c.sinceWM, c.havePend = s.Emitted, s.MaxTs, s.HaveTs, s.SinceWM, false
+	c.wmFloor, c.haveFloor = s.WMFloor, s.HaveFloor
 	return nil
 }
 
@@ -363,6 +379,13 @@ func (h *HybridSource) Next() (Record, bool) {
 				h.maxTs, h.haveTs = r.Ts, true
 			}
 			return r, true
+		}
+		// A history that failed mid-replay (Failable) ends the whole
+		// stream here instead of handing off: the runtime only inspects
+		// Err at end of stream, and an unbounded live phase would bury a
+		// truncated history forever.
+		if sourceErr(h.History) != nil {
+			return Record{}, false
 		}
 		h.phase = hybridLive
 		if h.haveTs {

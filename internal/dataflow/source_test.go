@@ -3,6 +3,7 @@ package dataflow
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -469,5 +470,108 @@ func TestHybridSourceCheckpointRecoveryThroughEngine(t *testing.T) {
 		if got[k] != v {
 			t.Fatalf("key %d = %v, want %v (exactly-once across the handoff)", k, got[k], v)
 		}
+	}
+}
+
+// A producer watermark inside (maxTs-Lag, maxTs] must fold into the
+// source's clock: the fold used to compare r.Ts against maxTs but assign
+// r.Ts+Lag, so such a promise was forwarded downstream and then regressed
+// by the next idle/cadence watermark — which can re-open already-fired
+// windows in downstream operators.
+func TestChannelSourceProducerWatermarkFoldsIntoClock(t *testing.T) {
+	ch := make(chan Record, 4)
+	src := &ChannelSource{C: ch, Poll: time.Millisecond, Lag: 10}
+	ch <- Data(100, 1, 1.0)
+	if r, ok := src.Next(); !ok || r.Kind != KindData {
+		t.Fatalf("first = %+v ok=%v, want data", r, ok)
+	}
+	// Clock: maxTs=100, watermark 90. The producer promises 95.
+	ch <- Watermark(95)
+	if r, ok := src.Next(); !ok || r.Kind != KindWatermark || r.Ts != 95 {
+		t.Fatalf("producer watermark = %+v ok=%v, want watermark 95", r, ok)
+	}
+	// Idle watermarks must not regress behind the forwarded promise.
+	if r, ok := src.Next(); !ok || r.Kind != KindWatermark || r.Ts != 95 {
+		t.Fatalf("idle after fold = %+v ok=%v, want watermark 95", r, ok)
+	}
+	// A stale promise below the current watermark must not regress it.
+	ch <- Watermark(50)
+	if r, ok := src.Next(); !ok || r.Kind != KindWatermark || r.Ts != 95 {
+		t.Fatalf("stale producer watermark = %+v ok=%v, want clamped to 95", r, ok)
+	}
+	// A +inf close-out promise must pass through intact — Lag-adjusted
+	// arithmetic would overflow and swallow it.
+	ch <- Watermark(math.MaxInt64)
+	if r, ok := src.Next(); !ok || r.Kind != KindWatermark || r.Ts != math.MaxInt64 {
+		t.Fatalf("close-out promise = %+v ok=%v, want +inf watermark", r, ok)
+	}
+	close(ch)
+}
+
+// A history that fails mid-replay must end the hybrid stream so the runtime
+// surfaces Err at end of stream — not hand off to an unbounded live phase
+// that would run forever over a silently truncated history.
+func TestHybridSourceHistoryErrorEndsStream(t *testing.T) {
+	path := writeTempFile(t, "hist.txt", "ok\nBOOM\nok\n")
+	live := make(chan Record) // never fed, never closed: an unbounded live phase
+	src := &HybridSource{
+		History: &LineFileSource{Path: path, Subtask: 0, Parallelism: 1,
+			Decode: func(line []byte, idx int64) (Record, bool, error) {
+				if string(line) == "BOOM" {
+					return Record{}, false, fmt.Errorf("corrupt history")
+				}
+				return Data(idx, 0, string(line)), true, nil
+			}},
+		Live: &ChannelSource{C: live, Poll: time.Millisecond},
+	}
+	if r, ok := src.Next(); !ok || r.Kind != KindData {
+		t.Fatalf("first = %+v ok=%v, want the healthy history record", r, ok)
+	}
+	if r, ok := src.Next(); ok {
+		t.Fatalf("after the history error got %+v, want end of stream (no handoff)", r)
+	}
+	if err := src.Err(); err == nil || !strings.Contains(err.Error(), "corrupt history") {
+		t.Fatalf("Err() = %v, want the history error", err)
+	}
+}
+
+// Snapshot of an exhausted file reader must record the end position: a
+// composite connector snapshotting a finished inner reader would otherwise
+// restore to the beginning and replay the whole file.
+func TestFileSourceSnapshotAfterEndRecordsEndPosition(t *testing.T) {
+	linePath := writeTempFile(t, "done.txt", "a\nb\nc\n")
+	csvPath := writeTempFile(t, "done.csv", "1,a\n2,b\n")
+	sources := map[string]func() SourceFunc{
+		"line": func() SourceFunc {
+			return &LineFileSource{Path: linePath, Subtask: 0, Parallelism: 1,
+				Decode: func(line []byte, idx int64) (Record, bool, error) {
+					return Data(idx, 0, string(line)), true, nil
+				}}
+		},
+		"csv": func() SourceFunc {
+			return &CSVFileSource{Path: csvPath, Subtask: 0, Parallelism: 1,
+				Decode: func(row []string, idx int64) (Record, error) {
+					return Data(idx, 0, row[1]), nil
+				}}
+		},
+	}
+	for name, mk := range sources {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			if data, _ := drainData(t, src, 100); len(data) == 0 {
+				t.Fatalf("source emitted nothing")
+			}
+			blob, err := src.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed := mk()
+			if err := resumed.Restore(blob); err != nil {
+				t.Fatal(err)
+			}
+			if rest, _ := drainData(t, resumed, 100); len(rest) != 0 {
+				t.Fatalf("restored exhausted reader replayed %d records", len(rest))
+			}
+		})
 	}
 }

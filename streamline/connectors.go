@@ -133,6 +133,10 @@ func (p pacedSource[T]) Open(sub, par int) Reader[T] {
 	return &pacedReader[T]{inner: p.inner.Open(sub, par), perSec: p.perSec}
 }
 
+// PreferredParallelism implements ParallelismHinter by delegation: pacing
+// does not change the inner connector's parallelism needs.
+func (p pacedSource[T]) PreferredParallelism() int { return preferredParallelism(p.inner) }
+
 type pacedReader[T any] struct {
 	inner  Reader[T]
 	perSec float64
@@ -159,9 +163,11 @@ func (r *pacedReader[T]) Err() error { return readerErr(r.inner) }
 // ---- channels (data in motion) --------------------------------------------
 
 // Channel returns a live in-motion source fed by a Go channel; closing the
-// channel ends the stream. Subtasks share the channel (each record is
-// consumed by exactly one), so single-subtask sources keep event time
-// simplest — FromChannel defaults to parallelism 1 for that reason.
+// channel ends the stream. Subtasks would share the channel (each record
+// consumed by exactly one) and a subtask that never receives a record would
+// pin downstream event time at -inf, so the connector hints parallelism 1
+// (ParallelismHinter) and From runs it single-subtask unless
+// WithSourceParallelism overrides.
 //
 // A channel cannot be replayed: records consumed before a crash are not
 // re-emitted after recovery (operator state remains exactly-once).
@@ -177,6 +183,10 @@ type channelSource[T any] struct {
 func (s channelSource[T]) Open(sub, par int) Reader[T] {
 	return &channelReader[T]{c: s.c, poll: 25 * time.Millisecond}
 }
+
+// PreferredParallelism implements ParallelismHinter: a shared channel only
+// keeps event time sound with a single subtask.
+func (channelSource[T]) PreferredParallelism() int { return 1 }
 
 type channelReader[T any] struct {
 	c       <-chan Keyed[T]
@@ -335,6 +345,16 @@ func (h hybridSource[T]) Open(sub, par int) Reader[T] {
 	return &hybridReader[T]{history: h.history.Open(sub, par), live: h.live.Open(sub, par)}
 }
 
+// PreferredParallelism implements ParallelismHinter by delegation. The live
+// phase's hint wins — it runs forever, while any history connector splits
+// correctly at any parallelism.
+func (h hybridSource[T]) PreferredParallelism() int {
+	if p := preferredParallelism(h.live); p > 0 {
+		return p
+	}
+	return preferredParallelism(h.history)
+}
+
 type hybridReader[T any] struct {
 	history, live Reader[T]
 	inLive        bool // past the handoff
@@ -361,6 +381,13 @@ func (h *hybridReader[T]) Next() (Keyed[T], ReadStatus) {
 			return k, ReadData
 		case ReadWatermark, ReadIdle:
 			return k, st
+		}
+		// A history that failed mid-stream ends the whole stream here
+		// instead of handing off: the runtime only inspects Err at end of
+		// stream, and an unbounded live phase would bury a truncated
+		// history forever.
+		if readerErr(h.history) != nil {
+			return Keyed[T]{}, ReadEnd
 		}
 		// History exhausted: hand off. The switch and the handoff
 		// watermark happen in this one call, so a checkpoint can never

@@ -78,7 +78,9 @@
 //			streamline.JSONL[reading]("history.jsonl"), // data at rest
 //			streamline.Channel(liveFeed),               // data in motion
 //		),
-//		streamline.WithSourceParallelism(1),
 //		streamline.WithTimestamps(func(r reading) int64 { return r.Ts }),
 //	)
+//
+// (The Channel connector hints parallelism 1 — see ParallelismHinter — so
+// the hybrid source runs single-subtask without an explicit option.)
 package streamline

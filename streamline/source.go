@@ -61,9 +61,22 @@ type Source[T any] interface {
 	Open(subtask, parallelism int) Reader[T]
 }
 
+// ParallelismHinter is an optional Source extension for connectors that
+// only behave correctly at a particular parallelism. From honors the hint
+// whenever no WithSourceParallelism option is given; the option always
+// wins. Channel hints 1 (subtasks would split the shared channel, and an
+// idle subtask would pin downstream event time at -inf); decorating
+// connectors (Paced, Hybrid) delegate to their inner sources.
+type ParallelismHinter interface {
+	// PreferredParallelism returns the parallelism the source stage should
+	// default to; <= 0 means no preference.
+	PreferredParallelism() int
+}
+
 // sourceConfig is the resolved set of source options.
 type sourceConfig struct {
 	parallelism int
+	parSet      bool // WithSourceParallelism was given (even as zero)
 	lag         int64
 	wmEvery     int64
 	ts          any // func(T) int64, asserted by From against the stream type
@@ -77,9 +90,10 @@ type sourceOptionFunc func(*sourceConfig)
 func (f sourceOptionFunc) applySource(c *sourceConfig) { f(c) }
 
 // WithSourceParallelism sets the number of subtasks of the source stage.
-// Zero or negative (the default) uses the environment default.
+// Zero or negative uses the environment default. Giving the option in any
+// form overrides the connector's ParallelismHinter hint.
 func WithSourceParallelism(p int) SourceOption {
-	return sourceOptionFunc(func(c *sourceConfig) { c.parallelism = p })
+	return sourceOptionFunc(func(c *sourceConfig) { c.parallelism, c.parSet = p, true })
 }
 
 // WithWatermarkLag sets the bounded-disorder allowance: watermarks trail the
@@ -111,6 +125,9 @@ func From[T any](env *Env, name string, src Source[T], opts ...SourceOption) *St
 	for _, o := range opts {
 		o.applySource(&cfg)
 	}
+	if !cfg.parSet {
+		cfg.parallelism = preferredParallelism(src)
+	}
 	var ts func(T) int64
 	if cfg.ts != nil {
 		f, ok := cfg.ts.(func(T) int64)
@@ -131,6 +148,14 @@ func From[T any](env *Env, name string, src Source[T], opts ...SourceOption) *St
 		}
 	}
 	return &Stream[T]{env: env, inner: env.core.FromSource(name, cfg.parallelism, factory)}
+}
+
+// preferredParallelism reads a source's parallelism hint, if it carries one.
+func preferredParallelism[T any](src Source[T]) int {
+	if h, ok := src.(ParallelismHinter); ok {
+		return h.PreferredParallelism()
+	}
+	return 0
 }
 
 // typeName renders T for error messages.

@@ -395,3 +395,79 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 		t.Fatalf("vals = %v", vals)
 	}
 }
+
+// A Channel connector passed straight to From must default to a single
+// subtask (ParallelismHinter): at the environment default parallelism,
+// subtasks would split the shared channel and a subtask that never receives
+// a record would pin downstream event time at -inf. Decorating connectors
+// forward the hint; an explicit WithSourceParallelism always wins.
+func TestChannelConnectorHintsSingleSubtask(t *testing.T) {
+	ch := make(chan streamline.Keyed[float64])
+	srcParallelism := func(name string, build func(env *streamline.Env) *streamline.Stream[float64]) int {
+		t.Helper()
+		env := streamline.New(streamline.WithParallelism(4))
+		src := build(env)
+		streamline.Sink(src, "out", func(streamline.Keyed[float64]) {})
+		for _, n := range env.Core().Graph().Nodes() {
+			if n.Name == name {
+				return n.Parallelism
+			}
+		}
+		t.Fatalf("source node %q not in plan", name)
+		return 0
+	}
+
+	if p := srcParallelism("chan", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "chan", streamline.Channel(ch))
+	}); p != 1 {
+		t.Fatalf("Channel via From runs at parallelism %d, want 1", p)
+	}
+	if p := srcParallelism("hybrid", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "hybrid", streamline.Hybrid(streamline.Slice([]float64{1, 2}), streamline.Channel(ch)))
+	}); p != 1 {
+		t.Fatalf("Hybrid with a Channel live phase runs at parallelism %d, want 1", p)
+	}
+	if p := srcParallelism("paced", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "paced", streamline.Paced(streamline.Channel(ch), 100))
+	}); p != 1 {
+		t.Fatalf("Paced Channel runs at parallelism %d, want 1", p)
+	}
+	if p := srcParallelism("chan3", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "chan3", streamline.Channel(ch), streamline.WithSourceParallelism(3))
+	}); p != 3 {
+		t.Fatalf("explicit WithSourceParallelism gives %d, want 3", p)
+	}
+	if p := srcParallelism("chan0", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "chan0", streamline.Channel(ch), streamline.WithSourceParallelism(0))
+	}); p != 4 {
+		t.Fatalf("explicit WithSourceParallelism(0) gives %d, want the env default 4 over the hint", p)
+	}
+	if p := srcParallelism("slice", func(env *streamline.Env) *streamline.Stream[float64] {
+		return streamline.From(env, "slice", streamline.Slice([]float64{1, 2}))
+	}); p != 4 {
+		t.Fatalf("hint-free Slice runs at parallelism %d, want the env default 4", p)
+	}
+}
+
+// A history that fails mid-replay must fail Execute instead of handing off
+// to the live channel: with an unbounded live phase the job would otherwise
+// run forever over a silently truncated history, the error parked in Err.
+func TestHybridCorruptHistoryFailsExecute(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	if err := os.WriteFile(path, []byte("{\"ts\":1,\"name\":\"a\",\"value\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	live := make(chan streamline.Keyed[event]) // never fed, never closed
+
+	env := streamline.New(streamline.WithParallelism(1))
+	src := streamline.From(env, "hybrid",
+		streamline.Hybrid(streamline.JSONL[event](path), streamline.Channel(live)))
+	streamline.Sink(src, "out", func(streamline.Keyed[event]) {})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := env.Execute(ctx)
+	if err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Fatalf("Execute = %v, want the history decode error surfaced", err)
+	}
+}

@@ -9,9 +9,9 @@ package streamline
 // subtasks would share the channel, splitting records — which
 // WithSourceParallelism overrides.
 //
-// Equivalent to From(env, name, Channel(c), WithSourceParallelism(1), ...).
+// Equivalent to From(env, name, Channel(c), ...).
 func FromChannel[T any](env *Env, name string, c <-chan Keyed[T], opts ...SourceOption) *Stream[T] {
-	return From(env, name, Channel(c), append([]SourceOption{WithSourceParallelism(1)}, opts...)...)
+	return From(env, name, Channel(c), opts...)
 }
 
 // FromJSONL creates a bounded stream from a JSON-lines file at rest, one
