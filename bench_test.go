@@ -333,6 +333,32 @@ func BenchmarkE10Optimizer(b *testing.B) {
 	}
 }
 
+// BenchmarkExchange: the batched-exchange trajectory — the bounded slice
+// wordcount and the unbounded two-feed channel pipeline at per-record
+// (batch=1) and default pooled-batch exchange. `streamline-bench -exchange`
+// records the same measurements in BENCH_exchange.json.
+func BenchmarkExchange(b *testing.B) {
+	nWords, nLive := bench.ExchangeQuickWords, bench.ExchangeQuickLive
+	for _, bs := range []int{1, streamline.DefaultBatchSize} {
+		b.Run(fmt.Sprintf("wordcount/batch=%d", bs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ExchangeWordcount(nWords, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nWords)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+		b.Run(fmt.Sprintf("channel/batch=%d", bs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ExchangeChannel(nLive, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nLive)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // TestExperimentTablesQuick exercises the full harness end to end in quick
 // mode so `go test ./...` validates every experiment path, not only the
 // benchmarks.

@@ -7,6 +7,9 @@
 //	streamline-bench              # all experiments, full sizes
 //	streamline-bench -quick       # all experiments, reduced sizes
 //	streamline-bench -e E2,E4     # selected experiments
+//	streamline-bench -exchange BENCH_exchange.json
+//	                              # exchange benchmark only: batched vs
+//	                              # per-record data plane, results to JSON
 package main
 
 import (
@@ -21,7 +24,23 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced input sizes")
 	exps := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	exchange := flag.String("exchange", "", "run the exchange benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *exchange != "" {
+		rep, err := bench.Exchange(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exchange benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*exchange); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *exchange, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *exchange)
+		return
+	}
 
 	if *exps == "" {
 		for _, t := range bench.All(*quick) {

@@ -84,6 +84,23 @@ func WithCheckpointing(b state.Backend, every time.Duration) Option {
 	}
 }
 
+// WithBatchSize sets how many records the exchange layer stages per batch
+// before shipping it to a downstream subtask (default
+// dataflow.DefaultBatchSize). 1 degenerates to per-record exchange. A purely
+// physical knob: the logical plan and its results are identical at every
+// batch size.
+func WithBatchSize(n int) Option {
+	return func(e *Environment) { e.graph.BatchSize = n }
+}
+
+// WithFlushInterval bounds how long a record may sit in an exchange staging
+// buffer before being shipped — the latency guard for in-motion sources
+// (default dataflow.DefaultFlushInterval). Negative disables the periodic
+// flush: batches then ship only when full or at control records.
+func WithFlushInterval(d time.Duration) Option {
+	return func(e *Environment) { e.graph.FlushInterval = d }
+}
+
 // NewEnvironment returns an empty pipeline environment.
 func NewEnvironment(opts ...Option) *Environment {
 	e := &Environment{

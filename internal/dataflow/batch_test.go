@@ -1,0 +1,203 @@
+package dataflow
+
+import (
+	"context"
+	"math"
+	gort "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/state"
+)
+
+// seqEvent is one observation of the capture operator: a data record's
+// timestamp or a watermark value.
+type seqEvent struct {
+	kind Kind
+	ts   int64
+}
+
+// seqCapture records the exact per-channel interleaving of data and
+// watermarks it observes. The +inf close-out watermark is ignored (the
+// runtime legitimately delivers it more than once at end of stream).
+type seqCapture struct {
+	Base
+	mu  sync.Mutex
+	seq []seqEvent
+}
+
+func (s *seqCapture) OnRecord(r Record, _ Collector) {
+	s.mu.Lock()
+	s.seq = append(s.seq, seqEvent{kind: KindData, ts: r.Ts})
+	s.mu.Unlock()
+}
+
+func (s *seqCapture) OnWatermark(wm int64, _ Collector) {
+	if wm == math.MaxInt64 {
+		return
+	}
+	s.mu.Lock()
+	s.seq = append(s.seq, seqEvent{kind: KindWatermark, ts: wm})
+	s.mu.Unlock()
+}
+
+func (s *seqCapture) events() []seqEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]seqEvent{}, s.seq...)
+}
+
+// TestExchangeOrderingPreservedUnderBatching drives a single channel with
+// interleaved data and watermarks through a real (unchained) exchange and
+// asserts the downstream subtask observes the exact sender order at several
+// batch sizes — including one far larger than the stream, where data can
+// only arrive because control records flush the staging buffer first.
+func TestExchangeOrderingPreservedUnderBatching(t *testing.T) {
+	const n, every = 200, 10
+	for _, bs := range []int{1, 2, 64, 100000} {
+		g := NewGraph("order")
+		g.BatchSize = bs
+		g.FlushInterval = -1 // only size and control records may flush
+		src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+			return &GenSource{N: n, WatermarkEvery: every, Gen: func(i int64) Record {
+				return Data(i, 0, float64(i))
+			}}
+		})
+		cap := &seqCapture{}
+		// Rebalance prevents chaining: the capture runs behind a real exchange.
+		g.AddOperator("cap", 1, func() Operator { return cap }, Edge{From: src, Part: Rebalance})
+		run(t, g)
+
+		var want []seqEvent
+		for i := int64(0); i < n; i++ {
+			want = append(want, seqEvent{kind: KindData, ts: i})
+			if (i+1)%every == 0 {
+				want = append(want, seqEvent{kind: KindWatermark, ts: i})
+			}
+		}
+		got := cap.events()
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: observed %d events, want %d", bs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: event %d = %+v, want %+v", bs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFlushIntervalBoundsLatency runs a slow unbounded source into a huge
+// batch with cadence watermarks effectively disabled: the only way records
+// can reach the sink is the periodic flusher. Without it the staging buffer
+// would strand every record until the batch filled (never, here).
+func TestFlushIntervalBoundsLatency(t *testing.T) {
+	g := NewGraph("flush")
+	g.BatchSize = 1 << 20
+	g.FlushInterval = 5 * time.Millisecond
+	src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+		return &PacedSource{PerSec: 400, Inner: &GenSource{
+			N: -1, WatermarkEvery: 1 << 40,
+			Gen: func(i int64) Record { return Data(i, 0, float64(i)) },
+		}}
+	})
+	sink := &CollectSink{}
+	g.AddOperator("sink", 1, sink.Factory(), Edge{From: src, Part: Rebalance})
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := NewJob(g).Run(ctx); err == nil {
+		t.Fatalf("unbounded job finished without error?")
+	}
+	if got := len(sink.Records()); got == 0 {
+		t.Fatalf("flusher shipped no records: staging buffer stranded the stream")
+	}
+}
+
+// TestKillAndRecoverAcrossBatchSizes round-trips the checkpoint/recovery
+// suite with batching enabled at several batch sizes, including mid-batch
+// barrier interleavings (batch sizes 2 and 64 stage data around barriers;
+// batch size 1 degenerates to the per-record exchange).
+func TestKillAndRecoverAcrossBatchSizes(t *testing.T) {
+	const n = 6000
+	for _, bs := range []int{1, 2, 64} {
+		refSink := &CollectSink{}
+		ref := buildRecoveryGraph(n, 0, refSink)
+		ref.BatchSize = bs
+		run(t, ref)
+		want := collectWindows(t, refSink)
+		if len(want) == 0 {
+			t.Fatalf("batch=%d: reference run produced no windows", bs)
+		}
+
+		backend := state.NewMemoryBackend(0)
+		crashSink := &CollectSink{}
+		g1 := buildRecoveryGraph(n, 10000, crashSink)
+		g1.BatchSize = bs
+		job1 := NewJob(g1, WithCheckpointing(backend, 25*time.Millisecond))
+		ctx1, cancel1 := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		err := job1.Run(ctx1)
+		cancel1()
+		if err == nil {
+			got := collectWindows(t, crashSink)
+			assertWindowsEqual(t, got, want)
+			continue // finished before the kill; results still exact
+		}
+		snap, ok := backend.Latest()
+		if !ok {
+			continue // no checkpoint completed before the kill on this machine
+		}
+		g2 := buildRecoveryGraph(n, 0, crashSink)
+		g2.BatchSize = bs
+		job2 := NewJob(g2, WithRestore(snap), WithCheckpointing(backend, 25*time.Millisecond))
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := job2.Run(ctx2); err != nil {
+			cancel2()
+			t.Fatalf("batch=%d: recovery run failed: %v", bs, err)
+		}
+		cancel2()
+		assertWindowsEqual(t, collectWindows(t, crashSink), want)
+	}
+}
+
+// TestNoGoroutineLeakAfterCancelledCheckpointingJob cancels a checkpointing
+// job mid-flight — coordinator collecting acks, sources paced, flushers
+// ticking — and asserts every runtime goroutine (subtasks, flushers, the
+// coordinator) unwinds. Late acks after cancellation must be tolerated, not
+// waited on.
+func TestNoGoroutineLeakAfterCancelledCheckpointingJob(t *testing.T) {
+	before := gort.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		g := NewGraph("leak")
+		src := g.AddSource("src", 2, func(sub, par int) SourceFunc {
+			return &PacedSource{PerSec: 5000, Inner: &GenSource{
+				N: -1, WatermarkEvery: 16,
+				Gen: func(i int64) Record { return Data(i, uint64(i%5), float64(1)) },
+			}}
+		})
+		red := g.AddOperator("sum", 2, func() Operator {
+			return &KeyedReduceOp{F: func(acc, v float64) float64 { return acc + v }}
+		}, Edge{From: src, Part: HashPartition})
+		sink := &CollectSink{}
+		g.AddOperator("sink", 1, sink.Factory(), Edge{From: red, Part: Rebalance})
+		job := NewJob(g, WithCheckpointing(state.NewMemoryBackend(0), 10*time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+		if err := job.Run(ctx); err == nil {
+			cancel()
+			t.Fatalf("unbounded job finished without error?")
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := gort.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, gort.NumGoroutine(), buf[:gort.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -159,71 +159,206 @@ func (rt *runtime) fail(err error) {
 	rt.cancel()
 }
 
-// outputs routes a subtask's emissions to downstream channels.
+// ---- batched exchange ------------------------------------------------------
+
+// Exchange tuning defaults. Records cross subtask boundaries in pooled
+// batches: a staged batch is shipped when it reaches the batch size, when the
+// flush interval elapses (bounding in-motion latency), and always before a
+// control record (watermark, barrier, end) so per-channel ordering and ABS
+// barrier alignment are preserved.
+const (
+	// DefaultBatchSize is the number of data records staged per exchange
+	// batch when Graph.BatchSize is unset.
+	DefaultBatchSize = 64
+	// DefaultFlushInterval bounds how long a staged record may wait before
+	// being shipped when Graph.FlushInterval is unset.
+	DefaultFlushInterval = 10 * time.Millisecond
+)
+
+// batchPool recycles exchange batches between senders and receivers. All
+// edges of a job share one pool; receivers return fully consumed batches.
+type batchPool struct {
+	size int
+	pool sync.Pool
+}
+
+func newBatchPool(size int) *batchPool {
+	bp := &batchPool{size: size}
+	bp.pool.New = func() any {
+		b := make([]Record, 0, size)
+		return &b
+	}
+	return bp
+}
+
+func (bp *batchPool) get() []Record {
+	return (*bp.pool.Get().(*[]Record))[:0]
+}
+
+// put recycles a consumed batch. Entries are cleared first so the pool does
+// not pin record payloads across reuse.
+func (bp *batchPool) put(b []Record) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	clear(b)
+	b = b[:0]
+	bp.pool.Put(&b)
+}
+
+// outputs routes a subtask's emissions to downstream channels through
+// per-edge, per-downstream-subtask staging buffers. The mutex covers the
+// staging state: the owning subtask goroutine appends and flushes on the hot
+// path, and the periodic flusher (startFlusher) ships half-full batches so a
+// quiet in-motion pipeline never strands records in a buffer.
 type outputs struct {
-	ctx   context.Context
+	ctx        context.Context
+	pool       *batchPool
+	batchSize  int
+	flushEvery time.Duration
+
+	mu    sync.Mutex
 	edges []outEdge
-	rr    int
 }
 
 type outEdge struct {
 	part  Partitioning
-	chans []chan Record // indexed by downstream subtask (this upstream's slot)
+	chans []chan []Record // indexed by downstream subtask (this upstream's slot)
+	stage [][]Record      // staged batch per slot; nil when empty
+	rr    int             // per-edge round-robin cursor (Rebalance only)
 }
 
-func (o *outputs) send(ch chan Record, r Record) bool {
+func (o *outputs) send(ch chan []Record, b []Record) bool {
 	select {
-	case ch <- r:
+	case ch <- b:
 		return true
 	case <-o.ctx.Done():
 		return false
 	}
 }
 
+// stageLocked appends r to the slot's staged batch, shipping it when full.
+func (o *outputs) stageLocked(e *outEdge, slot int, r Record) bool {
+	if e.stage[slot] == nil {
+		e.stage[slot] = o.pool.get()
+	}
+	e.stage[slot] = append(e.stage[slot], r)
+	if len(e.stage[slot]) >= o.batchSize {
+		return o.flushSlotLocked(e, slot)
+	}
+	return true
+}
+
+// flushSlotLocked ships the slot's staged batch, if any.
+func (o *outputs) flushSlotLocked(e *outEdge, slot int) bool {
+	b := e.stage[slot]
+	if len(b) == 0 {
+		return true
+	}
+	e.stage[slot] = nil
+	return o.send(e.chans[slot], b)
+}
+
 // data routes one data record according to each edge's partitioning.
 func (o *outputs) data(r Record) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for i := range o.edges {
 		e := &o.edges[i]
 		n := len(e.chans)
 		switch e.part {
 		case BroadcastPartition:
-			for _, ch := range e.chans {
-				if !o.send(ch, r) {
+			for slot := range e.chans {
+				if !o.stageLocked(e, slot, r) {
 					return false
 				}
 			}
 		case HashPartition:
-			if !o.send(e.chans[int(Hash64(r.Key)%uint64(n))], r) {
+			if !o.stageLocked(e, int(Hash64(r.Key)%uint64(n)), r) {
 				return false
 			}
 		case Rebalance:
-			if !o.send(e.chans[o.rr%n], r) {
+			slot := e.rr % n
+			e.rr++
+			if !o.stageLocked(e, slot, r) {
 				return false
 			}
 		default: // Forward
-			// Forward edges that were not chained still map subtask i to i;
-			// outputs for subtask i hold exactly that channel in slot i,
-			// but we route by the stored single-slot convention below.
-			if !o.send(e.chans[o.rr%n], r) { // set up as single-slot for forward
+			// An unchained Forward edge holds exactly one channel: the peer
+			// subtask's (see outputsFor), so routing is the single slot.
+			if !o.stageLocked(e, 0, r) {
 				return false
 			}
 		}
 	}
-	o.rr++
 	return true
 }
 
-// broadcast sends a control record (watermark/barrier/end) to every
-// downstream subtask of every edge.
+// broadcast delivers a control record (watermark/barrier/end) to every
+// downstream subtask of every edge. The control record is appended to each
+// slot's staged batch and the batch is shipped immediately, so on every
+// channel all data staged before the control arrives before it — the
+// ordering ABS barrier alignment and watermark semantics depend on.
 func (o *outputs) broadcast(r Record) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	for i := range o.edges {
-		for _, ch := range o.edges[i].chans {
-			if !o.send(ch, r) {
+		e := &o.edges[i]
+		for slot := range e.chans {
+			if !o.stageLocked(e, slot, r) {
+				return false
+			}
+			if !o.flushSlotLocked(e, slot) {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// flushAll ships every non-empty staged batch (the flusher's tick).
+func (o *outputs) flushAll() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.edges {
+		e := &o.edges[i]
+		for slot := range e.chans {
+			if !o.flushSlotLocked(e, slot) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// startFlusher launches the periodic flush goroutine bounding how long a
+// record may sit in a staging buffer — the in-motion latency guard. It
+// no-ops for sinks (no edges) and when the interval is negative (disabled).
+// The returned stop function must be called before the subtask exits; the
+// goroutine is tracked by wg so Run cannot return while a flusher lives.
+func (o *outputs) startFlusher(wg *sync.WaitGroup) (stop func()) {
+	if o.flushEvery <= 0 || len(o.edges) == 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(o.flushEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-o.ctx.Done():
+				return
+			case <-t.C:
+				o.flushAll()
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // outCollector terminates an operator chain into the channel outputs.
@@ -318,8 +453,27 @@ func (j *Job) Run(ctx context.Context) error {
 	}
 	rt.ackCh = make(chan ackMsg, rt.needAcks+16)
 
+	// Exchange configuration: batch size, flush interval, shared pool.
+	batchSize := j.g.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	flushEvery := j.g.FlushInterval
+	if flushEvery == 0 {
+		flushEvery = DefaultFlushInterval
+	}
+	pool := newBatchPool(batchSize)
+
 	// Channel matrices for unchained edges: in[to][edgeIdx][toSub][fromSub].
-	inCh := make(map[*Node][][][]chan Record)
+	// Channels carry pooled record batches; capacity is the record-
+	// denominated BufferSize divided down by the batch size (floor 4, so
+	// tiny buffers still pipeline), keeping the worst-case records queued
+	// per channel roughly constant across batch sizes.
+	bufBatches := j.g.BufferSize / batchSize
+	if bufBatches < 4 {
+		bufBatches = 4
+	}
+	inCh := make(map[*Node][][][]chan []Record)
 	for _, n := range j.g.nodes {
 		if ci.head[n] != n {
 			continue // chained: no physical inputs
@@ -327,13 +481,13 @@ func (j *Job) Run(ctx context.Context) error {
 		if n.NewOperator == nil {
 			continue
 		}
-		mats := make([][][]chan Record, len(n.In))
+		mats := make([][][]chan []Record, len(n.In))
 		for ei, e := range n.In {
-			mat := make([][]chan Record, n.Parallelism)
+			mat := make([][]chan []Record, n.Parallelism)
 			for ts := 0; ts < n.Parallelism; ts++ {
-				row := make([]chan Record, e.From.Parallelism)
+				row := make([]chan []Record, e.From.Parallelism)
 				for fs := 0; fs < e.From.Parallelism; fs++ {
-					row[fs] = make(chan Record, j.g.BufferSize)
+					row[fs] = make(chan []Record, bufBatches)
 				}
 				mat[ts] = row
 			}
@@ -344,7 +498,7 @@ func (j *Job) Run(ctx context.Context) error {
 
 	// outputsFor builds the outputs of chain-tail `tail` for subtask s.
 	outputsFor := func(tail *Node, s int) *outputs {
-		o := &outputs{ctx: runCtx}
+		o := &outputs{ctx: runCtx, pool: pool, batchSize: batchSize, flushEvery: flushEvery}
 		for _, consumer := range j.g.nodes {
 			if ci.head[consumer] != consumer {
 				continue
@@ -353,17 +507,17 @@ func (j *Job) Run(ctx context.Context) error {
 				if e.From != tail {
 					continue
 				}
-				var chans []chan Record
+				var chans []chan []Record
 				if e.Part == Forward {
 					// one slot: this subtask's peer
-					chans = []chan Record{inCh[consumer][ei][s][s]}
+					chans = []chan []Record{inCh[consumer][ei][s][s]}
 				} else {
-					chans = make([]chan Record, consumer.Parallelism)
+					chans = make([]chan []Record, consumer.Parallelism)
 					for ts := 0; ts < consumer.Parallelism; ts++ {
 						chans[ts] = inCh[consumer][ei][ts][s]
 					}
 				}
-				o.edges = append(o.edges, outEdge{part: e.Part, chans: chans})
+				o.edges = append(o.edges, outEdge{part: e.Part, chans: chans, stage: make([][]Record, len(chans))})
 			}
 		}
 		return o
@@ -424,7 +578,7 @@ func (j *Job) Run(ctx context.Context) error {
 					rt.fail(runSource(rt, node, sub, src, ch, control, j.nodeMetrics(node.Name)))
 				}()
 			} else {
-				ins := make([]chan Record, 0)
+				ins := make([]chan []Record, 0)
 				edges := make([]int, 0)
 				for ei := range n.In {
 					for _, c := range inCh[n][ei][s] {
@@ -522,15 +676,29 @@ func (j *Job) coordinate(rt *runtime, done chan struct{}) {
 }
 
 // runSource drives a source subtask: generate records, inject barriers on
-// coordinator triggers, and finish the chain at end of stream.
+// coordinator triggers, and finish the chain at end of stream. Records flow
+// through the chain's collector into the batching outputs, so at-rest replay
+// (files, slices) is vectorized end to end; the records_in counter is
+// flushed in batches at control boundaries rather than per record.
 func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, control chan int64, nm *nodeMetrics) error {
+	stopFlush := ch.out.startFlusher(&rt.wg)
+	defer stopFlush()
 	entry := ch.collector()
+	var pendingIn int64
+	flushIn := func() {
+		if nm != nil && pendingIn != 0 {
+			nm.recordsIn.Add(pendingIn)
+			pendingIn = 0
+		}
+	}
+	defer flushIn()
 	for {
 		// Handle pending control triggers and cancellation.
 		select {
 		case <-rt.ctx.Done():
 			return nil
 		case ckpt := <-control:
+			flushIn()
 			blob, err := src.Snapshot()
 			if err != nil {
 				return fmt.Errorf("snapshot source %q/%d: %w", n.Name, subtask, err)
@@ -552,6 +720,7 @@ func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, con
 		}
 		r, ok := src.Next()
 		if !ok {
+			flushIn()
 			if err := sourceErr(src); err != nil {
 				return fmt.Errorf("source %q/%d: %w", n.Name, subtask, err)
 			}
@@ -565,6 +734,7 @@ func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, con
 		}
 		switch r.Kind {
 		case KindWatermark:
+			flushIn()
 			if nm != nil {
 				nm.watermark.Max(r.Ts)
 			}
@@ -573,27 +743,43 @@ func runSource(rt *runtime, n *Node, subtask int, src SourceFunc, ch *chain, con
 				return nil
 			}
 		case KindData:
-			if nm != nil {
-				nm.recordsIn.Inc()
+			pendingIn++
+			if pendingIn >= int64(ch.out.batchSize) {
+				// Keep the metric live for watermark-sparse sources without
+				// reverting to per-record increments.
+				flushIn()
 			}
 			entry.Collect(r)
 		}
 	}
 }
 
-// inState tracks one input channel of an operator subtask.
+// inState tracks one input channel of an operator subtask. batch/pos hold
+// the received batch currently being consumed. Senders flush a control
+// record in the same send as the data staged before it, so a barrier is
+// last-in-batch by construction and blocking a channel mid-batch leaves no
+// remainder; the cursor still survives a block defensively, in case a
+// future sender ships controls mid-batch.
 type inState struct {
-	ch      chan Record
+	ch      chan []Record
 	wm      int64
 	ended   bool
 	blocked bool // barrier alignment
+	batch   []Record
+	pos     int
 }
 
 // runOperator drives an operator subtask: merge inputs, track watermarks,
-// align barriers, and finish when all inputs end. edges[i] is the logical
-// input-edge index of channel i, surfaced to EdgeAware head operators
-// (joins need to know which side a record arrived on).
-func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges []int, ch *chain, nm *nodeMetrics) error {
+// align barriers, and finish when all inputs end. Inputs arrive as pooled
+// record batches; the loop iterates each batch record by record (per-channel
+// order is the sender's emission order) and returns consumed batches to the
+// pool. edges[i] is the logical input-edge index of channel i, surfaced to
+// EdgeAware head operators (joins need to know which side a record arrived
+// on).
+func runOperator(rt *runtime, n *Node, subtask int, inputs []chan []Record, edges []int, ch *chain, nm *nodeMetrics) error {
+	stopFlush := ch.out.startFlusher(&rt.wg)
+	defer stopFlush()
+	pool := ch.out.pool
 	ins := make([]inState, len(inputs))
 	for i, c := range inputs {
 		ins[i] = inState{ch: c, wm: math.MinInt64}
@@ -660,7 +846,145 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges 
 		return nil
 	}
 
+	barriersNeeded := func() int {
+		need := 0
+		for i := range ins {
+			if !ins[i].ended {
+				need++
+			}
+		}
+		return need
+	}
+
+	// consume drains ins[idx]'s buffered batch from its cursor, handling
+	// each record exactly as the per-record loop used to. It stops early
+	// when a barrier blocks the channel (the remainder is held) and returns
+	// stop=true when the subtask is finished (all inputs ended, or the job
+	// was cancelled mid-broadcast). records_in is bumped once per call.
+	consume := func(idx int) (stop bool, err error) {
+		in := &ins[idx]
+		var dataSeen int64
+		defer func() {
+			if nm != nil && dataSeen > 0 {
+				nm.recordsIn.Add(dataSeen)
+			}
+		}()
+		for in.pos < len(in.batch) {
+			r := in.batch[in.pos]
+			in.pos++
+			switch r.Kind {
+			case KindData:
+				dataSeen++
+				if edgeAware != nil {
+					edgeAware.OnRecordEdge(edges[idx], r, ch.colls[0])
+				} else {
+					entry.Collect(r)
+				}
+			case KindWatermark:
+				if r.Ts > in.wm {
+					in.wm = r.Ts
+					if m := minWM(); m > curWM {
+						curWM = m
+						if nm != nil {
+							nm.watermark.Max(curWM)
+						}
+						ch.watermark(curWM)
+						if !ch.out.broadcast(Watermark(curWM)) {
+							return true, nil
+						}
+					}
+				}
+			case KindBarrier:
+				if aligning == 0 {
+					aligning = r.Ts
+				}
+				if r.Ts != aligning {
+					continue // stale barrier from an abandoned checkpoint
+				}
+				in.blocked = true
+				alignSeen++
+				activeDirty = true
+				if alignSeen >= barriersNeeded() {
+					if err := completeBarrier(aligning); err != nil {
+						return true, err
+					}
+				}
+				if in.blocked {
+					// Alignment still pending. A barrier is last-in-batch by
+					// construction, so the batch is exhausted here and goes
+					// back to the pool (the next receive would otherwise
+					// overwrite it); the guard keeps any remainder — only
+					// possible with a mid-batch control — held until the
+					// barrier completes and unblocks the channel.
+					if in.pos >= len(in.batch) {
+						pool.put(in.batch)
+						in.batch, in.pos = nil, 0
+					}
+					return false, nil
+				}
+			case KindEnd:
+				in.ended = true
+				in.blocked = false
+				activeDirty = true
+				if m := minWM(); m > curWM && m != math.MaxInt64 {
+					curWM = m
+					ch.watermark(curWM)
+					if !ch.out.broadcast(Watermark(curWM)) {
+						return true, nil
+					}
+				}
+				// An ended channel counts as having delivered any barrier.
+				if aligning != 0 && alignSeen >= barriersNeeded() {
+					if err := completeBarrier(aligning); err != nil {
+						return true, err
+					}
+				}
+				allEnded := true
+				for i := range ins {
+					if !ins[i].ended {
+						allEnded = false
+						break
+					}
+				}
+				if allEnded {
+					ch.watermark(math.MaxInt64)
+					ch.out.broadcast(Watermark(math.MaxInt64))
+					ch.finish()
+					ch.out.broadcast(End())
+					return true, nil
+				}
+				// Nothing follows an end marker on its channel.
+				pool.put(in.batch)
+				in.batch, in.pos = nil, 0
+				return false, nil
+			}
+		}
+		pool.put(in.batch)
+		in.batch, in.pos = nil, 0
+		return false, nil
+	}
+
 	for {
+		// Drain held batch remainders of channels that can progress before
+		// receiving anything new. With the control-last-in-batch invariant
+		// this scan finds nothing (blocked channels recycle their exhausted
+		// batch at the block point); it is the defensive half of the
+		// mid-batch cursor, and costs one O(#inputs) pass per batch.
+		progressed := false
+		for i := range ins {
+			in := &ins[i]
+			if !in.blocked && !in.ended && in.pos < len(in.batch) {
+				stop, err := consume(i)
+				if stop || err != nil {
+					return err
+				}
+				progressed = true
+				break
+			}
+		}
+		if progressed {
+			continue
+		}
 		if activeDirty {
 			rebuild()
 		}
@@ -677,6 +1001,9 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges 
 				ch.out.broadcast(End())
 				return nil
 			}
+			if rt.ctx.Err() != nil {
+				return nil // cancelled mid-alignment; not a deadlock
+			}
 			// All non-ended inputs are blocked on alignment but the barrier
 			// is incomplete — impossible unless every channel delivered it,
 			// which completeBarrier handles. Defensive:
@@ -684,12 +1011,12 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges 
 		}
 
 		var idx int
-		var r Record
+		var b []Record
 		if len(active) == 1 {
 			select {
 			case <-rt.ctx.Done():
 				return nil
-			case r = <-ins[active[0]].ch:
+			case b = <-ins[active[0]].ch:
 				idx = active[0]
 			}
 		} else {
@@ -698,94 +1025,12 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan Record, edges 
 				return nil
 			}
 			idx = active[chosen-1]
-			r = val.Interface().(Record)
+			b = val.Interface().([]Record)
 		}
-
-		in := &ins[idx]
-		switch r.Kind {
-		case KindData:
-			if nm != nil {
-				nm.recordsIn.Inc()
-			}
-			if edgeAware != nil {
-				edgeAware.OnRecordEdge(edges[idx], r, ch.colls[0])
-			} else {
-				entry.Collect(r)
-			}
-		case KindWatermark:
-			if r.Ts > in.wm {
-				in.wm = r.Ts
-				if m := minWM(); m > curWM {
-					curWM = m
-					if nm != nil {
-						nm.watermark.Max(curWM)
-					}
-					ch.watermark(curWM)
-					if !ch.out.broadcast(Watermark(curWM)) {
-						return nil
-					}
-				}
-			}
-		case KindBarrier:
-			if aligning == 0 {
-				aligning = r.Ts
-			}
-			if r.Ts != aligning {
-				continue // stale barrier from an abandoned checkpoint
-			}
-			in.blocked = true
-			alignSeen++
-			activeDirty = true
-			need := 0
-			for i := range ins {
-				if !ins[i].ended {
-					need++
-				}
-			}
-			if alignSeen >= need {
-				if err := completeBarrier(aligning); err != nil {
-					return err
-				}
-			}
-		case KindEnd:
-			in.ended = true
-			in.blocked = false
-			activeDirty = true
-			if m := minWM(); m > curWM && m != math.MaxInt64 {
-				curWM = m
-				ch.watermark(curWM)
-				if !ch.out.broadcast(Watermark(curWM)) {
-					return nil
-				}
-			}
-			// An ended channel counts as having delivered any barrier.
-			if aligning != 0 {
-				need := 0
-				for i := range ins {
-					if !ins[i].ended {
-						need++
-					}
-				}
-				if alignSeen >= need {
-					if err := completeBarrier(aligning); err != nil {
-						return err
-					}
-				}
-			}
-			allEnded := true
-			for i := range ins {
-				if !ins[i].ended {
-					allEnded = false
-					break
-				}
-			}
-			if allEnded {
-				ch.watermark(math.MaxInt64)
-				ch.out.broadcast(Watermark(math.MaxInt64))
-				ch.finish()
-				ch.out.broadcast(End())
-				return nil
-			}
+		ins[idx].batch, ins[idx].pos = b, 0
+		stop, err := consume(idx)
+		if stop || err != nil {
+			return err
 		}
 	}
 }

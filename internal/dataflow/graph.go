@@ -1,6 +1,9 @@
 package dataflow
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Partitioning selects how data records route from an upstream subtask to
 // the downstream subtasks of an edge. Watermarks, barriers and end markers
@@ -68,14 +71,27 @@ type Edge struct {
 type Graph struct {
 	Name  string
 	nodes []*Node
-	// BufferSize is the capacity of inter-subtask channels (backpressure
-	// granularity). Defaults to 128.
+	// BufferSize is the per-channel backpressure budget in records.
+	// Defaults to 128. Channels carry batches, so the physical capacity is
+	// BufferSize/BatchSize batches (floor 4) — a bigger batch size does not
+	// silently multiply how many records may queue ahead of a blocked
+	// receiver.
 	BufferSize int
+	// BatchSize is the number of data records staged per exchange batch
+	// before it is shipped downstream. <= 0 uses DefaultBatchSize; 1
+	// degenerates to per-record exchange (the ablation baseline). A purely
+	// physical knob: it never changes the logical plan or its results.
+	BatchSize int
+	// FlushInterval bounds how long a staged record may wait in an exchange
+	// buffer before being shipped — the in-motion latency guard. 0 uses
+	// DefaultFlushInterval; negative disables the periodic flusher (staged
+	// records then ship only on full batches and control records).
+	FlushInterval time.Duration
 }
 
 // NewGraph returns an empty job graph.
 func NewGraph(name string) *Graph {
-	return &Graph{Name: name, BufferSize: 128}
+	return &Graph{Name: name, BufferSize: 128, BatchSize: DefaultBatchSize, FlushInterval: DefaultFlushInterval}
 }
 
 // Nodes returns the nodes in insertion (topological) order.

@@ -9,6 +9,29 @@
 // end — batch and streaming execute on the identical code path, which is the
 // paper's central architectural premise ("data at rest and data in motion on
 // a single pipelined execution engine").
+//
+// # The batched exchange
+//
+// Records cross subtask boundaries in pooled batches, not one at a time —
+// the same vectorization Flink's network stack applies by shipping
+// serialized record buffers. Each sending subtask stages records per edge
+// and per downstream subtask, and a staged batch is shipped:
+//
+//   - when it reaches Graph.BatchSize records (default DefaultBatchSize),
+//   - when Graph.FlushInterval elapses (default DefaultFlushInterval) — the
+//     latency guard for in-motion sources, and
+//   - always before a control record: a watermark, checkpoint barrier or
+//     end marker is appended behind the staged data and the batch is
+//     shipped immediately, so per-channel ordering — and with it watermark
+//     monotonicity and ABS barrier alignment — is preserved exactly.
+//
+// Receivers iterate batches record by record and return consumed batches to
+// a shared sync.Pool. Operator chains are unaffected: a fused chain passes
+// records by direct Collect calls and batches only at real exchange
+// boundaries. Batching is purely physical — the logical plan and its
+// results are identical at every batch size; only the
+// throughput/latency trade-off moves (bigger batches amortize channel hops,
+// the flush interval bounds how stale an in-motion record may get).
 package dataflow
 
 import "fmt"

@@ -5,7 +5,16 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/state"
+)
+
+// Exchange defaults, re-exported from the engine: records cross subtask
+// boundaries in pooled batches of DefaultBatchSize, and a staged record
+// waits at most DefaultFlushInterval before being shipped.
+const (
+	DefaultBatchSize     = dataflow.DefaultBatchSize
+	DefaultFlushInterval = dataflow.DefaultFlushInterval
 )
 
 // Env owns a pipeline under construction and its execution options. It is a
@@ -53,6 +62,20 @@ func WithCombiner(m CombinerMode) Option { return core.WithCombiner(m) }
 func WithCheckpointing(b Backend, every time.Duration) Option {
 	return core.WithCheckpointing(b, every)
 }
+
+// WithBatchSize sets how many records the exchange layer stages per batch
+// before shipping it across a subtask boundary (default 64). Bigger batches
+// amortize channel hops and raise throughput; 1 degenerates to per-record
+// exchange (the ablation baseline). Purely physical: the logical plan and
+// its results are identical at every batch size.
+func WithBatchSize(n int) Option { return core.WithBatchSize(n) }
+
+// WithFlushInterval bounds how long a record may wait in an exchange staging
+// buffer before being shipped downstream (default 10ms) — the latency lever
+// for in-motion sources, trading a little throughput for freshness. Negative
+// disables the periodic flush; batches then ship only when full or at
+// watermarks, barriers and end-of-stream.
+func WithFlushInterval(d time.Duration) Option { return core.WithFlushInterval(d) }
 
 // NewMemoryBackend returns an in-memory checkpoint backend retaining the
 // last `retain` snapshots (0 keeps all).

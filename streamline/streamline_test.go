@@ -347,3 +347,66 @@ func TestCheckpointingThroughTypedAPI(t *testing.T) {
 		t.Fatalf("no output")
 	}
 }
+
+// TestBatchSizeIsPhysicalOnly proves WithBatchSize/WithFlushInterval are
+// pure exchange knobs: typed pipelines build byte-identical logical plans at
+// every batch size, and the windowed results are identical whether records
+// cross exchanges one at a time (batch size 1), in small batches, or in the
+// default pooled batches.
+func TestBatchSizeIsPhysicalOnly(t *testing.T) {
+	const n = 300
+
+	build := func(opts ...streamline.Option) (*streamline.Env, *streamline.Results[streamline.WindowResult]) {
+		env := streamline.New(append([]streamline.Option{streamline.WithParallelism(2)}, opts...)...)
+		src := streamline.From(env, "gen", streamline.Generator(n,
+			func(sub, par int, i int64) streamline.Keyed[float64] {
+				return streamline.Keyed[float64]{Ts: i, Value: float64(i)}
+			}), streamline.WithSourceParallelism(1))
+		keyed := streamline.KeyBy(src, "key", func(v float64) uint64 { return uint64(v) % 5 })
+		win := streamline.WindowAggregate(keyed, "win",
+			streamline.Query(streamline.Tumbling(30), streamline.Sum()),
+			streamline.Query(streamline.Sliding(60, 30), streamline.Count()),
+		)
+		return env, streamline.Collect(win, "out")
+	}
+
+	refEnv, refOut := build()
+	refPlan := planString(refEnv.Core().Graph())
+	execute(t, refEnv.Execute)
+	ref := map[resultKey]int{}
+	for _, k := range refOut.Records() {
+		ref[resultKey{key: k.Key, wr: k.Value}]++
+	}
+	if len(ref) == 0 {
+		t.Fatalf("reference run produced no windows")
+	}
+
+	for _, cfg := range []struct {
+		name string
+		opts []streamline.Option
+	}{
+		{"batch=1", []streamline.Option{streamline.WithBatchSize(1)}},
+		{"batch=2/flush=1ms", []streamline.Option{streamline.WithBatchSize(2), streamline.WithFlushInterval(time.Millisecond)}},
+		{"batch=256/flush=off", []streamline.Option{streamline.WithBatchSize(256), streamline.WithFlushInterval(-1)}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			env, out := build(cfg.opts...)
+			if plan := planString(env.Core().Graph()); plan != refPlan {
+				t.Fatalf("batch options changed the logical plan:\nref:\n%s\ngot:\n%s", refPlan, plan)
+			}
+			execute(t, env.Execute)
+			got := map[resultKey]int{}
+			for _, k := range out.Records() {
+				got[resultKey{key: k.Key, wr: k.Value}]++
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("distinct results: got %d, ref %d", len(got), len(ref))
+			}
+			for rk, c := range ref {
+				if got[rk] != c {
+					t.Fatalf("result %+v: got count %d, ref count %d", rk, got[rk], c)
+				}
+			}
+		})
+	}
+}
