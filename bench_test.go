@@ -359,6 +359,24 @@ func BenchmarkExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkStateCapture: the keyed-state snapshot trajectory — how long a
+// subtask blocks at a checkpoint barrier with the copy-on-write capture vs
+// the synchronous whole-state gob baseline. `streamline-bench -state`
+// records the same measurements in BENCH_state.json.
+func BenchmarkStateCapture(b *testing.B) {
+	for _, keys := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := bench.StateCapture(keys, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(run.CowCaptureNs), "barrier-ns")
+			}
+		})
+	}
+}
+
 // TestExperimentTablesQuick exercises the full harness end to end in quick
 // mode so `go test ./...` validates every experiment path, not only the
 // benchmarks.

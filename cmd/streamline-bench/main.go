@@ -10,6 +10,10 @@
 //	streamline-bench -exchange BENCH_exchange.json
 //	                              # exchange benchmark only: batched vs
 //	                              # per-record data plane, results to JSON
+//	streamline-bench -state BENCH_state.json
+//	                              # keyed-state snapshot benchmark only:
+//	                              # copy-on-write capture vs synchronous
+//	                              # whole-state gob, results to JSON
 package main
 
 import (
@@ -25,7 +29,23 @@ func main() {
 	quick := flag.Bool("quick", false, "run with reduced input sizes")
 	exps := flag.String("e", "", "comma-separated experiment ids (default: all)")
 	exchange := flag.String("exchange", "", "run the exchange benchmark and write JSON results to this path")
+	stateBench := flag.String("state", "", "run the keyed-state snapshot benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *stateBench != "" {
+		rep, err := bench.State(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "state benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*stateBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *stateBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *stateBench)
+		return
+	}
 
 	if *exchange != "" {
 		rep, err := bench.Exchange(*quick)

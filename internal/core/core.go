@@ -84,6 +84,24 @@ func WithCheckpointing(b state.Backend, every time.Duration) Option {
 	}
 }
 
+// WithStateBackend sets the snapshot backend without enabling periodic
+// checkpoints — the recovery-side option: an environment that only restores
+// (ExecuteRestored) or that checkpoints on its own schedule pairs this with
+// WithCheckpointing on the writing side.
+func WithStateBackend(b state.Backend) Option {
+	return func(e *Environment) { e.backend = b }
+}
+
+// WithNumKeyGroups sets the plan's key-group count — the unit of keyed-state
+// partitioning and hash routing (default state.DefaultNumKeyGroups). A
+// logical-plan constant: results are identical at every value and any
+// parallelism, but a checkpoint restores only into a plan with the same
+// value, so pick it once per job (comfortably above the largest parallelism
+// the job may ever rescale to) and keep it.
+func WithNumKeyGroups(n int) Option {
+	return func(e *Environment) { e.graph.NumKeyGroups = n }
+}
+
 // WithBatchSize sets how many records the exchange layer stages per batch
 // before shipping it to a downstream subtask (default
 // dataflow.DefaultBatchSize). 1 degenerates to per-record exchange. A purely

@@ -238,7 +238,7 @@ func TestCheckpointingThroughCoreAPI(t *testing.T) {
 	if len(sink.Records()) == 0 {
 		t.Fatalf("no output")
 	}
-	if _, ok := backend.Latest(); !ok {
+	if _, ok, _ := backend.Latest(); !ok {
 		t.Fatalf("backend empty")
 	}
 }

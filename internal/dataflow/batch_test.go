@@ -143,7 +143,7 @@ func TestKillAndRecoverAcrossBatchSizes(t *testing.T) {
 			assertWindowsEqual(t, got, want)
 			continue // finished before the kill; results still exact
 		}
-		snap, ok := backend.Latest()
+		snap, ok, _ := backend.Latest()
 		if !ok {
 			continue // no checkpoint completed before the kill on this machine
 		}

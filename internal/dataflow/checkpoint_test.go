@@ -36,7 +36,7 @@ func TestCheckpointsComplete(t *testing.T) {
 	if job.CompletedCheckpoints() == 0 {
 		t.Fatalf("no checkpoints completed during a ~400ms run")
 	}
-	snap, ok := backend.Latest()
+	snap, ok, _ := backend.Latest()
 	if !ok {
 		t.Fatalf("backend has no snapshot")
 	}
@@ -48,12 +48,30 @@ func TestCheckpointsComplete(t *testing.T) {
 			}
 		}
 	}
+	// The keyed operator stores one blob per (operator, key group) — all of
+	// them, including empty groups, so restore ranges never have holes.
+	if snap.NumKeyGroups != DefaultNumKeyGroups {
+		t.Fatalf("snapshot NumKeyGroups = %d, want %d", snap.NumKeyGroups, DefaultNumKeyGroups)
+	}
+	for gk := 0; gk < snap.NumKeyGroups; gk++ {
+		if snap.GetGroup(state.GroupKey{OperatorID: red.ID, KeyGroup: gk}) == nil {
+			t.Fatalf("snapshot missing key group %d of %q", gk, red.Name)
+		}
+	}
 }
 
-// buildRecoveryGraph builds the job used by the kill/recover test. The sink
+// buildRecoveryGraph builds the job used by the kill/recover tests. The sink
 // dedups window results by (key, query, start), making output idempotent so
 // that exactly-once *state* yields exactly-once *results*.
 func buildRecoveryGraph(n int64, perSec float64, sink *CollectSink) *Graph {
+	return buildRecoveryGraphAt(n, perSec, sink, 2)
+}
+
+// buildRecoveryGraphAt is buildRecoveryGraph with the keyed (window)
+// operator's parallelism as a knob — the rescale tests checkpoint at one
+// parallelism and recover at another. Source parallelism stays fixed:
+// source positions are per-subtask state and do not redistribute.
+func buildRecoveryGraphAt(n int64, perSec float64, sink *CollectSink, winPar int) *Graph {
 	g := NewGraph("recovery")
 	src := g.AddSource("src", 2, func(sub, par int) SourceFunc {
 		var inner SourceFunc = &GenSource{N: n / 2, WatermarkEvery: 8, Gen: func(i int64) Record {
@@ -65,7 +83,7 @@ func buildRecoveryGraph(n int64, perSec float64, sink *CollectSink) *Graph {
 		}
 		return inner
 	})
-	win := g.AddOperator("win", 2, NewWindowOp(
+	win := g.AddOperator("win", winPar, NewWindowOp(
 		WindowQuery{Spec: window.Tumbling(50), Fn: agg.SumF64()},
 		WindowQuery{Spec: window.Session(25), Fn: agg.CountF64()},
 	), Edge{From: src, Part: HashPartition})
@@ -125,7 +143,7 @@ func TestKillAndRecoverEquivalence(t *testing.T) {
 		assertWindowsEqual(t, got, want)
 		t.Skip("job completed before kill; recovery path not exercised on this machine")
 	}
-	snap, ok := backend.Latest()
+	snap, ok, _ := backend.Latest()
 	if !ok {
 		t.Skip("no checkpoint completed before kill; cannot exercise recovery")
 	}

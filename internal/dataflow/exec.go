@@ -88,6 +88,42 @@ func NewJob(g *Graph, opts ...JobOption) *Job {
 // CompletedCheckpoints reports how many checkpoints were fully persisted.
 func (j *Job) CompletedCheckpoints() int64 { return j.completed.Load() }
 
+// validateRestore checks that the recovery snapshot is compatible with this
+// job's physical plan. Keyed state (stored per key group) redistributes to
+// any parallelism; per-subtask state — source positions, unkeyed operator
+// scalars — cannot, so a node whose parallelism changed may only restore if
+// its per-subtask blobs are all empty. NumKeyGroups is a plan constant and
+// must match the snapshot's.
+func (j *Job) validateRestore(numGroups int) error {
+	if len(j.restore.Groups) > 0 && j.restore.NumKeyGroups != numGroups {
+		return fmt.Errorf("dataflow: snapshot written with %d key groups cannot restore into a graph with %d (NumKeyGroups is a plan constant)",
+			j.restore.NumKeyGroups, numGroups)
+	}
+	for _, n := range j.g.nodes {
+		oldPar := 0
+		hasState := false
+		for k, blob := range j.restore.Entries {
+			if k.OperatorID != n.ID {
+				continue
+			}
+			if k.Subtask+1 > oldPar {
+				oldPar = k.Subtask + 1
+			}
+			if len(blob) > 0 {
+				hasState = true
+			}
+		}
+		if oldPar == 0 || oldPar == n.Parallelism {
+			continue
+		}
+		if hasState {
+			return fmt.Errorf("dataflow: node %q checkpointed at parallelism %d cannot restore at %d: its per-subtask state does not redistribute (only keyed state, stored per key group, rescales)",
+				n.Name, oldPar, n.Parallelism)
+		}
+	}
+	return nil
+}
+
 // ---- physical plan -------------------------------------------------------
 
 // chainInfo maps every node to the head of its operator chain.
@@ -137,6 +173,10 @@ type ackMsg struct {
 	ckpt int64
 	key  state.SubtaskKey
 	blob []byte
+	// groups carries a keyed operator's per-key-group blobs, produced by
+	// the asynchronous serialization phase; the ack is sent only once they
+	// have all been encoded.
+	groups map[int][]byte
 }
 
 type runtime struct {
@@ -217,6 +257,7 @@ type outputs struct {
 	pool       *batchPool
 	batchSize  int
 	flushEvery time.Duration
+	numGroups  int // key-group count for hash routing
 
 	mu    sync.Mutex
 	edges []outEdge
@@ -275,7 +316,11 @@ func (o *outputs) data(r Record) bool {
 				}
 			}
 		case HashPartition:
-			if !o.stageLocked(e, int(Hash64(r.Key)%uint64(n)), r) {
+			// Route via the key group so routing and keyed-state
+			// partitioning agree: the subtask receiving a key is exactly
+			// the subtask owning its state's key group.
+			g := state.KeyGroupFor(r.Key, o.numGroups)
+			if !o.stageLocked(e, state.SubtaskForGroup(g, o.numGroups, n), r) {
 				return false
 			}
 		case Rebalance:
@@ -415,14 +460,40 @@ func (c *chain) finish() {
 	}
 }
 
-// snapshotAll snapshots every operator in the chain and acks each.
+// snapshotAll snapshots every operator in the chain and acks each. Keyed
+// operators take only a copy-on-write capture on this (barrier) path; the
+// expensive serialization runs on a separate goroutine, and the ack — which
+// the coordinator needs to complete the checkpoint — is sent only when the
+// asynchronous phase lands.
 func (c *chain) snapshotAll(rt *runtime, ckpt int64, subtask int) error {
 	for i, op := range c.ops {
+		name := c.nodes[i].Name
+		key := state.SubtaskKey{OperatorID: c.nodes[i].ID, Subtask: subtask}
 		blob, err := op.Snapshot()
 		if err != nil {
-			return fmt.Errorf("snapshot %q: %w", c.nodes[i].Name, err)
+			return fmt.Errorf("snapshot %q: %w", name, err)
 		}
-		msg := ackMsg{ckpt: ckpt, key: state.SubtaskKey{OperatorID: c.nodes[i].ID, Subtask: subtask}, blob: blob}
+		if h, ok := op.(KeyedStateful); ok {
+			captured := h.KeyedState().Capture()
+			// The subtask goroutine still holds a WaitGroup slot, so the
+			// counter cannot reach zero while this Add races Run's Wait.
+			rt.wg.Add(1)
+			go func() {
+				defer rt.wg.Done()
+				groups, err := captured.EncodeGroups()
+				if err != nil {
+					rt.fail(fmt.Errorf("async snapshot %q/%d: %w", name, subtask, err))
+					return
+				}
+				msg := ackMsg{ckpt: ckpt, key: key, blob: blob, groups: groups}
+				select {
+				case rt.ackCh <- msg:
+				case <-rt.ctx.Done():
+				}
+			}()
+			continue
+		}
+		msg := ackMsg{ckpt: ckpt, key: key, blob: blob}
 		select {
 		case rt.ackCh <- msg:
 		case <-rt.ctx.Done():
@@ -440,6 +511,12 @@ func (c *chain) snapshotAll(rt *runtime, ckpt int64, subtask int) error {
 func (j *Job) Run(ctx context.Context) error {
 	if err := j.g.Validate(); err != nil {
 		return err
+	}
+	numGroups := j.g.numKeyGroups()
+	if j.restore != nil {
+		if err := j.validateRestore(numGroups); err != nil {
+			return err
+		}
 	}
 	ci := j.buildChains()
 
@@ -498,7 +575,7 @@ func (j *Job) Run(ctx context.Context) error {
 
 	// outputsFor builds the outputs of chain-tail `tail` for subtask s.
 	outputsFor := func(tail *Node, s int) *outputs {
-		o := &outputs{ctx: runCtx, pool: pool, batchSize: batchSize, flushEvery: flushEvery}
+		o := &outputs{ctx: runCtx, pool: pool, batchSize: batchSize, flushEvery: flushEvery, numGroups: numGroups}
 		for _, consumer := range j.g.nodes {
 			if ci.head[consumer] != consumer {
 				continue
@@ -529,6 +606,16 @@ func (j *Job) Run(ctx context.Context) error {
 		}
 		return j.restore.Get(state.SubtaskKey{OperatorID: n.ID, Subtask: s})
 	}
+	// restoreGroups redistributes the snapshot's keyed-state blobs: the
+	// range is the *new* subtask's — whatever parallelism this job runs at
+	// — and the blobs come from whichever subtasks wrote them.
+	restoreGroups := func(n *Node, s int) map[int][]byte {
+		if j.restore == nil {
+			return nil
+		}
+		start, end := state.GroupRangeFor(numGroups, n.Parallelism, s)
+		return j.restore.GroupsOf(n.ID, start, end)
+	}
 
 	// Build and launch subtasks.
 	var launchErr error
@@ -549,7 +636,9 @@ func (j *Job) Run(ctx context.Context) error {
 				op := cn.NewOperator()
 				if err := op.Open(&OpContext{
 					NodeID: cn.ID, NodeName: cn.Name, Subtask: s,
-					Parallelism: cn.Parallelism, Restore: restoreBlob(cn, s),
+					Parallelism: cn.Parallelism, NumKeyGroups: numGroups,
+					Metrics: j.reg, Restore: restoreBlob(cn, s),
+					RestoreGroups: restoreGroups(cn, s),
 				}); err != nil {
 					launchErr = fmt.Errorf("open %q/%d: %w", cn.Name, s, err)
 					break
@@ -648,8 +737,11 @@ func (j *Job) coordinate(rt *runtime, done chan struct{}) {
 				return
 			}
 		}
-		// Collect acks.
+		// Collect acks. Keyed operators ack only after their asynchronous
+		// serialization lands, so a completed checkpoint always holds every
+		// key group.
 		snap := state.NewSnapshot(id)
+		snap.NumKeyGroups = j.g.numKeyGroups()
 		got := 0
 		for got < rt.needAcks {
 			select {
@@ -658,6 +750,9 @@ func (j *Job) coordinate(rt *runtime, done chan struct{}) {
 					continue // stale ack from an abandoned checkpoint
 				}
 				snap.Put(a.key, a.blob)
+				for g, blob := range a.groups {
+					snap.PutGroup(state.GroupKey{OperatorID: a.key.OperatorID, KeyGroup: g}, blob)
+				}
 				got++
 			case <-rt.ctx.Done():
 				return

@@ -3,6 +3,8 @@ package dataflow
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/state"
 )
 
 // Partitioning selects how data records route from an upstream subtask to
@@ -14,7 +16,10 @@ const (
 	// Forward sends to the same subtask index (requires equal parallelism);
 	// the optimizer chains forward edges into a single goroutine.
 	Forward Partitioning = iota
-	// HashPartition routes by Hash64(record.Key) modulo parallelism.
+	// HashPartition routes by key group: Hash64(record.Key) maps to a key
+	// group (modulo Graph.NumKeyGroups) and the record goes to the subtask
+	// owning that group's contiguous range — the same assignment keyed
+	// state is partitioned by, so routing and state always agree.
 	HashPartition
 	// Rebalance distributes round-robin.
 	Rebalance
@@ -87,6 +92,24 @@ type Graph struct {
 	// DefaultFlushInterval; negative disables the periodic flusher (staged
 	// records then ship only on full batches and control records).
 	FlushInterval time.Duration
+	// NumKeyGroups is the number of key groups — the logical plan's unit of
+	// keyed-state partitioning and of hash routing (keys map to
+	// Hash64(key) % NumKeyGroups, key groups map to subtasks by contiguous
+	// range). A plan constant: checkpoints restore only into a graph with
+	// the same value, at any parallelism. <= 0 uses DefaultNumKeyGroups.
+	NumKeyGroups int
+}
+
+// DefaultNumKeyGroups is the key-group count of plans that do not choose
+// one, re-exported from the state layer.
+const DefaultNumKeyGroups = state.DefaultNumKeyGroups
+
+// numKeyGroups returns the graph's normalized key-group count.
+func (g *Graph) numKeyGroups() int {
+	if g.NumKeyGroups <= 0 {
+		return DefaultNumKeyGroups
+	}
+	return g.NumKeyGroups
 }
 
 // NewGraph returns an empty job graph.

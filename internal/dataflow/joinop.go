@@ -1,11 +1,11 @@
 package dataflow
 
 import (
-	"bytes"
 	"encoding/gob"
-	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/state"
 )
 
 // EdgeAware is an optional operator capability: head operators implementing
@@ -31,27 +31,32 @@ type JoinedPair struct {
 // DataStream API. Both inputs must be hash-partitioned on the join key with
 // identical parallelism.
 //
-// The operator is checkpointable: open windows' buffered values are part of
-// the snapshot.
+// The open windows' buffered values live per key in a state.KeyedState, so
+// the operator snapshots per key group and restores at any parallelism.
 type WindowJoinOp struct {
 	// Size is the tumbling window length in event-time ticks.
 	Size int64
 
-	curWM   int64
-	windows map[int64]*joinWindow // by window start
+	ks   *state.KeyedState
+	wins *state.MapCell[map[int64]joinSides]
+	// minEnd is the earliest end among all open windows (MaxInt64 when
+	// none), letting the common nothing-is-due watermark return in O(1)
+	// instead of scanning every key. Transient: recomputed from the keyed
+	// state on Open, kept current by OnRecordEdge and the fire pass.
+	minEnd int64
 }
 
-type joinWindow struct {
-	perKey map[uint64]*joinBucket
-}
-
-type joinBucket struct {
-	left  []float64
-	right []float64
+// joinSides buffers one (key, window) bucket's values (exported fields for
+// gob). The slices are append-only between snapshots; structural changes go
+// through the outer map under GetMut.
+type joinSides struct {
+	Left  []float64
+	Right []float64
 }
 
 var _ Operator = (*WindowJoinOp)(nil)
 var _ EdgeAware = (*WindowJoinOp)(nil)
+var _ KeyedStateful = (*WindowJoinOp)(nil)
 
 // NewWindowJoinOp returns an operator factory for a tumbling equi-join.
 func NewWindowJoinOp(size int64) OperatorFactory {
@@ -61,35 +66,47 @@ func NewWindowJoinOp(size int64) OperatorFactory {
 	return func() Operator { return &WindowJoinOp{Size: size} }
 }
 
-type joinState struct {
-	CurWM  int64
-	Starts []int64
-	Keys   [][]uint64
-	Lefts  [][][]float64
-	Rights [][][]float64
-}
-
 // Open implements Operator.
 func (j *WindowJoinOp) Open(ctx *OpContext) error {
-	j.windows = make(map[int64]*joinWindow)
-	j.curWM = math.MinInt64
-	if ctx.Restore == nil {
-		return nil
+	j.ks = ctx.NewKeyedState()
+	j.wins = state.RegisterMap(j.ks, "wins", state.Codec[map[int64]joinSides]{
+		Encode: func(enc *gob.Encoder, m map[int64]joinSides) error { return enc.Encode(m) },
+		Decode: func(dec *gob.Decoder) (map[int64]joinSides, error) {
+			var m map[int64]joinSides
+			err := dec.Decode(&m)
+			return m, err
+		},
+		// Shallow copy: the slice headers are duplicated, and the buffers
+		// behind them are only ever appended to, never edited in place.
+		Clone: func(m map[int64]joinSides) map[int64]joinSides {
+			out := make(map[int64]joinSides, len(m))
+			for k, v := range m {
+				out[k] = v
+			}
+			return out
+		},
+	})
+	if err := ctx.RestoreKeyedState(j.ks); err != nil {
+		return err
 	}
-	var s joinState
-	if err := gob.NewDecoder(bytes.NewReader(ctx.Restore)).Decode(&s); err != nil {
-		return fmt.Errorf("join restore: %w", err)
-	}
-	j.curWM = s.CurWM
-	for i, start := range s.Starts {
-		w := &joinWindow{perKey: make(map[uint64]*joinBucket)}
-		for k, key := range s.Keys[i] {
-			w.perKey[key] = &joinBucket{left: s.Lefts[i][k], right: s.Rights[i][k]}
+	j.minEnd = math.MaxInt64
+	j.wins.Range(func(_ uint64, m map[int64]joinSides) bool {
+		for start := range m {
+			if end := start + j.Size; end < j.minEnd {
+				j.minEnd = end
+			}
 		}
-		j.windows[start] = w
-	}
+		return true
+	})
 	return nil
 }
+
+// KeyedState implements KeyedStateful.
+func (j *WindowJoinOp) KeyedState() *state.KeyedState { return j.ks }
+
+// Snapshot implements Operator. All join state is keyed and travels per key
+// group through KeyedState; there is no residual per-subtask state.
+func (j *WindowJoinOp) Snapshot() ([]byte, error) { return nil, nil }
 
 // OnRecord implements Operator; it should not be reached for a head join
 // operator (the runtime dispatches through OnRecordEdge), but chains may
@@ -106,88 +123,75 @@ func (j *WindowJoinOp) OnRecordEdge(edge int, r Record, _ Collector) {
 	if r.Ts < 0 {
 		start = ((r.Ts - j.Size + 1) / j.Size) * j.Size
 	}
-	w := j.windows[start]
-	if w == nil {
-		w = &joinWindow{perKey: make(map[uint64]*joinBucket)}
-		j.windows[start] = w
+	m, ok := j.wins.GetMut(r.Key)
+	if !ok {
+		m = make(map[int64]joinSides)
+		j.wins.Put(r.Key, m)
 	}
-	b := w.perKey[r.Key]
-	if b == nil {
-		b = &joinBucket{}
-		w.perKey[r.Key] = b
-	}
+	b := m[start]
 	if edge == 0 {
-		b.left = append(b.left, v)
+		b.Left = append(b.Left, v)
 	} else {
-		b.right = append(b.right, v)
+		b.Right = append(b.Right, v)
+	}
+	m[start] = b
+	if end := start + j.Size; end < j.minEnd {
+		j.minEnd = end
 	}
 }
 
 // OnWatermark implements Operator: fire every window whose end has passed.
 func (j *WindowJoinOp) OnWatermark(wm int64, out Collector) {
-	j.curWM = wm
-	starts := make([]int64, 0, len(j.windows))
-	for start := range j.windows {
-		if start+j.Size <= wm {
-			starts = append(starts, start)
-		}
+	if wm < j.minEnd {
+		return // nothing due: O(1), independent of the key count
 	}
-	sort.Slice(starts, func(i, k int) bool { return starts[i] < starts[k] })
-	for _, start := range starts {
-		j.fire(start, out)
-	}
-}
-
-func (j *WindowJoinOp) fire(start int64, out Collector) {
-	w := j.windows[start]
-	delete(j.windows, start)
-	keys := make([]uint64, 0, len(w.perKey))
-	for k := range w.perKey {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, k int) bool { return keys[i] < keys[k] })
-	for _, key := range keys {
-		b := w.perKey[key]
-		for _, l := range b.left {
-			for _, r := range b.right {
-				out.Collect(Data(start+j.Size-1, key, JoinedPair{
-					WindowStart: start, WindowEnd: start + j.Size, Left: l, Right: r,
-				}))
+	newMin := int64(math.MaxInt64)
+	remaining := func(m map[int64]joinSides) {
+		for start := range m {
+			if end := start + j.Size; end < newMin {
+				newMin = end
 			}
 		}
 	}
-}
-
-// Snapshot implements Operator.
-func (j *WindowJoinOp) Snapshot() ([]byte, error) {
-	s := joinState{CurWM: j.curWM}
-	starts := make([]int64, 0, len(j.windows))
-	for start := range j.windows {
-		starts = append(starts, start)
-	}
-	sort.Slice(starts, func(i, k int) bool { return starts[i] < starts[k] })
-	for _, start := range starts {
-		w := j.windows[start]
-		keys := make([]uint64, 0, len(w.perKey))
-		for k := range w.perKey {
-			keys = append(keys, k)
+	for _, key := range j.wins.SortedKeys() {
+		m, _ := j.wins.Get(key)
+		due := false
+		for start := range m {
+			if start+j.Size <= wm {
+				due = true
+				break
+			}
 		}
-		sort.Slice(keys, func(i, k int) bool { return keys[i] < keys[k] })
-		var lefts, rights [][]float64
-		for _, k := range keys {
-			lefts = append(lefts, w.perKey[k].left)
-			rights = append(rights, w.perKey[k].right)
+		if !due {
+			remaining(m)
+			continue
 		}
-		s.Starts = append(s.Starts, start)
-		s.Keys = append(s.Keys, keys)
-		s.Lefts = append(s.Lefts, lefts)
-		s.Rights = append(s.Rights, rights)
+		m, _ = j.wins.GetMut(key)
+		starts := make([]int64, 0, len(m))
+		for start := range m {
+			if start+j.Size <= wm {
+				starts = append(starts, start)
+			}
+		}
+		sort.Slice(starts, func(i, k int) bool { return starts[i] < starts[k] })
+		for _, start := range starts {
+			b := m[start]
+			delete(m, start)
+			for _, l := range b.Left {
+				for _, r := range b.Right {
+					out.Collect(Data(start+j.Size-1, key, JoinedPair{
+						WindowStart: start, WindowEnd: start + j.Size, Left: l, Right: r,
+					}))
+				}
+			}
+		}
+		if len(m) == 0 {
+			j.wins.Delete(key)
+		} else {
+			remaining(m)
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		return nil, fmt.Errorf("join snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
+	j.minEnd = newMin
 }
 
 // Finish implements Operator: fire all remaining windows.

@@ -1,8 +1,6 @@
 package dataflow
 
 import (
-	"bytes"
-	"encoding/gob"
 	"math"
 	"testing"
 )
@@ -61,12 +59,9 @@ func TestWindowJoinOpSnapshotRestore(t *testing.T) {
 	out := &collectList{}
 	op.OnRecordEdge(0, Data(1, 7, 1.0), out)
 	op.OnRecordEdge(1, Data(2, 7, 5.0), out)
-	blob, err := op.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
+	groups := captureGroups(t, op)
 	restored := &WindowJoinOp{Size: 10}
-	if err := restored.Open(&OpContext{Restore: blob}); err != nil {
+	if err := restored.Open(&OpContext{RestoreGroups: groups}); err != nil {
 		t.Fatal(err)
 	}
 	restored.OnRecordEdge(1, Data(3, 7, 6.0), out)
@@ -142,20 +137,22 @@ func TestWindowJoinEndToEnd(t *testing.T) {
 	}
 }
 
-func TestJoinStateGobRoundTripEmpty(t *testing.T) {
+func TestJoinSnapshotRoundTripEmpty(t *testing.T) {
 	op := &WindowJoinOp{Size: 5}
 	if err := op.Open(&OpContext{}); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := op.Snapshot()
-	if err != nil {
+	groups := captureGroups(t, op)
+	restored := &WindowJoinOp{Size: 5}
+	if err := restored.Open(&OpContext{RestoreGroups: groups}); err != nil {
 		t.Fatal(err)
 	}
-	var s joinState
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
-		t.Fatal(err)
+	out := &collectList{}
+	restored.Finish(out)
+	if len(out.recs) != 0 {
+		t.Fatalf("empty op snapshot produced windows: %+v", out.recs)
 	}
-	if len(s.Starts) != 0 {
-		t.Fatalf("empty op snapshot has windows")
+	if restored.wins.Len() != 0 {
+		t.Fatalf("empty op snapshot restored %d keys", restored.wins.Len())
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/metrics"
 	"repro/internal/state"
+	"repro/internal/window"
 )
 
 func TestJobMetrics(t *testing.T) {
@@ -64,5 +66,32 @@ func TestJobWithoutMetricsIsNil(t *testing.T) {
 	j := NewJob(NewGraph("x"))
 	if j.nodeMetrics("any") != nil {
 		t.Fatalf("nodeMetrics should be nil without a registry")
+	}
+}
+
+// TestDroppedLateMetric runs a window job whose source emits records behind
+// the watermark and asserts the per-node records_dropped_late counter
+// surfaces them — the count used to be tracked on the operator but
+// unobservable in a running job.
+func TestDroppedLateMetric(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := NewGraph("late")
+	src := g.AddSource("src", 1, SliceSource([]Record{
+		Data(5, 1, 1.0),
+		Watermark(20),   // closes everything at or below ts=20
+		Data(7, 1, 1.0), // late
+		Data(3, 2, 1.0), // late, different key
+		Data(25, 1, 1.0),
+	}))
+	g.AddOperator("win", 1, NewWindowOp(
+		WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()},
+	), Edge{From: src, Part: HashPartition})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := NewJob(g, WithMetrics(reg)).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("node.win.records_dropped_late").Value(); got != 2 {
+		t.Fatalf("records_dropped_late = %d, want 2", got)
 	}
 }

@@ -1,11 +1,12 @@
 package dataflow
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"sort"
+
 	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/state"
 )
 
 // OpContext carries per-subtask information into Operator.Open.
@@ -14,9 +15,61 @@ type OpContext struct {
 	NodeName    string
 	Subtask     int
 	Parallelism int
-	// Restore holds the subtask's state blob from the recovery snapshot,
-	// or nil on a fresh start.
+	// NumKeyGroups is the plan's key-group count (<= 0 means the default),
+	// from which the subtask's owned group range derives.
+	NumKeyGroups int
+	// Metrics is the job's registry, or nil when metrics are disabled.
+	// Operators may register their own instruments under "node.<name>.".
+	Metrics *metrics.Registry
+	// Restore holds the subtask's non-keyed state blob from the recovery
+	// snapshot, or nil on a fresh start.
 	Restore []byte
+	// RestoreGroups holds the recovery snapshot's keyed-state blobs for the
+	// key groups this subtask owns *now* — written by whatever subtask
+	// ranges the checkpointing job ran with. Nil on a fresh start.
+	RestoreGroups map[int][]byte
+}
+
+// NewKeyedState builds the subtask's keyed-state container for the plan's
+// key-group settings. Zero-value contexts (direct operator tests) get
+// parallelism 1 and the default group count, owning every group.
+func (ctx *OpContext) NewKeyedState() *state.KeyedState {
+	ng := ctx.NumKeyGroups
+	if ng <= 0 {
+		ng = state.DefaultNumKeyGroups
+	}
+	par := ctx.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	start, end := state.GroupRangeFor(ng, par, ctx.Subtask)
+	return state.NewKeyedState(ng, start, end)
+}
+
+// RestoreKeyedState loads the recovery snapshot's group blobs into ks. Call
+// it after every cell is registered. A legacy per-subtask blob (snapshots
+// written before keyed state moved to key groups) is an error rather than
+// silent state loss.
+func (ctx *OpContext) RestoreKeyedState(ks *state.KeyedState) error {
+	if ctx.Restore != nil {
+		return fmt.Errorf("dataflow: %q/%d: snapshot holds per-subtask keyed state (pre-key-group format); it cannot be restored", ctx.NodeName, ctx.Subtask)
+	}
+	for g, blob := range ctx.RestoreGroups {
+		if err := ks.RestoreGroup(g, blob); err != nil {
+			return fmt.Errorf("dataflow: %q/%d: %w", ctx.NodeName, ctx.Subtask, err)
+		}
+	}
+	return nil
+}
+
+// KeyedStateful is implemented by operators keeping their per-key state in
+// a state.KeyedState. The runtime snapshots them per key group with the
+// asynchronous copy-on-write protocol — capture at the barrier, serialize
+// off the hot path — instead of the synchronous per-subtask Snapshot blob
+// (which such operators use only for residual non-keyed state, usually
+// returning nil).
+type KeyedStateful interface {
+	KeyedState() *state.KeyedState
 }
 
 // Collector receives records an operator emits downstream. Operators may
@@ -97,36 +150,29 @@ func (f *FlatMapOp) OnRecord(r Record, out Collector) { f.F(r, out) }
 // KeyedReduceOp maintains a float64 accumulator per key, combining values
 // with F. With EmitEach it emits the updated accumulator for every input
 // (continuous results); otherwise it emits one record per key on Finish
-// (bounded/batch results). Checkpointable.
+// (bounded/batch results). Keyed state lives in a state.KeyedState, so the
+// operator checkpoints per key group and restores at any parallelism.
 type KeyedReduceOp struct {
 	Base
 	F        func(acc, v float64) float64
 	Init     float64
 	EmitEach bool
 
-	state map[uint64]float64
+	ks  *state.KeyedState
+	acc *state.MapCell[float64]
 }
 
-type keyedReduceState struct {
-	Keys []uint64
-	Vals []float64
-}
+var _ KeyedStateful = (*KeyedReduceOp)(nil)
 
 // Open implements Operator.
 func (k *KeyedReduceOp) Open(ctx *OpContext) error {
-	k.state = make(map[uint64]float64)
-	if ctx.Restore == nil {
-		return nil
-	}
-	var s keyedReduceState
-	if err := gob.NewDecoder(bytes.NewReader(ctx.Restore)).Decode(&s); err != nil {
-		return fmt.Errorf("keyed-reduce restore: %w", err)
-	}
-	for i, key := range s.Keys {
-		k.state[key] = s.Vals[i]
-	}
-	return nil
+	k.ks = ctx.NewKeyedState()
+	k.acc = state.RegisterMap(k.ks, "acc", state.GobCodec[float64]())
+	return ctx.RestoreKeyedState(k.ks)
 }
+
+// KeyedState implements KeyedStateful.
+func (k *KeyedReduceOp) KeyedState() *state.KeyedState { return k.ks }
 
 // OnRecord implements Operator.
 func (k *KeyedReduceOp) OnRecord(r Record, out Collector) {
@@ -134,34 +180,15 @@ func (k *KeyedReduceOp) OnRecord(r Record, out Collector) {
 	if !ok {
 		return
 	}
-	acc, exists := k.state[r.Key]
+	acc, exists := k.acc.Get(r.Key)
 	if !exists {
 		acc = k.Init
 	}
 	acc = k.F(acc, v)
-	k.state[r.Key] = acc
+	k.acc.Put(r.Key, acc)
 	if k.EmitEach {
 		out.Collect(Data(r.Ts, r.Key, acc))
 	}
-}
-
-// Snapshot implements Operator.
-func (k *KeyedReduceOp) Snapshot() ([]byte, error) {
-	s := keyedReduceState{}
-	keys := make([]uint64, 0, len(k.state))
-	for key := range k.state {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		s.Keys = append(s.Keys, key)
-		s.Vals = append(s.Vals, k.state[key])
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		return nil, fmt.Errorf("keyed-reduce snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
 }
 
 // Finish implements Operator.
@@ -169,13 +196,9 @@ func (k *KeyedReduceOp) Finish(out Collector) {
 	if k.EmitEach {
 		return
 	}
-	keys := make([]uint64, 0, len(k.state))
-	for key := range k.state {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		out.Collect(Data(0, key, k.state[key]))
+	for _, key := range k.acc.SortedKeys() {
+		v, _ := k.acc.Get(key)
+		out.Collect(Data(0, key, v))
 	}
 }
 

@@ -32,9 +32,34 @@
 // results are identical at every batch size; only the
 // throughput/latency trade-off moves (bigger batches amortize channel hops,
 // the flush interval bounds how stale an in-motion record may get).
+//
+// # Keyed state: key groups and asynchronous snapshots
+//
+// Keyed operators (KeyedReduceOp, WindowOp, WindowJoinOp) keep their
+// per-key state in a state.KeyedState, whose physical unit is the key
+// group: keys map to Hash64(key) % Graph.NumKeyGroups (a logical-plan
+// constant), and key groups map onto subtasks by contiguous range.
+// HashPartition edges route through the same assignment, so the subtask
+// receiving a key always owns its state — and because checkpoints store one
+// blob per (operator, key group) instead of per subtask, WithRestore works
+// at a *different* parallelism: restore simply redistributes group blobs to
+// the new subtask ranges. Per-subtask state (source positions) does not
+// redistribute; restoring a rescaled source fails loudly.
+//
+// Snapshots are asynchronous end to end. At a barrier, a keyed operator
+// takes only a copy-on-write capture (flag flips and scalar copies) before
+// forwarding the barrier; the serialization into group blobs runs on a
+// separate goroutine while the operator keeps processing — a mutation that
+// would touch captured data clones it first. The coordinator completes a
+// checkpoint only when every subtask's asynchronous serialization has
+// landed, preserving ABS consistency exactly.
 package dataflow
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/state"
+)
 
 // Kind discriminates the records flowing through channels.
 type Kind uint8
@@ -101,30 +126,24 @@ type WindowResult struct {
 	Count      int64
 }
 
-// FNV-1a parameters shared by every key hash in the engine.
+// FNV-1a parameters for KeyOf (string → key). The canonical key hash
+// Hash64 lives in internal/state so that hash routing and key-group
+// assignment share one implementation by construction.
 const (
 	fnvOffset64 uint64 = 14695981039346656037
 	fnvPrime64  uint64 = 1099511628211
 )
 
-// fnvByte folds one byte into an FNV-1a hash state.
-func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
-
-// Hash64 is the key hash used by hash partitioning (FNV-1a over the 8 key
-// bytes); exposed so tests can predict routing.
-func Hash64(key uint64) uint64 {
-	h := fnvOffset64
-	for i := 0; i < 8; i++ {
-		h = fnvByte(h, byte(key>>(8*i)))
-	}
-	return h
-}
+// Hash64 is the key hash used by hash partitioning and key-group
+// assignment (FNV-1a over the 8 key bytes); exposed so tests can predict
+// routing. It delegates to state.Hash64, the engine-wide definition.
+func Hash64(key uint64) uint64 { return state.Hash64(key) }
 
 // KeyOf hashes an arbitrary string to a partitioning key (FNV-1a).
 func KeyOf(s string) uint64 {
 	h := fnvOffset64
 	for i := 0; i < len(s); i++ {
-		h = fnvByte(h, s[i])
+		h = (h ^ uint64(s[i])) * fnvPrime64
 	}
 	return h
 }

@@ -451,7 +451,7 @@ func TestHybridSourceCheckpointRecoveryThroughEngine(t *testing.T) {
 	if err == nil {
 		t.Skip("job finished before kill on this machine")
 	}
-	snap, ok := backend.Latest()
+	snap, ok, _ := backend.Latest()
 	if !ok {
 		t.Skip("no checkpoint before kill")
 	}

@@ -10,6 +10,8 @@ import (
 	"repro/internal/agg"
 	"repro/internal/cutty"
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/state"
 	"repro/internal/window"
 )
 
@@ -28,20 +30,32 @@ type WindowQuery struct {
 // are emitted as records whose Value is a WindowResult and whose Ts is the
 // window end.
 //
-// The operator is checkpointable: its snapshot contains the reorder buffer
-// and every per-key engine's state.
+// All mutable state — the per-key engines, the per-key reorder buffers and
+// the per-group release watermark — lives in a state.KeyedState, so the
+// operator snapshots per key group (asynchronously, behind a copy-on-write
+// capture) and restores at any parallelism.
 type WindowOp struct {
 	Queries []WindowQuery
 
 	out         Collector
-	buf         []Record
-	curWM       int64
-	engines     map[uint64]*cutty.Engine
+	ks          *state.KeyedState
+	engines     *state.MapCell[*cutty.Engine]
+	buf         *state.MapCell[[]bufEntry]
+	wm          *state.GroupCell[int64]
 	curKey      uint64
 	droppedLate int64
+	droppedCtr  *metrics.Counter
+}
+
+// bufEntry is one buffered, not-yet-released element of a key's reorder
+// buffer (exported fields for gob).
+type bufEntry struct {
+	Ts  int64
+	Val float64
 }
 
 var _ Operator = (*WindowOp)(nil)
+var _ KeyedStateful = (*WindowOp)(nil)
 
 // NewWindowOp returns an operator factory running the given queries.
 func NewWindowOp(queries ...WindowQuery) OperatorFactory {
@@ -60,6 +74,21 @@ func (w *WindowOp) newEngine() *cutty.Engine {
 	return e
 }
 
+// cloneEngine deep-copies an engine via its snapshot codec — the
+// copy-on-write path taken when a key is mutated while its captured state
+// is still being serialized.
+func (w *WindowOp) cloneEngine(e *cutty.Engine) *cutty.Engine {
+	var buf bytes.Buffer
+	if err := e.Snapshot(gob.NewEncoder(&buf)); err != nil {
+		panic(fmt.Sprintf("dataflow: window engine clone (snapshot): %v", err))
+	}
+	ne := w.newEngine()
+	if err := ne.Restore(gob.NewDecoder(bytes.NewReader(buf.Bytes()))); err != nil {
+		panic(fmt.Sprintf("dataflow: window engine clone (restore): %v", err))
+	}
+	return ne
+}
+
 func (w *WindowOp) emitResult(r engine.Result) {
 	w.out.Collect(Data(r.End, w.curKey, WindowResult{
 		QueryID: r.QueryID,
@@ -70,113 +99,114 @@ func (w *WindowOp) emitResult(r engine.Result) {
 	}))
 }
 
-type windowOpState struct {
-	CurWM   int64
-	BufTs   []int64
-	BufKey  []uint64
-	BufVal  []float64
-	Keys    []uint64
-	Engines [][]byte
-}
-
 // Open implements Operator.
 func (w *WindowOp) Open(ctx *OpContext) error {
-	w.engines = make(map[uint64]*cutty.Engine)
-	w.curWM = math.MinInt64
-	if ctx.Restore == nil {
-		return nil
+	w.ks = ctx.NewKeyedState()
+	w.engines = state.RegisterMap(w.ks, "engines", state.Codec[*cutty.Engine]{
+		Encode: func(enc *gob.Encoder, e *cutty.Engine) error { return e.Snapshot(enc) },
+		Decode: func(dec *gob.Decoder) (*cutty.Engine, error) {
+			e := w.newEngine()
+			return e, e.Restore(dec)
+		},
+		Clone: w.cloneEngine,
+	})
+	w.buf = state.RegisterMap(w.ks, "buf", state.SliceCodec[bufEntry]())
+	w.wm = state.RegisterPerGroup(w.ks, "wm", int64(math.MinInt64), state.GobCodec[int64]())
+	if ctx.Metrics != nil {
+		w.droppedCtr = ctx.Metrics.Counter("node." + ctx.NodeName + ".records_dropped_late")
 	}
-	var s windowOpState
-	if err := gob.NewDecoder(bytes.NewReader(ctx.Restore)).Decode(&s); err != nil {
-		return fmt.Errorf("window restore: %w", err)
-	}
-	w.curWM = s.CurWM
-	for i := range s.BufTs {
-		w.buf = append(w.buf, Data(s.BufTs[i], s.BufKey[i], s.BufVal[i]))
-	}
-	for i, key := range s.Keys {
-		e := w.newEngine()
-		if err := e.Restore(gob.NewDecoder(bytes.NewReader(s.Engines[i]))); err != nil {
-			return fmt.Errorf("window restore key %d: %w", key, err)
-		}
-		w.engines[key] = e
-	}
-	return nil
+	return ctx.RestoreKeyedState(w.ks)
 }
 
+// KeyedState implements KeyedStateful.
+func (w *WindowOp) KeyedState() *state.KeyedState { return w.ks }
+
+// Snapshot implements Operator. All window state is keyed and travels per
+// key group through KeyedState; there is no residual per-subtask state.
+func (w *WindowOp) Snapshot() ([]byte, error) { return nil, nil }
+
 // OnRecord implements Operator: buffer until the watermark releases. Late
-// elements — older than the current watermark — are dropped (allowed
-// lateness zero): releasing them would feed the per-key engines
+// elements — older than their key group's release watermark — are dropped
+// (allowed lateness zero): releasing them would feed the per-key engines
 // out-of-order input. The count of dropped records is observable via
-// DroppedLate.
+// DroppedLate and, when the job runs with metrics, the per-node
+// records_dropped_late counter.
 func (w *WindowOp) OnRecord(r Record, _ Collector) {
-	if _, ok := r.Value.(float64); !ok {
+	v, ok := r.Value.(float64)
+	if !ok {
 		return
 	}
-	if r.Ts <= w.curWM {
+	if r.Ts <= w.wm.Get(r.Key) {
 		w.droppedLate++
+		if w.droppedCtr != nil {
+			w.droppedCtr.Inc()
+		}
 		return
 	}
-	w.buf = append(w.buf, r)
+	entries, _ := w.buf.Get(r.Key)
+	// Appending never mutates the visible prefix, so a captured view of the
+	// old slice header stays intact; sorting and compacting below go
+	// through GetMut.
+	w.buf.Put(r.Key, append(entries, bufEntry{Ts: r.Ts, Val: v}))
 }
 
 // DroppedLate reports how many elements arrived after the watermark had
 // passed their timestamp and were therefore excluded.
 func (w *WindowOp) DroppedLate() int64 { return w.droppedLate }
 
-// OnWatermark implements Operator: release buffered records with ts <= wm in
-// event-time order into the per-key engines, then advance every engine's
-// watermark.
-func (w *WindowOp) OnWatermark(wm int64, out Collector) {
-	w.out = out
-	sort.SliceStable(w.buf, func(i, j int) bool { return w.buf[i].Ts < w.buf[j].Ts })
-	i := 0
-	for ; i < len(w.buf) && w.buf[i].Ts <= wm; i++ {
-		r := w.buf[i]
-		e, ok := w.engines[r.Key]
-		if !ok {
-			e = w.newEngine()
-			w.engines[r.Key] = e
-		}
-		w.curKey = r.Key
-		e.OnWatermark(r.Ts)
-		e.OnElement(r.Ts, r.Value.(float64))
+// engineFor returns the key's engine for mutation, creating it on demand.
+func (w *WindowOp) engineFor(key uint64) *cutty.Engine {
+	e, ok := w.engines.GetMut(key)
+	if !ok {
+		e = w.newEngine()
+		w.engines.Put(key, e)
 	}
-	w.buf = append(w.buf[:0], w.buf[i:]...)
-	w.curWM = wm
-	for key, e := range w.engines {
-		w.curKey = key
-		e.OnWatermark(wm)
-	}
-	w.out = nil
+	return e
 }
 
-// Snapshot implements Operator.
-func (w *WindowOp) Snapshot() ([]byte, error) {
-	s := windowOpState{CurWM: w.curWM}
-	for _, r := range w.buf {
-		s.BufTs = append(s.BufTs, r.Ts)
-		s.BufKey = append(s.BufKey, r.Key)
-		s.BufVal = append(s.BufVal, r.Value.(float64))
-	}
-	keys := make([]uint64, 0, len(w.engines))
-	for key := range w.engines {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		var buf bytes.Buffer
-		if err := w.engines[key].Snapshot(gob.NewEncoder(&buf)); err != nil {
-			return nil, fmt.Errorf("window snapshot key %d: %w", key, err)
+// OnWatermark implements Operator: release buffered records with ts <= wm
+// per key in event-time order into the key's engine, then advance every
+// engine's watermark and the per-group release watermark. The sweep runs
+// eagerly — window results must be emitted before the runtime forwards the
+// watermark downstream, or a downstream event-time operator would drop
+// them as late. While a snapshot capture is serializing, each engine the
+// sweep touches pays its copy-on-write clone once; that cost is bounded by
+// one deep copy per engine per checkpoint and never blocks the barrier.
+func (w *WindowOp) OnWatermark(wm int64, out Collector) {
+	w.out = out
+	for _, key := range w.buf.SortedKeys() {
+		entries, _ := w.buf.Get(key)
+		due := false
+		for i := range entries {
+			if entries[i].Ts <= wm {
+				due = true
+				break
+			}
 		}
-		s.Keys = append(s.Keys, key)
-		s.Engines = append(s.Engines, buf.Bytes())
+		if !due {
+			continue
+		}
+		entries, _ = w.buf.GetMut(key)
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].Ts < entries[j].Ts })
+		e := w.engineFor(key)
+		w.curKey = key
+		i := 0
+		for ; i < len(entries) && entries[i].Ts <= wm; i++ {
+			e.OnWatermark(entries[i].Ts)
+			e.OnElement(entries[i].Ts, entries[i].Val)
+		}
+		if i == len(entries) {
+			w.buf.Delete(key)
+		} else {
+			w.buf.Put(key, entries[i:])
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		return nil, fmt.Errorf("window snapshot: %w", err)
+	for _, key := range w.engines.SortedKeys() {
+		w.curKey = key
+		w.engineFor(key).OnWatermark(wm)
 	}
-	return buf.Bytes(), nil
+	w.wm.SetAll(wm)
+	w.out = nil
 }
 
 // Finish implements Operator: flush every remaining window.

@@ -2,6 +2,8 @@ package state
 
 import (
 	"bytes"
+	"os"
+	"sync"
 	"testing"
 )
 
@@ -20,7 +22,7 @@ func TestSubtaskKeyString(t *testing.T) {
 
 func TestMemoryBackendRoundTrip(t *testing.T) {
 	b := NewMemoryBackend(0)
-	if _, ok := b.Latest(); ok {
+	if _, ok, _ := b.Latest(); ok {
 		t.Fatalf("empty backend reported a snapshot")
 	}
 	if err := b.Persist(sample(1)); err != nil {
@@ -29,7 +31,7 @@ func TestMemoryBackendRoundTrip(t *testing.T) {
 	if err := b.Persist(sample(2)); err != nil {
 		t.Fatal(err)
 	}
-	latest, ok := b.Latest()
+	latest, ok, _ := b.Latest()
 	if !ok || latest.CheckpointID != 2 {
 		t.Fatalf("Latest = %+v, %v", latest, ok)
 	}
@@ -65,7 +67,7 @@ func TestMemoryBackendRetention(t *testing.T) {
 	if _, err := b.Load(3); err == nil {
 		t.Fatalf("retention did not evict old checkpoints")
 	}
-	latest, ok := b.Latest()
+	latest, ok, _ := b.Latest()
 	if !ok || latest.CheckpointID != 5 {
 		t.Fatalf("latest = %+v", latest)
 	}
@@ -77,7 +79,7 @@ func TestFileBackendRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := b.Latest(); ok {
+	if _, ok, _ := b.Latest(); ok {
 		t.Fatalf("empty dir reported a snapshot")
 	}
 	if err := b.Persist(sample(7)); err != nil {
@@ -86,7 +88,7 @@ func TestFileBackendRoundTrip(t *testing.T) {
 	if err := b.Persist(sample(12)); err != nil {
 		t.Fatal(err)
 	}
-	latest, ok := b.Latest()
+	latest, ok, _ := b.Latest()
 	if !ok || latest.CheckpointID != 12 {
 		t.Fatalf("Latest = %+v, %v", latest, ok)
 	}
@@ -102,7 +104,7 @@ func TestFileBackendRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	latest2, ok := b2.Latest()
+	latest2, ok, _ := b2.Latest()
 	if !ok || latest2.CheckpointID != 12 {
 		t.Fatalf("recovery backend Latest = %+v, %v", latest2, ok)
 	}
@@ -115,5 +117,128 @@ func TestFileBackendLoadMissing(t *testing.T) {
 	}
 	if _, err := b.Load(99); err == nil {
 		t.Fatalf("loading a missing checkpoint should error")
+	}
+}
+
+// TestFileBackendLatestSkipsCorrupt: a corrupt newest snapshot file must
+// not read as "no snapshot" — Latest falls back to the most recent readable
+// checkpoint and surfaces the corruption through the error.
+func TestFileBackendLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 3; id++ {
+		if err := b.Persist(sample(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest file (truncated write) and garbage the second.
+	if err := os.WriteFile(b.path(3), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(b.path(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b.path(2), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, ok, cerr := b.Latest()
+	if !ok || snap.CheckpointID != 1 {
+		t.Fatalf("Latest = %+v, %v — did not skip back to the readable snapshot", snap, ok)
+	}
+	if cerr == nil {
+		t.Fatalf("corruption was swallowed: Latest returned nil error")
+	}
+
+	// All snapshots corrupt: no snapshot, and an error saying why.
+	if err := os.WriteFile(b.path(1), []byte{0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, cerr := b.Latest(); ok || cerr == nil {
+		t.Fatalf("all-corrupt dir: ok=%v err=%v, want ok=false with error", ok, cerr)
+	}
+}
+
+func TestFileBackendGroupRoundTrip(t *testing.T) {
+	b, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSnapshot(5)
+	s.NumKeyGroups = 16
+	s.Put(SubtaskKey{OperatorID: 0, Subtask: 0}, []byte("src"))
+	s.PutGroup(GroupKey{OperatorID: 1, KeyGroup: 3}, []byte("g3"))
+	s.PutGroup(GroupKey{OperatorID: 1, KeyGroup: 9}, []byte("g9"))
+	if err := b.Persist(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Load(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumKeyGroups != 16 {
+		t.Fatalf("NumKeyGroups = %d", got.NumKeyGroups)
+	}
+	if !bytes.Equal(got.GetGroup(GroupKey{OperatorID: 1, KeyGroup: 9}), []byte("g9")) {
+		t.Fatalf("group blob lost in the disk round trip")
+	}
+	groups := got.GroupsOf(1, 0, 16)
+	if len(groups) != 2 || !bytes.Equal(groups[3], []byte("g3")) {
+		t.Fatalf("GroupsOf = %v", groups)
+	}
+}
+
+// TestMemoryBackendRetainConcurrent hammers Persist and Latest from
+// concurrent goroutines while retention prunes: Latest must always see a
+// fully formed snapshot (run with -race to catch unsynchronized pruning).
+func TestMemoryBackendRetainConcurrent(t *testing.T) {
+	b := NewMemoryBackend(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := int64(1); id <= 200; id++ {
+			if err := b.Persist(sample(id)); err != nil {
+				t.Errorf("persist %d: %v", id, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for i := 0; i < 500; i++ {
+				snap, ok, err := b.Latest()
+				if err != nil {
+					t.Errorf("Latest: %v", err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				if snap.CheckpointID < last {
+					t.Errorf("Latest went backwards: %d after %d", snap.CheckpointID, last)
+					return
+				}
+				last = snap.CheckpointID
+				if len(snap.Entries) != 2 {
+					t.Errorf("Latest returned a partially formed snapshot: %d entries", len(snap.Entries))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if snap, ok, _ := b.Latest(); !ok || snap.CheckpointID != 200 {
+		t.Fatalf("final Latest = %v, %v", snap, ok)
+	}
+	if _, err := b.Load(198); err == nil {
+		t.Fatalf("retention kept more than 2 snapshots")
 	}
 }

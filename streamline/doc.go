@@ -74,6 +74,47 @@
 // batching applies only at real exchange boundaries, and the logical plan
 // never changes (WithBatchSize(1) is the per-record ablation baseline).
 //
+// # Keyed state, checkpoints and rescaling
+//
+// Keyed operators (ReduceByKey, WindowAggregate, JoinWindow) keep their
+// per-key state in key groups: each key maps to one of WithNumKeyGroups
+// groups (default DefaultNumKeyGroups), hash edges route records to the
+// subtask owning the key's group, and checkpoints store one blob per
+// (operator, key group) rather than per subtask. At a checkpoint barrier an
+// operator blocks only for a copy-on-write capture of its state;
+// serialization runs asynchronously while processing continues, and the
+// checkpoint completes when every capture has been persisted.
+//
+// Because key groups — not subtasks — are the unit of state, a job can be
+// recovered at a different parallelism: the new subtasks simply load the
+// groups of their new ranges. The rescaling recipe:
+//
+//	// First run: checkpoint to a durable backend at parallelism 2.
+//	backend, _ := streamline.NewFileBackend("/var/lib/job/checkpoints")
+//	env := streamline.New(streamline.WithParallelism(2),
+//		streamline.WithCheckpointing(backend, time.Second))
+//	buildPipeline(env)
+//	env.Execute(ctx) // ... the process dies, or is stopped to rescale
+//
+//	// Recovery: rebuild the identical pipeline at parallelism 4 and
+//	// resume from the latest readable on-disk snapshot.
+//	backend, _ = streamline.NewFileBackend("/var/lib/job/checkpoints")
+//	snap, ok, err := backend.Latest() // err surfaces skipped corrupt files
+//	env = streamline.New(streamline.WithParallelism(4),
+//		streamline.WithCheckpointing(backend, time.Second))
+//	buildPipeline(env)
+//	if ok {
+//		env.ExecuteRestored(ctx, snap)
+//	}
+//
+// Two constraints: WithNumKeyGroups is a plan constant (a snapshot restores
+// only into a plan with the same value — pick it once, comfortably above
+// the largest parallelism the job may ever need), and per-subtask state —
+// source read positions — does not redistribute, so keep source parallelism
+// fixed (sources pin it explicitly via WithSourceParallelism) and rescale
+// the keyed stages through WithParallelism. Key grouping itself is purely
+// physical: results are identical at every group count and parallelism.
+//
 // The smallest complete pipeline:
 //
 //	env := streamline.New(streamline.WithParallelism(2))

@@ -17,6 +17,11 @@ const (
 	DefaultFlushInterval = dataflow.DefaultFlushInterval
 )
 
+// DefaultNumKeyGroups is the key-group count of plans that do not set
+// WithNumKeyGroups — the granularity at which keyed state partitions,
+// checkpoints and redistributes across rescales.
+const DefaultNumKeyGroups = state.DefaultNumKeyGroups
+
 // Env owns a pipeline under construction and its execution options. It is a
 // thin typed veneer over core.Environment; one Env builds one job.
 type Env struct {
@@ -63,6 +68,19 @@ func WithCheckpointing(b Backend, every time.Duration) Option {
 	return core.WithCheckpointing(b, every)
 }
 
+// WithStateBackend sets the snapshot backend without enabling periodic
+// checkpoints — pair it with ExecuteRestored on the recovery side of a job
+// whose writing side ran WithCheckpointing.
+func WithStateBackend(b Backend) Option { return core.WithStateBackend(b) }
+
+// WithNumKeyGroups sets the plan's key-group count (default
+// DefaultNumKeyGroups) — the unit of keyed-state partitioning and hash
+// routing. Purely physical for results (identical at every value and any
+// parallelism) but a plan constant for recovery: a checkpoint restores only
+// into a plan with the same value. Pick it comfortably above the largest
+// parallelism the job may ever rescale to and keep it.
+func WithNumKeyGroups(n int) Option { return core.WithNumKeyGroups(n) }
+
 // WithBatchSize sets how many records the exchange layer stages per batch
 // before shipping it across a subtask boundary (default 64). Bigger batches
 // amortize channel hops and raise throughput; 1 degenerates to per-record
@@ -80,6 +98,12 @@ func WithFlushInterval(d time.Duration) Option { return core.WithFlushInterval(d
 // NewMemoryBackend returns an in-memory checkpoint backend retaining the
 // last `retain` snapshots (0 keeps all).
 func NewMemoryBackend(retain int) Backend { return state.NewMemoryBackend(retain) }
+
+// NewFileBackend returns a durable checkpoint backend persisting each
+// snapshot as a file under dir (created if needed) — the backend to use
+// when a job must survive process restarts or restore at a different
+// parallelism in a new process.
+func NewFileBackend(dir string) (Backend, error) { return state.NewFileBackend(dir) }
 
 // New returns an empty pipeline environment.
 func New(opts ...Option) *Env {

@@ -410,3 +410,119 @@ func TestBatchSizeIsPhysicalOnly(t *testing.T) {
 		})
 	}
 }
+
+// TestNumKeyGroupsIsPhysicalOnlyTyped proves WithNumKeyGroups is a pure
+// state-partitioning knob on the typed API: identical results at group
+// counts 1, 7 and 128, at parallelism below and above the group count.
+func TestNumKeyGroupsIsPhysicalOnlyTyped(t *testing.T) {
+	results := func(opts ...streamline.Option) map[uint64]float64 {
+		env := streamline.New(opts...)
+		src := streamline.From(env, "gen", streamline.Generator(2000,
+			func(sub, par int, i int64) streamline.Keyed[float64] {
+				return streamline.Keyed[float64]{Ts: i, Value: float64(i % 11)}
+			}), streamline.WithSourceParallelism(2))
+		keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return uint64(k.Value) % 5 })
+		sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+		out := streamline.Collect(sums, "out")
+		execute(t, env.Execute)
+		res := map[uint64]float64{}
+		for _, k := range out.Records() {
+			res[k.Key] = k.Value
+		}
+		return res
+	}
+	want := results(streamline.WithParallelism(1))
+	if len(want) != 5 {
+		t.Fatalf("reference run produced %d keys, want 5", len(want))
+	}
+	for _, groups := range []int{1, 7, 128} {
+		for _, par := range []int{1, 2, 4} {
+			got := results(streamline.WithParallelism(par), streamline.WithNumKeyGroups(groups))
+			if len(got) != len(want) {
+				t.Fatalf("G=%d P=%d: %d keys, want %d", groups, par, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("G=%d P=%d: key %d = %v, want %v", groups, par, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestRescaleRecoveryTypedAPI is the full rescaling recipe on the public
+// API: checkpoint to a durable file backend at parallelism 2, kill the
+// process's job, then rebuild the same pipeline at parallelism 1 and at 4
+// and resume from the latest on-disk snapshot. Dedup'd window results must
+// equal a failure-free run.
+func TestRescaleRecoveryTypedAPI(t *testing.T) {
+	const n = 5000
+	build := func(par int, perSec float64, opts ...streamline.Option) (*streamline.Env, *streamline.Results[streamline.WindowResult]) {
+		env := streamline.New(append([]streamline.Option{streamline.WithParallelism(par)}, opts...)...)
+		gen := streamline.Generator(n, func(sub, par int, i int64) streamline.Keyed[float64] {
+			global := i*int64(par) + int64(sub)
+			return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 6), Value: 1}
+		})
+		var src *streamline.Stream[float64]
+		if perSec > 0 {
+			src = streamline.From(env, "gen", streamline.Paced(gen, perSec), streamline.WithSourceParallelism(2))
+		} else {
+			src = streamline.From(env, "gen", gen, streamline.WithSourceParallelism(2))
+		}
+		keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+		win := streamline.WindowAggregate(keyed, "win",
+			streamline.Query(streamline.Tumbling(100), streamline.Sum()))
+		return env, streamline.Collect(win, "out")
+	}
+	collect := func(outs ...*streamline.Results[streamline.WindowResult]) map[[2]int64]float64 {
+		res := map[[2]int64]float64{}
+		for _, out := range outs {
+			for _, k := range out.Records() {
+				res[[2]int64{int64(k.Key), k.Value.Start}] = k.Value.Value
+			}
+		}
+		return res
+	}
+
+	refEnv, refOut := build(2, 0)
+	execute(t, refEnv.Execute)
+	want := collect(refOut)
+
+	for _, restorePar := range []int{1, 4} {
+		restorePar := restorePar
+		t.Run(fmt.Sprintf("to-parallelism-%d", restorePar), func(t *testing.T) {
+			backend, err := streamline.NewFileBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashEnv, crashOut := build(2, 10_000,
+				streamline.WithCheckpointing(backend, 20*time.Millisecond))
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+			runErr := crashEnv.Execute(ctx)
+			cancel()
+			if runErr == nil {
+				t.Skip("job finished before kill on this machine")
+			}
+			snap, ok, err := backend.Latest()
+			if err != nil {
+				t.Fatalf("Latest: %v", err)
+			}
+			if !ok {
+				t.Skip("no checkpoint before kill")
+			}
+			resumeEnv, resumeOut := build(restorePar, 0, streamline.WithStateBackend(backend))
+			if err := resumeEnv.ExecuteRestored(context.Background(), snap); err != nil {
+				t.Fatalf("restored run at parallelism %d: %v", restorePar, err)
+			}
+			got := collect(crashOut, resumeOut)
+			if len(got) != len(want) {
+				t.Fatalf("got %d windows, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("window %v = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}
