@@ -14,6 +14,10 @@
 //	                              # keyed-state snapshot benchmark only:
 //	                              # copy-on-write capture vs synchronous
 //	                              # whole-state gob, results to JSON
+//	streamline-bench -scan BENCH_scan.json
+//	                              # at-rest scan benchmark only: byte-range
+//	                              # splits vs round-robin full-file scans
+//	                              # plus seek vs re-scan restore, to JSON
 package main
 
 import (
@@ -30,7 +34,23 @@ func main() {
 	exps := flag.String("e", "", "comma-separated experiment ids (default: all)")
 	exchange := flag.String("exchange", "", "run the exchange benchmark and write JSON results to this path")
 	stateBench := flag.String("state", "", "run the keyed-state snapshot benchmark and write JSON results to this path")
+	scanBench := flag.String("scan", "", "run the at-rest scan benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *scanBench != "" {
+		rep, err := bench.Scan(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scan benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*scanBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *scanBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *scanBench)
+		return
+	}
 
 	if *stateBench != "" {
 		rep, err := bench.State(*quick)

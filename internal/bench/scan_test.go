@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// Both scan-bench pipelines must actually scan the whole file: the baseline
+// reports every line, the split mode every line except the per-subtask tail
+// batches its decode folds but never flushes (bounded by par × scanBatch) —
+// a correctness guard so the recorded throughputs measure real work.
+func TestScanBenchPipelinesCoverTheFile(t *testing.T) {
+	const n = 50_000
+	path, _, err := writeScanFile(t.TempDir(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(factory dataflow.SourceFactory) float64 {
+		t.Helper()
+		g := dataflow.NewGraph("scan-check")
+		src := g.AddSource("scan", 4, factory)
+		sink := &dataflow.CollectSink{}
+		g.AddOperator("sink", 1, sink.Factory(), dataflow.Edge{From: src, Part: dataflow.Rebalance})
+		if err := dataflow.NewJob(g).Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, r := range sink.Records() {
+			total += r.Value.(float64)
+		}
+		return total
+	}
+	rr := sum(func(sub, par int) dataflow.SourceFunc {
+		return &rrLineScan{path: path, sub: sub, par: par}
+	})
+	if rr != n {
+		t.Fatalf("round-robin baseline counted %v lines, want %d", rr, n)
+	}
+	sp := sum(scanFactory(path, 1<<20, false))
+	if sp > n || sp < n-4*scanBatch {
+		t.Fatalf("split scan counted %v lines, want within (%d, %d]", sp, n-4*scanBatch, n)
+	}
+}

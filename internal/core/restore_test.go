@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -89,11 +92,112 @@ func TestExecuteRestoredEquivalence(t *testing.T) {
 	}
 }
 
+// TestExecuteRestoredRescaledFileSource kills a checkpointing pipeline whose
+// source is a splittable file scan at parallelism 2 and recovers it with the
+// source at parallelism 1 and at 4 through the core lowering: the snapshot's
+// split state redistributes across the new source subtasks (seek-based
+// resume, no re-scan), the keyed window state redistributes by key group,
+// and the deduplicated window results must equal a failure-free run.
+func TestExecuteRestoredRescaledFileSource(t *testing.T) {
+	const n = 6000
+	path := filepath.Join(t.TempDir(), "history.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(f, "%d\n", i)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decode := func(line []byte, off int64) (dataflow.Record, bool, error) {
+		i, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil {
+			return dataflow.Record{}, false, err
+		}
+		return dataflow.Data(i, uint64(i%5), 1.0), true, nil
+	}
+	build := func(srcPar int, perSec float64, backend state.Backend) (*Environment, *dataflow.CollectSink) {
+		opts := []Option{WithParallelism(2)}
+		if backend != nil {
+			opts = append(opts, WithCheckpointing(backend, 20*time.Millisecond))
+		}
+		env := NewEnvironment(opts...)
+		factory := dataflow.LineSourceFactory(dataflow.ScanConfig{Input: path, SplitSize: 2048}, decode)
+		src := env.FromSource("scan", srcPar, func(sub, par int) dataflow.SourceFunc {
+			if perSec > 0 {
+				return &dataflow.PacedSource{PerSec: perSec, Inner: factory(sub, par)}
+			}
+			return factory(sub, par)
+		})
+		sink := src.
+			KeyBy("k", func(r dataflow.Record) uint64 { return r.Key }).
+			WindowAggregate("win",
+				WindowedQuery{Window: window.Tumbling(100), Fn: agg.SumF64()},
+			).
+			Collect("out")
+		return env, sink
+	}
+	collect := func(sinks ...*dataflow.CollectSink) map[[2]int64]float64 {
+		out := map[[2]int64]float64{}
+		for _, s := range sinks {
+			for _, r := range s.Records() {
+				wr := r.Value.(dataflow.WindowResult)
+				out[[2]int64{int64(r.Key), wr.Start}] = wr.Value
+			}
+		}
+		return out
+	}
+
+	refEnv, refSink := build(2, 0, nil)
+	if err := refEnv.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(refSink)
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no windows")
+	}
+
+	for _, restorePar := range []int{1, 4} {
+		restorePar := restorePar
+		t.Run(fmt.Sprintf("source-to-parallelism-%d", restorePar), func(t *testing.T) {
+			backend := state.NewMemoryBackend(0)
+			crashEnv, crashSink := build(2, 12_000, backend)
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+			err := crashEnv.Execute(ctx)
+			cancel()
+			if err == nil {
+				t.Skip("job finished before kill on this machine")
+			}
+			snap, ok, _ := backend.Latest()
+			if !ok {
+				t.Skip("no checkpoint before kill")
+			}
+			resumeEnv, sink2 := build(restorePar, 0, backend)
+			if err := resumeEnv.ExecuteRestored(context.Background(), snap); err != nil {
+				t.Fatalf("restored run with source parallelism %d: %v", restorePar, err)
+			}
+			got := collect(crashSink, sink2)
+			if len(got) != len(want) {
+				t.Fatalf("got %d windows, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("window %v = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
 // TestExecuteRestoredRescaled kills a checkpointing pipeline running its
 // keyed operator at parallelism 2 and recovers it at parallelism 1 and at
 // 4: the snapshot's key-group blobs redistribute to the new subtask ranges
 // and the deduplicated window results must equal a failure-free run. The
-// source keeps its pinned parallelism — only the keyed stage rescales.
+// source keeps its pinned parallelism — only the keyed stage rescales
+// (generator positions are per-subtask; file scans may rescale too, see
+// TestExecuteRestoredRescaledFileSource).
 func TestExecuteRestoredRescaled(t *testing.T) {
 	const n = 5000
 	build := func(parallelism int, paced bool, backend state.Backend) (*Environment, *dataflow.CollectSink) {

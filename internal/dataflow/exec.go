@@ -117,7 +117,21 @@ func (j *Job) validateRestore(numGroups int) error {
 			continue
 		}
 		if hasState {
-			return fmt.Errorf("dataflow: node %q checkpointed at parallelism %d cannot restore at %d: its per-subtask state does not redistribute (only keyed state, stored per key group, rescales)",
+			// Splittable sources are the exception: their snapshot state is a
+			// set of splits, not a position per subtask, and RestoreAll
+			// redistributes it at any parallelism. Probe a throwaway instance
+			// for the capability (factories are cheap and side-effect-free
+			// until first read). The probe is best-effort: composite sources
+			// (typed-layer adapters, PacedSource) implement MultiRestorable
+			// unconditionally and enforce the positional rules inside
+			// RestoreAll instead, so their mismatch errors surface at source
+			// restore time rather than here — still before any data flows.
+			if n.NewSource != nil {
+				if _, ok := n.NewSource(0, n.Parallelism).(MultiRestorable); ok {
+					continue
+				}
+			}
+			return fmt.Errorf("dataflow: node %q checkpointed at parallelism %d cannot restore at %d: its per-subtask state does not redistribute (only keyed state, stored per key group, and splittable at-rest scans rescale)",
 				n.Name, oldPar, n.Parallelism)
 		}
 	}
@@ -606,6 +620,24 @@ func (j *Job) Run(ctx context.Context) error {
 		}
 		return j.restore.Get(state.SubtaskKey{OperatorID: n.ID, Subtask: s})
 	}
+	// restoreSourceBlobs collects a source node's non-empty per-subtask blobs
+	// from the recovery snapshot, keyed by the old subtask index.
+	restoreSourceBlobs := func(snap *state.Snapshot, n *Node) map[int][]byte {
+		if snap == nil {
+			return nil
+		}
+		var out map[int][]byte
+		for k, b := range snap.EntriesOf(n.ID) {
+			if len(b) == 0 {
+				continue
+			}
+			if out == nil {
+				out = make(map[int][]byte)
+			}
+			out[k] = b
+		}
+		return out
+	}
 	// restoreGroups redistributes the snapshot's keyed-state blobs: the
 	// range is the *new* subtask's — whatever parallelism this job runs at
 	// — and the blobs come from whichever subtasks wrote them.
@@ -625,6 +657,10 @@ func (j *Job) Run(ctx context.Context) error {
 		}
 		chainNodes := append([]*Node{}, ci.links[n]...)
 		tail := ci.tail[n]
+		var srcBlobs map[int][]byte
+		if n.NewSource != nil {
+			srcBlobs = restoreSourceBlobs(j.restore, n)
+		}
 		for s := 0; s < n.Parallelism; s++ {
 			ch := &chain{out: outputsFor(tail, s)}
 			if n.NewOperator != nil {
@@ -652,8 +688,24 @@ func (j *Job) Run(ctx context.Context) error {
 
 			if n.NewSource != nil {
 				src := n.NewSource(s, n.Parallelism)
-				if blob := restoreBlob(n, s); blob != nil {
-					if err := src.Restore(blob); err != nil {
+				if so, ok := src.(SourceOpener); ok {
+					so.OpenSource(&OpContext{
+						NodeID: n.ID, NodeName: n.Name, Subtask: s,
+						Parallelism: n.Parallelism, NumKeyGroups: numGroups,
+						Metrics: j.reg,
+					})
+				}
+				// Sources restore from the node-wide blob set: splittable
+				// scans redistribute their remaining splits across this job's
+				// parallelism, positional sources take their own subtask's
+				// blob (RestoreSource enforces the difference). Subtask 0
+				// restores (and with it a stage-shared scan plan rebuilds
+				// from the full blob set) before its own goroutine launches;
+				// later subtasks restore while subtask 0 may already be
+				// scanning, which is safe because their RestoreAll calls are
+				// idempotent no-ops on the already-rebuilt shared plan.
+				if len(srcBlobs) > 0 {
+					if err := RestoreSource(src, s, n.Parallelism, srcBlobs); err != nil {
 						launchErr = fmt.Errorf("restore source %q/%d: %w", n.Name, s, err)
 						break
 					}

@@ -33,6 +33,24 @@
 // throughput/latency trade-off moves (bigger batches amortize channel hops,
 // the flush interval bounds how stale an in-motion record may get).
 //
+// # The splittable at-rest scan
+//
+// Data at rest enters through FileScanSource: files are chopped into
+// newline-aligned byte-range Splits (quote-aware for CSV) by a ScanPlan
+// shared across the source stage's subtasks, and the plan's queue assigns
+// splits dynamically — a subtask that finishes early pulls the next pending
+// split, so total scan work is one pass over the input regardless of
+// parallelism (the pre-split design scanned the whole file in every subtask
+// and discarded (p−1)/p of it). Snapshots record which splits are done plus
+// the (split id, byte offset) of the in-flight one, so Restore Seeks to the
+// position instead of re-reading, and — because the state is a work set,
+// not a position per subtask — a recovered job may run the source at a
+// different parallelism (MultiRestorable): the remaining splits simply
+// redistribute. Legacy row-cursor snapshots are still accepted and convert
+// to a compatibility mode (see splitScanState). Split assignment carries no
+// timestamp order, so file sources emit no in-flight watermarks; bounded
+// scans close out event time at end of stream.
+//
 // # Keyed state: key groups and asynchronous snapshots
 //
 // Keyed operators (KeyedReduceOp, WindowOp, WindowJoinOp) keep their
@@ -126,24 +144,11 @@ type WindowResult struct {
 	Count      int64
 }
 
-// FNV-1a parameters for KeyOf (string → key). The canonical key hash
-// Hash64 lives in internal/state so that hash routing and key-group
-// assignment share one implementation by construction.
-const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
-)
-
 // Hash64 is the key hash used by hash partitioning and key-group
 // assignment (FNV-1a over the 8 key bytes); exposed so tests can predict
 // routing. It delegates to state.Hash64, the engine-wide definition.
 func Hash64(key uint64) uint64 { return state.Hash64(key) }
 
-// KeyOf hashes an arbitrary string to a partitioning key (FNV-1a).
-func KeyOf(s string) uint64 {
-	h := fnvOffset64
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * fnvPrime64
-	}
-	return h
-}
+// KeyOf hashes an arbitrary string to a partitioning key. Like Hash64 it
+// delegates to internal/state, where all key hashing is defined once.
+func KeyOf(s string) uint64 { return state.KeyOf(s) }

@@ -43,6 +43,49 @@ func sourceErr(src SourceFunc) error {
 	return nil
 }
 
+// SourceOpener is an optional SourceFunc extension: the runtime hands each
+// source subtask its OpContext before restore and the first Next — the same
+// hook operators get in Open — so sources can register metrics instruments
+// (scan counters) on OpContext.Metrics.
+type SourceOpener interface {
+	OpenSource(ctx *OpContext)
+}
+
+// MultiRestorable is an optional SourceFunc extension for sources whose
+// snapshot state is not positional per subtask. RestoreAll receives the
+// state blobs of *every* subtask of the checkpointing job, keyed by old
+// subtask index, so the restoring stage may run at a different parallelism —
+// splittable file scans redistribute their remaining splits this way.
+// Composite sources (hybrid, paced) implement it by decomposing blobs and
+// delegating with RestoreSource.
+type MultiRestorable interface {
+	RestoreAll(subtask, parallelism int, blobs map[int][]byte) error
+}
+
+// RestoreSource restores one source subtask from the node-wide blob set:
+// sources implementing MultiRestorable redistribute freely, everything else
+// falls back to the positional per-subtask Restore — which requires the
+// parallelism to match the snapshot's.
+func RestoreSource(src SourceFunc, subtask, parallelism int, blobs map[int][]byte) error {
+	if m, ok := src.(MultiRestorable); ok {
+		return m.RestoreAll(subtask, parallelism, blobs)
+	}
+	oldPar := 0
+	for sub := range blobs {
+		if sub+1 > oldPar {
+			oldPar = sub + 1
+		}
+	}
+	if oldPar != parallelism {
+		return fmt.Errorf("source state of %d subtasks does not redistribute to parallelism %d (only splittable scans rescale; see MultiRestorable)", oldPar, parallelism)
+	}
+	blob, ok := blobs[subtask]
+	if !ok {
+		return fmt.Errorf("source snapshot is missing subtask %d", subtask)
+	}
+	return src.Restore(blob)
+}
+
 // GenSource is a deterministic generator source: record i is computed by Gen
 // from its index, making the source replayable by construction. A watermark
 // lagging the max emitted timestamp by Lag is emitted every WatermarkEvery
@@ -184,6 +227,20 @@ func (p *PacedSource) Snapshot() ([]byte, error) { return p.Inner.Snapshot() }
 func (p *PacedSource) Restore(blob []byte) error {
 	p.pacer.Reset()
 	return p.Inner.Restore(blob)
+}
+
+// RestoreAll implements MultiRestorable by delegation (pacing carries no
+// state of its own beyond the schedule anchor, which is reset like Restore).
+func (p *PacedSource) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	p.pacer.Reset()
+	return RestoreSource(p.Inner, subtask, parallelism, blobs)
+}
+
+// OpenSource implements SourceOpener by delegation.
+func (p *PacedSource) OpenSource(ctx *OpContext) {
+	if o, ok := p.Inner.(SourceOpener); ok {
+		o.OpenSource(ctx)
+	}
 }
 
 // Err implements Failable by delegation.
@@ -353,6 +410,15 @@ const (
 // Live records must carry timestamps after the history's max timestamp;
 // older ones arrive late relative to the handoff watermark (standard
 // bounded-disorder semantics apply).
+//
+// The handoff watermark is per subtask: each instance promises only the max
+// timestamp it saw itself, and an instance whose history share was empty
+// (possible over a splittable FileScanSource history, where one subtask may
+// drain the whole split queue) emits no handoff watermark at all — its
+// channel then holds downstream event time at -inf until live data reaches
+// it. The typed layer (streamline.Hybrid) closes this with a stage-wide
+// clock and the ReadHandoff protocol; compose file histories at parallelism
+// > 1 through it, or keep engine-level hybrids single-subtask.
 type HybridSource struct {
 	History SourceFunc
 	Live    SourceFunc
@@ -428,6 +494,87 @@ func (h *HybridSource) Restore(blob []byte) error {
 	}
 	h.phase, h.maxTs, h.haveTs = s.Phase, s.MaxTs, s.HaveTs
 	return nil
+}
+
+// RestoreAll implements MultiRestorable: every subtask blob is decomposed
+// into its phase flag and the two inner positions, and each inner source is
+// restored from its own node-wide blob set via RestoreSource — so a hybrid
+// over a splittable history rescales while the history replay is still in
+// flight (the satellite scenario: kill mid-history at one source
+// parallelism, recover at another).
+//
+// The restored phase is aggregated: the stage re-enters the history phase
+// unless every old subtask had already crossed the handoff (in which case no
+// history work remains). A subtask that had crossed individually may re-enter
+// history after a rescale; that is sound for histories that emit no
+// in-flight watermarks (file scans), because downstream event time cannot
+// have advanced past the handoff while any subtask was still replaying. The
+// live phase, when not yet entered anywhere, restores fresh; live state that
+// was already accumulating only redistributes if the live source itself is
+// MultiRestorable (or the parallelism is unchanged).
+func (h *HybridSource) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	hist := make(map[int][]byte, len(blobs))
+	live := make(map[int][]byte, len(blobs))
+	allLive, anyLive := true, false
+	var maxTs int64
+	haveTs := false
+	for sub, blob := range blobs {
+		var s hybridSourceState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+			return fmt.Errorf("hybrid source restore: %w", err)
+		}
+		hist[sub] = s.History
+		live[sub] = s.Live
+		if s.Phase == hybridLive {
+			anyLive = true
+		} else {
+			allLive = false
+		}
+		if s.HaveTs && (!haveTs || s.MaxTs > maxTs) {
+			maxTs, haveTs = s.MaxTs, true
+		}
+	}
+	if err := RestoreSource(h.History, subtask, parallelism, hist); err != nil {
+		return fmt.Errorf("hybrid history restore: %w", err)
+	}
+	if err := h.restoreLive(subtask, parallelism, live, anyLive); err != nil {
+		return fmt.Errorf("hybrid live restore: %w", err)
+	}
+	if allLive {
+		h.phase = hybridLive
+	} else {
+		h.phase = hybridHistory
+	}
+	h.maxTs, h.haveTs = maxTs, haveTs
+	return nil
+}
+
+// restoreLive restores the live half of a multi-blob recovery. While no old
+// subtask had entered the live phase (started=false), its snapshots hold
+// only pre-start bookkeeping and the live source starts fresh at the new
+// parallelism; once *any* subtask had crossed, its live state may hold
+// consumed positions and must genuinely restore or fail.
+func (h *HybridSource) restoreLive(subtask, parallelism int, blobs map[int][]byte, started bool) error {
+	if m, ok := h.Live.(MultiRestorable); ok {
+		return m.RestoreAll(subtask, parallelism, blobs)
+	}
+	if blob, ok := blobs[subtask]; ok && len(blobs) == parallelism {
+		return h.Live.Restore(blob)
+	}
+	if !started {
+		return nil // fresh live source: nothing was consumed before the crash
+	}
+	return fmt.Errorf("live source state of %d subtasks does not redistribute to parallelism %d", len(blobs), parallelism)
+}
+
+// OpenSource implements SourceOpener by delegation to both phases.
+func (h *HybridSource) OpenSource(ctx *OpContext) {
+	if o, ok := h.History.(SourceOpener); ok {
+		o.OpenSource(ctx)
+	}
+	if o, ok := h.Live.(SourceOpener); ok {
+		o.OpenSource(ctx)
+	}
 }
 
 // Err implements Failable by checking both phases' sources.

@@ -267,36 +267,79 @@ func writeTempFile(t *testing.T, name, content string) string {
 	return path
 }
 
-func TestLineFileSourceSplitsAndRestores(t *testing.T) {
+// lineDecode decodes test lines into records carrying the line's byte
+// offset as timestamp and its text as value.
+func lineDecode(line []byte, off int64) (Record, bool, error) {
+	return Data(off, 0, string(line)), true, nil
+}
+
+// mkLinePlan writes n "v<i>" lines and returns the file path and a fresh
+// split plan over it at the given split size.
+func mkLinePlan(t *testing.T, n int, splitSize int64) (string, func() *ScanPlan) {
+	t.Helper()
 	var lines []string
-	for i := 0; i < 20; i++ {
+	for i := 0; i < n; i++ {
 		lines = append(lines, fmt.Sprintf("v%d", i))
 	}
 	path := writeTempFile(t, "data.txt", strings.Join(lines, "\n")+"\n")
-	decode := func(line []byte, idx int64) (Record, bool, error) {
-		return Data(idx, 0, string(line)), true, nil
+	return path, func() *ScanPlan {
+		return &ScanPlan{Inputs: []string{path}, SplitSize: splitSize}
 	}
-	mk := func(sub, par int) *LineFileSource {
-		return &LineFileSource{Path: path, Subtask: sub, Parallelism: par, Decode: decode}
-	}
+}
 
-	// Two subtasks must partition the lines exactly.
-	seen := map[int64]string{}
-	for sub := 0; sub < 2; sub++ {
-		data, _ := drainData(t, mk(sub, 2), 100)
-		for _, r := range data {
-			if r.Ts%2 != int64(sub) {
-				t.Fatalf("subtask %d saw line %d", sub, r.Ts)
+// Two subtasks pulling from the shared split queue must partition the lines
+// exactly: every line emitted once, and with splits small enough, both
+// subtasks get work.
+func TestFileScanSourcePartitionsLinesAcrossSubtasks(t *testing.T) {
+	_, mkPlan := mkLinePlan(t, 40, 32)
+	plan := mkPlan()
+	if splits, err := plan.Splits(); err != nil || len(splits) < 3 {
+		t.Fatalf("splits = %v (err %v), want several small splits", splits, err)
+	}
+	readers := []*FileScanSource{
+		{Plan: plan, Subtask: 0, Parallelism: 2, DecodeLine: lineDecode},
+		{Plan: plan, Subtask: 1, Parallelism: 2, DecodeLine: lineDecode},
+	}
+	seen := map[string]int{}
+	perSub := make([]int, 2)
+	open := 2
+	for open > 0 {
+		open = 0
+		for i, r := range readers {
+			rec, ok := r.Next()
+			if !ok {
+				continue
 			}
-			seen[r.Ts] = r.Value.(string)
+			open++
+			if rec.Kind == KindData {
+				seen[rec.Value.(string)]++
+				perSub[i]++
+			}
 		}
 	}
-	if len(seen) != 20 {
-		t.Fatalf("union covers %d lines, want 20", len(seen))
+	for i := range readers {
+		if err := readers[i].Err(); err != nil {
+			t.Fatal(err)
+		}
 	}
+	if len(seen) != 40 {
+		t.Fatalf("union covers %d lines, want 40", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("line %q emitted %d times", v, n)
+		}
+	}
+	if perSub[0] == 0 || perSub[1] == 0 {
+		t.Fatalf("dynamic assignment starved a subtask: %v", perSub)
+	}
+}
 
-	// Snapshot mid-read, restore into a fresh reader: exactly-once union.
-	src := mk(0, 1)
+// Snapshot mid-read, restore into a fresh reader over a fresh plan:
+// exactly-once union, and timestamps carry the line byte offsets.
+func TestFileScanSourceSnapshotRestoreResumes(t *testing.T) {
+	_, mkPlan := mkLinePlan(t, 20, 32)
+	src := &FileScanSource{Plan: mkPlan(), Subtask: 0, Parallelism: 1, DecodeLine: lineDecode}
 	var first []Record
 	for i := 0; i < 7; i++ {
 		r, ok := src.Next()
@@ -309,17 +352,56 @@ func TestLineFileSourceSplitsAndRestores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed := mk(0, 1)
+	resumed := &FileScanSource{Plan: mkPlan(), Subtask: 0, Parallelism: 1, DecodeLine: lineDecode}
 	if err := resumed.Restore(blob); err != nil {
 		t.Fatal(err)
 	}
 	rest, _ := drainData(t, resumed, 100)
-	if got := len(first) + len(rest); got != 20 {
-		t.Fatalf("restore run total = %d records, want 20", got)
+	union := map[string]int{}
+	for _, r := range append(first, rest...) {
+		union[r.Value.(string)]++
 	}
-	for i, r := range append(first, rest...) {
-		if r.Ts != int64(i) {
-			t.Fatalf("position %d carries line index %d", i, r.Ts)
+	if len(union) != 20 {
+		t.Fatalf("restore run union = %d lines, want 20", len(union))
+	}
+	for v, n := range union {
+		if n != 1 {
+			t.Fatalf("line %q emitted %d times across restore", v, n)
+		}
+	}
+}
+
+// A reader's split must own exactly the lines *starting* inside its byte
+// range: a line straddling the boundary is consumed entirely by the split it
+// starts in, never by both.
+func TestFileScanSourceSplitAlignment(t *testing.T) {
+	// Lines of varied width so the split boundary falls mid-line.
+	var b strings.Builder
+	var want []string
+	for i := 0; i < 30; i++ {
+		l := fmt.Sprintf("line-%02d-%s", i, strings.Repeat("x", i%7))
+		want = append(want, l)
+		b.WriteString(l + "\n")
+	}
+	path := writeTempFile(t, "ragged.txt", b.String())
+	for _, splitSize := range []int64{1, 7, 16, 33, 1 << 20} {
+		plan := &ScanPlan{Inputs: []string{path}, SplitSize: splitSize}
+		src := &FileScanSource{Plan: plan, Subtask: 0, Parallelism: 1, DecodeLine: lineDecode}
+		data, _ := drainData(t, src, 1000)
+		if err := src.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != len(want) {
+			t.Fatalf("splitSize %d: %d lines, want %d", splitSize, len(data), len(want))
+		}
+		got := map[string]bool{}
+		for _, r := range data {
+			got[r.Value.(string)] = true
+		}
+		for _, w := range want {
+			if !got[w] {
+				t.Fatalf("splitSize %d: missing line %q", splitSize, w)
+			}
 		}
 	}
 }
@@ -327,15 +409,13 @@ func TestLineFileSourceSplitsAndRestores(t *testing.T) {
 func TestLineFileSourceDecodeErrorFailsJob(t *testing.T) {
 	path := writeTempFile(t, "bad.txt", "ok\nBOOM\nok\n")
 	g := NewGraph("files")
-	src := g.AddSource("lines", 1, func(sub, par int) SourceFunc {
-		return &LineFileSource{Path: path, Subtask: sub, Parallelism: par,
-			Decode: func(line []byte, idx int64) (Record, bool, error) {
-				if string(line) == "BOOM" {
-					return Record{}, false, fmt.Errorf("corrupt line")
-				}
-				return Data(idx, 0, string(line)), true, nil
-			}}
-	})
+	src := g.AddSource("lines", 1, LineSourceFactory(ScanConfig{Input: path},
+		func(line []byte, off int64) (Record, bool, error) {
+			if string(line) == "BOOM" {
+				return Record{}, false, fmt.Errorf("corrupt line")
+			}
+			return Data(off, 0, string(line)), true, nil
+		}))
 	sink := &CollectSink{}
 	g.AddOperator("sink", 1, sink.Factory(), Edge{From: src, Part: Rebalance})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -353,10 +433,12 @@ func TestCSVFileSourceReadsAndRestores(t *testing.T) {
 		"30,c,3.5\n" +
 		"40,d,4.5\n"
 	path := writeTempFile(t, "data.csv", content)
-	mk := func() *CSVFileSource {
-		return &CSVFileSource{Path: path, SkipHeader: true, Subtask: 0, Parallelism: 1,
-			Decode: func(row []string, idx int64) (Record, error) {
-				return Data(idx, 0, row[1]), nil
+	mk := func() *FileScanSource {
+		return &FileScanSource{
+			Plan:    &ScanPlan{Inputs: []string{path}, CSV: true, Header: true},
+			Subtask: 0, Parallelism: 1,
+			DecodeRow: func(row []string, off int64) (Record, error) {
+				return Data(off, 0, row[1]), nil
 			}}
 	}
 	data, _ := drainData(t, mk(), 100)
@@ -388,12 +470,84 @@ func TestCSVFileSourceReadsAndRestores(t *testing.T) {
 	}
 }
 
+// A quote-free CSV splits mid-file like a line file; a CSV with quoted
+// fields falls back to one split per file (mid-file newline alignment would
+// be ambiguous). Both decode identically.
+func TestCSVScanQuoteAwareSplitting(t *testing.T) {
+	var plain, quoted strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&plain, "%d,name%d,%d.5\n", i, i, i)
+		fmt.Fprintf(&quoted, "%d,\"name%d\",%d.5\n", i, i, i)
+	}
+	plainPath := writeTempFile(t, "plain.csv", plain.String())
+	quotedPath := writeTempFile(t, "quoted.csv", quoted.String())
+
+	plainPlan := &ScanPlan{Inputs: []string{plainPath}, SplitSize: 64, CSV: true}
+	if splits, err := plainPlan.Splits(); err != nil || len(splits) < 3 {
+		t.Fatalf("quote-free csv splits = %v (err %v), want several", splits, err)
+	}
+	quotedPlan := &ScanPlan{Inputs: []string{quotedPath}, SplitSize: 64, CSV: true}
+	if splits, err := quotedPlan.Splits(); err != nil || len(splits) != 1 {
+		t.Fatalf("quoted csv splits = %v (err %v), want exactly one (whole file)", splits, err)
+	}
+
+	for name, plan := range map[string]*ScanPlan{"plain": plainPlan, "quoted": quotedPlan} {
+		src := &FileScanSource{Plan: plan, Subtask: 0, Parallelism: 1,
+			DecodeRow: func(row []string, off int64) (Record, error) {
+				return Data(off, 0, row[1]), nil
+			}}
+		data, _ := drainData(t, src, 1000)
+		if err := src.Err(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) != 50 {
+			t.Fatalf("%s: %d rows, want 50", name, len(data))
+		}
+		seen := map[string]bool{}
+		for _, r := range data {
+			seen[r.Value.(string)] = true
+		}
+		for i := 0; i < 50; i++ {
+			if !seen[fmt.Sprintf("name%d", i)] {
+				t.Fatalf("%s: missing row %d", name, i)
+			}
+		}
+	}
+}
+
+// Directory and glob inputs expand to every matching file, in sorted order,
+// and the scan covers all of them.
+func TestScanPlanDirectoryAndGlobInputs(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("part-%d.txt", i)),
+			[]byte(fmt.Sprintf("a%d\nb%d\n", i, i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, input := range map[string]string{
+		"dir":  dir,
+		"glob": filepath.Join(dir, "part-*.txt"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			plan := &ScanPlan{Inputs: []string{input}}
+			src := &FileScanSource{Plan: plan, Subtask: 0, Parallelism: 1, DecodeLine: lineDecode}
+			data, _ := drainData(t, src, 100)
+			if err := src.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if len(data) != 6 {
+				t.Fatalf("scanned %d lines across the files, want 6", len(data))
+			}
+		})
+	}
+}
+
 func TestCSVFileSourceMissingFileFailsJob(t *testing.T) {
 	g := NewGraph("missing")
-	src := g.AddSource("csv", 1, func(sub, par int) SourceFunc {
-		return &CSVFileSource{Path: filepath.Join(t.TempDir(), "nope.csv"), Subtask: sub, Parallelism: par,
-			Decode: func(row []string, idx int64) (Record, error) { return Data(idx, 0, row), nil }}
-	})
+	src := g.AddSource("csv", 1, CSVSourceFactory(
+		ScanConfig{Input: filepath.Join(t.TempDir(), "nope.csv")},
+		func(row []string, off int64) (Record, error) { return Data(off, 0, row), nil }))
 	sink := &CollectSink{}
 	g.AddOperator("sink", 1, sink.Factory(), Edge{From: src, Part: Rebalance})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -515,12 +669,13 @@ func TestHybridSourceHistoryErrorEndsStream(t *testing.T) {
 	path := writeTempFile(t, "hist.txt", "ok\nBOOM\nok\n")
 	live := make(chan Record) // never fed, never closed: an unbounded live phase
 	src := &HybridSource{
-		History: &LineFileSource{Path: path, Subtask: 0, Parallelism: 1,
-			Decode: func(line []byte, idx int64) (Record, bool, error) {
+		History: &FileScanSource{
+			Plan: &ScanPlan{Inputs: []string{path}}, Subtask: 0, Parallelism: 1,
+			DecodeLine: func(line []byte, off int64) (Record, bool, error) {
 				if string(line) == "BOOM" {
 					return Record{}, false, fmt.Errorf("corrupt history")
 				}
-				return Data(idx, 0, string(line)), true, nil
+				return Data(off, 0, string(line)), true, nil
 			}},
 		Live: &ChannelSource{C: live, Poll: time.Millisecond},
 	}
@@ -543,15 +698,14 @@ func TestFileSourceSnapshotAfterEndRecordsEndPosition(t *testing.T) {
 	csvPath := writeTempFile(t, "done.csv", "1,a\n2,b\n")
 	sources := map[string]func() SourceFunc{
 		"line": func() SourceFunc {
-			return &LineFileSource{Path: linePath, Subtask: 0, Parallelism: 1,
-				Decode: func(line []byte, idx int64) (Record, bool, error) {
-					return Data(idx, 0, string(line)), true, nil
-				}}
+			return &FileScanSource{Plan: &ScanPlan{Inputs: []string{linePath}},
+				Subtask: 0, Parallelism: 1, DecodeLine: lineDecode}
 		},
 		"csv": func() SourceFunc {
-			return &CSVFileSource{Path: csvPath, Subtask: 0, Parallelism: 1,
-				Decode: func(row []string, idx int64) (Record, error) {
-					return Data(idx, 0, row[1]), nil
+			return &FileScanSource{Plan: &ScanPlan{Inputs: []string{csvPath}, CSV: true},
+				Subtask: 0, Parallelism: 1,
+				DecodeRow: func(row []string, off int64) (Record, error) {
+					return Data(off, 0, row[1]), nil
 				}}
 		},
 	}

@@ -1,0 +1,626 @@
+package dataflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Splits are the unit of at-rest work: a byte range of one input file. The
+// scan planner chops every input file into newline-aligned ranges of roughly
+// SplitSize bytes, and a per-source-stage assigner hands splits to subtasks
+// dynamically — a subtask that finishes early pulls the next pending split
+// from the shared queue, so skew in file sizes or decode cost never idles a
+// worker the way static striping does. Because a split can be processed by
+// any subtask, split state is not positional: snapshots record which splits
+// are done and where the in-flight ones stand, and restore redistributes the
+// remaining work across whatever source parallelism the recovered job runs
+// at.
+
+// DefaultSplitSize is the target split length when a plan does not choose
+// one. Small enough that a handful of files still parallelizes, large enough
+// that per-split open/seek overhead is noise.
+const DefaultSplitSize = 4 << 20
+
+// Split is one byte-range unit of at-rest work: the half-open range
+// [Start, End) of the file at Path. Ranges tile each file exactly; record
+// alignment is resolved by the reader (a split's first record is the first
+// one *starting* at or after Start, and a record straddling End is consumed
+// entirely by the split it starts in).
+type Split struct {
+	ID         int
+	Path       string
+	Start, End int64
+}
+
+// splitCursor is a split plus a resume position. offset < 0 means the split
+// has not been started (the reader aligns to the first record boundary);
+// offset >= 0 is the absolute byte offset of the next unread record, a
+// position Restore can Seek to directly.
+type splitCursor struct {
+	split  Split
+	offset int64
+}
+
+// ScanPlan owns the splits of one at-rest source stage and assigns them to
+// the stage's subtasks. Exactly one ScanPlan is shared by all readers of a
+// source node per execution (ScanConfig's factories arrange this); the
+// shared queue is what makes assignment dynamic.
+//
+// Planning is lazy: inputs are expanded (file, directory, or glob) and
+// split on first use, so building a graph never touches the filesystem and
+// planning errors surface through the reader's Failable contract.
+type ScanPlan struct {
+	// Inputs are the scan's input patterns: literal file paths, directories
+	// (all regular files inside, non-recursive), or filepath.Match globs.
+	Inputs []string
+	// SplitSize is the target split length in bytes (<= 0 uses
+	// DefaultSplitSize).
+	SplitSize int64
+	// CSV plans quote-aware splits: a CSV file is only chopped mid-file when
+	// it provably contains no quoted fields (no '"' byte anywhere), because a
+	// quoted field may span lines and make newline alignment ambiguous.
+	// Files with quotes fall back to one split covering the whole file;
+	// seek-based restore still works there, since snapshots record row
+	// boundaries.
+	CSV bool
+	// Header marks the first row of every CSV file as a header to skip.
+	Header bool
+
+	mu       sync.Mutex
+	planned  bool
+	planErr  error
+	splits   []Split
+	queue    []splitCursor
+	restored bool
+	legacy   map[int]int64 // legacy round-robin cursors by subtask, nil in split mode
+	carry    []int         // restored completed ids, re-carried by subtask 0's snapshots
+	// restoreSig is the plan signature carried by the snapshot being
+	// restored. Planning trusts its per-file quote decisions (a file's
+	// Splits count encodes them) instead of re-reading every CSV file, so
+	// recovery stays O(remaining split); the signature comparison right
+	// after planning still verifies paths, sizes and split counts.
+	restoreSig *scanPlanSig
+	// resumed registers the restored in-flight cursors at their resume
+	// offsets, permanently for the plan's lifetime. Subtask 0 re-reports
+	// them in every snapshot: the shared queue itself is no sound source —
+	// a cursor popped by subtask k after k's own barrier but before subtask
+	// 0's would be in neither k's blob nor the queue, and the split's
+	// pre-restore progress would be lost. Stale entries are harmless: the
+	// next restore dedups against completed IDs and later Cur offsets.
+	resumed []pendingSplit
+}
+
+// normSplitSize returns the plan's effective split size.
+func (p *ScanPlan) normSplitSize() int64 {
+	if p.SplitSize <= 0 {
+		return DefaultSplitSize
+	}
+	return p.SplitSize
+}
+
+// expandInputs resolves the plan's input patterns to a sorted list of files.
+func (p *ScanPlan) expandInputs() ([]string, error) {
+	var files []string
+	for _, in := range p.Inputs {
+		st, err := os.Stat(in)
+		switch {
+		case err == nil && st.IsDir():
+			ents, err := os.ReadDir(in)
+			if err != nil {
+				return nil, fmt.Errorf("scan %q: %w", in, err)
+			}
+			n := 0
+			for _, e := range ents {
+				if e.Type().IsRegular() {
+					files = append(files, filepath.Join(in, e.Name()))
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("scan %q: directory holds no regular files", in)
+			}
+		case err == nil:
+			files = append(files, in)
+		case strings.ContainsAny(in, "*?["):
+			matches, gerr := filepath.Glob(in)
+			if gerr != nil {
+				return nil, fmt.Errorf("scan %q: %w", in, gerr)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("scan %q: glob matched no files", in)
+			}
+			files = append(files, matches...)
+		default:
+			return nil, fmt.Errorf("scan %q: %w", in, err)
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// fileHasQuote reports whether the file contains a '"' byte anywhere — the
+// conservative test for CSV splittability (a quote-free file cannot have a
+// row spanning lines, so every newline is an unambiguous row boundary).
+func fileHasQuote(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	buf := make([]byte, 256*1024)
+	for {
+		n, err := f.Read(buf)
+		if bytes.IndexByte(buf[:n], '"') >= 0 {
+			return true, nil
+		}
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// planLocked expands inputs and chops them into splits. Deterministic for a
+// fixed file set: restore re-plans and the split IDs line up with the ones
+// the snapshot recorded.
+//
+// CSV planning pays one extra sequential pass per multi-split file for the
+// quote probe — a memchr-speed read, much cheaper than the parse scan, but
+// real I/O on a cold cache. Files that fit in a single split skip it (their
+// quote status cannot change the plan), and the probes of different files
+// run concurrently.
+func (p *ScanPlan) planLocked() error {
+	if p.planned {
+		return p.planErr
+	}
+	p.planned = true
+	files, err := p.expandInputs()
+	if err != nil {
+		p.planErr = err
+		return err
+	}
+	size := p.normSplitSize()
+	type fileScan struct {
+		path   string
+		total  int64
+		quoted bool
+		err    error
+	}
+	var scans []*fileScan
+	for _, path := range files {
+		st, err := os.Stat(path)
+		if err != nil {
+			p.planErr = fmt.Errorf("scan %q: %w", path, err)
+			return p.planErr
+		}
+		if st.Size() == 0 {
+			continue
+		}
+		scans = append(scans, &fileScan{path: path, total: st.Size()})
+	}
+	if p.CSV && p.restoreSig != nil {
+		// Restore path: the snapshot's signature records each file's split
+		// count, which encodes the original quote decision — trust it and
+		// skip the probe (the signature check after planning still verifies
+		// the file set). Recovery stays O(remaining split), not O(input).
+		recorded := make(map[string]scanFileSig, len(p.restoreSig.Files))
+		for _, f := range p.restoreSig.Files {
+			recorded[f.Path] = f
+		}
+		for _, fs := range scans {
+			if f, ok := recorded[fs.path]; ok {
+				fs.quoted = fs.total > size && f.Splits == 1
+			}
+		}
+	} else if p.CSV {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 8) // bound open files and goroutines
+		for _, fs := range scans {
+			if fs.total <= size {
+				continue // single split either way: quoting cannot matter
+			}
+			fs := fs
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fs.quoted, fs.err = fileHasQuote(fs.path)
+			}()
+		}
+		wg.Wait()
+		for _, fs := range scans {
+			if fs.err != nil {
+				p.planErr = fmt.Errorf("scan %q: %w", fs.path, fs.err)
+				return p.planErr
+			}
+		}
+	}
+	for _, fs := range scans {
+		chunk := size
+		if fs.quoted {
+			chunk = fs.total // unsplittable: one split per file
+		}
+		for off := int64(0); off < fs.total; off += chunk {
+			end := off + chunk
+			if end > fs.total {
+				end = fs.total
+			}
+			p.splits = append(p.splits, Split{ID: len(p.splits), Path: fs.path, Start: off, End: end})
+		}
+	}
+	for _, sp := range p.splits {
+		p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+	}
+	return nil
+}
+
+// acquire pops the next pending split, or ok=false when the scan is
+// exhausted. Safe for concurrent subtasks — this is the dynamic assignment.
+func (p *ScanPlan) acquire() (splitCursor, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.planLocked(); err != nil {
+		return splitCursor{}, false, err
+	}
+	if len(p.queue) == 0 {
+		return splitCursor{}, false, nil
+	}
+	c := p.queue[0]
+	p.queue = p.queue[1:]
+	return c, true, nil
+}
+
+// Splits exposes the planned splits (planning first if needed) — used by
+// tests and the scan benchmark.
+func (p *ScanPlan) Splits() ([]Split, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.planLocked(); err != nil {
+		return nil, err
+	}
+	return append([]Split(nil), p.splits...), nil
+}
+
+// ---- snapshot format -------------------------------------------------------
+
+// splitScanState is the versioned snapshot of one FileScanSource subtask
+// (format version 2). Completed lists the split IDs this subtask fully
+// consumed (subtask 0 additionally re-carries the IDs completed before the
+// last restore, so consecutive restores never resurrect finished splits);
+// Cur* is the in-flight split and the absolute byte offset of its next
+// unread record — the position restore Seeks to. Pending (subtask 0 only)
+// carries the restored in-flight cursors still sitting unacquired in the
+// shared queue: without it, a checkpoint taken between a restore and the
+// cursor's re-acquisition would forget the resume offset and a second
+// recovery would re-scan the split from its start, duplicating records.
+// Legacy >= 0 marks a reader converted from a pre-split snapshot that is
+// still scanning round-robin by row index.
+// Plan (subtask 0 only) fingerprints the split geometry the IDs refer to;
+// restore refuses to reuse IDs against a plan that chops the input
+// differently.
+type splitScanState struct {
+	V         int
+	Completed []int
+	CurID     int // -1: no split in flight
+	CurPath   string
+	CurOff    int64
+	Pending   []pendingSplit
+	Plan      *scanPlanSig
+	Legacy    int64 // -1: split mode
+}
+
+// pendingSplit is a resumed in-flight cursor not yet re-acquired: split ID,
+// its file, and the absolute offset of its next unread record.
+type pendingSplit struct {
+	ID   int
+	Path string
+	Off  int64
+}
+
+// scanPlanSig fingerprints the plan geometry a snapshot's split IDs refer
+// to: the split size plus each file's size and split count (which also
+// encodes CSV quote-fallback decisions). Restore recomputes the signature
+// from the current inputs and refuses a mismatch — split IDs are positional
+// in the plan, so a changed split size or input set would otherwise
+// silently remap completed ranges onto different bytes, dropping some
+// records and duplicating others.
+type scanPlanSig struct {
+	SplitSize int64
+	Files     []scanFileSig
+}
+
+// scanFileSig is one input file's contribution to the plan signature.
+type scanFileSig struct {
+	Path   string
+	Size   int64
+	Splits int
+}
+
+// signatureLocked derives the plan's geometry fingerprint (plan first).
+func (p *ScanPlan) signatureLocked() (*scanPlanSig, error) {
+	if err := p.planLocked(); err != nil {
+		return nil, err
+	}
+	sig := &scanPlanSig{SplitSize: p.normSplitSize()}
+	for _, sp := range p.splits {
+		n := len(sig.Files)
+		if n == 0 || sig.Files[n-1].Path != sp.Path {
+			sig.Files = append(sig.Files, scanFileSig{Path: sp.Path})
+			n++
+		}
+		f := &sig.Files[n-1]
+		f.Size += sp.End - sp.Start
+		f.Splits++
+	}
+	return sig, nil
+}
+
+// sigSplits renders a signature's total split count for error messages.
+func sigSplits(s *scanPlanSig) string {
+	n := 0
+	for _, f := range s.Files {
+		n += f.Splits
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// signature derives the plan's geometry fingerprint (plan first).
+func (p *ScanPlan) signature() (*scanPlanSig, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.signatureLocked()
+}
+
+// sigsEqual compares two plan signatures.
+func sigsEqual(a, b *scanPlanSig) bool {
+	if a.SplitSize != b.SplitSize || len(a.Files) != len(b.Files) {
+		return false
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitStateVersion is the current source-snapshot format version. Version 0
+// is the implicit version of pre-split fileCursorState blobs.
+const splitStateVersion = 2
+
+// fileCursorState is the pre-split snapshot of the file readers: the next
+// global record index, under round-robin row assignment. Kept so versioned
+// decoding can accept and convert snapshots taken before splits existed.
+type fileCursorState struct {
+	Next int64
+}
+
+// decodeScanState decodes a source snapshot blob of either version: the
+// version probe reads only a V field, which legacy fileCursorState blobs
+// leave at zero, and dispatches. Legacy blobs convert to a Legacy-mode
+// state (round-robin from row index Next).
+func decodeScanState(blob []byte) (splitScanState, error) {
+	// The probe declares one field from each format (gob needs at least one
+	// match): V stays zero for legacy blobs, which only carry Next.
+	var probe struct {
+		V    int
+		Next int64
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&probe); err != nil {
+		return splitScanState{}, fmt.Errorf("scan restore: %w", err)
+	}
+	if probe.V == 0 {
+		var legacy fileCursorState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&legacy); err != nil {
+			return splitScanState{}, fmt.Errorf("scan restore (legacy): %w", err)
+		}
+		return splitScanState{V: 0, CurID: -1, Legacy: legacy.Next}, nil
+	}
+	if probe.V != splitStateVersion {
+		return splitScanState{}, fmt.Errorf("scan restore: unknown snapshot version %d", probe.V)
+	}
+	var s splitScanState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return splitScanState{}, fmt.Errorf("scan restore: %w", err)
+	}
+	return s, nil
+}
+
+func encodeScanState(s splitScanState) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s)
+	return buf.Bytes(), err
+}
+
+// restoreFrom rebuilds the plan's queue from the snapshot blobs of every
+// subtask of the checkpointing job (keyed by the *old* subtask index). The
+// call is shared and idempotent: every reader of the stage passes the same
+// blob set, the first call does the work, later calls see the result.
+//
+// Split-mode blobs are parallelism-agnostic: pending work is everything
+// planned minus the union of completed splits, plus the in-flight splits
+// resumed at their recorded offsets — so the restoring job may run at any
+// source parallelism. Legacy blobs are positional (row index modulo the old
+// parallelism), so they restore only at the parallelism they were written
+// at; restoreFrom records the per-subtask cursors and the readers stay in
+// round-robin mode.
+func (p *ScanPlan) restoreFrom(blobs map[int][]byte, newPar int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.restored {
+		return nil
+	}
+	p.restored = true
+	states := make(map[int]splitScanState, len(blobs))
+	legacyN, splitN := 0, 0
+	maxSub := -1
+	for sub, blob := range blobs {
+		s, err := decodeScanState(blob)
+		if err != nil {
+			return err
+		}
+		states[sub] = s
+		if s.Legacy >= 0 {
+			legacyN++
+		} else {
+			splitN++
+		}
+		if sub > maxSub {
+			maxSub = sub
+		}
+	}
+	if legacyN > 0 && splitN > 0 {
+		return fmt.Errorf("scan restore: snapshot mixes legacy and split-mode source state")
+	}
+	if legacyN > 0 {
+		oldPar := maxSub + 1
+		if oldPar != newPar {
+			return fmt.Errorf("scan restore: legacy (pre-split) source snapshot written at parallelism %d cannot restore at %d: row-index cursors are positional; take one checkpoint at the original parallelism first", oldPar, newPar)
+		}
+		p.legacy = make(map[int]int64, len(states))
+		for sub, s := range states {
+			p.legacy[sub] = s.Legacy
+		}
+		return nil
+	}
+	for _, s := range states {
+		if s.Plan != nil {
+			p.restoreSig = s.Plan // planning trusts its quote decisions
+			break
+		}
+	}
+	if err := p.planLocked(); err != nil {
+		return err
+	}
+	if p.restoreSig != nil {
+		sig, err := p.signatureLocked()
+		if err != nil {
+			return err
+		}
+		if !sigsEqual(p.restoreSig, sig) {
+			return fmt.Errorf("scan restore: the snapshot's split IDs were planned over %d files (%s splits of ~%d bytes) but the current inputs plan to %d files (%s splits of ~%d bytes): the input files or split size changed since the checkpoint, so split positions cannot be reused",
+				len(p.restoreSig.Files), sigSplits(p.restoreSig), p.restoreSig.SplitSize, len(sig.Files), sigSplits(sig), sig.SplitSize)
+		}
+	}
+	done := make(map[int]bool)
+	// In-flight cursors come from two places — each subtask's Cur and
+	// subtask 0's Pending carry — and the same split may appear in both
+	// within one checkpoint (subtask 0 snapshots it as still-queued, then
+	// another subtask acquires it and snapshots its own progress before
+	// acking). The largest offset wins: ABS guarantees every record emitted
+	// before the owner's barrier is covered by the checkpoint's downstream
+	// state, and the owner's Cur offset is the furthest such position.
+	inflight := map[int]pendingSplit{}
+	noteInflight := func(c pendingSplit) {
+		if prev, ok := inflight[c.ID]; !ok || c.Off > prev.Off {
+			inflight[c.ID] = c
+		}
+	}
+	for _, s := range states {
+		for _, id := range s.Completed {
+			done[id] = true
+		}
+		if s.CurID >= 0 {
+			noteInflight(pendingSplit{ID: s.CurID, Path: s.CurPath, Off: s.CurOff})
+		}
+		for _, c := range s.Pending {
+			noteInflight(c)
+		}
+	}
+	check := func(id int, path string) (Split, error) {
+		if id < 0 || id >= len(p.splits) {
+			return Split{}, fmt.Errorf("scan restore: snapshot references split %d but the plan holds %d (input files changed since the checkpoint)", id, len(p.splits))
+		}
+		sp := p.splits[id]
+		if path != "" && sp.Path != path {
+			return Split{}, fmt.Errorf("scan restore: split %d is %q in the plan but %q in the snapshot (input files changed since the checkpoint)", id, sp.Path, path)
+		}
+		return sp, nil
+	}
+	for id := range done {
+		if _, err := check(id, ""); err != nil {
+			return err
+		}
+		// A split both completed and in flight: completion happened at a
+		// later position, so the completed record wins.
+		delete(inflight, id)
+	}
+	// In-flight splits first (they are partially consumed — resuming them
+	// promptly bounds the re-read window), then the untouched remainder.
+	p.queue = p.queue[:0]
+	cur := make([]pendingSplit, 0, len(inflight))
+	for _, c := range inflight {
+		cur = append(cur, c)
+	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].ID < cur[j].ID })
+	for _, c := range cur {
+		sp, err := check(c.ID, c.Path)
+		if err != nil {
+			return err
+		}
+		done[c.ID] = true // claimed: keep it out of the pending scan below
+		if c.Off >= sp.End {
+			p.carry = append(p.carry, c.ID) // finished exactly at the boundary
+			continue
+		}
+		p.queue = append(p.queue, splitCursor{split: sp, offset: c.Off})
+		p.resumed = append(p.resumed, c)
+	}
+	for _, sp := range p.splits {
+		if !done[sp.ID] {
+			p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+		}
+	}
+	for id := range done {
+		if _, claimed := inflight[id]; !claimed {
+			p.carry = append(p.carry, id)
+		}
+	}
+	sort.Ints(p.carry)
+	return nil
+}
+
+// pendingResumed returns the registry of restored in-flight cursors at
+// their resume offsets — subtask 0 includes it in every snapshot so a
+// checkpoint taken at any point relative to their re-acquisition keeps the
+// resume offsets (see the field comment for why the live queue cannot be
+// consulted instead).
+func (p *ScanPlan) pendingResumed() []pendingSplit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]pendingSplit(nil), p.resumed...)
+}
+
+// restoredState hands a reader its post-restore role: the legacy cursor for
+// its subtask (ok only in legacy mode) and, for subtask 0, the completed-ID
+// carry set.
+func (p *ScanPlan) restoredState(subtask int) (legacyNext int64, legacyMode bool, carry []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.legacy != nil {
+		return p.legacy[subtask], true, nil
+	}
+	if subtask == 0 {
+		return 0, false, append([]int(nil), p.carry...)
+	}
+	return 0, false, nil
+}
+
+// legacyInput returns the single input file of a legacy-restored scan.
+// Pre-split snapshots only ever covered one literal path.
+func (p *ScanPlan) legacyInput() (string, error) {
+	if len(p.Inputs) != 1 {
+		return "", fmt.Errorf("scan restore: legacy snapshot requires a single input file, plan has %d inputs", len(p.Inputs))
+	}
+	return p.Inputs[0], nil
+}

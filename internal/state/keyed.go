@@ -31,6 +31,17 @@ func Hash64(key uint64) uint64 {
 	return h
 }
 
+// KeyOf hashes an arbitrary string to a partitioning key (FNV-1a over the
+// string bytes). It lives next to Hash64 so every key hash in the engine has
+// one definition: KeyOf produces the keys, Hash64 routes and groups them.
+func KeyOf(s string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
 // KeyGroupFor maps a key to its key group: Hash64(key) % numKeyGroups. The
 // key group is a property of the logical plan (numKeyGroups is a plan
 // constant), never of the physical parallelism.

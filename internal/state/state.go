@@ -91,6 +91,23 @@ func (s *Snapshot) Put(k SubtaskKey, blob []byte) { s.Entries[k] = blob }
 // Get returns one subtask's non-keyed state blob, or nil if absent.
 func (s *Snapshot) Get(k SubtaskKey) []byte { return s.Entries[k] }
 
+// EntriesOf collects one operator's per-subtask blobs keyed by subtask index
+// — the restore path of sources whose state redistributes across a different
+// parallelism (splittable scans) and therefore needs every subtask's blob.
+func (s *Snapshot) EntriesOf(operatorID int) map[int][]byte {
+	var out map[int][]byte
+	for k, b := range s.Entries {
+		if k.OperatorID != operatorID {
+			continue
+		}
+		if out == nil {
+			out = make(map[int][]byte)
+		}
+		out[k.Subtask] = b
+	}
+	return out
+}
+
 // PutGroup stores one key group's state blob.
 func (s *Snapshot) PutGroup(k GroupKey, blob []byte) {
 	if s.Groups == nil {

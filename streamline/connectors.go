@@ -133,6 +133,12 @@ func (p pacedSource[T]) Open(sub, par int) Reader[T] {
 	return &pacedReader[T]{inner: p.inner.Open(sub, par), perSec: p.perSec}
 }
 
+// openShared implements sharedOpener by delegation: pacing owns no shared
+// state, the slot passes straight to the inner connector.
+func (p pacedSource[T]) openShared(slot *any, sub, par int) Reader[T] {
+	return &pacedReader[T]{inner: openSourceShared(p.inner, slot, sub, par), perSec: p.perSec}
+}
+
 // PreferredParallelism implements ParallelismHinter by delegation: pacing
 // does not change the inner connector's parallelism needs.
 func (p pacedSource[T]) PreferredParallelism() int { return preferredParallelism(p.inner) }
@@ -157,6 +163,25 @@ func (r *pacedReader[T]) Restore(blob []byte) error {
 	r.pacer.Reset()
 	return r.inner.Restore(blob)
 }
+
+// RestoreAll implements MultiRestorer by delegation, re-anchoring pacing
+// like Restore.
+func (r *pacedReader[T]) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	r.pacer.Reset()
+	return restoreReaderAll(r.inner, subtask, parallelism, blobs)
+}
+
+// OpenSource forwards the runtime's per-subtask context to the inner reader.
+func (r *pacedReader[T]) OpenSource(ctx *dataflow.OpContext) { openReader(r.inner, ctx) }
+
+// Unordered delegates the order contract to the inner reader.
+func (r *pacedReader[T]) Unordered() bool { return readerUnordered(r.inner) }
+
+// CanHandoff delegates the handoff capability to the inner reader.
+func (r *pacedReader[T]) CanHandoff() bool { return readerCanHandoff(r.inner) }
+
+// CrossedHandoff delegates the handoff progress to the inner reader.
+func (r *pacedReader[T]) CrossedHandoff() bool { return readerCrossedHandoff(r.inner) }
 
 func (r *pacedReader[T]) Err() error { return readerErr(r.inner) }
 
@@ -234,24 +259,91 @@ func (r *channelReader[T]) Restore(blob []byte) error {
 
 // ---- files (data at rest) -------------------------------------------------
 
-// JSONL returns a bounded source reading one JSON document per line from a
-// file at rest, decoded into T with encoding/json. Blank lines are skipped.
-// Records default to their line index as event timestamp — pair with
-// WithTimestamps to extract real event time. Lines are split round-robin
-// across subtasks; Snapshot records the line position, so recovery replays
-// the file exactly-once.
-func JSONL[T any](path string) Source[T] {
-	return jsonlSource[T]{path: path}
+// FileOption configures a file connector (JSONL, CSV).
+type FileOption interface{ applyFile(*fileConfig) }
+
+type fileConfig struct {
+	splitSize int64
+}
+
+type fileOptionFunc func(*fileConfig)
+
+func (f fileOptionFunc) applyFile(c *fileConfig) { f(c) }
+
+// WithSplitSize sets the target byte-range split length of a file connector
+// (default streamline.DefaultSplitSize). Smaller splits spread a few files
+// across more subtasks and tighten the re-read window after a recovery;
+// larger splits amortize per-split open/seek overhead. Purely physical: the
+// records produced are identical at every split size.
+func WithSplitSize(bytes int64) FileOption {
+	return fileOptionFunc(func(c *fileConfig) { c.splitSize = bytes })
+}
+
+// DefaultSplitSize is the split length of file connectors that do not choose
+// one, re-exported from the engine.
+const DefaultSplitSize = dataflow.DefaultSplitSize
+
+func resolveFileOpts(opts []FileOption) fileConfig {
+	var cfg fileConfig
+	for _, o := range opts {
+		o.applyFile(&cfg)
+	}
+	return cfg
+}
+
+// JSONL returns a bounded source reading one JSON document per line from
+// files at rest, decoded into T with encoding/json. input is a single file,
+// a directory (all regular files inside), or a glob pattern. Blank lines are
+// skipped. Records default to their byte offset in their file as event
+// timestamp — pair with WithTimestamps to extract real event time.
+//
+// The scan is splittable: files are chopped into newline-aligned byte-range
+// splits (WithSplitSize) that a shared assigner hands to the stage's
+// subtasks dynamically, so the scan speeds up near-linearly with source
+// parallelism and skewed file sizes cannot idle workers. Snapshots record
+// (split, byte offset); recovery Seeks to the position — O(remaining split),
+// not O(file) — and may restore at a different source parallelism, with the
+// pending splits redistributed.
+func JSONL[T any](input string, opts ...FileOption) Source[T] {
+	return &jsonlSource[T]{input: input, cfg: resolveFileOpts(opts)}
 }
 
 type jsonlSource[T any] struct {
-	path string
+	input string
+	cfg   fileConfig
+	plan  *dataflow.ScanPlan
 }
 
-func (j jsonlSource[T]) Open(sub, par int) Reader[T] {
-	return &funcReader[T]{src: &dataflow.LineFileSource{
-		Path: j.path, Subtask: sub, Parallelism: par,
-		Decode: func(line []byte, idx int64) (dataflow.Record, bool, error) {
+func (j *jsonlSource[T]) newPlan() *dataflow.ScanPlan {
+	return &dataflow.ScanPlan{Inputs: []string{j.input}, SplitSize: j.cfg.splitSize}
+}
+
+// openShared implements sharedOpener: the stage's slot holds the scan plan
+// (split assigner) shared by its subtasks, so the connector value itself
+// stays reusable across environments.
+func (j *jsonlSource[T]) openShared(slot *any, sub, par int) Reader[T] {
+	if sub == 0 || *slot == nil {
+		*slot = j.newPlan()
+	}
+	return j.open((*slot).(*dataflow.ScanPlan), sub, par)
+}
+
+func (j *jsonlSource[T]) Open(sub, par int) Reader[T] {
+	// Direct-use fallback: the connector holds the shared plan itself.
+	// Subtask 0 is opened first (the runtime builds subtasks in order), so
+	// every execution starts from a freshly planned scan — but one connector
+	// value then serves one execution at a time; From's slot path lifts that
+	// restriction.
+	if sub == 0 || j.plan == nil {
+		j.plan = j.newPlan()
+	}
+	return j.open(j.plan, sub, par)
+}
+
+func (j *jsonlSource[T]) open(plan *dataflow.ScanPlan, sub, par int) Reader[T] {
+	return &funcReader[T]{src: &dataflow.FileScanSource{
+		Plan: plan, Subtask: sub, Parallelism: par,
+		DecodeLine: func(line []byte, off int64) (dataflow.Record, bool, error) {
 			if len(bytes.TrimSpace(line)) == 0 {
 				return dataflow.Record{}, false, nil
 			}
@@ -259,42 +351,71 @@ func (j jsonlSource[T]) Open(sub, par int) Reader[T] {
 			if err := json.Unmarshal(line, &v); err != nil {
 				return dataflow.Record{}, false, fmt.Errorf("decode %s: %w", typeName[T](), err)
 			}
-			return dataflow.Data(idx, 0, v), true, nil
+			return dataflow.Data(off, 0, v), true, nil
 		},
 	}}
 }
 
-// CSV returns a bounded source reading rows from a CSV file at rest, parsed
-// into T with the given row parser (quoted fields may span lines; rows may
-// vary in width). skipHeader drops the first row. Records default to their
-// row index as event timestamp — pair with WithTimestamps to extract real
-// event time. Rows are split round-robin across subtasks; Snapshot records
-// the row position, so recovery replays the file exactly-once.
-func CSV[T any](path string, skipHeader bool, parse func(row []string) (T, error)) Source[T] {
-	return csvSource[T]{path: path, skipHeader: skipHeader, parse: parse}
+// CSV returns a bounded source reading rows from CSV files at rest, parsed
+// into T with the given row parser (rows may vary in width). input is a
+// single file, a directory, or a glob pattern; skipHeader drops the first
+// row of every file. Records default to their byte offset in their file as
+// event timestamp — pair with WithTimestamps to extract real event time.
+//
+// The scan is splittable like JSONL's, with one safety valve: a CSV file is
+// only chopped mid-file when it contains no quote characters, because a
+// quoted field may span lines and make byte-range alignment ambiguous.
+// Files with quotes scan as one split each (parallelism then comes from the
+// file count); seek-based restore works either way, since snapshots record
+// row boundaries.
+func CSV[T any](input string, skipHeader bool, parse func(row []string) (T, error), opts ...FileOption) Source[T] {
+	return &csvSource[T]{input: input, skipHeader: skipHeader, parse: parse, cfg: resolveFileOpts(opts)}
 }
 
 type csvSource[T any] struct {
-	path       string
+	input      string
 	skipHeader bool
 	parse      func(row []string) (T, error)
+	cfg        fileConfig
+	plan       *dataflow.ScanPlan
 }
 
-func (c csvSource[T]) Open(sub, par int) Reader[T] {
-	return &funcReader[T]{src: &dataflow.CSVFileSource{
-		Path: c.path, SkipHeader: c.skipHeader, Subtask: sub, Parallelism: par,
-		Decode: func(row []string, idx int64) (dataflow.Record, error) {
+func (c *csvSource[T]) newPlan() *dataflow.ScanPlan {
+	return &dataflow.ScanPlan{Inputs: []string{c.input}, SplitSize: c.cfg.splitSize, CSV: true, Header: c.skipHeader}
+}
+
+// openShared implements sharedOpener, like jsonlSource's.
+func (c *csvSource[T]) openShared(slot *any, sub, par int) Reader[T] {
+	if sub == 0 || *slot == nil {
+		*slot = c.newPlan()
+	}
+	return c.open((*slot).(*dataflow.ScanPlan), sub, par)
+}
+
+func (c *csvSource[T]) Open(sub, par int) Reader[T] {
+	// Direct-use fallback; see jsonlSource.Open.
+	if sub == 0 || c.plan == nil {
+		c.plan = c.newPlan()
+	}
+	return c.open(c.plan, sub, par)
+}
+
+func (c *csvSource[T]) open(plan *dataflow.ScanPlan, sub, par int) Reader[T] {
+	return &funcReader[T]{src: &dataflow.FileScanSource{
+		Plan: plan, Subtask: sub, Parallelism: par,
+		DecodeRow: func(row []string, off int64) (dataflow.Record, error) {
 			v, err := c.parse(row)
 			if err != nil {
 				return dataflow.Record{}, err
 			}
-			return dataflow.Data(idx, 0, v), nil
+			return dataflow.Data(off, 0, v), nil
 		},
 	}}
 }
 
 // funcReader bridges an engine-level SourceFunc whose data records carry T
-// payloads into a typed Reader.
+// payloads into a typed Reader, forwarding the optional source capabilities
+// (failure reporting, multi-blob restore, scan metrics, order contract).
 type funcReader[T any] struct {
 	src dataflow.SourceFunc
 }
@@ -313,6 +434,31 @@ func (f *funcReader[T]) Next() (Keyed[T], ReadStatus) {
 func (f *funcReader[T]) Snapshot() ([]byte, error) { return f.src.Snapshot() }
 
 func (f *funcReader[T]) Restore(blob []byte) error { return f.src.Restore(blob) }
+
+// RestoreAll implements MultiRestorer by handing the node-wide blob set to
+// the engine source (splittable scans redistribute; anything else falls back
+// to the positional per-subtask restore).
+func (f *funcReader[T]) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	return dataflow.RestoreSource(f.src, subtask, parallelism, blobs)
+}
+
+// OpenSource forwards the runtime's per-subtask context (metrics registry)
+// to the engine source.
+func (f *funcReader[T]) OpenSource(ctx *dataflow.OpContext) {
+	if o, ok := f.src.(dataflow.SourceOpener); ok {
+		o.OpenSource(ctx)
+	}
+}
+
+// Unordered reports whether the wrapped source emits out of timestamp order
+// (splittable scans do); the source stage then defers event time to the
+// end-of-stream close-out instead of cadence watermarks.
+func (f *funcReader[T]) Unordered() bool {
+	if u, ok := f.src.(interface{ Unordered() bool }); ok {
+		return u.Unordered()
+	}
+	return false
+}
 
 func (f *funcReader[T]) Err() error {
 	if fail, ok := f.src.(dataflow.Failable); ok {
@@ -345,13 +491,32 @@ func (h hybridSource[T]) Open(sub, par int) Reader[T] {
 	return &hybridReader[T]{history: h.history.Open(sub, par), live: h.live.Open(sub, par)}
 }
 
-// PreferredParallelism implements ParallelismHinter by delegation. The live
-// phase's hint wins — it runs forever, while any history connector splits
-// correctly at any parallelism.
-func (h hybridSource[T]) PreferredParallelism() int {
-	if p := preferredParallelism(h.live); p > 0 {
-		return p
+// hybridSlots carries the per-stage shared state of both hybrid phases.
+type hybridSlots struct {
+	history, live any
+}
+
+// openShared implements sharedOpener: each phase gets its own sub-slot.
+func (h hybridSource[T]) openShared(slot *any, sub, par int) Reader[T] {
+	if sub == 0 || *slot == nil {
+		*slot = &hybridSlots{}
 	}
+	s := (*slot).(*hybridSlots)
+	return &hybridReader[T]{
+		history: openSourceShared(h.history, &s.history, sub, par),
+		live:    openSourceShared(h.live, &s.live, sub, par),
+	}
+}
+
+// PreferredParallelism implements ParallelismHinter by delegation to the
+// history phase: the handoff is the part that must scale, and a splittable
+// history (JSONL, CSV) replays near-linearly with subtasks. The live phase
+// no longer drags the stage to parallelism 1 when it is a Channel — after
+// the handoff every subtask's event time is floored at its handoff
+// watermark, so sharing the channel across subtasks cannot pin event time at
+// -inf the way a bare Channel source can. Use WithSourceParallelism to pin
+// the stage explicitly.
+func (h hybridSource[T]) PreferredParallelism() int {
 	return preferredParallelism(h.history)
 }
 
@@ -379,7 +544,7 @@ func (h *hybridReader[T]) Next() (Keyed[T], ReadStatus) {
 				h.maxTs, h.haveTs = k.Ts, true
 			}
 			return k, ReadData
-		case ReadWatermark, ReadIdle:
+		case ReadWatermark, ReadIdle, ReadHandoff:
 			return k, st
 		}
 		// A history that failed mid-stream ends the whole stream here
@@ -389,16 +554,30 @@ func (h *hybridReader[T]) Next() (Keyed[T], ReadStatus) {
 		if readerErr(h.history) != nil {
 			return Keyed[T]{}, ReadEnd
 		}
-		// History exhausted: hand off. The switch and the handoff
-		// watermark happen in this one call, so a checkpoint can never
-		// fall between them.
+		// History exhausted: hand off. The switch and the handoff signal
+		// happen in this one call, so a checkpoint can never fall between
+		// them. Ts carries this subtask's own history maximum (minInt64
+		// when its share was empty — with dynamic split assignment a
+		// subtask may well replay nothing); the runtime turns the signal
+		// into a stage-wide watermark promise.
 		h.inLive = true
+		ts := int64(minInt64)
 		if h.haveTs {
-			return Keyed[T]{Ts: h.maxTs}, ReadWatermark
+			ts = h.maxTs
 		}
+		return Keyed[T]{Ts: ts}, ReadHandoff
 	}
 	return h.live.Next()
 }
+
+// CanHandoff marks the reader as a ReadHandoff emitter, opting the source
+// stage into shared event-time tracking for the stage-wide handoff promise.
+func (h *hybridReader[T]) CanHandoff() bool { return true }
+
+// CrossedHandoff reports whether this subtask is past the handoff; its
+// idle/cadence watermarks then track the stage clock, which the straggling
+// subtasks keep pushing toward the global history maximum.
+func (h *hybridReader[T]) CrossedHandoff() bool { return h.inLive }
 
 func (h *hybridReader[T]) Snapshot() ([]byte, error) {
 	hist, err := h.history.Snapshot()
@@ -431,6 +610,81 @@ func (h *hybridReader[T]) Restore(blob []byte) error {
 	return nil
 }
 
+// RestoreAll implements MultiRestorer: every subtask blob decomposes into
+// the phase flag and the two inner positions, and each inner reader restores
+// from its own node-wide blob set — so a hybrid over a splittable history
+// rescales while the replay is still in flight. The restored phase is
+// aggregated: the stage re-enters the history phase unless every old subtask
+// had already crossed the handoff (then no history work remains), and the
+// handoff watermark is re-derived from the maximum event time any subtask
+// had seen. A live phase no subtask had entered restores fresh; live state
+// that was already accumulating redistributes only if the live reader itself
+// is a MultiRestorer (or the parallelism is unchanged).
+func (h *hybridReader[T]) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	hist := make(map[int][]byte, len(blobs))
+	live := make(map[int][]byte, len(blobs))
+	allLive, anyLive := true, false
+	var maxTs int64
+	haveTs := false
+	for sub, blob := range blobs {
+		var s hybridReaderState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+			return fmt.Errorf("hybrid restore: %w", err)
+		}
+		hist[sub] = s.History
+		live[sub] = s.LivePos
+		if s.Live {
+			anyLive = true
+		} else {
+			allLive = false
+		}
+		if s.HaveTs && (!haveTs || s.MaxTs > maxTs) {
+			maxTs, haveTs = s.MaxTs, true
+		}
+	}
+	if err := restoreReaderAll(h.history, subtask, parallelism, hist); err != nil {
+		return fmt.Errorf("hybrid history restore: %w", err)
+	}
+	if err := h.restoreLive(subtask, parallelism, live, anyLive); err != nil {
+		return fmt.Errorf("hybrid live restore: %w", err)
+	}
+	h.inLive = allLive
+	h.maxTs, h.haveTs = maxTs, haveTs
+	return nil
+}
+
+// restoreLive restores the live half of a multi-blob recovery. While no old
+// subtask had entered the live phase, the blobs hold only pre-start
+// bookkeeping and the live reader starts fresh at the new parallelism;
+// started means *any* subtask had crossed — its live state may hold
+// consumed positions and must genuinely restore or fail.
+func (h *hybridReader[T]) restoreLive(subtask, parallelism int, blobs map[int][]byte, started bool) error {
+	if m, ok := h.live.(MultiRestorer); ok {
+		return m.RestoreAll(subtask, parallelism, blobs)
+	}
+	if blob, ok := blobs[subtask]; ok && len(blobs) == parallelism {
+		return h.live.Restore(blob)
+	}
+	if !started {
+		return nil
+	}
+	return fmt.Errorf("live source state of %d subtasks does not redistribute to parallelism %d", len(blobs), parallelism)
+}
+
+// OpenSource forwards the runtime's per-subtask context to both phases.
+func (h *hybridReader[T]) OpenSource(ctx *dataflow.OpContext) {
+	openReader(h.history, ctx)
+	openReader(h.live, ctx)
+}
+
+// Unordered reports the order contract of the phase currently replaying.
+func (h *hybridReader[T]) Unordered() bool {
+	if !h.inLive {
+		return readerUnordered(h.history)
+	}
+	return readerUnordered(h.live)
+}
+
 func (h *hybridReader[T]) Err() error {
 	if err := readerErr(h.history); err != nil {
 		return err
@@ -444,6 +698,46 @@ func readerErr[T any](r Reader[T]) error {
 		return f.Err()
 	}
 	return nil
+}
+
+// readerUnordered reports a reader's order contract (false when it does not
+// declare one — index-addressed readers emit in order).
+func readerUnordered[T any](r Reader[T]) bool {
+	if u, ok := r.(interface{ Unordered() bool }); ok {
+		return u.Unordered()
+	}
+	return false
+}
+
+// openReader forwards the per-subtask OpContext to readers that accept one.
+func openReader(r any, ctx *dataflow.OpContext) {
+	if o, ok := r.(interface{ OpenSource(*dataflow.OpContext) }); ok {
+		o.OpenSource(ctx)
+	}
+}
+
+// restoreReaderAll restores one reader from the node-wide blob set:
+// MultiRestorer readers redistribute, everything else falls back to the
+// positional per-subtask Restore, which requires the parallelism to match
+// the snapshot's.
+func restoreReaderAll[T any](r Reader[T], subtask, parallelism int, blobs map[int][]byte) error {
+	if m, ok := r.(MultiRestorer); ok {
+		return m.RestoreAll(subtask, parallelism, blobs)
+	}
+	oldPar := 0
+	for sub := range blobs {
+		if sub+1 > oldPar {
+			oldPar = sub + 1
+		}
+	}
+	if oldPar != parallelism {
+		return fmt.Errorf("source state of %d subtasks does not redistribute to parallelism %d (only splittable scans rescale)", oldPar, parallelism)
+	}
+	blob, ok := blobs[subtask]
+	if !ok {
+		return fmt.Errorf("source snapshot is missing subtask %d", subtask)
+	}
+	return r.Restore(blob)
 }
 
 // ---- cursor encoding ------------------------------------------------------

@@ -19,14 +19,15 @@
 // spectrum:
 //
 //   - Slice, KeyedSlice — bounded in-memory collections (data at rest)
-//   - JSONL, CSV — files at rest, decoded into T, replayed exactly-once
-//     through checkpoints
+//   - JSONL, CSV — files at rest (one file, a directory, or a glob),
+//     decoded into T, scanned in parallel byte-range splits, replayed
+//     exactly-once through checkpoints
 //   - Generator — deterministic generators, bounded or unbounded
 //   - Channel — live ingestion from a Go channel (data in motion)
 //   - Paced — a rate-limiting decorator over any connector
 //   - Hybrid — the at-rest→in-motion handoff: replay a bounded history
-//     source, emit a handoff watermark at its max event timestamp, then
-//     atomically switch to the live source
+//     source, emit a handoff watermark covering the history the moment it
+//     ends, then atomically switch to the live source
 //
 // Source options configure the stage without changing the connector:
 // WithSourceParallelism, WithWatermarkEvery and WithWatermarkLag (event
@@ -36,6 +37,27 @@
 // legacy FromSlice/FromGenerator/FromPacedGenerator trio remains as
 // deprecated wrappers that lower through the same path.
 //
+// # The splittable at-rest scan
+//
+// File connectors do not stripe rows across subtasks — they split bytes.
+// The scan planner chops every input file into newline-aligned byte ranges
+// of roughly WithSplitSize bytes (CSV ranges only where quoting provably
+// cannot span lines; quoted files scan as one split each), and a shared
+// per-stage assigner hands splits to subtasks dynamically: a subtask that
+// finishes early pulls the next pending split, so skewed file sizes or
+// decode costs never idle a worker. Each subtask therefore reads ~1/p of
+// the input instead of scanning all of it and discarding (p−1)/p — history
+// replay scales near-linearly with source parallelism (BENCH_scan.json
+// records the trajectory). Snapshots store (split, byte offset): recovery
+// Seeks straight to the position — O(remaining split), not O(file) — and,
+// because split state is a work set rather than a position per subtask, a
+// job may restore its file sources at a *different* parallelism; the
+// remaining splits just redistribute. Splits are handed out in no
+// particular timestamp order, so a scanning stage closes out event time at
+// end of stream (or at Hybrid's handoff) instead of emitting in-flight
+// cadence watermarks; pair files with WithTimestamps for real event time
+// (the default timestamp is the record's byte offset).
+//
 // Whether the source is a file of history, a live channel, or a Hybrid of
 // both, the identical plan runs on the identical pipelined engine — that is
 // the paper's uniform model, and Hybrid is its headline scenario: a
@@ -44,8 +66,10 @@
 // recovery works across the handoff.
 //
 // Custom connectors implement Source[T]/Reader[T] directly: Next reports
-// elements plus a ReadStatus (data, watermark, idle, end), and
-// Snapshot/Restore serialize the read position for exactly-once recovery.
+// elements plus a ReadStatus (data, watermark, idle, end, handoff), and
+// Snapshot/Restore serialize the read position for exactly-once recovery
+// (MultiRestorer additionally lets a connector's state redistribute across
+// a different source parallelism, the way the file connectors do).
 //
 // # Lowering
 //
@@ -109,11 +133,14 @@
 //
 // Two constraints: WithNumKeyGroups is a plan constant (a snapshot restores
 // only into a plan with the same value — pick it once, comfortably above
-// the largest parallelism the job may ever need), and per-subtask state —
-// source read positions — does not redistribute, so keep source parallelism
-// fixed (sources pin it explicitly via WithSourceParallelism) and rescale
-// the keyed stages through WithParallelism. Key grouping itself is purely
-// physical: results are identical at every group count and parallelism.
+// the largest parallelism the job may ever need), and positional
+// per-subtask state does not redistribute. File sources (JSONL, CSV, and a
+// Hybrid over them) are exempt: their snapshots hold splits, not positions,
+// so they restore at any source parallelism. Only non-splittable sources —
+// generators, slices, channels — keep the "source parallelism stays pinned"
+// rule; rescale the keyed stages through WithParallelism either way. Key
+// grouping itself is purely physical: results are identical at every group
+// count and parallelism.
 //
 // The smallest complete pipeline:
 //
@@ -138,6 +165,10 @@
 //		streamline.WithTimestamps(func(r reading) int64 { return r.Ts }),
 //	)
 //
-// (The Channel connector hints parallelism 1 — see ParallelismHinter — so
-// the hybrid source runs single-subtask without an explicit option.)
+// The hybrid stage runs at the environment parallelism: the history splits
+// replay across all subtasks, every subtask's handoff promises the
+// stage-wide history maximum (ReadHandoff), and the live channel is shared
+// afterwards. A bare Channel connector still hints parallelism 1 — see
+// ParallelismHinter — because without a handoff floor an idle subtask would
+// pin event time at -inf.
 package streamline

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dataflow"
 )
@@ -28,6 +29,15 @@ const (
 	ReadIdle
 	// ReadEnd means the input is exhausted (bounded sources).
 	ReadEnd
+	// ReadHandoff means this subtask's at-rest phase is complete and
+	// everything it emits next follows the live contract (timestamps after
+	// the at-rest maximum; older ones are late). The element's Ts carries
+	// the reader's own at-rest maximum, but the runtime promises the
+	// *stage-wide* maximum seen so far: with dynamically assigned splits a
+	// subtask's own share says little about the history as a whole — it may
+	// even be empty — and the stage-wide promise is what lets history
+	// windows fire at the handoff instead of waiting for live data.
+	ReadHandoff
 )
 
 // Reader produces the elements of one source subtask. Implementations
@@ -59,6 +69,18 @@ type Reader[T any] interface {
 type Source[T any] interface {
 	// Open builds the reader feeding one subtask of the source stage.
 	Open(subtask, parallelism int) Reader[T]
+}
+
+// MultiRestorer is an optional Reader extension for readers whose snapshot
+// state is not positional per subtask. RestoreAll receives the blobs of
+// *every* subtask of the checkpointing job, keyed by old subtask index, so
+// the restoring stage may run at a different source parallelism — the file
+// connectors implement it by redistributing their remaining byte-range
+// splits, and composite readers (Hybrid, Paced) by decomposing and
+// delegating. Readers without it restore positionally and require the
+// original parallelism.
+type MultiRestorer interface {
+	RestoreAll(subtask, parallelism int, blobs map[int][]byte) error
 }
 
 // ParallelismHinter is an optional Source extension for connectors that
@@ -138,14 +160,29 @@ func From[T any](env *Env, name string, src Source[T], opts ...SourceOption) *St
 		}
 		ts = f
 	}
+	// The stage clock is shared by every subtask of this source stage: it
+	// tracks the maximum event time any subtask has emitted, and backs the
+	// stage-wide promise of ReadHandoff. Only handoff-capable readers pay
+	// for the tracking. Like the scan plan, it resets when subtask 0 is
+	// built (the runtime builds subtasks in order), so re-executing the
+	// same pipeline does not promise the previous run's event times.
+	clock := newStageClock()
+	var slot any // per-stage shared reader state (scan plans); see sharedOpener
 	factory := func(sub, par int) dataflow.SourceFunc {
-		return &loweredReader[T]{
-			r:       src.Open(sub, par),
+		if sub == 0 {
+			clock.reset()
+		}
+		l := &loweredReader[T]{
+			r:       openSourceShared(src, &slot, sub, par),
 			ts:      ts,
 			every:   cfg.wmEvery,
 			lag:     cfg.lag,
 			wmFloor: minInt64,
 		}
+		if readerCanHandoff(l.r) {
+			l.clock = clock
+		}
+		return l
 	}
 	return &Stream[T]{env: env, inner: env.core.FromSource(name, cfg.parallelism, factory)}
 }
@@ -156,6 +193,26 @@ func preferredParallelism[T any](src Source[T]) int {
 		return h.PreferredParallelism()
 	}
 	return 0
+}
+
+// sharedOpener is the internal Source extension for connectors whose readers
+// share per-execution state — the file connectors' scan plan (split queue).
+// From allocates one slot per source stage and threads it through every Open
+// of that stage, so a connector value stays stateless and can be reused
+// across environments or concurrent executions without the stages bleeding
+// into each other. Plain Open remains the fallback for direct use, with the
+// connector holding the shared state itself (one execution at a time).
+type sharedOpener[T any] interface {
+	openShared(slot *any, subtask, parallelism int) Reader[T]
+}
+
+// openSourceShared opens one subtask's reader, preferring the slot-based
+// path when the connector supports it.
+func openSourceShared[T any](src Source[T], slot *any, sub, par int) Reader[T] {
+	if s, ok := src.(sharedOpener[T]); ok {
+		return s.openShared(slot, sub, par)
+	}
+	return src.Open(sub, par)
 }
 
 // typeName renders T for error messages.
@@ -175,11 +232,49 @@ func emptySourceFactory(sub, par int) dataflow.SourceFunc {
 // watermarks (one per `every` records, trailing the max seen timestamp by
 // `lag`), mirroring GenSource's watermarking so connector-built sources
 // behave exactly like the legacy constructors.
+// stageClock is the shared event-time high-water mark of one source stage:
+// every subtask folds its emitted timestamps in, and ReadHandoff promises
+// its value. Advance is a CAS-max, so the hot-path cost is one atomic load
+// plus a CAS only while the maximum actually moves.
+type stageClock struct {
+	v atomic.Int64
+}
+
+func newStageClock() *stageClock {
+	c := &stageClock{}
+	c.v.Store(minInt64)
+	return c
+}
+
+// reset rewinds the clock for a fresh execution of the stage.
+func (c *stageClock) reset() { c.v.Store(minInt64) }
+
+func (c *stageClock) advance(ts int64) {
+	for {
+		cur := c.v.Load()
+		if ts <= cur || c.v.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+func (c *stageClock) max() int64 { return c.v.Load() }
+
+// readerCanHandoff reports whether a reader may emit ReadHandoff (Hybrid
+// does; decorators delegate).
+func readerCanHandoff(r any) bool {
+	if h, ok := r.(interface{ CanHandoff() bool }); ok {
+		return h.CanHandoff()
+	}
+	return false
+}
+
 type loweredReader[T any] struct {
 	r     Reader[T]
 	ts    func(T) int64
 	every int64
 	lag   int64
+	clock *stageClock // non-nil only for handoff-capable readers
 
 	maxTs     int64
 	haveTs    bool
@@ -187,24 +282,53 @@ type loweredReader[T any] struct {
 	havePend  bool
 	pendingWM int64
 	wmFloor   int64 // max watermark emitted on the wire; never regress
+	// atRestMax tracks the maximum event time emitted *before* crossing the
+	// handoff — the only timestamps that may seed the stage clock. maxTs
+	// keeps advancing with live records, so reseeding the clock from it
+	// after a restore would promise the live maximum with no lag allowance.
+	atRestMax  int64
+	atRestHave bool
 }
 
 type loweredReaderState struct {
-	MaxTs   int64
-	HaveTs  bool
-	SinceWM int64
-	WMFloor int64
-	Inner   []byte
+	MaxTs      int64
+	HaveTs     bool
+	SinceWM    int64
+	WMFloor    int64
+	AtRestMax  int64
+	AtRestHave bool
+	Inner      []byte
 }
 
 const minInt64 = -1 << 63
 
-// watermark returns the adapter's current watermark value.
+// watermark returns the adapter's current watermark value. Once the reader
+// has crossed an at-rest→in-motion handoff, the stage clock is a floor: the
+// stragglers still replaying history keep pushing it toward the global
+// history maximum, and this subtask's idle/cadence watermarks follow it up —
+// without this, a subtask that crossed early (or scanned no splits at all)
+// would hold event time at its own stale maximum until live data happened to
+// arrive on it.
 func (l *loweredReader[T]) watermark() int64 {
-	if !l.haveTs {
-		return minInt64
+	wm := int64(minInt64)
+	if l.haveTs {
+		wm = l.maxTs - l.lag
 	}
-	return l.maxTs - l.lag
+	if l.clock != nil && readerCrossedHandoff(l.r) {
+		if m := l.clock.max(); m > wm {
+			wm = m
+		}
+	}
+	return wm
+}
+
+// readerCrossedHandoff reports whether a handoff-capable reader is past its
+// at-rest phase (everything it emits next follows the live contract).
+func readerCrossedHandoff(r any) bool {
+	if h, ok := r.(interface{ CrossedHandoff() bool }); ok {
+		return h.CrossedHandoff()
+	}
+	return false
 }
 
 // emitWM stamps a watermark on the wire, clamped so the source's event
@@ -228,21 +352,52 @@ func (l *loweredReader[T]) Next() (dataflow.Record, bool) {
 		return dataflow.Record{}, false
 	case ReadIdle:
 		// Keep the runtime loop moving and event time visible while the
-		// input is quiet.
+		// input is quiet. An unordered reader's running max is not a sound
+		// promise mid-scan, so idling then just re-emits the current floor.
+		if readerUnordered(l.r) {
+			return l.emitWM(minInt64)
+		}
 		return l.emitWM(l.watermark())
 	case ReadWatermark:
-		// Reader-steered watermark (hybrid handoff, custom connectors): an
-		// explicit promise that the reader's input is complete up to here.
-		// The reader computes it from its own pre-extraction clock, so
-		// when a WithTimestamps extractor is installed also close out
-		// everything already emitted in extracted event time — the hybrid
-		// handoff must cover the whole history either way.
+		// Reader-steered watermark (custom connectors): an explicit promise,
+		// in event time, that the reader's input is complete up to here —
+		// it may advance event time past the data already seen (heartbeats
+		// during a lull). The at-rest→in-motion handoff does not come through
+		// here; it has its own status below, because its natural clock (file
+		// byte offsets) is not event time.
 		wm := k.Ts
 		if l.haveTs && l.maxTs > wm {
 			wm = l.maxTs
 		}
 		if k.Ts > l.maxTs || !l.haveTs {
 			l.maxTs, l.haveTs = k.Ts, true
+		}
+		return l.emitWM(wm)
+	case ReadHandoff:
+		// The at-rest phase is complete for this subtask; everything it
+		// emits next follows the live contract, so the promise is the
+		// *stage-wide* maximum event time — with dynamically assigned
+		// splits, a subtask's own share (possibly empty) says nothing about
+		// the history as a whole, and a per-subtask promise would leave
+		// history windows hanging until live data happened to arrive here.
+		wm := int64(minInt64)
+		if l.clock != nil {
+			wm = l.clock.max()
+		}
+		if l.ts != nil {
+			if l.haveTs && l.maxTs > wm {
+				wm = l.maxTs
+			}
+		} else if k.Ts > wm {
+			wm = k.Ts
+		}
+		if wm == minInt64 {
+			return l.emitWM(minInt64) // empty at-rest phase: nothing to promise
+		}
+		// Fold the promise into this subtask's clock so live-phase idle and
+		// cadence watermarks hold the line instead of regressing.
+		if wm > l.maxTs || !l.haveTs {
+			l.maxTs, l.haveTs = wm, true
 		}
 		return l.emitWM(wm)
 	}
@@ -252,15 +407,35 @@ func (l *loweredReader[T]) Next() (dataflow.Record, bool) {
 	if k.Ts > l.maxTs || !l.haveTs {
 		l.maxTs, l.haveTs = k.Ts, true
 	}
-	every := l.every
-	if every <= 0 {
-		every = 64
+	// The stage clock tracks the *at-rest* maximum only: once this subtask
+	// crosses the handoff its records are live and stop contributing, so the
+	// clock freezes at the history max. Folding live timestamps in would
+	// lift every crossed subtask's floor to the newest live record — no lag
+	// allowance, and promised cross-subtask before the records are seen.
+	if l.clock != nil && !readerCrossedHandoff(l.r) {
+		l.clock.advance(k.Ts)
+		if k.Ts > l.atRestMax || !l.atRestHave {
+			l.atRestMax, l.atRestHave = k.Ts, true
+		}
 	}
-	l.sinceWM++
-	if l.sinceWM >= every {
-		l.sinceWM = 0
-		l.havePend = true
-		l.pendingWM = l.watermark()
+	// Cadence watermarks assume the reader emits in (roughly) timestamp
+	// order. An unordered reader — a splittable file scan, whose dynamically
+	// assigned splits make one subtask's stream jump around the file — gets
+	// none: maxTs-lag over an unordered prefix is not a sound promise, and a
+	// single early high-timestamp record would mark everything after it late.
+	// Event time over such a scan closes out at end of stream (the runtime's
+	// +inf watermark) or at a composite's explicit handoff watermark.
+	if !readerUnordered(l.r) {
+		every := l.every
+		if every <= 0 {
+			every = 64
+		}
+		l.sinceWM++
+		if l.sinceWM >= every {
+			l.sinceWM = 0
+			l.havePend = true
+			l.pendingWM = l.watermark()
+		}
 	}
 	return box(k), true
 }
@@ -273,7 +448,8 @@ func (l *loweredReader[T]) Snapshot() ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	err = gob.NewEncoder(&buf).Encode(loweredReaderState{
-		MaxTs: l.maxTs, HaveTs: l.haveTs, SinceWM: l.sinceWM, WMFloor: l.wmFloor, Inner: inner,
+		MaxTs: l.maxTs, HaveTs: l.haveTs, SinceWM: l.sinceWM, WMFloor: l.wmFloor,
+		AtRestMax: l.atRestMax, AtRestHave: l.atRestHave, Inner: inner,
 	})
 	return buf.Bytes(), err
 }
@@ -289,8 +465,61 @@ func (l *loweredReader[T]) Restore(blob []byte) error {
 		return err
 	}
 	l.maxTs, l.haveTs, l.sinceWM, l.wmFloor, l.havePend = s.MaxTs, s.HaveTs, s.SinceWM, s.WMFloor, false
+	l.atRestMax, l.atRestHave = s.AtRestMax, s.AtRestHave
+	if l.clock != nil && s.AtRestHave {
+		l.clock.advance(s.AtRestMax)
+	}
 	return nil
 }
+
+// RestoreAll implements dataflow.MultiRestorable: the adapter state of every
+// old subtask is unwrapped, the inner blobs go to the reader's own
+// RestoreAll (or its positional fallback), and this subtask's watermark
+// bookkeeping comes from its own old blob when one exists — a subtask that
+// only exists after a rescale starts with fresh bookkeeping, which is sound
+// because it has made no watermark promises yet.
+func (l *loweredReader[T]) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	inner := make(map[int][]byte, len(blobs))
+	states := make(map[int]loweredReaderState, len(blobs))
+	for sub, blob := range blobs {
+		var s loweredReaderState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+			return fmt.Errorf("source restore: %w", err)
+		}
+		inner[sub] = s.Inner
+		states[sub] = s
+	}
+	if err := restoreReaderAll(l.r, subtask, parallelism, inner); err != nil {
+		return err
+	}
+	l.maxTs, l.haveTs, l.sinceWM, l.havePend = 0, false, 0, false
+	l.wmFloor = minInt64
+	l.atRestMax, l.atRestHave = 0, false
+	if s, ok := states[subtask]; ok && parallelism == len(blobs) {
+		l.maxTs, l.haveTs, l.sinceWM, l.wmFloor = s.MaxTs, s.HaveTs, s.SinceWM, s.WMFloor
+		l.atRestMax, l.atRestHave = s.AtRestMax, s.AtRestHave
+	}
+	// Reseed the stage clock with every old subtask's *at-rest* high-water
+	// mark: records consumed before the crash are not replayed, so without
+	// this the post-restore handoff would promise less than the history
+	// already covered and its windows would hang until live data lifted the
+	// watermark. MaxTs would be wrong here — it keeps advancing with live
+	// records, and a live-contaminated clock promises the live maximum with
+	// no lag allowance. advance() is a CAS-max, so each subtask folding the
+	// same set in is idempotent.
+	if l.clock != nil {
+		for _, s := range states {
+			if s.AtRestHave {
+				l.clock.advance(s.AtRestMax)
+			}
+		}
+	}
+	return nil
+}
+
+// OpenSource implements dataflow.SourceOpener by forwarding the runtime's
+// per-subtask context (metrics registry) to the reader.
+func (l *loweredReader[T]) OpenSource(ctx *dataflow.OpContext) { openReader(l.r, ctx) }
 
 // Err implements dataflow.Failable by delegating to the reader, if it
 // reports errors.

@@ -379,6 +379,219 @@ func TestHybridCheckpointRestoreMidHandoff(t *testing.T) {
 	}
 }
 
+// A splittable JSONL scan at source parallelism 4 must produce exactly the
+// records of the parallelism-1 scan: the shared split queue partitions the
+// file, no line lost or duplicated, at every split size.
+func TestJSONLSplitScanMatchesSingleSubtask(t *testing.T) {
+	events := mkEvents(500, 1000)
+	path := writeJSONL(t, events)
+	counts := func(par int, opts ...streamline.FileOption) map[uint64]float64 {
+		t.Helper()
+		env := streamline.New(streamline.WithParallelism(2))
+		src := streamline.From(env, "history", streamline.JSONL[event](path, opts...),
+			streamline.WithSourceParallelism(par),
+			streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+		keyed := streamline.KeyByString(src, "name", func(e event) string { return e.Name })
+		vals := streamline.Map(keyed, "value", func(e event) float64 { return e.Value })
+		sums := streamline.ReduceByKey(vals, "sum", func(acc, v float64) float64 { return acc + v }, false)
+		out := streamline.Collect(sums, "out")
+		execute(t, env.Execute)
+		got := map[uint64]float64{}
+		for _, k := range out.Records() {
+			got[k.Key] += k.Value
+		}
+		return got
+	}
+	want := counts(1)
+	for _, splitSize := range []int64{512, 2048} {
+		got := counts(4, streamline.WithSplitSize(splitSize))
+		if len(got) != len(want) {
+			t.Fatalf("splitSize %d: %d keys, want %d", splitSize, len(got), len(want))
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("splitSize %d: key %d = %v, want %v", splitSize, k, got[k], w)
+			}
+		}
+	}
+}
+
+// One connector value is reusable: two environments running concurrently
+// off the same JSONL source each get their own scan plan (From's per-stage
+// slot), so neither job loses records to the other's split consumption.
+func TestFileConnectorReusableAcrossEnvironments(t *testing.T) {
+	events := mkEvents(300, 1000)
+	path := writeJSONL(t, events)
+	src := streamline.JSONL[event](path, streamline.WithSplitSize(512))
+
+	type result struct {
+		n   int64
+		err error
+	}
+	run := func(out chan<- result) {
+		env := streamline.New(streamline.WithParallelism(2))
+		s := streamline.From(env, "history", src, streamline.WithSourceParallelism(2),
+			streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+		col := streamline.Collect(s, "out")
+		err := env.Execute(context.Background())
+		out <- result{n: int64(len(col.Records())), err: err}
+	}
+	results := make(chan result, 2)
+	go run(results)
+	go run(results)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.n != 300 {
+			t.Fatalf("a concurrent execution saw %d of 300 records (scan plans bled across environments)", r.n)
+		}
+	}
+}
+
+// The at-scale hybrid scenario: JSONL history replayed at source parallelism
+// 4 with splits in flight, killed mid-history, recovered at source
+// parallelism 2 — pending splits redistribute, the handoff still happens
+// exactly once, and the deduplicated windows equal the single-source
+// reference.
+func TestHybridScaledKillRecoverAtDifferentParallelism(t *testing.T) {
+	history := mkEvents(4000, 5000) // ts 5000..8999
+	live := mkEvents(800, 9000)     // ts 9000..9799
+	all := append(append([]event{}, history...), live...)
+	path := writeJSONL(t, history)
+
+	refEnv := streamline.New(streamline.WithParallelism(2))
+	refOut := buildHybridPipeline(refEnv, streamline.From(refEnv, "events",
+		streamline.Slice(all), streamline.WithSourceParallelism(1),
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs })))
+	execute(t, refEnv.Execute)
+	want := collectWindows(refOut)
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no windows")
+	}
+
+	build := func(srcPar int, paceHistory float64, liveCh <-chan streamline.Keyed[event], backend streamline.Backend) (*streamline.Env, *streamline.Results[streamline.WindowResult]) {
+		env := streamline.New(streamline.WithParallelism(2),
+			streamline.WithCheckpointing(backend, 15*time.Millisecond))
+		var hist streamline.Source[event] = streamline.JSONL[event](path, streamline.WithSplitSize(4096))
+		if paceHistory > 0 {
+			hist = streamline.Paced(hist, paceHistory)
+		}
+		src := streamline.From(env, "events",
+			streamline.Hybrid(hist, streamline.Channel(liveCh)),
+			streamline.WithSourceParallelism(srcPar),
+			streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+		return env, buildHybridPipeline(env, src)
+	}
+
+	// Crash run: source parallelism 4, paced so the kill lands with splits
+	// in flight across the subtasks.
+	backend := streamline.NewMemoryBackend(0)
+	crashCh := make(chan streamline.Keyed[event]) // never fed; the kill hits during history
+	crashEnv, crashOut := build(4, 8_000, crashCh, backend)
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	err := crashEnv.Execute(ctx)
+	cancel()
+	close(crashCh)
+	if err == nil {
+		t.Skip("job finished before kill on this machine")
+	}
+	snap, ok, _ := backend.Latest()
+	if !ok {
+		t.Skip("no checkpoint completed before kill")
+	}
+
+	// Recovery at source parallelism 2: the remaining splits redistribute
+	// across the smaller stage, the handoff crosses exactly once, and the
+	// live tail flows.
+	recEnv, recOut := build(2, 0, feedLive(live), streamline.NewMemoryBackend(0))
+	recCtx, recCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer recCancel()
+	if err := recEnv.ExecuteRestored(recCtx, snap); err != nil {
+		t.Fatalf("restored run at source parallelism 2 failed: %v", err)
+	}
+	got := collectWindows(crashOut)
+	for k, v := range collectWindows(recOut) {
+		got[k] = v
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored run produced %d windows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("window %+v = %v, want %v (exactly-once across the split reassignment)", k, got[k], v)
+		}
+	}
+}
+
+// The handoff watermark must fire history windows without waiting for the
+// live phase to end: with the live channel held open, every window closed by
+// the stage-wide history maximum (5399) eventually fires, and every one of
+// them matches the reference. The single-split case is the trap this
+// guards: one subtask scans the whole history and the other three cross the
+// handoff having seen nothing — their event time must follow the stage
+// clock instead of pinning the job at -inf.
+func TestHybridHandoffWatermarkFiresHistoryWindows(t *testing.T) {
+	history := mkEvents(400, 5000) // ts 5000..5399
+	all := append([]event{}, history...)
+	path := writeJSONL(t, history)
+
+	refEnv := streamline.New(streamline.WithParallelism(2))
+	refOut := buildHybridPipeline(refEnv, streamline.From(refEnv, "events",
+		streamline.Slice(all), streamline.WithSourceParallelism(1),
+		streamline.WithTimestamps(func(e event) int64 { return e.TsMs })))
+	execute(t, refEnv.Execute)
+	want := collectWindows(refOut)
+	fireable := 0 // windows fully closed by the history max watermark
+	for k := range want {
+		if k.start+50 <= 5399 {
+			fireable++
+		}
+	}
+	if fireable == 0 {
+		t.Fatalf("no fireable windows in the reference")
+	}
+
+	for name, splitSize := range map[string]int64{
+		"many-splits":  1024,                        // splits outnumber the subtasks
+		"single-split": streamline.DefaultSplitSize, // one subtask gets the whole history
+	} {
+		t.Run(name, func(t *testing.T) {
+			live := make(chan streamline.Keyed[event]) // stays open: no end-of-stream close-out
+			env := streamline.New(streamline.WithParallelism(2))
+			src := streamline.From(env, "events",
+				streamline.Hybrid(streamline.JSONL[event](path, streamline.WithSplitSize(splitSize)), streamline.Channel(live)),
+				streamline.WithSourceParallelism(4),
+				streamline.WithTimestamps(func(e event) int64 { return e.TsMs }))
+			out := buildHybridPipeline(env, src)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- env.Execute(ctx) }()
+			deadline := time.After(30 * time.Second)
+			for len(collectWindows(out)) < fireable {
+				select {
+				case err := <-done:
+					t.Fatalf("job ended with %d/%d windows fired: %v", len(collectWindows(out)), fireable, err)
+				case <-deadline:
+					t.Fatalf("only %d of %d history windows fired from the handoff watermark within 30s", len(collectWindows(out)), fireable)
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+			cancel()
+			<-done
+			close(live)
+			for k, v := range collectWindows(out) {
+				w, ok := want[k]
+				if !ok || w != v {
+					t.Fatalf("handoff-fired window %+v = %v, want %v", k, v, w)
+				}
+			}
+		})
+	}
+}
+
 // Sanity: the legacy wrappers still produce working pipelines (they are
 // deprecated, not removed).
 func TestDeprecatedWrappersStillWork(t *testing.T) {
@@ -422,10 +635,13 @@ func TestChannelConnectorHintsSingleSubtask(t *testing.T) {
 	}); p != 1 {
 		t.Fatalf("Channel via From runs at parallelism %d, want 1", p)
 	}
+	// Hybrid takes its hint from the history phase (the part that must
+	// scale), not the live channel: Slice has no hint, so the stage runs at
+	// the environment default — the implicit parallelism-1 behavior is gone.
 	if p := srcParallelism("hybrid", func(env *streamline.Env) *streamline.Stream[float64] {
 		return streamline.From(env, "hybrid", streamline.Hybrid(streamline.Slice([]float64{1, 2}), streamline.Channel(ch)))
-	}); p != 1 {
-		t.Fatalf("Hybrid with a Channel live phase runs at parallelism %d, want 1", p)
+	}); p != 4 {
+		t.Fatalf("Hybrid parallelism = %d, want the env default 4 (history has no hint)", p)
 	}
 	if p := srcParallelism("paced", func(env *streamline.Env) *streamline.Stream[float64] {
 		return streamline.From(env, "paced", streamline.Paced(streamline.Channel(ch), 100))
