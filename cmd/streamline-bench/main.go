@@ -18,6 +18,10 @@
 //	                              # at-rest scan benchmark only: byte-range
 //	                              # splits vs round-robin full-file scans
 //	                              # plus seek vs re-scan restore, to JSON
+//	streamline-bench -topic BENCH_topic.json
+//	                              # topic store benchmark only: segment-log
+//	                              # append throughput, Topic-vs-JSONL replay,
+//	                              # follow-mode latency, results to JSON
 package main
 
 import (
@@ -35,7 +39,23 @@ func main() {
 	exchange := flag.String("exchange", "", "run the exchange benchmark and write JSON results to this path")
 	stateBench := flag.String("state", "", "run the keyed-state snapshot benchmark and write JSON results to this path")
 	scanBench := flag.String("scan", "", "run the at-rest scan benchmark and write JSON results to this path")
+	topicBench := flag.String("topic", "", "run the topic store benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *topicBench != "" {
+		rep, err := bench.Topic(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topic benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*topicBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *topicBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *topicBench)
+		return
+	}
 
 	if *scanBench != "" {
 		rep, err := bench.Scan(*quick)

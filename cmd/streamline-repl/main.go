@@ -15,29 +15,42 @@
 //	add count <n> <fn>
 //	add timeorcount <dur-ms> <n> <fn>
 //	remove <query-id>
+//	persist <topic> | persist off        append the live stream to a topic
+//	from topic <name>                    replay a topic through the queries
+//	topics                               list the store's topics
 //	list | stats | show <n> | help | quit
 //
 // Aggregate functions: sum count min max avg var.
+//
+// The topic commands work against an embedded segment-log store (-store DIR,
+// default a fresh temp directory): persist appends every live element as it
+// is pumped, and `from topic` runs the currently registered queries once over
+// the stored history — the same queries over data at rest and in motion.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/cutty"
 	"repro/internal/engine"
+	"repro/internal/seglog"
 	"repro/internal/workloads"
 )
 
 func main() {
 	rate := flag.Int64("rate", 2000, "stream rate (events/second)")
+	storeDir := flag.String("store", "", "topic store directory (default: a fresh temp dir)")
 	flag.Parse()
 
 	r := newRepl(*rate)
+	r.storeDir = *storeDir
 	go r.pump()
 
 	fmt.Println("streamline-repl — live stream running; type 'help' for commands")
@@ -60,14 +73,25 @@ func main() {
 type repl struct {
 	mu      sync.Mutex
 	eng     *cutty.Engine
-	queries map[int]string // id -> description
+	queries map[int]string       // id -> description
+	specs   map[int]engine.Query // id -> spec, so `from topic` can re-register
 	results []engine.Result
 	rate    int64
 	stop    chan struct{}
+
+	storeDir    string        // -store flag; empty means a fresh temp dir
+	store       *seglog.Store // opened lazily on first topic command
+	persist     *seglog.Topic // nil unless `persist <topic>` is active
+	persistName string
 }
 
 func newRepl(rate int64) *repl {
-	r := &repl{queries: make(map[int]string), rate: rate, stop: make(chan struct{})}
+	r := &repl{
+		queries: make(map[int]string),
+		specs:   make(map[int]engine.Query),
+		rate:    rate,
+		stop:    make(chan struct{}),
+	}
 	r.eng = cutty.New(func(res engine.Result) {
 		r.results = append(r.results, res)
 		if len(r.results) > 10000 {
@@ -95,8 +119,42 @@ func (r *repl) pump() {
 		r.mu.Lock()
 		r.eng.OnWatermark(e.Ts)
 		r.eng.OnElement(e.Ts, e.Value)
+		if r.persist != nil {
+			data, _ := json.Marshal(topicEvent{Ts: e.Ts, V: e.Value})
+			if _, err := r.persist.Append(e.Ts, 0, data); err != nil {
+				fmt.Fprintf(os.Stderr, "persist %s: %v (stopping persist)\n", r.persistName, err)
+				r.persist, r.persistName = nil, ""
+			}
+		}
 		r.mu.Unlock()
 	}
+}
+
+// topicEvent is the JSON shape persisted to and replayed from topics.
+type topicEvent struct {
+	Ts int64   `json:"ts"`
+	V  float64 `json:"v"`
+}
+
+// openStore lazily opens the segment-log store; callers hold r.mu.
+func (r *repl) openStore() error {
+	if r.store != nil {
+		return nil
+	}
+	dir := r.storeDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "streamline-repl-topics")
+		if err != nil {
+			return err
+		}
+		dir = d
+	}
+	st, err := seglog.Open(dir, seglog.Options{})
+	if err != nil {
+		return err
+	}
+	r.store = st
+	return nil
 }
 
 // Eval executes one command line and returns the response text and whether
@@ -113,6 +171,9 @@ func (r *repl) Eval(line string) (string, bool) {
 		return "", false
 	case CmdQuit:
 		close(r.stop)
+		if r.store != nil {
+			r.store.Close()
+		}
 		return "bye", true
 	case CmdHelp:
 		return helpText, false
@@ -122,6 +183,7 @@ func (r *repl) Eval(line string) (string, bool) {
 			return "error: " + err.Error(), false
 		}
 		r.queries[id] = cmd.Desc
+		r.specs[id] = engine.Query{Window: cmd.Spec, Fn: cmd.Fn}
 		return fmt.Sprintf("query %d registered: %s", id, cmd.Desc), false
 	case CmdRemove:
 		if _, ok := r.queries[cmd.N]; !ok {
@@ -129,7 +191,71 @@ func (r *repl) Eval(line string) (string, bool) {
 		}
 		r.eng.RemoveQuery(cmd.N)
 		delete(r.queries, cmd.N)
+		delete(r.specs, cmd.N)
 		return fmt.Sprintf("query %d removed", cmd.N), false
+	case CmdTopics:
+		if err := r.openStore(); err != nil {
+			return "error: " + err.Error(), false
+		}
+		names, err := r.store.Topics()
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		if len(names) == 0 {
+			return fmt.Sprintf("no topics in %s", r.store.Dir()), false
+		}
+		out := fmt.Sprintf("topics in %s:\n", r.store.Dir())
+		for _, name := range names {
+			tp, err := r.store.Topic(name)
+			if err != nil {
+				out += fmt.Sprintf("  %s: error: %v\n", name, err)
+				continue
+			}
+			v, err := tp.View()
+			if err != nil {
+				out += fmt.Sprintf("  %s: error: %v\n", name, err)
+				continue
+			}
+			var bytes int64
+			for _, seg := range v.Segments {
+				bytes += seg.Bytes
+			}
+			tag := ""
+			if name == r.persistName {
+				tag = "  (persisting)"
+			}
+			out += fmt.Sprintf("  %s: %d records, %d segments, %d bytes%s\n",
+				name, v.Next-v.Oldest, len(v.Segments), bytes, tag)
+		}
+		return out[:len(out)-1], false
+	case CmdPersist:
+		if cmd.Name == "off" {
+			if r.persist == nil {
+				return "persist is not active", false
+			}
+			name := r.persistName
+			tp := r.persist
+			r.persist, r.persistName = nil, ""
+			if err := tp.Sync(); err != nil {
+				return "error: sync " + name + ": " + err.Error(), false
+			}
+			return fmt.Sprintf("persist to %q stopped (%d records stored)", name, tp.NextOffset()), false
+		}
+		if err := r.openStore(); err != nil {
+			return "error: " + err.Error(), false
+		}
+		tp, err := r.store.Topic(cmd.Name)
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		r.persist, r.persistName = tp, cmd.Name
+		return fmt.Sprintf("persisting live stream to %q in %s (persist off to stop)",
+			cmd.Name, r.store.Dir()), false
+	case CmdFromTopic:
+		if err := r.openStore(); err != nil {
+			return "error: " + err.Error(), false
+		}
+		return r.replayTopic(cmd.Name), false
 	case CmdList:
 		if len(r.queries) == 0 {
 			return "no queries registered", false
@@ -169,6 +295,84 @@ func (r *repl) Eval(line string) (string, bool) {
 	return "error: unhandled command", false
 }
 
+// replayTopic runs the currently registered queries once over a stored
+// topic's history: a fresh Cutty engine, the same specs, a bounded read of
+// everything appended so far. Callers hold r.mu.
+func (r *repl) replayTopic(name string) string {
+	if len(r.specs) == 0 {
+		return "error: no queries registered (add one first)"
+	}
+	tp, err := r.store.Topic(name)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	end := tp.NextOffset()
+	if end == tp.OldestOffset() {
+		return fmt.Sprintf("topic %q is empty", name)
+	}
+
+	var wins []engine.Result
+	replay := cutty.New(func(res engine.Result) { wins = append(wins, res) })
+	ids := make([]int, 0, len(r.specs))
+	for id := range r.specs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, err := replay.AddQuery(r.specs[id]); err != nil {
+			return "error: " + err.Error()
+		}
+	}
+
+	rd, err := tp.ReadFrom(tp.OldestOffset())
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	defer rd.Close()
+	var records, skipped int64
+	minTs, maxTs := int64(0), int64(0)
+	for rd.Pos() < end {
+		rec, ok, err := rd.Next()
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		if !ok {
+			break // a concurrent truncation shrank the topic; stop cleanly
+		}
+		var e topicEvent
+		if err := json.Unmarshal(rec.Payload, &e); err != nil {
+			skipped++
+			continue
+		}
+		if records == 0 || e.Ts < minTs {
+			minTs = e.Ts
+		}
+		if records == 0 || e.Ts > maxTs {
+			maxTs = e.Ts
+		}
+		records++
+		replay.OnWatermark(e.Ts)
+		replay.OnElement(e.Ts, e.V)
+	}
+	// Push the watermark past the last element so every complete window fires.
+	replay.OnWatermark(maxTs + 1)
+
+	out := fmt.Sprintf("replayed %d records from %q (ts %d..%d) through %d queries: %d windows",
+		records, name, minTs, maxTs, len(ids), len(wins))
+	if skipped > 0 {
+		out += fmt.Sprintf(" (%d undecodable records skipped)", skipped)
+	}
+	n := len(wins)
+	if n > 5 {
+		wins = wins[n-5:]
+	}
+	for _, res := range wins {
+		out += fmt.Sprintf("\n  q%d window [%d,%d) value=%.3f count=%d",
+			res.QueryID, res.Start, res.End, res.Value, res.Count)
+	}
+	return out
+}
+
 const helpText = `commands:
   add tumbling <size-ms> <fn>
   add sliding <size-ms> <slide-ms> <fn>
@@ -176,5 +380,8 @@ const helpText = `commands:
   add count <n> <fn>
   add timeorcount <dur-ms> <n> <fn>
   remove <query-id>
+  persist <topic> | persist off
+  from topic <name>
+  topics
   list | stats | show <n> | help | quit
 functions: sum count min max avg var`

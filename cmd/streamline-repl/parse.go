@@ -22,6 +22,9 @@ const (
 	CmdList
 	CmdStats
 	CmdShow
+	CmdTopics
+	CmdPersist
+	CmdFromTopic
 )
 
 // Command is one parsed REPL line.
@@ -31,6 +34,7 @@ type Command struct {
 	Fn   *agg.FnF64  // CmdAdd
 	Desc string      // CmdAdd
 	N    int         // CmdRemove (query id), CmdShow (count)
+	Name string      // CmdPersist ("off" to stop), CmdFromTopic (topic name)
 }
 
 // Parse parses one REPL line. An empty line is CmdNop.
@@ -67,6 +71,21 @@ func Parse(line string) (Command, error) {
 			return Command{}, fmt.Errorf("remove: bad query id %q", fields[1])
 		}
 		return Command{Kind: CmdRemove, N: id}, nil
+	case "topics":
+		if len(fields) != 1 {
+			return Command{}, fmt.Errorf("topics: takes no arguments")
+		}
+		return Command{Kind: CmdTopics}, nil
+	case "persist":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("persist: usage: persist <topic> | persist off")
+		}
+		return Command{Kind: CmdPersist, Name: fields[1]}, nil
+	case "from":
+		if len(fields) != 3 || fields[1] != "topic" {
+			return Command{}, fmt.Errorf("from: usage: from topic <name>")
+		}
+		return Command{Kind: CmdFromTopic, Name: fields[2]}, nil
 	case "add":
 		return parseAdd(fields[1:])
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -18,6 +19,10 @@ func TestParseBasicCommands(t *testing.T) {
 		"show 10":               CmdShow,
 		"remove 3":              CmdRemove,
 		"ADD tumbling 1000 sum": CmdAdd, // case-insensitive
+		"topics":                CmdTopics,
+		"persist sensors":       CmdPersist,
+		"persist off":           CmdPersist,
+		"from topic sensors":    CmdFromTopic,
 	}
 	for line, want := range cases {
 		cmd, err := Parse(line)
@@ -28,6 +33,12 @@ func TestParseBasicCommands(t *testing.T) {
 		if cmd.Kind != want {
 			t.Errorf("Parse(%q).Kind = %d, want %d", line, cmd.Kind, want)
 		}
+	}
+	if cmd, _ := Parse("persist sensors"); cmd.Name != "sensors" {
+		t.Errorf("persist name = %q, want sensors", cmd.Name)
+	}
+	if cmd, _ := Parse("from topic readings"); cmd.Name != "readings" {
+		t.Errorf("from topic name = %q, want readings", cmd.Name)
 	}
 }
 
@@ -65,6 +76,12 @@ func TestParseErrors(t *testing.T) {
 		"remove xyz",
 		"show -3",
 		"show zero",
+		"topics extra",
+		"persist",
+		"persist a b",
+		"from",
+		"from topic",
+		"from file x",
 	} {
 		if _, err := Parse(line); err == nil {
 			t.Errorf("Parse(%q) should fail", line)
@@ -113,6 +130,65 @@ func TestReplEvalLifecycle(t *testing.T) {
 	out, quit = r.Eval("quit")
 	if !quit || out != "bye" {
 		t.Fatalf("quit: %q %v", out, quit)
+	}
+}
+
+func TestReplEvalTopicLifecycle(t *testing.T) {
+	r := newRepl(1000)
+	r.storeDir = t.TempDir()
+
+	out, _ := r.Eval("persist off")
+	if !strings.Contains(out, "not active") {
+		t.Fatalf("persist off while inactive: %q", out)
+	}
+	out, _ = r.Eval("persist sensors")
+	if !strings.Contains(out, `persisting live stream to "sensors"`) {
+		t.Fatalf("persist: %q", out)
+	}
+	// Feed elements through the same path the pump uses (pump is not
+	// running in tests): engine plus the active persist topic.
+	for ts := int64(0); ts < 500; ts++ {
+		r.mu.Lock()
+		data, err := json.Marshal(topicEvent{Ts: ts, V: 1})
+		if err == nil {
+			_, err = r.persist.Append(ts, 0, data)
+		}
+		r.mu.Unlock()
+		if err != nil {
+			t.Fatalf("append ts=%d: %v", ts, err)
+		}
+	}
+	out, _ = r.Eval("persist off")
+	if !strings.Contains(out, "500 records stored") {
+		t.Fatalf("persist off: %q", out)
+	}
+	out, _ = r.Eval("topics")
+	if !strings.Contains(out, "sensors: 500 records") {
+		t.Fatalf("topics: %q", out)
+	}
+
+	out, _ = r.Eval("from topic sensors")
+	if !strings.Contains(out, "error: no queries registered") {
+		t.Fatalf("from topic without queries: %q", out)
+	}
+	if out, _ = r.Eval("add tumbling 100 sum"); !strings.Contains(out, "registered") {
+		t.Fatalf("add: %q", out)
+	}
+	out, _ = r.Eval("from topic sensors")
+	// 500 one-valued events at ts 0..499 through tumbling(100) sum: five
+	// complete windows, each summing to 100.
+	if !strings.Contains(out, `replayed 500 records from "sensors" (ts 0..499) through 1 queries: 5 windows`) {
+		t.Fatalf("from topic: %q", out)
+	}
+	if !strings.Contains(out, "value=100.000 count=100") {
+		t.Fatalf("from topic windows: %q", out)
+	}
+	out, _ = r.Eval("from topic nosuch")
+	if !strings.Contains(out, "is empty") && !strings.Contains(out, "error") {
+		t.Fatalf("from missing topic: %q", out)
+	}
+	if out, quit := r.Eval("quit"); !quit || out != "bye" {
+		t.Fatalf("quit: %q", out)
 	}
 }
 

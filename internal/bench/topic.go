@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seglog"
+	"repro/streamline"
+)
+
+// The topic benchmark records the embedded history store trajectory: raw
+// append throughput into the segment log (by fsync policy), replay of the
+// same records through the splittable Topic source versus the equivalent
+// JSONL file at source parallelism 1 and 4, and follow-mode latency — the
+// time from Append to a tailing reader observing the record. Results are
+// written to BENCH_topic.json by `streamline-bench -topic`.
+
+// TopicAppendRun is one append-throughput measurement.
+type TopicAppendRun struct {
+	Fsync         string  `json:"fsync"`
+	Records       int64   `json:"records"`
+	Bytes         int64   `json:"bytes"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// TopicScanRun is one replay measurement: the same records drained through
+// the Topic source or the equivalent JSONL file.
+type TopicScanRun struct {
+	Source        string  `json:"source"` // "topic" | "jsonl"
+	Parallelism   int     `json:"parallelism"`
+	Records       int64   `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// TopicFollowRun is the follow-mode latency measurement: records appended at
+// a steady interval, each stamped with its append time, read by a tailing
+// reader.
+type TopicFollowRun struct {
+	Records    int64   `json:"records"`
+	IntervalMs float64 `json:"interval_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// TopicReport is the full suite.
+type TopicReport struct {
+	SegmentBytes int64              `json:"segment_bytes"`
+	Append       []TopicAppendRun   `json:"append"`
+	Scan         []TopicScanRun     `json:"scan"`
+	Follow       TopicFollowRun     `json:"follow"`
+	Speedup      map[string]float64 `json:"speedup"`
+}
+
+// topicBenchEvent is the payload shared by the topic and JSONL replays.
+type topicBenchEvent struct {
+	TS int64   `json:"ts"`
+	V  float64 `json:"v"`
+}
+
+// topicAppend measures appending n events under one fsync policy.
+func topicAppend(dir, name string, n int64, opts seglog.Options) (TopicAppendRun, error) {
+	st, err := seglog.Open(filepath.Join(dir, name), opts)
+	if err != nil {
+		return TopicAppendRun{}, err
+	}
+	defer st.Close()
+	tp, err := st.Topic("bench")
+	if err != nil {
+		return TopicAppendRun{}, err
+	}
+	var total int64
+	start := time.Now()
+	for i := int64(0); i < n; i++ {
+		data, err := json.Marshal(topicBenchEvent{TS: i, V: float64(i % 97)})
+		if err != nil {
+			return TopicAppendRun{}, err
+		}
+		if _, err := tp.Append(i, uint64(i%64), data); err != nil {
+			return TopicAppendRun{}, err
+		}
+		total += int64(len(data))
+	}
+	if err := tp.Sync(); err != nil {
+		return TopicAppendRun{}, err
+	}
+	el := time.Since(start).Seconds()
+	fsync := "never"
+	switch opts.Fsync {
+	case seglog.FsyncAlways:
+		fsync = "always"
+	case seglog.FsyncInterval:
+		fsync = fmt.Sprintf("interval(%s)", opts.FsyncEvery)
+	}
+	return TopicAppendRun{
+		Fsync: fsync, Records: n, Bytes: total, Seconds: el,
+		RecordsPerSec: float64(n) / el,
+		MBPerSec:      float64(total) / el / (1 << 20),
+	}, nil
+}
+
+// topicScanInputs materializes the same n events as a topic and a JSONL file.
+func topicScanInputs(dir string, n int64, segBytes int64) (*streamline.TopicStore, string, error) {
+	store, err := streamline.OpenTopicStore(filepath.Join(dir, "scan-store"),
+		streamline.WithSegmentBytes(segBytes))
+	if err != nil {
+		return nil, "", err
+	}
+	tp, err := store.Store().Topic("events")
+	if err != nil {
+		store.Close()
+		return nil, "", err
+	}
+	jsonlPath := filepath.Join(dir, "scan-input.jsonl")
+	f, err := os.Create(jsonlPath)
+	if err != nil {
+		store.Close()
+		return nil, "", err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	for i := int64(0); i < n; i++ {
+		data, err := json.Marshal(topicBenchEvent{TS: i, V: float64(i % 97)})
+		if err == nil {
+			_, err = tp.Append(i, 0, data)
+		}
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			store.Close()
+			return nil, "", err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		store.Close()
+		return nil, "", err
+	}
+	if err := f.Close(); err != nil {
+		store.Close()
+		return nil, "", err
+	}
+	if err := tp.Sync(); err != nil {
+		store.Close()
+		return nil, "", err
+	}
+	return store, jsonlPath, nil
+}
+
+// topicScanOnce drains one replay pipeline and checks the record count.
+func topicScanOnce(src streamline.Source[topicBenchEvent], source string, n int64, par int) (TopicScanRun, error) {
+	env := streamline.New(streamline.WithParallelism(2))
+	s := streamline.From(env, "replay", src, streamline.WithSourceParallelism(par))
+	var count atomic.Int64
+	streamline.Sink(s, "count", func(streamline.Keyed[topicBenchEvent]) { count.Add(1) })
+	start := time.Now()
+	if err := env.Execute(context.Background()); err != nil {
+		return TopicScanRun{}, fmt.Errorf("%s replay p=%d: %w", source, par, err)
+	}
+	el := time.Since(start).Seconds()
+	if got := count.Load(); got != n {
+		return TopicScanRun{}, fmt.Errorf("%s replay p=%d drained %d of %d records", source, par, got, n)
+	}
+	return TopicScanRun{
+		Source: source, Parallelism: par, Records: n, Seconds: el,
+		RecordsPerSec: float64(n) / el,
+	}, nil
+}
+
+// topicFollow measures append→observe latency: an appender stamps each
+// payload with its wall-clock send time, a tailing reader computes the delta
+// on receipt.
+func topicFollow(dir string, n int64, interval time.Duration) (TopicFollowRun, error) {
+	st, err := seglog.Open(filepath.Join(dir, "follow-store"), seglog.Options{})
+	if err != nil {
+		return TopicFollowRun{}, err
+	}
+	defer st.Close()
+	tp, err := st.Topic("follow")
+	if err != nil {
+		return TopicFollowRun{}, err
+	}
+	appendErr := make(chan error, 1)
+	go func() {
+		for i := int64(0); i < n; i++ {
+			payload := strconv.AppendInt(nil, time.Now().UnixNano(), 10)
+			if _, err := tp.Append(i, 0, payload); err != nil {
+				appendErr <- err
+				return
+			}
+			time.Sleep(interval)
+		}
+		appendErr <- nil
+	}()
+
+	rd, err := tp.ReadFrom(0)
+	if err != nil {
+		return TopicFollowRun{}, err
+	}
+	defer rd.Close()
+	lat := make([]float64, 0, n)
+	deadline := time.Now().Add(time.Duration(n)*interval + 30*time.Second)
+	for int64(len(lat)) < n {
+		rec, ok, err := rd.Next()
+		if err != nil {
+			return TopicFollowRun{}, err
+		}
+		if !ok {
+			if time.Now().After(deadline) {
+				return TopicFollowRun{}, fmt.Errorf("follow bench: only %d of %d records observed", len(lat), n)
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		sent, err := strconv.ParseInt(string(rec.Payload), 10, 64)
+		if err != nil {
+			return TopicFollowRun{}, err
+		}
+		lat = append(lat, float64(time.Now().UnixNano()-sent)/1e6)
+	}
+	if err := <-appendErr; err != nil {
+		return TopicFollowRun{}, err
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	return TopicFollowRun{
+		Records: n, IntervalMs: float64(interval.Nanoseconds()) / 1e6,
+		P50Ms: q(0.50), P99Ms: q(0.99), MaxMs: lat[len(lat)-1],
+	}, nil
+}
+
+// Topic runs the topic benchmark suite.
+func Topic(quick bool) (*TopicReport, error) {
+	n := int64(400_000)
+	followN := int64(2_000)
+	if quick {
+		n = 40_000
+		followN = 300
+	}
+	segBytes := int64(8 << 20)
+	dir, err := os.MkdirTemp("", "streamline-topic")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := &TopicReport{SegmentBytes: segBytes, Speedup: map[string]float64{}}
+
+	// Append throughput: the default OS-buffered policy at full size, the
+	// per-record fsync at 1/100 of it (it is orders of magnitude slower).
+	run, err := topicAppend(dir, "append-never", n, seglog.Options{SegmentBytes: segBytes})
+	if err != nil {
+		return nil, err
+	}
+	rep.Append = append(rep.Append, run)
+	run, err = topicAppend(dir, "append-always", n/100, seglog.Options{SegmentBytes: segBytes, Fsync: seglog.FsyncAlways})
+	if err != nil {
+		return nil, err
+	}
+	rep.Append = append(rep.Append, run)
+
+	// Replay: topic vs JSONL over identical records.
+	store, jsonlPath, err := topicScanInputs(dir, n, segBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	splitSize := int64(1 << 20)
+	base := map[int]float64{}
+	for _, par := range []int{1, 4} {
+		jr, err := topicScanOnce(streamline.JSONL[topicBenchEvent](jsonlPath, streamline.WithSplitSize(splitSize)), "jsonl", n, par)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scan = append(rep.Scan, jr)
+		base[par] = jr.RecordsPerSec
+		tr, err := topicScanOnce(streamline.Topic[topicBenchEvent](store, "events", streamline.WithSplitSize(splitSize)), "topic", n, par)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scan = append(rep.Scan, tr)
+		if b := base[par]; b > 0 {
+			rep.Speedup[fmt.Sprintf("topic_vs_jsonl_p%d", par)] = tr.RecordsPerSec / b
+		}
+	}
+
+	follow, err := topicFollow(dir, followN, time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	rep.Follow = follow
+	return rep, nil
+}
+
+// Table renders the report in the experiment-table format.
+func (r *TopicReport) Table() *Table {
+	t := &Table{
+		ID:     "TOPIC",
+		Title:  "embedded history store: segment-log append, replay vs JSONL, follow latency",
+		Claim:  "the engine's own store persists and replays history at file-scan speeds",
+		Header: []string{"phase", "config", "par", "records", "runtime", "records/sec", "MB/sec"},
+	}
+	for _, run := range r.Append {
+		t.Add("append", "fsync="+run.Fsync, "1", fmtCount(float64(run.Records)),
+			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec),
+			fmt.Sprintf("%.0f", run.MBPerSec))
+	}
+	for _, run := range r.Scan {
+		t.Add("replay", run.Source, fmt.Sprintf("%d", run.Parallelism),
+			fmtCount(float64(run.Records)), fmt.Sprintf("%.3fs", run.Seconds),
+			fmtRate(run.RecordsPerSec), "-")
+	}
+	for key, s := range r.Speedup {
+		t.Note("%s: %.2fx records/sec", key, s)
+	}
+	t.Note("follow latency over %d records at %.1fms intervals: p50 %.3fms, p99 %.3fms, max %.3fms",
+		r.Follow.Records, r.Follow.IntervalMs, r.Follow.P50Ms, r.Follow.P99Ms, r.Follow.MaxMs)
+	return t
+}
+
+// WriteJSON records the report (the perf trajectory file BENCH_topic.json).
+func (r *TopicReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

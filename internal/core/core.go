@@ -385,6 +385,14 @@ func (s *Stream) Sink(name string, f func(dataflow.Record)) {
 	}, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
 }
 
+// SinkOperator terminates the stream into a custom stateful operator at
+// parallelism 1. Unlike Sink's plain function, the operator participates in
+// checkpointing (Snapshot/Restore through its OpContext blob) — the hook
+// for exactly-once external sinks such as the topic Persist connector.
+func (s *Stream) SinkOperator(name string, f func() dataflow.Operator) {
+	s.env.graph.AddOperator(name, 1, f, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+}
+
 // Collect terminates the stream into a CollectSink whose records can be read
 // after Execute returns.
 func (s *Stream) Collect(name string) *dataflow.CollectSink {

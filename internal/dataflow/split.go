@@ -73,6 +73,15 @@ type ScanPlan struct {
 	// Header marks the first row of every CSV file as a header to skip.
 	Header bool
 
+	// FixedSplits, when set, replaces filesystem planning entirely: the plan
+	// calls it once for the split list instead of expanding Inputs. Sources
+	// whose inputs are not plain files (segment-log topics) use this to keep
+	// the whole split machinery — dynamic assignment, snapshots, seek-based
+	// restore at any parallelism. On restore the plan does not call it:
+	// splits are rebuilt from the snapshot's own geometry signature, so a
+	// grown input cannot shift the IDs the snapshot refers to.
+	FixedSplits func() ([]Split, error)
+
 	mu       sync.Mutex
 	planned  bool
 	planErr  error
@@ -183,6 +192,27 @@ func (p *ScanPlan) planLocked() error {
 		return p.planErr
 	}
 	p.planned = true
+	if p.FixedSplits != nil {
+		if p.restoreSig != nil {
+			// Restore path: rebuild the exact geometry the snapshot's split
+			// IDs index into, from its signature. The live input may have
+			// grown since the checkpoint; the extra bytes are simply not part
+			// of this plan (a follow-mode tail picks them up instead).
+			p.splits = splitsFromSig(p.restoreSig)
+			p.SplitSize = p.restoreSig.SplitSize
+		} else {
+			splits, err := p.FixedSplits()
+			if err != nil {
+				p.planErr = err
+				return err
+			}
+			p.splits = splits
+		}
+		for _, sp := range p.splits {
+			p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+		}
+		return nil
+	}
 	files, err := p.expandInputs()
 	if err != nil {
 		p.planErr = err
@@ -250,18 +280,49 @@ func (p *ScanPlan) planLocked() error {
 		if fs.quoted {
 			chunk = fs.total // unsplittable: one split per file
 		}
-		for off := int64(0); off < fs.total; off += chunk {
-			end := off + chunk
-			if end > fs.total {
-				end = fs.total
-			}
-			p.splits = append(p.splits, Split{ID: len(p.splits), Path: fs.path, Start: off, End: end})
-		}
+		p.splits = TileSplits(p.splits, fs.path, fs.total, chunk)
 	}
 	for _, sp := range p.splits {
 		p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
 	}
 	return nil
+}
+
+// TileSplits appends byte-range splits tiling [0, total) of the named input
+// in chunks of roughly chunk bytes (chunk <= 0 yields one split covering
+// the whole input), continuing the ID sequence from len(splits). This is
+// the one split-boundary tiling shared by the file planner and fixed-split
+// sources — alignment to record boundaries stays the reader's job (first
+// record starting at or after Start; a record straddling End belongs to the
+// split it starts in).
+func TileSplits(splits []Split, path string, total, chunk int64) []Split {
+	if total <= 0 {
+		return splits
+	}
+	if chunk <= 0 {
+		chunk = total
+	}
+	for off := int64(0); off < total; off += chunk {
+		end := off + chunk
+		if end > total {
+			end = total
+		}
+		splits = append(splits, Split{ID: len(splits), Path: path, Start: off, End: end})
+	}
+	return splits
+}
+
+// splitsFromSig re-derives a fixed-split plan's split list from a snapshot
+// signature: each recorded file re-tiles deterministically at the recorded
+// split size. Valid because fixed-split sources always tile contiguously
+// from byte 0 — signatureLocked's per-file (Size, Splits) fully determines
+// the ranges.
+func splitsFromSig(sig *scanPlanSig) []Split {
+	var splits []Split
+	for _, f := range sig.Files {
+		splits = TileSplits(splits, f.Path, f.Size, sig.SplitSize)
+	}
+	return splits
 }
 
 // acquire pops the next pending split, or ok=false when the scan is
@@ -481,6 +542,9 @@ func (p *ScanPlan) restoreFrom(blobs map[int][]byte, newPar int) error {
 	}
 	if legacyN > 0 && splitN > 0 {
 		return fmt.Errorf("scan restore: snapshot mixes legacy and split-mode source state")
+	}
+	if legacyN > 0 && p.FixedSplits != nil {
+		return fmt.Errorf("scan restore: legacy (pre-split) source state cannot restore a fixed-split source")
 	}
 	if legacyN > 0 {
 		oldPar := maxSub + 1

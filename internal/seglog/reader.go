@@ -1,0 +1,282 @@
+package seglog
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// RangeReader reads the records of one segment whose frames *start* inside
+// a byte range [start, end) — the record-alignment contract of dataflow
+// byte-range splits: a frame straddling end is consumed entirely by the
+// reader whose range it starts in. Ranges come from a frozen View, whose
+// visible end always lands on a frame boundary, so a RangeReader never
+// observes partial frames.
+type RangeReader struct {
+	t    *Topic
+	f    *os.File
+	sc   *frameScanner
+	seg  segment
+	end  int64 // byte-range end (exclusive, by frame start)
+	off  int64 // logical offset of the next record
+	rec  Record
+	nRec int64
+	nByt int64
+}
+
+// OpenRange opens a byte-range reader on the segment at path. start/end
+// bound the range; resumeAt (>= 0) instead positions the reader at an exact
+// logical offset inside the range — the seek-based restore path. The
+// reader aligns forward to the first frame starting at or after the target
+// using the sparse index, falling back to a scan from the segment start if
+// the index misleads.
+func (t *Topic) OpenRange(path string, start, end, resumeAt int64) (*RangeReader, error) {
+	seg, ok := t.segmentByPath(path)
+	if !ok {
+		return nil, fmt.Errorf("seglog: topic %q: segment %s no longer exists (dropped by retention?)", t.name, path)
+	}
+	if end > seg.size {
+		end = seg.size
+	}
+	r := &RangeReader{t: t, seg: seg, end: end}
+	if err := r.open(start, resumeAt); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RangeReader) open(start, resumeAt int64) error {
+	f, err := os.Open(r.seg.path)
+	if err != nil {
+		return fmt.Errorf("seglog: open segment: %w", err)
+	}
+	r.f = f
+	var e indexEntry
+	if resumeAt >= 0 {
+		e = r.seg.seekEntryOff(resumeAt)
+	} else {
+		e = r.seg.seekEntry(start)
+	}
+	if err := r.align(e, start, resumeAt); err == nil {
+		return nil
+	} else if e.Pos == 0 {
+		r.f.Close()
+		return err
+	}
+	// The index pointed somewhere invalid (stale entry after a truncate).
+	// Fall back to scanning from the segment start.
+	e = indexEntry{Off: r.seg.base, Pos: 0}
+	if err := r.align(e, start, resumeAt); err != nil {
+		r.f.Close()
+		return err
+	}
+	return nil
+}
+
+// align positions the scanner on the first frame at/after the target,
+// starting from index entry e.
+func (r *RangeReader) align(e indexEntry, start, resumeAt int64) error {
+	if _, err := r.f.Seek(e.Pos, io.SeekStart); err != nil {
+		return fmt.Errorf("seglog: seek segment: %w", err)
+	}
+	r.sc = newFrameScanner(r.f, e.Pos)
+	r.off = e.Off
+	for {
+		if resumeAt >= 0 {
+			if r.off >= resumeAt {
+				return nil
+			}
+		} else if r.sc.pos >= start {
+			return nil
+		}
+		if r.sc.pos >= r.seg.size {
+			// Ran past the visible end while still below the target: an
+			// empty range (or a resume target at the segment's end).
+			return nil
+		}
+		if _, _, _, ok, err := r.sc.next(); err != nil {
+			return fmt.Errorf("seglog: align at byte %d: %w", r.sc.pos, err)
+		} else if !ok {
+			return nil
+		}
+		r.off++
+	}
+}
+
+// Next returns the next record whose frame starts inside the range. The
+// record's Payload is only valid until the following call. ok=false marks
+// the clean end of the range.
+func (r *RangeReader) Next() (Record, bool, error) {
+	if r.sc.pos >= r.end || r.sc.pos >= r.seg.size {
+		return Record{}, false, nil
+	}
+	before := r.sc.pos
+	ts, key, payload, ok, err := r.sc.next()
+	if err != nil {
+		return Record{}, false, fmt.Errorf("seglog: read %s: %w", r.seg.path, err)
+	}
+	if !ok {
+		return Record{}, false, nil
+	}
+	r.rec = Record{Offset: r.off, Ts: ts, Key: key, Payload: payload}
+	r.off++
+	r.nRec++
+	r.nByt += r.sc.pos - before
+	return r.rec, true, nil
+}
+
+// Pos returns the logical offset of the next unread record — the seek
+// cursor a snapshot stores and a restore passes back as resumeAt.
+func (r *RangeReader) Pos() int64 { return r.off }
+
+// BytePos returns the byte position of the next unread frame.
+func (r *RangeReader) BytePos() int64 { return r.sc.pos }
+
+// Close releases the reader and flushes its read counters to the topic's
+// metrics.
+func (r *RangeReader) Close() error {
+	r.t.scanned(r.nRec, r.nByt)
+	r.nRec, r.nByt = 0, 0
+	return r.f.Close()
+}
+
+// TailReader follows a topic by logical offset across segment boundaries,
+// including the growing active segment. It returns ok=false when caught up
+// (the caller polls); appends become visible after the writer's Flush, and
+// Next nudges the writer's buffer itself when it finds nothing, so a
+// steadily appending topic never stalls a follower for long.
+type TailReader struct {
+	t    *Topic
+	off  int64 // logical offset of the next record
+	seg  segment
+	f    *os.File
+	sc   *frameScanner
+	open bool
+	rec  Record
+	nRec int64
+	nByt int64
+}
+
+// ReadFrom opens a follower positioned at logical offset off.
+func (t *Topic) ReadFrom(off int64) (*TailReader, error) {
+	if off < 0 {
+		off = 0
+	}
+	return &TailReader{t: t, off: off}, nil
+}
+
+// Next returns the next record, or ok=false when the reader has caught up
+// with the visible end of the topic. When caught up it nudges the writer's
+// buffer once (Flush) before giving up, so buffered appends surface without
+// waiting for the writer's own flush. The record's Payload is only valid
+// until the following call.
+func (r *TailReader) Next() (Record, bool, error) {
+	for {
+		if !r.open {
+			seg, ok, err := r.t.tailView(r.off)
+			if err != nil {
+				return Record{}, false, err
+			}
+			if !ok {
+				// Nothing visible at this offset. Poke the writer's buffer
+				// once: under light load frames sit buffered until a flush.
+				if err := r.t.Flush(); err != nil {
+					return Record{}, false, err
+				}
+				if seg, ok, err = r.t.tailView(r.off); err != nil || !ok {
+					return Record{}, false, err
+				}
+			}
+			if err := r.openSegment(seg); err != nil {
+				return Record{}, false, err
+			}
+		}
+		// Bound the read by the open segment's visible bytes.
+		var vis int64
+		if r.seg.records > 0 {
+			// Sealed segment: fixed size, fixed record count.
+			if r.off >= r.seg.base+r.seg.records {
+				r.closeFile()
+				continue
+			}
+			vis = r.seg.size
+		} else {
+			flushed, flushedNext, activeBase := r.t.visibleState()
+			if activeBase != r.seg.base {
+				// Our segment was sealed (and possibly truncated away) since
+				// we opened it; reopen to refresh its metadata.
+				r.closeFile()
+				continue
+			}
+			if r.off >= flushedNext {
+				if err := r.t.Flush(); err != nil {
+					return Record{}, false, err
+				}
+				if flushed, flushedNext, _ = r.t.visibleState(); r.off >= flushedNext {
+					return Record{}, false, nil
+				}
+			}
+			vis = flushed
+		}
+		if r.sc.pos >= vis {
+			return Record{}, false, nil
+		}
+		before := r.sc.pos
+		ts, key, payload, ok, err := r.sc.next()
+		if err != nil {
+			r.closeFile()
+			return Record{}, false, fmt.Errorf("seglog: tail %s: %w", r.seg.path, err)
+		}
+		if !ok {
+			return Record{}, false, nil
+		}
+		r.rec = Record{Offset: r.off, Ts: ts, Key: key, Payload: payload}
+		r.off++
+		r.nRec++
+		r.nByt += r.sc.pos - before
+		return r.rec, true, nil
+	}
+}
+
+func (r *TailReader) openSegment(seg segment) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("seglog: open segment: %w", err)
+	}
+	e := seg.seekEntryOff(r.off)
+	if _, err := f.Seek(e.Pos, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("seglog: seek segment: %w", err)
+	}
+	sc := newFrameScanner(f, e.Pos)
+	// Skip forward from the index entry to the exact logical offset.
+	for cur := e.Off; cur < r.off; cur++ {
+		if _, _, _, ok, err := sc.next(); err != nil || !ok {
+			f.Close()
+			if err == nil {
+				err = fmt.Errorf("offset %d beyond segment", r.off)
+			}
+			return fmt.Errorf("seglog: position tail: %w", err)
+		}
+	}
+	r.seg, r.f, r.sc, r.open = seg, f, sc, true
+	return nil
+}
+
+func (r *TailReader) closeFile() {
+	if r.open {
+		r.f.Close()
+		r.open = false
+	}
+}
+
+// Pos returns the logical offset of the next unread record.
+func (r *TailReader) Pos() int64 { return r.off }
+
+// Close releases the reader and flushes its read counters.
+func (r *TailReader) Close() error {
+	r.t.scanned(r.nRec, r.nByt)
+	r.nRec, r.nByt = 0, 0
+	r.closeFile()
+	return nil
+}

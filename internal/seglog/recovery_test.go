@@ -1,0 +1,244 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Crash-recovery tests: simulate a kill mid-append by mutilating the active
+// segment (and its index) on disk after a hard close, then reopen and
+// assert the topic truncates to the last valid record instead of failing.
+
+// buildAndKill appends n records without closing cleanly (no final sync is
+// simulated by editing the files afterward — the data was flushed, the
+// "crash" is the mutation the caller applies next). Returns the store dir
+// and the active segment path.
+func buildAndKill(t *testing.T, n int) (dir, segPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := Open(dir, Options{IndexEvery: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tp, err := s.Topic("t")
+	if err != nil {
+		t.Fatalf("Topic: %v", err)
+	}
+	appendN(t, tp, n)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	v := filepath.Join(dir, "t", segName(0))
+	return dir, v
+}
+
+func reopen(t *testing.T, dir string) *Topic {
+	t.Helper()
+	s, err := Open(dir, Options{IndexEvery: 64})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	tp, err := s.Topic("t")
+	if err != nil {
+		t.Fatalf("reopen topic: %v", err)
+	}
+	return tp
+}
+
+func TestRecoveryTornTailShortFrame(t *testing.T) {
+	dir, seg := buildAndKill(t, 20)
+	// Chop the file mid-way through the last frame: a short payload.
+	st, _ := os.Stat(seg)
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	tp := reopen(t, dir)
+	if got := tp.NextOffset(); got != 19 {
+		t.Fatalf("NextOffset after torn tail = %d, want 19", got)
+	}
+	recs := readAll(t, tp, 0)
+	if len(recs) != 19 {
+		t.Fatalf("read %d records, want 19", len(recs))
+	}
+	// And the topic keeps working: appends continue at the recovered offset.
+	off, err := tp.Append(0, 0, []byte("after-recovery"))
+	if err != nil || off != 19 {
+		t.Fatalf("append after recovery: off=%d err=%v", off, err)
+	}
+}
+
+func TestRecoveryTornTailShortHeader(t *testing.T) {
+	dir, seg := buildAndKill(t, 10)
+	// Append 7 stray bytes — a crash after writing part of a header.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.Write([]byte("garbage"))
+	f.Close()
+	tp := reopen(t, dir)
+	if got := tp.NextOffset(); got != 10 {
+		t.Fatalf("NextOffset = %d, want 10 (stray header bytes dropped)", got)
+	}
+	if got := len(readAll(t, tp, 0)); got != 10 {
+		t.Fatalf("read %d records, want 10", got)
+	}
+}
+
+func TestRecoveryCorruptCRC(t *testing.T) {
+	dir, seg := buildAndKill(t, 15)
+	// Flip a byte inside the last frame's payload.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+	tp := reopen(t, dir)
+	if got := tp.NextOffset(); got != 14 {
+		t.Fatalf("NextOffset after CRC corruption = %d, want 14", got)
+	}
+}
+
+func TestRecoveryPartialIndex(t *testing.T) {
+	dir, seg := buildAndKill(t, 30)
+	idx := seg[:len(seg)-len(segSuffix)] + idxSuffix
+	// Torn index write: chop mid-entry and append garbage.
+	st, err := os.Stat(idx)
+	if err != nil {
+		t.Fatalf("stat idx: %v", err)
+	}
+	if st.Size() < idxEntryBytes {
+		t.Fatalf("index too small to mutilate: %d bytes", st.Size())
+	}
+	if err := os.Truncate(idx, st.Size()-idxEntryBytes/2); err != nil {
+		t.Fatalf("truncate idx: %v", err)
+	}
+	tp := reopen(t, dir)
+	if got := tp.NextOffset(); got != 30 {
+		t.Fatalf("NextOffset with torn index = %d, want 30", got)
+	}
+	// Positioned reads still work — the index was rebuilt at reopen.
+	v, _ := tp.View()
+	r, err := tp.OpenRange(v.Segments[0].Path, 0, v.Segments[0].Bytes, 25)
+	if err != nil {
+		t.Fatalf("OpenRange after index rebuild: %v", err)
+	}
+	defer r.Close()
+	rec, ok, err := r.Next()
+	if err != nil || !ok || rec.Offset != 25 {
+		t.Fatalf("resume after rebuild: rec=%+v ok=%v err=%v", rec, ok, err)
+	}
+}
+
+func TestRecoveryGarbageIndex(t *testing.T) {
+	dir, seg := buildAndKill(t, 20)
+	idx := seg[:len(seg)-len(segSuffix)] + idxSuffix
+	if err := os.WriteFile(idx, []byte("this is not an index file at all"), 0o644); err != nil {
+		t.Fatalf("write idx: %v", err)
+	}
+	tp := reopen(t, dir)
+	if got := len(readAll(t, tp, 0)); got != 20 {
+		t.Fatalf("read %d records with garbage index, want 20", got)
+	}
+}
+
+func TestRecoveryStaleIndexFallsBackToScan(t *testing.T) {
+	// A stale index entry pointing past a truncate must degrade a
+	// positioned read to a scan, not corrupt it. Build the scenario by
+	// hand-writing a bogus index while the store is closed.
+	dir, seg := buildAndKill(t, 20)
+	idx := seg[:len(seg)-len(segSuffix)] + idxSuffix
+	st, _ := os.Stat(seg)
+	// One absurd entry: offset 5 claims to start 1 byte before EOF.
+	g := &segment{base: 0, path: seg, size: st.Size()}
+	g.idx = []indexEntry{{Off: 5, Pos: st.Size() - 1}}
+	if err := writeIndex(g); err != nil {
+		t.Fatalf("writeIndex: %v", err)
+	}
+	_ = idx
+	tp := reopen(t, dir)
+	// Reopen rebuilds the index from the recovery scan, so even the bogus
+	// entry is gone; the read must return every record.
+	if got := len(readAll(t, tp, 0)); got != 20 {
+		t.Fatalf("read %d records, want 20", got)
+	}
+}
+
+func TestRecoveryMultiSegmentTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 256, IndexEvery: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tp, _ := s.Topic("t")
+	appendN(t, tp, 40)
+	v, _ := tp.View()
+	if len(v.Segments) < 2 {
+		t.Fatalf("need multiple segments")
+	}
+	last := v.Segments[len(v.Segments)-1]
+	total := tp.NextOffset()
+	s.Close()
+
+	// Tear the active segment's tail.
+	st, _ := os.Stat(last.Path)
+	if st.Size() == 0 {
+		t.Skip("active segment empty after roll")
+	}
+	if err := os.Truncate(last.Path, st.Size()-3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	tp2 := reopen(t, dir)
+	if got := tp2.NextOffset(); got != total-1 {
+		t.Fatalf("NextOffset = %d, want %d (one record lost from the active segment only)", got, total-1)
+	}
+	recs := readAll(t, tp2, 0)
+	if int64(len(recs)) != total-1 {
+		t.Fatalf("read %d records, want %d", len(recs), total-1)
+	}
+	for i, rec := range recs {
+		if rec.Offset != int64(i) {
+			t.Fatalf("record %d has offset %d", i, rec.Offset)
+		}
+	}
+}
+
+func TestRecoveryEmptyActiveSegment(t *testing.T) {
+	dir, seg := buildAndKill(t, 0)
+	if st, err := os.Stat(seg); err != nil || st.Size() != 0 {
+		t.Fatalf("expected empty segment: %v", err)
+	}
+	tp := reopen(t, dir)
+	if got := tp.NextOffset(); got != 0 {
+		t.Fatalf("NextOffset = %d, want 0", got)
+	}
+	appendN(t, tp, 3)
+	if got := len(readAll(t, tp, 0)); got != 3 {
+		t.Fatalf("read %d records, want 3", got)
+	}
+}
+
+func TestRecoveryPreservesKeysAndTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	tp, _ := s.Topic("t")
+	for i := 0; i < 10; i++ {
+		if _, err := tp.Append(int64(1000+i), uint64(i*i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+	tp2 := reopen(t, dir)
+	recs := readAll(t, tp2, 0)
+	for i, rec := range recs {
+		if rec.Ts != int64(1000+i) || rec.Key != uint64(i*i) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+}

@@ -270,13 +270,24 @@ type fileOptionFunc func(*fileConfig)
 
 func (f fileOptionFunc) applyFile(c *fileConfig) { f(c) }
 
-// WithSplitSize sets the target byte-range split length of a file connector
-// (default streamline.DefaultSplitSize). Smaller splits spread a few files
+// splitSizeOption configures the split length of both the file connectors
+// and the Topic source — one option value satisfying both option interfaces.
+type splitSizeOption int64
+
+func (o splitSizeOption) applyFile(c *fileConfig)   { c.splitSize = int64(o) }
+func (o splitSizeOption) applyTopic(c *topicConfig) { c.splitSize = int64(o) }
+
+// WithSplitSize sets the target byte-range split length of a splittable
+// connector — the file connectors (JSONL, CSV) and the Topic source alike
+// (default streamline.DefaultSplitSize). Smaller splits spread a few inputs
 // across more subtasks and tighten the re-read window after a recovery;
 // larger splits amortize per-split open/seek overhead. Purely physical: the
 // records produced are identical at every split size.
-func WithSplitSize(bytes int64) FileOption {
-	return fileOptionFunc(func(c *fileConfig) { c.splitSize = bytes })
+func WithSplitSize(bytes int64) interface {
+	FileOption
+	TopicOption
+} {
+	return splitSizeOption(bytes)
 }
 
 // DefaultSplitSize is the split length of file connectors that do not choose

@@ -65,6 +65,40 @@
 // stream, with snapshot state recording phase and position so exactly-once
 // recovery works across the handoff.
 //
+// # Topics: the embedded history store
+//
+// Files are history the user already has; topics are history the system
+// keeps for itself. OpenTopicStore opens a directory of named topics, each
+// an append-only log of length-prefixed, CRC-checked, timestamped records
+// in rolling segment files. Persist(stream, store, "clicks") terminates a
+// pipeline into a topic, and Topic[T](store, "clicks") replays it as a
+// source — so Hybrid(Topic(store, "clicks"), Channel(live)) bootstraps a
+// new job from the system's own retained history and continues live,
+// closing the paper's at-rest→in-motion handoff into a loop.
+//
+// Topic sources are splittable exactly like files: sealed segments are
+// planned into byte-range splits (WithSplitSize), assigned dynamically,
+// snapshot as (split, byte offset), and restore at a different source
+// parallelism. WithFollow turns a bounded topic replay into a tailing read
+// that emits a handoff watermark at the stored high-water mark and then
+// streams new appends as they land (follow mode runs at source
+// parallelism 1).
+//
+// Durability and footprint are store options: WithFsync picks the flush
+// policy (FsyncNever — OS-buffered, the default; FsyncAlways — fsync per
+// append; FsyncInterval — at most every WithFsync period), WithSegmentBytes
+// and WithSegmentAge control segment roll, and WithRetention drops whole
+// sealed segments once the topic exceeds a byte or age budget. On open, a
+// torn tail (a partial record from a crash mid-append) is truncated away;
+// everything before it is intact.
+//
+// Persist is checkpoint-integrated: each snapshot records the topic's
+// high-water offset, and a restored run truncates the topic back to that
+// offset before resuming, so records appended after the checkpoint are not
+// duplicated — the topic holds exactly-once output with respect to the
+// restored lineage. A fresh (non-restored) run appends after whatever the
+// topic already holds.
+//
 // Custom connectors implement Source[T]/Reader[T] directly: Next reports
 // elements plus a ReadStatus (data, watermark, idle, end, handoff), and
 // Snapshot/Restore serialize the read position for exactly-once recovery

@@ -1,0 +1,578 @@
+package streamline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/seglog"
+)
+
+// Embedded history store: append-only segment-log topics. A TopicStore is a
+// directory of topics; Persist writes a stream into one (exactly-once under
+// checkpointing), Topic replays one as a bounded at-rest source — or, with
+// WithFollow, as an unbounded source that replays the history and then tails
+// new appends. Hybrid(Topic(store, "t"), Channel(live)) is the paper's
+// bootstrap scenario with the history kept by the engine itself.
+
+// ---- store -----------------------------------------------------------------
+
+// TopicStore is a handle on a directory of segment-log topics. One store
+// value owns each topic's single writer: open it once per process and share
+// it between the Persist sinks and Topic sources that use it.
+type TopicStore struct {
+	s *seglog.Store
+}
+
+// TopicStoreOption configures an OpenTopicStore call.
+type TopicStoreOption func(*seglog.Options)
+
+// WithSegmentBytes rolls a topic's active segment when it reaches this size
+// (default seglog.DefaultSegmentBytes). Smaller segments mean more splits
+// for parallel replay and finer-grained retention.
+func WithSegmentBytes(n int64) TopicStoreOption {
+	return func(o *seglog.Options) { o.SegmentBytes = n }
+}
+
+// WithSegmentAge additionally rolls a non-empty active segment older than
+// age (checked on append; 0 disables time-based roll).
+func WithSegmentAge(age time.Duration) TopicStoreOption {
+	return func(o *seglog.Options) { o.SegmentAge = age }
+}
+
+// WithRetention bounds each topic: the oldest sealed segments are deleted
+// while the topic exceeds maxBytes total (0 = unlimited) or holds segments
+// whose newest data is older than maxAge (0 = forever). The active segment
+// is never deleted. Replaying offsets that retention has dropped fails
+// loudly rather than silently skipping.
+func WithRetention(maxBytes int64, maxAge time.Duration) TopicStoreOption {
+	return func(o *seglog.Options) { o.RetainBytes, o.RetainAge = maxBytes, maxAge }
+}
+
+// FsyncPolicy picks when appended bytes are forced to disk; re-exported from
+// the engine's segment log.
+type FsyncPolicy = seglog.FsyncPolicy
+
+const (
+	// FsyncNever (the default) leaves durability to the OS; segment rolls,
+	// store close and checkpoint syncs still fsync, so checkpointed offsets
+	// are always durable. A crash may lose the unsynced tail — recovery
+	// truncates the topic to its last valid record.
+	FsyncNever = seglog.FsyncNever
+	// FsyncAlways syncs after every append: no loss window, slowest.
+	FsyncAlways = seglog.FsyncAlways
+	// FsyncInterval syncs at most once per WithFsync interval, bounding the
+	// loss window by time.
+	FsyncInterval = seglog.FsyncInterval
+)
+
+// WithFsync sets the store's durability policy. every is the FsyncInterval
+// period (ignored by the other policies; <= 0 uses the default).
+func WithFsync(policy FsyncPolicy, every time.Duration) TopicStoreOption {
+	return func(o *seglog.Options) { o.Fsync, o.FsyncEvery = policy, every }
+}
+
+// OpenTopicStore opens (creating if needed) a segment-log topic store rooted
+// at dir. Existing topics recover on first use: a torn tail left by a crash
+// is truncated to the last valid record and the sparse index is rebuilt.
+func OpenTopicStore(dir string, opts ...TopicStoreOption) (*TopicStore, error) {
+	var o seglog.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s, err := seglog.Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &TopicStore{s: s}, nil
+}
+
+// Dir returns the store's root directory.
+func (ts *TopicStore) Dir() string { return ts.s.Dir() }
+
+// Topics lists the store's topic names, sorted.
+func (ts *TopicStore) Topics() ([]string, error) { return ts.s.Topics() }
+
+// Metrics returns the store's registry: per-topic append/scan counters and
+// segment/size gauges under "topic.<name>.".
+func (ts *TopicStore) Metrics() *metrics.Registry { return ts.s.Metrics() }
+
+// Store exposes the underlying segment log (diagnostics and direct access).
+func (ts *TopicStore) Store() *seglog.Store { return ts.s }
+
+// Close flushes and closes every open topic.
+func (ts *TopicStore) Close() error { return ts.s.Close() }
+
+// ---- topic source ----------------------------------------------------------
+
+// TopicOption configures a Topic source.
+type TopicOption interface{ applyTopic(*topicConfig) }
+
+type topicConfig struct {
+	splitSize int64
+	follow    bool
+}
+
+type topicOptionFunc func(*topicConfig)
+
+func (f topicOptionFunc) applyTopic(c *topicConfig) { f(c) }
+
+// WithFollow switches a Topic source from bounded replay to follow mode: it
+// replays the history frozen at job start, emits the handoff watermark, then
+// tails records appended after the freeze — an unbounded source. Follow mode
+// runs at source parallelism 1 (the history replay still uses splits within
+// that subtask's plan; the tail is a single ordered cursor).
+func WithFollow() TopicOption {
+	return topicOptionFunc(func(c *topicConfig) { c.follow = true })
+}
+
+// Topic returns a source replaying a segment-log topic's records, decoded
+// from JSON into T with their stored event timestamps and keys. The replay
+// is bounded by the topic's visible end at planning time (a frozen view):
+// segments are chopped into byte-range splits (WithSplitSize) assigned
+// dynamically to the stage's subtasks, exactly like the file scans —
+// snapshots record (split, offset), recovery seeks, and a restore may run at
+// a different source parallelism. WithFollow makes the source unbounded:
+// history first, then the growing tail.
+func Topic[T any](store *TopicStore, topic string, opts ...TopicOption) Source[T] {
+	var cfg topicConfig
+	for _, o := range opts {
+		o.applyTopic(&cfg)
+	}
+	return &topicSource[T]{store: store, topic: topic, cfg: cfg}
+}
+
+type topicSource[T any] struct {
+	store *TopicStore
+	topic string
+	cfg   topicConfig
+	state *topicScanState
+}
+
+// topicScanState is the per-stage shared state of one topic replay: the
+// split assigner over the frozen view, and the view's end offset — where a
+// follow-mode tail starts.
+type topicScanState struct {
+	plan *dataflow.ScanPlan
+	end  atomic.Int64 // next-offset of the frozen view; -1 until planned
+}
+
+func (t *topicSource[T]) newState() *topicScanState {
+	st := &topicScanState{}
+	st.end.Store(-1)
+	split := t.cfg.splitSize
+	if split <= 0 {
+		split = DefaultSplitSize
+	}
+	st.plan = &dataflow.ScanPlan{SplitSize: split, FixedSplits: func() ([]dataflow.Split, error) {
+		tp, err := t.store.s.Topic(t.topic)
+		if err != nil {
+			return nil, err
+		}
+		v, err := tp.View()
+		if err != nil {
+			return nil, err
+		}
+		var splits []dataflow.Split
+		for _, g := range v.Segments {
+			splits = dataflow.TileSplits(splits, g.Path, g.Bytes, split)
+		}
+		st.end.Store(v.Next)
+		return splits, nil
+	}}
+	return st
+}
+
+// openShared implements sharedOpener: the stage's slot holds the shared scan
+// state, like the file connectors' plan.
+func (t *topicSource[T]) openShared(slot *any, sub, par int) Reader[T] {
+	if sub == 0 || *slot == nil {
+		*slot = t.newState()
+	}
+	return t.open((*slot).(*topicScanState), sub, par)
+}
+
+func (t *topicSource[T]) Open(sub, par int) Reader[T] {
+	// Direct-use fallback; see jsonlSource.Open.
+	if sub == 0 || t.state == nil {
+		t.state = t.newState()
+	}
+	return t.open(t.state, sub, par)
+}
+
+// PreferredParallelism implements ParallelismHinter: a follow-mode tail is a
+// single cursor, so the stage defaults to one subtask; bounded replay leaves
+// the choice to the environment (splits spread across any parallelism).
+func (t *topicSource[T]) PreferredParallelism() int {
+	if t.cfg.follow {
+		return 1
+	}
+	return 0
+}
+
+func (t *topicSource[T]) open(st *topicScanState, sub, par int) Reader[T] {
+	scan := &dataflow.SplitScanSource{
+		Plan: st.plan, Subtask: sub, Parallelism: par,
+		Reader: &topicSplitReader[T]{store: t.store, topic: t.topic},
+	}
+	hist := &funcReader[T]{src: scan}
+	if !t.cfg.follow {
+		return hist
+	}
+	if par > 1 {
+		return &errReader[T]{err: fmt.Errorf(
+			"streamline: topic %q: follow mode runs at source parallelism 1, got %d (drop WithSourceParallelism or WithFollow)",
+			t.topic, par)}
+	}
+	return &topicFollowReader[T]{
+		store: t.store, topic: t.topic, st: st, hist: hist,
+		end: -1, tailOff: -1, poll: 10 * time.Millisecond,
+	}
+}
+
+// errReader fails a misconfigured source: Next ends the stream immediately
+// and Err surfaces the reason when the runtime inspects it at end of stream.
+type errReader[T any] struct {
+	err error
+}
+
+func (r *errReader[T]) Next() (Keyed[T], ReadStatus) { return Keyed[T]{}, ReadEnd }
+func (r *errReader[T]) Snapshot() ([]byte, error)    { return nil, r.err }
+func (r *errReader[T]) Restore([]byte) error         { return r.err }
+func (r *errReader[T]) Err() error                   { return r.err }
+
+// topicSplitReader adapts a seglog topic to the engine's SplitReader: splits
+// address (segment path, byte range), resume positions are logical offsets.
+type topicSplitReader[T any] struct {
+	store   *TopicStore
+	topic   string
+	rr      *seglog.RangeReader
+	lastPos int64
+}
+
+func (r *topicSplitReader[T]) OpenSplit(sp dataflow.Split, resumeAt int64) error {
+	if r.rr != nil {
+		r.rr.Close()
+		r.rr = nil
+	}
+	tp, err := r.store.s.Topic(r.topic)
+	if err != nil {
+		return err
+	}
+	rr, err := tp.OpenRange(sp.Path, sp.Start, sp.End, resumeAt)
+	if err != nil {
+		return err
+	}
+	r.rr = rr
+	r.lastPos = rr.BytePos()
+	return nil
+}
+
+func (r *topicSplitReader[T]) NextInSplit() (dataflow.Record, bool, error) {
+	rec, ok, err := r.rr.Next()
+	if err != nil || !ok {
+		return dataflow.Record{}, false, err
+	}
+	var v T
+	if err := json.Unmarshal(rec.Payload, &v); err != nil {
+		return dataflow.Record{}, false, fmt.Errorf("topic %q offset %d: decode %s: %w", r.topic, rec.Offset, typeName[T](), err)
+	}
+	return dataflow.Data(rec.Ts, rec.Key, v), true, nil
+}
+
+func (r *topicSplitReader[T]) Pos() int64 {
+	return r.rr.Pos()
+}
+
+func (r *topicSplitReader[T]) Bytes() int64 {
+	if r.rr == nil {
+		return 0
+	}
+	cur := r.rr.BytePos()
+	n := cur - r.lastPos
+	r.lastPos = cur
+	return n
+}
+
+func (r *topicSplitReader[T]) Close() error {
+	if r.rr == nil {
+		return nil
+	}
+	err := r.rr.Close()
+	r.rr = nil
+	return err
+}
+
+// topicFollowReader is the follow-mode reader: a splittable history replay
+// over the frozen view, a handoff watermark at the history's max event time,
+// then an ordered tail from the view's end — the hybrid shape with both
+// phases served by one topic.
+type topicFollowReader[T any] struct {
+	store *TopicStore
+	topic string
+	st    *topicScanState
+	hist  Reader[T]
+	tr    *seglog.TailReader
+
+	inTail  bool
+	end     int64 // tail start = frozen view's next-offset; -1 until known
+	tailOff int64 // next offset the tail reads; -1 until the handoff
+	maxTs   int64
+	haveTs  bool
+	poll    time.Duration
+	err     error
+}
+
+type topicFollowState struct {
+	Tail    bool
+	End     int64
+	TailOff int64
+	MaxTs   int64
+	HaveTs  bool
+	Hist    []byte
+}
+
+func (r *topicFollowReader[T]) fail(err error) (Keyed[T], ReadStatus) {
+	r.err = err
+	return Keyed[T]{}, ReadEnd
+}
+
+func (r *topicFollowReader[T]) Next() (Keyed[T], ReadStatus) {
+	if r.err != nil {
+		return Keyed[T]{}, ReadEnd
+	}
+	if !r.inTail {
+		k, st := r.hist.Next()
+		switch st {
+		case ReadData:
+			if k.Ts > r.maxTs || !r.haveTs {
+				r.maxTs, r.haveTs = k.Ts, true
+			}
+			return k, ReadData
+		case ReadWatermark, ReadIdle, ReadHandoff:
+			return k, st
+		}
+		// History replay finished — or failed; a failed history ends the
+		// stream (the runtime inspects Err at end of stream) instead of
+		// tailing forever past a truncated replay.
+		if readerErr(r.hist) != nil {
+			return Keyed[T]{}, ReadEnd
+		}
+		// Hand off to the tail in this same call, like hybridReader: a
+		// checkpoint can never fall between the phase switch and the signal.
+		r.inTail = true
+		if r.end < 0 {
+			r.end = r.st.end.Load()
+		}
+		if r.tailOff < 0 {
+			r.tailOff = r.end
+		}
+		ts := int64(minInt64)
+		if r.haveTs {
+			ts = r.maxTs
+		}
+		return Keyed[T]{Ts: ts}, ReadHandoff
+	}
+	if r.tr == nil {
+		tp, err := r.store.s.Topic(r.topic)
+		if err != nil {
+			return r.fail(err)
+		}
+		tr, err := tp.ReadFrom(r.tailOff)
+		if err != nil {
+			return r.fail(err)
+		}
+		r.tr = tr
+	}
+	rec, ok, err := r.tr.Next()
+	if err != nil {
+		return r.fail(err)
+	}
+	if !ok {
+		// Caught up with the visible end; back off briefly before the
+		// runtime polls again.
+		time.Sleep(r.poll)
+		return Keyed[T]{}, ReadIdle
+	}
+	r.tailOff = r.tr.Pos()
+	var v T
+	if err := json.Unmarshal(rec.Payload, &v); err != nil {
+		return r.fail(fmt.Errorf("topic %q offset %d: decode %s: %w", r.topic, rec.Offset, typeName[T](), err))
+	}
+	return Keyed[T]{Ts: rec.Ts, Key: rec.Key, Value: v}, ReadData
+}
+
+// CanHandoff marks the reader as a ReadHandoff emitter (stage-wide handoff
+// watermark tracking).
+func (r *topicFollowReader[T]) CanHandoff() bool { return true }
+
+// CrossedHandoff reports whether the reader is past the history phase.
+func (r *topicFollowReader[T]) CrossedHandoff() bool { return r.inTail }
+
+// Unordered reports the history scan's contract while replaying; the tail
+// emits in append order.
+func (r *topicFollowReader[T]) Unordered() bool {
+	if !r.inTail {
+		return readerUnordered(r.hist)
+	}
+	return false
+}
+
+func (r *topicFollowReader[T]) Snapshot() ([]byte, error) {
+	// The history snapshot forces planning (the scan signature), so the
+	// frozen view's end is always known by the time it is read below.
+	hist, err := r.hist.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("topic %q history snapshot: %w", r.topic, err)
+	}
+	end := r.end
+	if end < 0 {
+		end = r.st.end.Load()
+	}
+	tailOff := r.tailOff
+	if tailOff < 0 {
+		tailOff = end
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(topicFollowState{
+		Tail: r.inTail, End: end, TailOff: tailOff, MaxTs: r.maxTs, HaveTs: r.haveTs, Hist: hist,
+	})
+	return buf.Bytes(), err
+}
+
+func (r *topicFollowReader[T]) Restore(blob []byte) error {
+	return r.RestoreAll(0, 1, map[int][]byte{0: blob})
+}
+
+// RestoreAll implements MultiRestorer. Follow mode runs single-subtask, but
+// the aggregation mirrors hybridReader's for robustness: the stage re-enters
+// the history phase unless every snapshotted subtask had crossed the
+// handoff, and the tail resumes at the furthest recorded offset.
+func (r *topicFollowReader[T]) RestoreAll(subtask, parallelism int, blobs map[int][]byte) error {
+	hist := make(map[int][]byte, len(blobs))
+	allTail := true
+	end, tailOff := int64(-1), int64(-1)
+	var maxTs int64
+	haveTs := false
+	for sub, blob := range blobs {
+		var s topicFollowState
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+			return fmt.Errorf("topic %q restore: %w", r.topic, err)
+		}
+		hist[sub] = s.Hist
+		if !s.Tail {
+			allTail = false
+		}
+		if s.End > end {
+			end = s.End
+		}
+		if s.TailOff > tailOff {
+			tailOff = s.TailOff
+		}
+		if s.HaveTs && (!haveTs || s.MaxTs > maxTs) {
+			maxTs, haveTs = s.MaxTs, true
+		}
+	}
+	if err := restoreReaderAll(r.hist, subtask, parallelism, hist); err != nil {
+		return fmt.Errorf("topic %q history restore: %w", r.topic, err)
+	}
+	r.inTail = allTail
+	r.end, r.tailOff = end, tailOff
+	r.maxTs, r.haveTs = maxTs, haveTs
+	r.err, r.tr = nil, nil
+	return nil
+}
+
+// OpenSource forwards the runtime's per-subtask context to the history scan.
+func (r *topicFollowReader[T]) OpenSource(ctx *dataflow.OpContext) { openReader(r.hist, ctx) }
+
+func (r *topicFollowReader[T]) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	return readerErr(r.hist)
+}
+
+// ---- persist sink ----------------------------------------------------------
+
+// Persist terminates the stream into a segment-log topic: every record is
+// appended as one JSON document with its event timestamp and key, replayable
+// later with Topic. The sink runs at parallelism 1 (one writer per topic)
+// and participates in checkpointing: each snapshot syncs the topic and
+// records its high-water offset, and a restore truncates the topic back to
+// that offset before appending — records written after the checkpoint are
+// not duplicated (the no-double-append contract). Exactly-once therefore
+// holds within a checkpoint/restore lineage; a re-run from scratch appends
+// after the topic's existing records.
+func Persist[T any](s *Stream[T], store *TopicStore, topic string) {
+	s.inner.SinkOperator("persist("+topic+")", func() dataflow.Operator {
+		return &persistOp{store: store.s, topic: topic}
+	})
+}
+
+// persistOp is the stateful sink operator behind Persist.
+type persistOp struct {
+	dataflow.Base
+	store *seglog.Store
+	topic string
+	t     *seglog.Topic
+	err   error
+}
+
+func (p *persistOp) Open(ctx *dataflow.OpContext) error {
+	t, err := p.store.Topic(p.topic)
+	if err != nil {
+		return err
+	}
+	p.t = t
+	if len(ctx.Restore) > 0 {
+		off, err := decodeCursor(ctx.Restore)
+		if err != nil {
+			return fmt.Errorf("persist %q: restore: %w", p.topic, err)
+		}
+		// Drop whatever was appended after the checkpoint: the replayed
+		// records are about to be appended again.
+		if err := t.TruncateTo(off); err != nil {
+			return fmt.Errorf("persist %q: truncate to checkpointed offset %d: %w", p.topic, off, err)
+		}
+	}
+	return nil
+}
+
+func (p *persistOp) OnRecord(r dataflow.Record, out dataflow.Collector) {
+	if p.err != nil {
+		return
+	}
+	data, err := json.Marshal(r.Value)
+	if err != nil {
+		p.err = fmt.Errorf("persist %q: encode: %w", p.topic, err)
+		return
+	}
+	if _, err := p.t.Append(r.Ts, r.Key, data); err != nil {
+		p.err = fmt.Errorf("persist %q: %w", p.topic, err)
+	}
+}
+
+// Snapshot syncs the topic and records its high-water offset — and is also
+// where a failed append surfaces to fail the job (sink operators have no
+// mid-stream error channel).
+func (p *persistOp) Snapshot() ([]byte, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.t.Sync(); err != nil {
+		return nil, fmt.Errorf("persist %q: sync: %w", p.topic, err)
+	}
+	return encodeCursor(p.t.NextOffset())
+}
+
+func (p *persistOp) Finish(out dataflow.Collector) {
+	if p.err == nil {
+		p.err = p.t.Sync()
+	}
+}
