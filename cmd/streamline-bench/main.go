@@ -22,6 +22,10 @@
 //	                              # topic store benchmark only: segment-log
 //	                              # append throughput, Topic-vs-JSONL replay,
 //	                              # follow-mode latency, results to JSON
+//	streamline-bench -net BENCH_net.json
+//	                              # exchange transport benchmark only:
+//	                              # in-process channels vs loopback TCP at
+//	                              # batch sizes 1/64/256, results to JSON
 package main
 
 import (
@@ -40,7 +44,23 @@ func main() {
 	stateBench := flag.String("state", "", "run the keyed-state snapshot benchmark and write JSON results to this path")
 	scanBench := flag.String("scan", "", "run the at-rest scan benchmark and write JSON results to this path")
 	topicBench := flag.String("topic", "", "run the topic store benchmark and write JSON results to this path")
+	netBench := flag.String("net", "", "run the exchange transport benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *netBench != "" {
+		rep, err := bench.Net(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*netBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *netBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *netBench)
+		return
+	}
 
 	if *topicBench != "" {
 		rep, err := bench.Topic(*quick)

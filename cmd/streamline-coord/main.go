@@ -1,0 +1,53 @@
+// Command streamline-coord runs a named demo pipeline as the coordinator
+// of a distributed STREAMLINE job: it listens for -workers worker processes
+// (cmd/streamline-worker), distributes the plan, injects checkpoint
+// barriers, and prints the pipeline's deterministic output. With
+// -workers 0 it runs the identical pipeline single-process — diffing the
+// two outputs is the distribution smoke test.
+//
+//	streamline-coord -pipeline wordcount -workers 2 -listen 127.0.0.1:7171
+//	streamline-coord -pipeline wordcount -workers 0
+//
+// Arguments after the flags are passed to the pipeline builder, e.g.
+//
+//	streamline-coord -pipeline windowed -workers 2 -- -events 12000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/pipelines"
+	"repro/streamline"
+)
+
+func main() {
+	pipeline := flag.String("pipeline", "wordcount", "registered pipeline to run")
+	workers := flag.Int("workers", 0, "worker processes to wait for (0: single-process)")
+	listen := flag.String("listen", "127.0.0.1:7171", "control listen address (with -workers > 0)")
+	out := flag.String("out", "", "write results to this file (default: stdout)")
+	flag.Parse()
+
+	extra := []streamline.Option{streamline.WithWorkers(*workers)}
+	if *workers > 0 {
+		extra = append(extra, streamline.WithListenAddr(*listen))
+	}
+	env, render, err := pipelines.Build(*pipeline, flag.Args(), extra...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := env.ExecuteDistributed(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	text := render()
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+// Command streamline-worker executes one worker's share of a distributed
+// STREAMLINE job. It dials the coordinator (cmd/streamline-coord), receives
+// the plan, rebuilds the named pipeline from the shared registry, verifies
+// the plan fingerprint, and runs its assigned subtasks over loopback TCP.
+//
+//	streamline-worker -coord 127.0.0.1:7171
+//
+// The initial dial retries for -dial-timeout, so workers may start before
+// the coordinator is listening.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"syscall"
+	"time"
+
+	"repro/internal/pipelines"
+	"repro/streamline"
+)
+
+func main() {
+	coord := flag.String("coord", "127.0.0.1:7171", "coordinator control address")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "how long to retry the initial dial")
+	flag.Parse()
+
+	pipelines.RegisterAll()
+	deadline := time.Now().Add(*dialTimeout)
+	for {
+		err := streamline.RunRegisteredWorker(context.Background(), *coord)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, syscall.ECONNREFUSED) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		log.Fatal(err)
+	}
+}

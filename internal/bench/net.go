@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/streamline"
+)
+
+// The net benchmark records the cost of moving the exchange off-heap: the
+// same keyed-shuffle pipeline runs single-process (in-process channel
+// exchange) and distributed across two workers over loopback TCP (gob-framed
+// record batches), at batch sizes 1, 64 and 256. The batch-size sweep is the
+// point: per-record framing drowns in syscall and encoder overhead, while at
+// the default batch size the TCP plane is expected to hold at least half the
+// in-process rate. Results are written to BENCH_net.json by
+// `streamline-bench -net`. The workers run as goroutines of this process —
+// the wire is real loopback TCP; only process isolation is elided, keeping
+// the measurement about the transport.
+
+// NetRun is one (transport, batch size) measurement.
+type NetRun struct {
+	Transport     string  `json:"transport"` // "in-process" | "loopback-tcp"
+	BatchSize     int     `json:"batch_size"`
+	Records       int64   `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// NetReport is the full sweep plus the loopback/in-process throughput ratio
+// per batch size.
+type NetReport struct {
+	Workers int             `json:"workers"`
+	Runs    []NetRun        `json:"runs"`
+	Ratio   map[int]float64 `json:"ratio"`
+}
+
+// netEnv builds the benchmark pipeline: a deterministic generator keyed 256
+// ways into a hash-shuffled sum, combiner off so every record crosses the
+// exchange — in-process channels single-process, gob-over-TCP distributed.
+func netEnv(n int64, batchSize, workers int, extra ...streamline.Option) *streamline.Env {
+	opts := append([]streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithCombiner(streamline.CombinerOff),
+		streamline.WithBatchSize(batchSize),
+		streamline.WithWorkers(workers),
+	}, extra...)
+	env := streamline.New(opts...)
+	gen := streamline.Generator(n, func(sub, par int, i int64) streamline.Keyed[float64] {
+		global := i*int64(par) + int64(sub)
+		return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 256), Value: 1}
+	})
+	src := streamline.From(env, "gen", gen, streamline.WithSourceParallelism(2))
+	keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+	streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
+	return env
+}
+
+// NetLocal measures the single-process run.
+func NetLocal(n int64, batchSize int) (NetRun, error) {
+	env := netEnv(n, batchSize, 0)
+	start := time.Now()
+	if err := env.Execute(context.Background()); err != nil {
+		return NetRun{}, fmt.Errorf("in-process batch=%d: %w", batchSize, err)
+	}
+	el := time.Since(start).Seconds()
+	return NetRun{
+		Transport: "in-process", BatchSize: batchSize, Records: n,
+		Seconds: el, RecordsPerSec: float64(n) / el,
+	}, nil
+}
+
+// NetDistributed measures the same pipeline split across `workers`
+// participants exchanging over loopback TCP. The workers run in-process
+// (goroutines dialing the coordinator's real listener).
+func NetDistributed(n int64, batchSize, workers int) (NetRun, error) {
+	addrCh := make(chan string, 1)
+	env := netEnv(n, batchSize, workers,
+		streamline.WithOnListen(func(a string) { addrCh <- a }))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	errCh := make(chan error, workers)
+	go func() {
+		addr := <-addrCh
+		for i := 0; i < workers; i++ {
+			go func() {
+				errCh <- streamline.RunWorker(ctx, addr, func(string, []string) (*streamline.Env, error) {
+					return netEnv(n, batchSize, workers), nil
+				})
+			}()
+		}
+	}()
+	start := time.Now()
+	if err := env.ExecuteDistributed(ctx); err != nil {
+		return NetRun{}, fmt.Errorf("loopback batch=%d: %w", batchSize, err)
+	}
+	el := time.Since(start).Seconds()
+	for i := 0; i < workers; i++ {
+		if err := <-errCh; err != nil {
+			return NetRun{}, fmt.Errorf("loopback batch=%d worker: %w", batchSize, err)
+		}
+	}
+	return NetRun{
+		Transport: "loopback-tcp", BatchSize: batchSize, Records: n,
+		Seconds: el, RecordsPerSec: float64(n) / el,
+	}, nil
+}
+
+// Net workload sizes. Batch size 1 pays a gob message and a flush per
+// record, so it runs a reduced record count to keep the sweep bounded.
+const (
+	NetRecords       int64 = 400_000
+	NetQuickRecords  int64 = 60_000
+	NetBatch1Divisor int64 = 4
+)
+
+// NetBatchSizes is the swept batch-size axis.
+var NetBatchSizes = []int{1, 64, 256}
+
+// Net runs the network transport sweep: both transports at every batch size.
+func Net(quick bool) (*NetReport, error) {
+	n := NetRecords
+	if quick {
+		n = NetQuickRecords
+	}
+	rep := &NetReport{Workers: 2, Ratio: map[int]float64{}}
+	for _, bs := range NetBatchSizes {
+		records := n
+		if bs == 1 {
+			records = n / NetBatch1Divisor
+		}
+		local, err := NetLocal(records, bs)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := NetDistributed(records, bs, rep.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, local, dist)
+		if local.RecordsPerSec > 0 {
+			rep.Ratio[bs] = dist.RecordsPerSec / local.RecordsPerSec
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report in the experiment-table format.
+func (r *NetReport) Table() *Table {
+	t := &Table{
+		ID:     "NET",
+		Title:  "exchange transport: in-process channels vs loopback TCP",
+		Claim:  "batching amortizes the network data plane to channel-like rates",
+		Header: []string{"transport", "batch size", "records", "runtime", "throughput"},
+	}
+	for _, run := range r.Runs {
+		t.Add(run.Transport, fmt.Sprintf("%d", run.BatchSize), fmtCount(float64(run.Records)),
+			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec))
+	}
+	for _, bs := range NetBatchSizes {
+		if ratio, ok := r.Ratio[bs]; ok {
+			t.Note("batch %d: loopback TCP at %.2fx the in-process rate (%d workers)", bs, ratio, r.Workers)
+		}
+	}
+	return t
+}
+
+// WriteJSON records the report (the perf trajectory file BENCH_net.json).
+func (r *NetReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -55,6 +55,16 @@ type Environment struct {
 	ckptEvery   time.Duration
 	buildErr    error
 	job         *dataflow.Job
+
+	// Distributed-execution configuration, consumed by the streamline
+	// layer's ExecuteDistributed (plain Execute ignores it).
+	workers       int
+	listenAddr    string
+	selfSpawn     bool
+	pipeline      string
+	pipeArgs      []string
+	onListen      func(addr string)
+	distCompleted int64
 }
 
 // Option configures an Environment.
@@ -118,6 +128,64 @@ func WithBatchSize(n int) Option {
 func WithFlushInterval(d time.Duration) Option {
 	return func(e *Environment) { e.graph.FlushInterval = d }
 }
+
+// WithWorkers sets the number of worker processes a distributed execution
+// expects (0, the default, runs single-process).
+func WithWorkers(n int) Option {
+	return func(e *Environment) { e.workers = n }
+}
+
+// WithListenAddr sets the coordinator's control listen address for
+// distributed execution (default "127.0.0.1:0", an ephemeral loopback port).
+func WithListenAddr(addr string) Option {
+	return func(e *Environment) { e.listenAddr = addr }
+}
+
+// WithSelfSpawn makes ExecuteDistributed start its own worker processes by
+// re-executing the current binary (the workers rebuild the identical
+// pipeline and connect back). Without it the coordinator waits for
+// externally started workers.
+func WithSelfSpawn() Option {
+	return func(e *Environment) { e.selfSpawn = true }
+}
+
+// WithPipelineRef names the registered pipeline (and its arguments) that
+// externally started generic workers should build to mirror this
+// environment's graph.
+func WithPipelineRef(name string, args ...string) Option {
+	return func(e *Environment) { e.pipeline = name; e.pipeArgs = args }
+}
+
+// WithOnListen registers a callback invoked with the coordinator's bound
+// control address before workers are awaited — how callers learn an
+// ephemeral port (tests, or printing the address for external workers).
+func WithOnListen(f func(addr string)) Option {
+	return func(e *Environment) { e.onListen = f }
+}
+
+// Distributed-configuration accessors for the driver layer.
+func (e *Environment) Workers() int                    { return e.workers }
+func (e *Environment) ListenAddr() string              { return e.listenAddr }
+func (e *Environment) SelfSpawn() bool                 { return e.selfSpawn }
+func (e *Environment) PipelineRef() (string, []string) { return e.pipeline, e.pipeArgs }
+func (e *Environment) OnListen() func(addr string)     { return e.onListen }
+
+// Chaining reports whether operator chaining is enabled — part of the
+// physical-plan identity a distributed worker must reproduce.
+func (e *Environment) Chaining() bool { return e.chaining }
+
+// Backend returns the configured snapshot backend (nil when unset) and the
+// checkpoint interval (0 when periodic checkpointing is off).
+func (e *Environment) Backend() (state.Backend, time.Duration) {
+	return e.backend, e.ckptEvery
+}
+
+// BuildErr returns the first pipeline construction error, if any.
+func (e *Environment) BuildErr() error { return e.buildErr }
+
+// NoteDistributedCheckpoints records how many checkpoints a distributed run
+// completed, so CompletedCheckpoints answers uniformly for both modes.
+func (e *Environment) NoteDistributedCheckpoints(n int64) { e.distCompleted += n }
 
 // NewEnvironment returns an empty pipeline environment.
 func NewEnvironment(opts ...Option) *Environment {
@@ -185,9 +253,9 @@ func (e *Environment) ExecuteRestored(ctx context.Context, snap *state.Snapshot)
 // last Execute call.
 func (e *Environment) CompletedCheckpoints() int64 {
 	if e.job == nil {
-		return 0
+		return e.distCompleted
 	}
-	return e.job.CompletedCheckpoints()
+	return e.distCompleted + e.job.CompletedCheckpoints()
 }
 
 // Graph exposes the underlying job graph (diagnostics and tests).
@@ -380,9 +448,12 @@ func (s *Stream) Union(name string, others ...*Stream) *Stream {
 
 // Sink terminates the stream invoking f for every record.
 func (s *Stream) Sink(name string, f func(dataflow.Record)) {
-	s.env.graph.AddOperator(name, 1, func() dataflow.Operator {
+	n := s.env.graph.AddOperator(name, 1, func() dataflow.Operator {
 		return &dataflow.FuncSink{F: f}
 	}, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	// The sink closure observes results: in distributed execution its node
+	// must run in the submitting process.
+	n.Pinned = true
 }
 
 // SinkOperator terminates the stream into a custom stateful operator at
@@ -390,13 +461,19 @@ func (s *Stream) Sink(name string, f func(dataflow.Record)) {
 // checkpointing (Snapshot/Restore through its OpContext blob) — the hook
 // for exactly-once external sinks such as the topic Persist connector.
 func (s *Stream) SinkOperator(name string, f func() dataflow.Operator) {
-	s.env.graph.AddOperator(name, 1, f, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	n := s.env.graph.AddOperator(name, 1, f, dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	// Sink operators write to destinations owned by the submitting process
+	// (a topic store's file handles, a caller's buffer): pin them there.
+	n.Pinned = true
 }
 
 // Collect terminates the stream into a CollectSink whose records can be read
 // after Execute returns.
 func (s *Stream) Collect(name string) *dataflow.CollectSink {
 	sink := &dataflow.CollectSink{}
-	s.env.graph.AddOperator(name, 1, sink.Factory(), dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	n := s.env.graph.AddOperator(name, 1, sink.Factory(), dataflow.Edge{From: s.node, Part: dataflow.Rebalance})
+	// The caller reads the collected records from this process's sink
+	// instance, so the node must execute here.
+	n.Pinned = true
 	return sink
 }

@@ -44,6 +44,11 @@ func WithRestore(snap *state.Snapshot) JobOption {
 	return func(j *Job) { j.restore = snap }
 }
 
+// SetRestore installs a recovery snapshot after construction. Distributed
+// workers need this: the snapshot arrives over the wire with the plan, long
+// after the SPMD binary built its Job. Must be called before Run.
+func (j *Job) SetRestore(snap *state.Snapshot) { j.restore = snap }
+
 // WithChaining toggles operator chaining (fusing forward edges into a single
 // goroutine). Enabled by default; the E10 ablation turns it off.
 func WithChaining(on bool) JobOption {
@@ -149,10 +154,11 @@ type chainInfo struct {
 
 // buildChains fuses a node into its upstream when the edge is Forward, the
 // upstream has exactly one consumer, and parallelism matches (guaranteed by
-// Validate for Forward edges).
-func (j *Job) buildChains() chainInfo {
+// Validate for Forward edges). A free function so placement (which must see
+// the same chains as execution) can share it.
+func buildChains(g *Graph, chaining bool) chainInfo {
 	consumers := make(map[*Node]int)
-	for _, n := range j.g.nodes {
+	for _, n := range g.nodes {
 		for _, e := range n.In {
 			consumers[e.From]++
 		}
@@ -162,8 +168,8 @@ func (j *Job) buildChains() chainInfo {
 		tail:  make(map[*Node]*Node),
 		links: make(map[*Node][]*Node),
 	}
-	for _, n := range j.g.nodes {
-		chainable := j.chaining &&
+	for _, n := range g.nodes {
+		chainable := chaining &&
 			n.NewOperator != nil &&
 			len(n.In) == 1 &&
 			n.In[0].Part == Forward &&
@@ -278,10 +284,11 @@ type outputs struct {
 }
 
 type outEdge struct {
-	part  Partitioning
-	chans []chan []Record // indexed by downstream subtask (this upstream's slot)
-	stage [][]Record      // staged batch per slot; nil when empty
-	rr    int             // per-edge round-robin cursor (Rebalance only)
+	part   Partitioning
+	chans  []chan []Record // indexed by downstream subtask (this upstream's slot)
+	stage  [][]Record      // staged batch per slot; nil when empty
+	rr     int             // per-edge round-robin cursor (Rebalance only)
+	queued *metrics.Gauge  // edge.<consumer>.<i>.queued_batches, nil without metrics
 }
 
 func (o *outputs) send(ch chan []Record, b []Record) bool {
@@ -312,7 +319,13 @@ func (o *outputs) flushSlotLocked(e *outEdge, slot int) bool {
 		return true
 	}
 	e.stage[slot] = nil
-	return o.send(e.chans[slot], b)
+	if !o.send(e.chans[slot], b) {
+		return false
+	}
+	if e.queued != nil {
+		e.queued.Set(int64(len(e.chans[slot])))
+	}
+	return true
 }
 
 // data routes one data record according to each edge's partitioning.
@@ -523,6 +536,15 @@ func (c *chain) snapshotAll(rt *runtime, ckpt int64, subtask int) error {
 // context is cancelled (unbounded). It returns the first subtask error, or
 // ctx.Err() on cancellation, or nil on normal completion.
 func (j *Job) Run(ctx context.Context) error {
+	return j.run(ctx, nil)
+}
+
+// run is the shared execution core. part == nil is the local fast path: all
+// subtasks run here, exchange edges are direct Go channels, and the job owns
+// its checkpoint coordinator. With a Participation only the subtasks placed
+// on part.Self run, cross-participant edges go through part.Transport, and
+// checkpointing is driven externally (part.Triggers in, part.Acks out).
+func (j *Job) run(ctx context.Context, part *Participation) error {
 	if err := j.g.Validate(); err != nil {
 		return err
 	}
@@ -532,15 +554,52 @@ func (j *Job) Run(ctx context.Context) error {
 			return err
 		}
 	}
-	ci := j.buildChains()
+	ci := buildChains(j.g, j.chaining)
+
+	// Placement helpers. In local mode every subtask is placed here.
+	self := 0
+	var placement Placement
+	var transport EdgeTransport
+	if part != nil {
+		self = part.Self
+		placement = part.Placement
+		transport = part.Transport
+	}
+	partOf := func(n *Node, s int) int {
+		if placement == nil {
+			return self
+		}
+		return placement[ci.head[n].ID][s]
+	}
+	isLocal := func(n *Node, s int) bool { return partOf(n, s) == self }
+	// localSubs lists a node's locally placed subtasks; nil in local mode
+	// (meaning "all"), so the single-process plan is bit-identical to before.
+	localSubs := func(n *Node) []int {
+		if placement == nil {
+			return nil
+		}
+		subs := make([]int, 0, n.Parallelism)
+		for s := 0; s < n.Parallelism; s++ {
+			if isLocal(n, s) {
+				subs = append(subs, s)
+			}
+		}
+		return subs
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	rt := &runtime{ctx: runCtx, cancel: cancel}
 	defer cancel()
 
-	// Count acks per checkpoint: every node snapshots per subtask.
+	// Count acks per checkpoint: every node snapshots per subtask. In
+	// participant mode only local subtasks ack here (the coordinator
+	// assembles the global set), so size the buffer to the local count.
 	for _, n := range j.g.nodes {
-		rt.needAcks += n.Parallelism
+		if part == nil {
+			rt.needAcks += n.Parallelism
+		} else {
+			rt.needAcks += len(localSubs(n))
+		}
 	}
 	rt.ackCh = make(chan ackMsg, rt.needAcks+16)
 
@@ -576,15 +635,34 @@ func (j *Job) Run(ctx context.Context) error {
 		for ei, e := range n.In {
 			mat := make([][]chan []Record, n.Parallelism)
 			for ts := 0; ts < n.Parallelism; ts++ {
+				if !isLocal(n, ts) {
+					continue // remote consumer subtask: no local inputs
+				}
 				row := make([]chan []Record, e.From.Parallelism)
 				for fs := 0; fs < e.From.Parallelism; fs++ {
-					row[fs] = make(chan []Record, bufBatches)
+					if isLocal(e.From, fs) {
+						row[fs] = make(chan []Record, bufBatches)
+					} else {
+						// Remote producer: the transport demultiplexes its
+						// frames into this registered channel.
+						row[fs] = transport.Inbound(ChannelRef{Node: n.ID, Edge: ei, To: ts, From: fs}, bufBatches)
+					}
 				}
 				mat[ts] = row
 			}
 			mats[ei] = mat
 		}
 		inCh[n] = mats
+	}
+
+	// slotFor resolves the physical channel carrying (producer subtask s ->
+	// consumer subtask ts) on the consumer's ei-th edge: a direct channel
+	// when the consumer subtask is local, a transport feeder otherwise.
+	slotFor := func(consumer *Node, ei, ts, s int) chan []Record {
+		if isLocal(consumer, ts) {
+			return inCh[consumer][ei][ts][s]
+		}
+		return transport.Outbound(ChannelRef{Node: consumer.ID, Edge: ei, To: ts, From: s}, partOf(consumer, ts), bufBatches)
 	}
 
 	// outputsFor builds the outputs of chain-tail `tail` for subtask s.
@@ -601,14 +679,21 @@ func (j *Job) Run(ctx context.Context) error {
 				var chans []chan []Record
 				if e.Part == Forward {
 					// one slot: this subtask's peer
-					chans = []chan []Record{inCh[consumer][ei][s][s]}
+					chans = []chan []Record{slotFor(consumer, ei, s, s)}
 				} else {
 					chans = make([]chan []Record, consumer.Parallelism)
 					for ts := 0; ts < consumer.Parallelism; ts++ {
-						chans[ts] = inCh[consumer][ei][ts][s]
+						chans[ts] = slotFor(consumer, ei, ts, s)
 					}
 				}
-				o.edges = append(o.edges, outEdge{part: e.Part, chans: chans, stage: make([][]Record, len(chans))})
+				var queued *metrics.Gauge
+				if j.reg != nil {
+					// One gauge per logical edge, shared by its producer
+					// subtasks: sampled as channel occupancy after each ship,
+					// the observability seed for credit-based backpressure.
+					queued = j.reg.Gauge(fmt.Sprintf("edge.%s.%d.queued_batches", consumer.Name, ei))
+				}
+				o.edges = append(o.edges, outEdge{part: e.Part, chans: chans, stage: make([][]Record, len(chans)), queued: queued})
 			}
 		}
 		return o
@@ -661,7 +746,11 @@ func (j *Job) Run(ctx context.Context) error {
 		if n.NewSource != nil {
 			srcBlobs = restoreSourceBlobs(j.restore, n)
 		}
+		locals := localSubs(n)
 		for s := 0; s < n.Parallelism; s++ {
+			if !isLocal(n, s) {
+				continue
+			}
 			ch := &chain{out: outputsFor(tail, s)}
 			if n.NewOperator != nil {
 				ch.nodes = append([]*Node{n}, chainNodes...)
@@ -675,6 +764,7 @@ func (j *Job) Run(ctx context.Context) error {
 					Parallelism: cn.Parallelism, NumKeyGroups: numGroups,
 					Metrics: j.reg, Restore: restoreBlob(cn, s),
 					RestoreGroups: restoreGroups(cn, s),
+					LocalSubtasks: locals,
 				}); err != nil {
 					launchErr = fmt.Errorf("open %q/%d: %w", cn.Name, s, err)
 					break
@@ -692,7 +782,7 @@ func (j *Job) Run(ctx context.Context) error {
 					so.OpenSource(&OpContext{
 						NodeID: n.ID, NodeName: n.Name, Subtask: s,
 						Parallelism: n.Parallelism, NumKeyGroups: numGroups,
-						Metrics: j.reg,
+						Metrics: j.reg, LocalSubtasks: locals,
 					})
 				}
 				// Sources restore from the node-wide blob set: splittable
@@ -745,17 +835,68 @@ func (j *Job) Run(ctx context.Context) error {
 		return launchErr
 	}
 
-	// Checkpoint coordinator.
+	// Checkpoint coordination. Local mode owns the full loop; a participant
+	// instead receives externally injected triggers and forwards its local
+	// acks to the distributed coordinator for global assembly.
 	coordDone := make(chan struct{})
-	if j.backend != nil && j.interval > 0 {
-		go j.coordinate(rt, coordDone)
+	var auxWg sync.WaitGroup
+	if part == nil {
+		if j.backend != nil && j.interval > 0 {
+			go j.coordinate(rt, coordDone)
+		} else {
+			close(coordDone)
+		}
 	} else {
 		close(coordDone)
+		if part.Triggers != nil {
+			auxWg.Add(1)
+			go func() {
+				defer auxWg.Done()
+				for {
+					var id int64
+					select {
+					case <-runCtx.Done():
+						return
+					case id = <-part.Triggers:
+					}
+					for _, c := range rt.controls {
+						select {
+						case c <- id:
+						case <-runCtx.Done():
+							return
+						}
+					}
+				}
+			}()
+		}
+		if part.Acks != nil {
+			auxWg.Add(1)
+			go func() {
+				defer auxWg.Done()
+				for {
+					var a ackMsg
+					select {
+					case <-runCtx.Done():
+						return
+					case a = <-rt.ackCh:
+					}
+					select {
+					case part.Acks <- Ack{Ckpt: a.ckpt, Key: a.key, Blob: a.blob, Groups: a.groups}:
+					case <-runCtx.Done():
+						return
+					}
+				}
+			}()
+		}
+		if part.OnRunning != nil {
+			part.OnRunning()
+		}
 	}
 
 	rt.wg.Wait()
 	cancel()
 	<-coordDone
+	auxWg.Wait()
 	if rt.err != nil {
 		return rt.err
 	}

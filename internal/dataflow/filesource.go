@@ -116,6 +116,7 @@ type FileScanSource struct {
 // OpContext before restore and the first Next, and the scan registers its
 // per-node observability counters on it.
 func (s *FileScanSource) OpenSource(ctx *OpContext) {
+	s.Plan.SetOwnedSubtasks(ctx.LocalSubtasks, ctx.Parallelism)
 	if ctx.Metrics == nil {
 		return
 	}

@@ -61,6 +61,11 @@ type Node struct {
 	// In lists the incoming edges (empty for sources).
 	In []Edge
 
+	// Pinned forces this node's subtasks onto the coordinator participant
+	// in distributed execution (terminal sinks whose results must land in
+	// the submitting process set it). Ignored by single-process runs.
+	Pinned bool
+
 	// ChainedFrom, when set by the optimizer, fuses this node into its
 	// single forward-connected upstream node's subtasks.
 	chained bool

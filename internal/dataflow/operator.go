@@ -28,6 +28,12 @@ type OpContext struct {
 	// key groups this subtask owns *now* — written by whatever subtask
 	// ranges the checkpointing job ran with. Nil on a fresh start.
 	RestoreGroups map[int][]byte
+	// LocalSubtasks lists the node's subtasks running in this process. Nil
+	// (single-process execution) means all of them. Stage-shared resources
+	// — in particular the dynamic split queue of at-rest scans — use it to
+	// partition work that would otherwise be claimed twice across
+	// participants of a distributed run.
+	LocalSubtasks []int
 }
 
 // NewKeyedState builds the subtask's keyed-state container for the plan's

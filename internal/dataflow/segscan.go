@@ -60,6 +60,7 @@ var (
 // OpenSource implements SourceOpener: registers the scan's per-node
 // observability counters (same series as the file scan).
 func (s *SplitScanSource) OpenSource(ctx *OpContext) {
+	s.Plan.SetOwnedSubtasks(ctx.LocalSubtasks, ctx.Parallelism)
 	if ctx.Metrics == nil {
 		return
 	}

@@ -246,6 +246,12 @@ func (p *PacedSource) OpenSource(ctx *OpContext) {
 // Err implements Failable by delegation.
 func (p *PacedSource) Err() error { return sourceErr(p.Inner) }
 
+// SourceLocalOnly implements LocalOnlySource by delegation.
+func (p *PacedSource) SourceLocalOnly() bool {
+	lo, ok := p.Inner.(LocalOnlySource)
+	return ok && lo.SourceLocalOnly()
+}
+
 // ChannelSource ingests live records from a Go channel — data in motion that
 // exists only once, pushed by an external producer. A closed channel ends
 // the stream. Watermarks lagging the max seen timestamp by Lag are emitted
@@ -368,6 +374,11 @@ func (c *ChannelSource) received(r Record, ok bool) (Record, bool) {
 		return Watermark(c.watermark()), true
 	}
 }
+
+// SourceLocalOnly implements LocalOnlySource: the Go channel exists only in
+// the process that built the graph, so distributed placement pins the node
+// to the coordinator.
+func (c *ChannelSource) SourceLocalOnly() bool { return true }
 
 // Snapshot implements SourceFunc (watermark bookkeeping only — see the type
 // comment for the recovery semantics of non-replayable channels).
@@ -575,6 +586,16 @@ func (h *HybridSource) OpenSource(ctx *OpContext) {
 	if o, ok := h.Live.(SourceOpener); ok {
 		o.OpenSource(ctx)
 	}
+}
+
+// SourceLocalOnly implements LocalOnlySource: a hybrid is local-only when
+// either phase is (its live half usually is a channel).
+func (h *HybridSource) SourceLocalOnly() bool {
+	if lo, ok := h.History.(LocalOnlySource); ok && lo.SourceLocalOnly() {
+		return true
+	}
+	lo, ok := h.Live.(LocalOnlySource)
+	return ok && lo.SourceLocalOnly()
 }
 
 // Err implements Failable by checking both phases' sources.

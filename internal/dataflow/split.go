@@ -104,6 +104,54 @@ type ScanPlan struct {
 	// pre-restore progress would be lost. Stale entries are harmless: the
 	// next restore dedups against completed IDs and later Cur offsets.
 	resumed []pendingSplit
+	// ownedSubs/ownerPar restrict the queue to locally owned splits in
+	// distributed execution (see SetOwnedSubtasks). nil: every split is
+	// local — the single-process case, where the queue stays fully dynamic.
+	ownedSubs map[int]bool
+	ownerPar  int
+}
+
+// SetOwnedSubtasks restricts the plan's split queue to the splits owned by
+// the given subtasks of a parallelism-wide stage: split ID modulo the stage
+// parallelism names the owning subtask. In distributed execution each
+// participant's scan plan is a private copy of the same deterministic plan,
+// so without ownership every participant would read every split; with it the
+// participants partition the split set statically while assignment *within*
+// a participant stays dynamic. Only the queue is filtered: the restored
+// in-flight registry and the completed-ID carry remain global, because
+// subtask 0 (wherever it is placed) re-reports them for the whole stage.
+// A nil subs or non-positive parallelism keeps every split local.
+func (p *ScanPlan) SetOwnedSubtasks(subs []int, parallelism int) {
+	if subs == nil || parallelism <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ownedSubs != nil {
+		return // already set (every local subtask passes the same set)
+	}
+	p.ownedSubs = make(map[int]bool, len(subs))
+	for _, s := range subs {
+		p.ownedSubs[s] = true
+	}
+	p.ownerPar = parallelism
+	if p.planned && p.planErr == nil {
+		kept := p.queue[:0]
+		for _, c := range p.queue {
+			if p.keepLocked(c.split.ID) {
+				kept = append(kept, c)
+			}
+		}
+		p.queue = kept
+	}
+}
+
+// keepLocked reports whether the split belongs to this participant's queue.
+func (p *ScanPlan) keepLocked(id int) bool {
+	if p.ownedSubs == nil {
+		return true
+	}
+	return p.ownedSubs[id%p.ownerPar]
 }
 
 // normSplitSize returns the plan's effective split size.
@@ -209,7 +257,9 @@ func (p *ScanPlan) planLocked() error {
 			p.splits = splits
 		}
 		for _, sp := range p.splits {
-			p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+			if p.keepLocked(sp.ID) {
+				p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+			}
 		}
 		return nil
 	}
@@ -283,7 +333,9 @@ func (p *ScanPlan) planLocked() error {
 		p.splits = TileSplits(p.splits, fs.path, fs.total, chunk)
 	}
 	for _, sp := range p.splits {
-		p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+		if p.keepLocked(sp.ID) {
+			p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
+		}
 	}
 	return nil
 }
@@ -637,11 +689,15 @@ func (p *ScanPlan) restoreFrom(blobs map[int][]byte, newPar int) error {
 			p.carry = append(p.carry, c.ID) // finished exactly at the boundary
 			continue
 		}
-		p.queue = append(p.queue, splitCursor{split: sp, offset: c.Off})
+		if p.keepLocked(sp.ID) {
+			p.queue = append(p.queue, splitCursor{split: sp, offset: c.Off})
+		}
+		// The registry stays global regardless of ownership: subtask 0
+		// re-reports every resumed cursor for the whole stage.
 		p.resumed = append(p.resumed, c)
 	}
 	for _, sp := range p.splits {
-		if !done[sp.ID] {
+		if !done[sp.ID] && p.keepLocked(sp.ID) {
 			p.queue = append(p.queue, splitCursor{split: sp, offset: -1})
 		}
 	}

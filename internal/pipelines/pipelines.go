@@ -1,0 +1,132 @@
+// Package pipelines holds the named demo pipelines shared by the
+// distributed binaries: cmd/streamline-coord builds one as the coordinator,
+// and cmd/streamline-worker rebuilds the identical pipeline from the plan's
+// pipeline name — the SPMD contract across separate processes. Every
+// builder is deterministic for a fixed argument list, so the coordinator's
+// plan fingerprint matches the workers' and distributed output is
+// byte-identical to a single-process run of the same pipeline.
+package pipelines
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/streamline"
+)
+
+func init() { streamline.RegisterWireTypes() }
+
+// Names lists the registered pipelines.
+func Names() []string { return []string{"wordcount", "windowed"} }
+
+// Build constructs the named pipeline with its argument list plus any extra
+// environment options (the coordinator passes WithWorkers/WithListenAddr;
+// workers pass none). It returns the environment and a render function
+// producing the pipeline's deterministic, sorted text output — valid after
+// execution completes.
+func Build(name string, args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
+	switch name {
+	case "wordcount":
+		return buildWordcount(args, extra...)
+	case "windowed":
+		return buildWindowed(args, extra...)
+	}
+	return nil, nil, fmt.Errorf("unknown pipeline %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// RegisterAll registers every demo pipeline for RunRegisteredWorker, so a
+// generic worker binary can serve any of them.
+func RegisterAll() {
+	for _, name := range Names() {
+		name := name
+		streamline.RegisterPipeline(name, func(args []string) (*streamline.Env, error) {
+			env, _, err := Build(name, args)
+			return env, err
+		})
+	}
+}
+
+// buildWordcount is the distributed wordcount: a deterministic synthetic
+// corpus split into words, counted per word behind a hash shuffle. The
+// payload keeps the word text so the output is human-readable.
+func buildWordcount(args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
+	fs := flag.NewFlagSet("wordcount", flag.ContinueOnError)
+	lines := fs.Int("lines", 400, "number of synthetic input lines")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	opts := append([]streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithPipelineRef("wordcount", args...),
+	}, extra...)
+	env := streamline.New(opts...)
+	input := make([]string, *lines)
+	vocab := map[uint64]string{}
+	for i := range input {
+		input[i] = fmt.Sprintf("alpha w%d beta w%d gamma w%d", i%17, i%29, (i*7)%61)
+		for _, w := range strings.Fields(input[i]) {
+			vocab[streamline.KeyOf(w)] = w
+		}
+	}
+	src := streamline.FromSlice(env, "lines", input)
+	words := streamline.FlatMap(src, "split", func(l string, em streamline.Emitter[string]) {
+		for _, w := range strings.Fields(l) {
+			em.Emit(w)
+		}
+	})
+	keyed := streamline.KeyByString(words, "key", func(w string) string { return w })
+	ones := streamline.Map(keyed, "one", func(string) float64 { return 1 })
+	counts := streamline.ReduceByKey(ones, "count", func(acc, v float64) float64 { return acc + v }, false)
+	out := streamline.Collect(counts, "out")
+	render := func() string {
+		ls := make([]string, 0, len(out.Records()))
+		for _, r := range out.Records() {
+			// The corpus is deterministic, so the key-to-word mapping is
+			// recoverable on the render side; counting still runs keyed.
+			ls = append(ls, fmt.Sprintf("%s=%g", vocab[r.Key], r.Value))
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, "\n") + "\n"
+	}
+	return env, render, nil
+}
+
+// buildWindowed is the distributed windowed aggregate: a deterministic
+// generator keyed six ways feeding a tumbling sum and a sliding count.
+func buildWindowed(args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
+	fs := flag.NewFlagSet("windowed", flag.ContinueOnError)
+	events := fs.Int64("events", 6000, "number of generated events")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	opts := append([]streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithPipelineRef("windowed", args...),
+	}, extra...)
+	env := streamline.New(opts...)
+	gen := streamline.Generator(*events, func(sub, par int, i int64) streamline.Keyed[float64] {
+		global := i*int64(par) + int64(sub)
+		return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 6), Value: 1}
+	})
+	src := streamline.From(env, "gen", gen, streamline.WithSourceParallelism(2))
+	keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	win := streamline.WindowAggregate(keyed, "win",
+		streamline.Query(streamline.Tumbling(100), streamline.Sum()),
+		streamline.Query(streamline.Sliding(200, 100), streamline.Count()))
+	out := streamline.Collect(win, "out")
+	render := func() string {
+		dedup := map[string]struct{}{}
+		for _, r := range out.Records() {
+			dedup[fmt.Sprintf("%d q%d [%d,%d)=%g", r.Key, r.Value.QueryID, r.Value.Start, r.Value.End, r.Value.Value)] = struct{}{}
+		}
+		ls := make([]string, 0, len(dedup))
+		for l := range dedup {
+			ls = append(ls, l)
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, "\n") + "\n"
+	}
+	return env, render, nil
+}

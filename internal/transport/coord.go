@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+// Config describes one distributed run from the coordinator's side.
+type Config struct {
+	// Graph is the job to execute; the coordinator is participant 0 and
+	// runs every pinned chain (sinks, live sources) itself.
+	Graph    *dataflow.Graph
+	Chaining bool
+	// Workers is how many worker processes the run expects; the
+	// coordinator waits for exactly that many hellos before planning.
+	Workers int
+	// Backend + Interval enable periodic checkpointing; the coordinator
+	// persists assembled snapshots (workers never touch the backend).
+	Backend  state.Backend
+	Interval time.Duration
+	// Restore, when set, starts every participant from this snapshot.
+	Restore *state.Snapshot
+	// Pipeline/Args are forwarded to generic workers so they can rebuild
+	// the graph from their pipeline registry.
+	Pipeline string
+	Args     []string
+	// Registry receives coordinator-side metrics; nil disables them.
+	Registry *metrics.Registry
+	// ListenAddr is the control-plane listen address ("" = ephemeral
+	// loopback port; read it back via Addr).
+	ListenAddr string
+}
+
+// Coordinator owns one distributed run: it distributes the plan, injects
+// checkpoint barriers, assembles global snapshots from per-subtask acks,
+// and treats any lost worker connection as a job failure (clean abort; the
+// persisted snapshots make the job restartable at any worker count).
+type Coordinator struct {
+	cfg       Config
+	ln        net.Listener
+	completed atomic.Int64
+}
+
+// NewCoordinator binds the control listener so workers can dial before Run
+// is entered (Addr is valid immediately).
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator listen: %w", err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the control-plane address workers dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// CompletedCheckpoints reports how many snapshots this run persisted.
+func (c *Coordinator) CompletedCheckpoints() int64 { return c.completed.Load() }
+
+// wconn is the coordinator's handle on one worker's control connection.
+type wconn struct {
+	i        int
+	conn     net.Conn
+	dec      *gob.Decoder
+	bw       *bufio.Writer
+	enc      *gob.Encoder
+	mu       sync.Mutex
+	dataAddr string
+	done     bool
+}
+
+func (w *wconn) send(msg ctrlMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(msg); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// event is one occurrence on a worker control connection.
+type event struct {
+	i   int
+	msg ctrlMsg
+	err error
+}
+
+// Run executes the distributed job to completion. It blocks until the local
+// share and every worker finished (returning nil), or until any participant
+// fails — lost control connection included — in which case everything is
+// cancelled and the first error returns.
+func (c *Coordinator) Run(ctx context.Context) error {
+	RegisterTypes()
+	g := c.cfg.Graph
+	W := c.cfg.Workers
+	reg := c.cfg.Registry
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Unblock Accept when the caller cancels during the gather phase.
+	go func() { <-ctx.Done(); c.ln.Close() }()
+	defer c.ln.Close()
+
+	// Gather exactly W workers, in connection order; the order fixes the
+	// participant indices 1..W.
+	workers := make([]*wconn, 0, W)
+	defer func() {
+		for _, w := range workers {
+			w.conn.Close()
+		}
+	}()
+	for i := 1; i <= W; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("coordinator accept: %w", err)
+		}
+		w := &wconn{i: i, conn: conn, dec: gob.NewDecoder(conn), bw: bufio.NewWriter(conn)}
+		w.enc = gob.NewEncoder(w.bw)
+		var hello ctrlMsg
+		if err := w.dec.Decode(&hello); err != nil || hello.Kind != ctrlHello {
+			conn.Close()
+			return fmt.Errorf("coordinator: bad hello from connection %d: %v", i, err)
+		}
+		w.dataAddr = hello.Addr
+		workers = append(workers, w)
+	}
+
+	// The coordinator's own data plane (participant 0).
+	dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("coordinator data listen: %w", err)
+	}
+	mesh := NewMesh(0, dataLn, g, reg)
+	defer mesh.Close()
+
+	addrs := map[int]string{0: mesh.Addr()}
+	for _, w := range workers {
+		addrs[w.i] = w.dataAddr
+	}
+	spec := core.SpecOf(g, c.cfg.Chaining)
+	fp := spec.Fingerprint()
+	placement := dataflow.ComputePlacement(g, c.cfg.Chaining, W)
+	for _, w := range workers {
+		plan := &planMsg{
+			Self:        w.i,
+			Workers:     W,
+			Spec:        spec,
+			Fingerprint: fp,
+			Placement:   placement,
+			DataAddrs:   addrs,
+			Restore:     c.cfg.Restore,
+			Pipeline:    c.cfg.Pipeline,
+			Args:        c.cfg.Args,
+		}
+		if err := w.send(ctrlMsg{Kind: ctrlPlan, Plan: plan}); err != nil {
+			return fmt.Errorf("coordinator: send plan to worker %d: %w", w.i, err)
+		}
+	}
+
+	// One reader per worker funnels control messages into the main loop.
+	events := make(chan event, 16)
+	for _, w := range workers {
+		go func(w *wconn) {
+			for {
+				var msg ctrlMsg
+				if err := w.dec.Decode(&msg); err != nil {
+					select {
+					case events <- event{i: w.i, err: err}:
+					case <-ctx.Done():
+					}
+					return
+				}
+				select {
+				case events <- event{i: w.i, msg: msg}:
+				case <-ctx.Done():
+					return
+				}
+				if msg.Kind == ctrlDone {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The coordinator's local share of the job.
+	triggers := make(chan int64, 16)
+	acks := make(chan dataflow.Ack, 256)
+	running := make(chan struct{})
+	opts := []dataflow.JobOption{dataflow.WithChaining(c.cfg.Chaining)}
+	if reg != nil {
+		opts = append(opts, dataflow.WithMetrics(reg))
+	}
+	if c.cfg.Restore != nil {
+		opts = append(opts, dataflow.WithRestore(c.cfg.Restore))
+	}
+	jb := dataflow.NewJob(g, opts...)
+	jobDone := make(chan error, 1)
+	go func() {
+		err := jb.RunParticipant(ctx, &dataflow.Participation{
+			Self:      0,
+			Placement: placement,
+			Transport: mesh,
+			Triggers:  triggers,
+			Acks:      acks,
+			OnRunning: func() { close(running) },
+		})
+		if err == nil {
+			// Flush remote Ends before the run counts as locally done.
+			mesh.DrainOutbound()
+		}
+		jobDone <- err
+	}()
+
+	// Readiness barrier: every worker registered its inbound channels and
+	// so did the local participant; only then may producers dial and ship.
+	// A participant may legitimately finish during this phase (it was
+	// assigned no subtasks, or only instantly-completing ones) — ready
+	// always precedes done on an ordered control stream, so done here just
+	// counts toward completion.
+	readyLeft := W
+	localRunning := false
+	localDone := false
+	doneWorkers := 0
+	var failure error
+	fail := func(err error) {
+		if failure == nil {
+			failure = err
+		}
+	}
+	workerEvent := func(ev event) {
+		switch {
+		case ev.err != nil:
+			if workers[ev.i-1].done {
+				return // post-done EOF is the worker exiting; benign
+			}
+			fail(fmt.Errorf("worker %d control connection lost: %w", ev.i, ev.err))
+		case ev.msg.Kind == ctrlReady:
+			readyLeft--
+		case ev.msg.Kind == ctrlDone:
+			workers[ev.i-1].done = true
+			doneWorkers++
+			if ev.msg.Err != "" {
+				fail(fmt.Errorf("worker %d: %s", ev.i, ev.msg.Err))
+			}
+		}
+	}
+	for (readyLeft > 0 || !localRunning) && failure == nil {
+		select {
+		case <-running:
+			localRunning = true
+			running = nil
+		case ev := <-events:
+			workerEvent(ev)
+		case err := <-jobDone:
+			localRunning = true
+			localDone = true
+			jobDone = nil
+			if err != nil {
+				fail(fmt.Errorf("local participant failed during startup: %w", err))
+			}
+		case <-ctx.Done():
+			fail(ctx.Err())
+		}
+	}
+	if failure == nil {
+		mesh.Start()
+		for _, w := range workers {
+			if w.done {
+				continue
+			}
+			if err := w.send(ctrlMsg{Kind: ctrlStart}); err != nil {
+				fail(fmt.Errorf("coordinator: start worker %d: %w", w.i, err))
+				break
+			}
+		}
+	}
+
+	// Checkpoint machinery: at most one checkpoint in flight, assembled
+	// from the acks of every subtask in the whole job.
+	needAcks := g.TotalSubtasks()
+	var pending *state.Snapshot
+	var got map[state.SubtaskKey]bool
+	var nextID int64 = 1
+	if c.cfg.Restore != nil {
+		nextID = c.cfg.Restore.CheckpointID + 1
+	}
+	var tick <-chan time.Time
+	if c.cfg.Backend != nil && c.cfg.Interval > 0 && failure == nil {
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	merge := func(a dataflow.Ack) {
+		if pending == nil || a.Ckpt != pending.CheckpointID {
+			return // stale ack from an abandoned checkpoint
+		}
+		if got[a.Key] {
+			return
+		}
+		got[a.Key] = true
+		pending.Put(a.Key, a.Blob)
+		for kg, blob := range a.Groups {
+			pending.PutGroup(state.GroupKey{OperatorID: a.Key.OperatorID, KeyGroup: kg}, blob)
+		}
+		if len(got) == needAcks {
+			if err := c.cfg.Backend.Persist(pending); err != nil {
+				fail(fmt.Errorf("persist checkpoint %d: %w", pending.CheckpointID, err))
+			} else {
+				c.completed.Add(1)
+				if reg != nil {
+					reg.Counter("job.checkpoints").Inc()
+				}
+			}
+			pending = nil
+		}
+	}
+
+	meshFailed := mesh.Failed()
+	for failure == nil && !(localDone && doneWorkers == W) {
+		select {
+		case <-tick:
+			if pending != nil {
+				continue // previous checkpoint still assembling
+			}
+			id := nextID
+			nextID++
+			pending = state.NewSnapshot(id)
+			pending.NumKeyGroups = g.KeyGroups()
+			got = make(map[state.SubtaskKey]bool, needAcks)
+			select {
+			case triggers <- id:
+			case <-ctx.Done():
+				fail(ctx.Err())
+			}
+			for _, w := range workers {
+				if !w.done {
+					// A send error will surface as a reader event.
+					_ = w.send(ctrlMsg{Kind: ctrlTrigger, Ckpt: id})
+				}
+			}
+		case a := <-acks:
+			merge(a)
+		case ev := <-events:
+			if ev.err == nil && ev.msg.Kind == ctrlAck && ev.msg.Ack != nil {
+				merge(*ev.msg.Ack)
+				continue
+			}
+			workerEvent(ev)
+		case err := <-jobDone:
+			localDone = true
+			jobDone = nil
+			if err != nil {
+				fail(err)
+			}
+		case <-meshFailed:
+			meshFailed = nil // closed channel; fire once
+			fail(mesh.Err())
+		case <-ctx.Done():
+			fail(ctx.Err())
+		}
+	}
+
+	if failure != nil {
+		cancel()
+		for _, w := range workers {
+			if !w.done {
+				_ = w.send(ctrlMsg{Kind: ctrlStop, Err: failure.Error()})
+			}
+		}
+		if !localDone {
+			<-jobDone
+		}
+		return failure
+	}
+	// Global success: confirm completion (workers are already exiting on
+	// their own; the stop is informational and errors are irrelevant).
+	for _, w := range workers {
+		_ = w.send(ctrlMsg{Kind: ctrlStop})
+	}
+	return nil
+}

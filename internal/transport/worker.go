@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+)
+
+// BuildFunc rebuilds the pipeline graph inside a worker process. SPMD:
+// the wire cannot carry operator closures, so the worker constructs the
+// graph from code — from a pipeline registry keyed by the plan's pipeline
+// name, or (self-spawned workers) by re-running the exact construction the
+// parent ran. It returns the graph and the chaining flag, both of which
+// must reproduce the coordinator's plan bit for bit.
+type BuildFunc func(pipeline string, args []string) (*dataflow.Graph, bool, error)
+
+// RunWorker executes one worker's share of a distributed job: dial the
+// coordinator, receive the plan, rebuild the graph, verify the fingerprint,
+// run the assigned subtasks with a TCP mesh carrying the cross-participant
+// edges, and stream checkpoint acks back. It returns when the share
+// completes (nil), the coordinator aborts or disappears, or ctx is
+// cancelled. reg may be nil to disable metrics.
+func RunWorker(ctx context.Context, coordAddr string, reg *metrics.Registry, build BuildFunc) error {
+	RegisterTypes()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	conn, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("worker: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	var sendMu sync.Mutex
+	send := func(msg ctrlMsg) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if err := enc.Encode(msg); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	dec := gob.NewDecoder(conn)
+
+	// The data listener binds before the graph exists so its address can
+	// ride in the hello; the mesh adopts it once the plan arrives.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("worker: data listen: %w", err)
+	}
+	if err := send(ctrlMsg{Kind: ctrlHello, Addr: ln.Addr().String()}); err != nil {
+		ln.Close()
+		return fmt.Errorf("worker: hello: %w", err)
+	}
+	var planEnv ctrlMsg
+	if err := dec.Decode(&planEnv); err != nil {
+		ln.Close()
+		return fmt.Errorf("worker: receive plan: %w", err)
+	}
+	if planEnv.Kind != ctrlPlan || planEnv.Plan == nil {
+		ln.Close()
+		return fmt.Errorf("worker: expected plan, got message kind %d", planEnv.Kind)
+	}
+	p := planEnv.Plan
+
+	// Refuse to run rather than exchange streams against a different plan:
+	// a fingerprint mismatch means divergent binaries or arguments.
+	abort := func(err error) error {
+		_ = send(ctrlMsg{Kind: ctrlDone, Err: err.Error()})
+		ln.Close()
+		return err
+	}
+	g, chaining, err := build(p.Pipeline, p.Args)
+	if err != nil {
+		return abort(fmt.Errorf("worker: build pipeline %q: %w", p.Pipeline, err))
+	}
+	if fp := core.SpecOf(g, chaining).Fingerprint(); fp != p.Fingerprint {
+		return abort(fmt.Errorf("worker: plan fingerprint mismatch: local %.12s vs coordinator %.12s", fp, p.Fingerprint))
+	}
+
+	mesh := NewMesh(p.Self, ln, g, reg)
+	defer mesh.Close()
+	mesh.SetPeers(p.DataAddrs)
+
+	triggers := make(chan int64, 16)
+	acks := make(chan dataflow.Ack, 256)
+
+	opts := []dataflow.JobOption{dataflow.WithChaining(chaining)}
+	if reg != nil {
+		opts = append(opts, dataflow.WithMetrics(reg))
+	}
+	jb := dataflow.NewJob(g, opts...)
+	if p.Restore != nil {
+		jb.SetRestore(p.Restore)
+	}
+
+	// Control reader: start opens the dial gate, triggers inject barriers,
+	// stop (or a dropped connection) cancels the local share.
+	ctrlErr := make(chan error, 1)
+	go func() {
+		for {
+			var msg ctrlMsg
+			if err := dec.Decode(&msg); err != nil {
+				ctrlErr <- fmt.Errorf("worker: coordinator connection lost: %w", err)
+				cancel()
+				return
+			}
+			switch msg.Kind {
+			case ctrlStart:
+				mesh.Start()
+			case ctrlTrigger:
+				select {
+				case triggers <- msg.Ckpt:
+				case <-ctx.Done():
+					return
+				}
+			case ctrlStop:
+				if msg.Err != "" {
+					ctrlErr <- fmt.Errorf("worker: stopped by coordinator: %s", msg.Err)
+				} else {
+					ctrlErr <- nil
+				}
+				cancel()
+				return
+			}
+		}
+	}()
+	// Ack pump: local subtask acknowledgements stream to the coordinator.
+	go func() {
+		for {
+			select {
+			case a := <-acks:
+				if err := send(ctrlMsg{Kind: ctrlAck, Ack: &a}); err != nil {
+					cancel()
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	// A broken data plane is a job failure even while control is healthy.
+	go func() {
+		select {
+		case <-mesh.Failed():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	runErr := jb.RunParticipant(ctx, &dataflow.Participation{
+		Self:      p.Self,
+		Placement: p.Placement,
+		Transport: mesh,
+		Triggers:  triggers,
+		Acks:      acks,
+		OnRunning: func() { _ = send(ctrlMsg{Kind: ctrlReady}) },
+	})
+	if runErr == nil {
+		// Flush the remote Ends before reporting done.
+		mesh.DrainOutbound()
+	}
+	// Prefer the specific cause over a bare context.Canceled.
+	if merr := mesh.Err(); merr != nil && (runErr == nil || runErr == context.Canceled) {
+		runErr = merr
+	}
+	select {
+	case cerr := <-ctrlErr:
+		if cerr != nil && (runErr == nil || runErr == context.Canceled) {
+			runErr = cerr
+		}
+	default:
+	}
+	msg := ""
+	if runErr != nil {
+		msg = runErr.Error()
+	}
+	_ = send(ctrlMsg{Kind: ctrlDone, Err: msg})
+	return runErr
+}

@@ -185,6 +185,9 @@ func (r *pacedReader[T]) CrossedHandoff() bool { return readerCrossedHandoff(r.i
 
 func (r *pacedReader[T]) Err() error { return readerErr(r.inner) }
 
+// SourceLocalOnly delegates the local-only property to the inner reader.
+func (r *pacedReader[T]) SourceLocalOnly() bool { return readerLocalOnly(r.inner) }
+
 // ---- channels (data in motion) --------------------------------------------
 
 // Channel returns a live in-motion source fed by a Go channel; closing the
@@ -245,6 +248,11 @@ func (r *channelReader[T]) received(k Keyed[T], ok bool) (Keyed[T], ReadStatus) 
 	r.emitted++
 	return k, ReadData
 }
+
+// SourceLocalOnly marks the reader as bound to this process: its feeding
+// channel has no existence in a worker, so distributed placement pins the
+// source node to the coordinator.
+func (r *channelReader[T]) SourceLocalOnly() bool { return true }
 
 func (r *channelReader[T]) Snapshot() ([]byte, error) { return encodeCursor(r.emitted) }
 
@@ -471,6 +479,9 @@ func (f *funcReader[T]) Unordered() bool {
 	return false
 }
 
+// SourceLocalOnly delegates the local-only property to the wrapped source.
+func (f *funcReader[T]) SourceLocalOnly() bool { return readerLocalOnly(f.src) }
+
 func (f *funcReader[T]) Err() error {
 	if fail, ok := f.src.(dataflow.Failable); ok {
 		return fail.Err()
@@ -694,6 +705,12 @@ func (h *hybridReader[T]) Unordered() bool {
 		return readerUnordered(h.history)
 	}
 	return readerUnordered(h.live)
+}
+
+// SourceLocalOnly reports local-only when either phase is (the live half
+// usually is a channel).
+func (h *hybridReader[T]) SourceLocalOnly() bool {
+	return readerLocalOnly(h.history) || readerLocalOnly(h.live)
 }
 
 func (h *hybridReader[T]) Err() error {

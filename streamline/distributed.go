@@ -1,0 +1,207 @@
+package streamline
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// WorkerEnvVar, when set in a process's environment, marks it as a
+// self-spawned worker: ExecuteDistributed in that process runs the worker
+// share against the coordinator at the variable's address instead of
+// coordinating, and exits when the share completes. Set automatically by
+// WithSelfSpawn; never set it by hand unless you are building your own
+// process manager.
+const WorkerEnvVar = "STREAMLINE_WORKER"
+
+// WithWorkers makes ExecuteDistributed split the job across n worker
+// processes plus the coordinator (this process, which keeps all sinks and
+// live local sources). n == 0 (the default) runs single-process.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithListenAddr sets the coordinator's control listen address for
+// distributed runs (default: an ephemeral loopback port). Use a fixed
+// address when workers are started externally, e.g. "127.0.0.1:7171".
+func WithListenAddr(addr string) Option { return core.WithListenAddr(addr) }
+
+// WithSelfSpawn makes ExecuteDistributed start its own workers by
+// re-executing the current binary with WorkerEnvVar set. The re-executed
+// process runs the same main, builds the same pipeline, and its
+// ExecuteDistributed call becomes the worker share — after which the child
+// process exits rather than returning into a main that expects results.
+func WithSelfSpawn() Option { return core.WithSelfSpawn() }
+
+// WithPipelineRef names the registered pipeline externally started generic
+// workers (RunRegisteredWorker) rebuild, with the arguments to rebuild it
+// from. Unnecessary with WithSelfSpawn.
+func WithPipelineRef(name string, args ...string) Option {
+	return core.WithPipelineRef(name, args...)
+}
+
+// WithOnListen registers a callback invoked with the coordinator's bound
+// control address once it is listening — the way to learn an ephemeral
+// port so externally started workers (or test goroutines) can dial in.
+func WithOnListen(f func(addr string)) Option { return core.WithOnListen(f) }
+
+// RegisterWireTypes registers custom record payload types for distributed
+// runs. Every process of a job must register the same set before
+// executing; builtin payloads (string, int, float64, ...) and the engine's
+// window/join results are pre-registered.
+func RegisterWireTypes(examples ...any) { transport.RegisterTypes(examples...) }
+
+// Metrics returns the environment's metrics registry (created on first
+// use). Distributed runs report per-edge transport gauges and counters
+// ("edge.<name>.<i>.queued_batches", "edge.<name>.<i>.tx_bytes") and
+// checkpoint counts into it.
+func (e *Env) Metrics() *metrics.Registry {
+	e.regOnce.Do(func() { e.reg = metrics.NewRegistry() })
+	return e.reg
+}
+
+// ExecuteDistributed runs the pipeline across WithWorkers processes. This
+// process becomes the coordinator (participant 0): it distributes the
+// structural plan, runs every pinned chain — sinks, so Collect results land
+// here, and live channel sources, whose data exists only here — injects
+// checkpoint barriers, assembles per-subtask acks into global snapshots on
+// the configured backend, and aborts cleanly if any worker connection
+// drops (the job is then restartable from the last snapshot at any worker
+// count via ExecuteDistributedRestored).
+//
+// With zero workers it is exactly Execute. In a WithSelfSpawn child
+// process it runs the worker share and exits.
+func (e *Env) ExecuteDistributed(ctx context.Context) error {
+	return e.executeDistributed(ctx, nil)
+}
+
+// ExecuteDistributedRestored is ExecuteDistributed starting from a recovery
+// snapshot — the worker count may differ from the run that wrote it;
+// keyed state and splittable scan work redistribute.
+func (e *Env) ExecuteDistributedRestored(ctx context.Context, snap *Snapshot) error {
+	return e.executeDistributed(ctx, snap)
+}
+
+func (e *Env) executeDistributed(ctx context.Context, snap *Snapshot) error {
+	if err := e.core.BuildErr(); err != nil {
+		return err
+	}
+	if addr := os.Getenv(WorkerEnvVar); addr != "" {
+		// Self-spawned child: this very code built the identical pipeline,
+		// so the env itself is the build product. The share must not return
+		// into a main that would print empty results.
+		err := transport.RunWorker(ctx, addr, e.Metrics(), func(string, []string) (*dataflow.Graph, bool, error) {
+			return e.core.Graph(), e.core.Chaining(), nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamline worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	workers := e.core.Workers()
+	if workers <= 0 {
+		if snap != nil {
+			return e.core.ExecuteRestored(ctx, snap)
+		}
+		return e.core.Execute(ctx)
+	}
+	backend, every := e.core.Backend()
+	pipeline, args := e.core.PipelineRef()
+	coord, err := transport.NewCoordinator(transport.Config{
+		Graph:      e.core.Graph(),
+		Chaining:   e.core.Chaining(),
+		Workers:    workers,
+		Backend:    backend,
+		Interval:   every,
+		Restore:    snap,
+		Pipeline:   pipeline,
+		Args:       args,
+		Registry:   e.Metrics(),
+		ListenAddr: e.core.ListenAddr(),
+	})
+	if err != nil {
+		return err
+	}
+	if f := e.core.OnListen(); f != nil {
+		f(coord.Addr())
+	}
+	var spawned []*exec.Cmd
+	if e.core.SelfSpawn() {
+		for i := 0; i < workers; i++ {
+			cmd := exec.CommandContext(ctx, os.Args[0], os.Args[1:]...)
+			cmd.Env = append(os.Environ(), WorkerEnvVar+"="+coord.Addr())
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				for _, c := range spawned {
+					c.Process.Kill()
+					c.Wait()
+				}
+				return fmt.Errorf("spawn worker %d: %w", i+1, err)
+			}
+			spawned = append(spawned, cmd)
+		}
+	}
+	runErr := coord.Run(ctx)
+	e.core.NoteDistributedCheckpoints(coord.CompletedCheckpoints())
+	// Children exit on their own once their share (or the abort) lands:
+	// Run has closed every control connection by now, which unblocks them.
+	for _, c := range spawned {
+		c.Wait()
+	}
+	return runErr
+}
+
+// Pipeline registry: generic worker processes (cmd/streamline-worker) have
+// no main that builds the job, so pipelines register a named builder and
+// the plan's pipeline name selects it.
+var (
+	pipelinesMu sync.RWMutex
+	pipelines   = map[string]func(args []string) (*Env, error){}
+)
+
+// RegisterPipeline registers a named pipeline builder for generic workers.
+// The builder must construct the pipeline exactly as the coordinator does
+// for the same arguments — the plan fingerprint is verified before running.
+func RegisterPipeline(name string, build func(args []string) (*Env, error)) {
+	pipelinesMu.Lock()
+	defer pipelinesMu.Unlock()
+	pipelines[name] = build
+}
+
+// RunWorker executes one worker's share of a distributed job, rebuilding
+// the pipeline with the given builder. It blocks until the share completes
+// or the job aborts. Tests use it to run workers in-process over real TCP;
+// cmd/streamline-worker wraps RunRegisteredWorker around it.
+func RunWorker(ctx context.Context, coordAddr string, build func(pipeline string, args []string) (*Env, error)) error {
+	reg := metrics.NewRegistry()
+	return transport.RunWorker(ctx, coordAddr, reg, func(pipeline string, args []string) (*dataflow.Graph, bool, error) {
+		env, err := build(pipeline, args)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := env.core.BuildErr(); err != nil {
+			return nil, false, err
+		}
+		return env.core.Graph(), env.core.Chaining(), nil
+	})
+}
+
+// RunRegisteredWorker is RunWorker against the pipeline registry: the
+// coordinator's plan names the pipeline, the registry builds it.
+func RunRegisteredWorker(ctx context.Context, coordAddr string) error {
+	return RunWorker(ctx, coordAddr, func(pipeline string, args []string) (*Env, error) {
+		pipelinesMu.RLock()
+		build, ok := pipelines[pipeline]
+		pipelinesMu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("pipeline %q not registered in this worker binary", pipeline)
+		}
+		return build(args)
+	})
+}

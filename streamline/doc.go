@@ -205,4 +205,42 @@
 // afterwards. A bare Channel connector still hints parallelism 1 — see
 // ParallelismHinter — because without a handoff floor an idle subtask would
 // pin event time at -inf.
+//
+// # Distributed execution
+//
+// Env.ExecuteDistributed splits the same plan across WithWorkers worker
+// processes plus this process, the coordinator, over loopback/LAN TCP (see
+// internal/transport). Execution is SPMD: operator logic is closures and
+// never crosses the wire, so every participant rebuilds the identical
+// pipeline from code — via WithSelfSpawn (the coordinator re-executes its
+// own binary), RunWorker (a caller-supplied builder), or RunRegisteredWorker
+// (a RegisterPipeline registry keyed by WithPipelineRef) — and the
+// coordinator ships only the structural plan, a fingerprint both sides
+// verify, the placement map, peer addresses, and (on recovery) the restore
+// snapshot. Exchange edges that cross participants carry the same pooled
+// record batches as the in-process channels, framed over one TCP connection
+// per channel so checkpoint-barrier alignment keeps its ordering guarantees;
+// custom payload types must be registered on every participant with
+// RegisterWireTypes.
+//
+// Placement is deterministic: sinks (and live sources whose data exists only
+// in the coordinator process — Channel, Hybrid's live phase) are pinned to
+// the coordinator, and everything else round-robins across the workers, so
+// Collect results always land in the coordinating process. The coordinator
+// also injects checkpoint barriers and assembles every participant's acks
+// into the same global snapshots a single-process run writes — a distributed
+// job checkpoints to the shared backend and restores via
+// ExecuteDistributedRestored at ANY worker count, with keyed state and
+// remaining scan splits redistributing exactly as under a parallelism
+// rescale. A lost worker connection aborts the job cleanly; restart from the
+// last snapshot to continue.
+//
+// Remaining single-process assumptions, by design: live in-motion sources
+// feed the coordinator (workers scale the at-rest, keyed and windowed
+// stages); each source stage's event-time clock is per-process (watermarks
+// still merge correctly downstream); splits are partitioned statically
+// across participants (split stealing stays process-local); and file scans
+// plus FileBackend checkpoints assume a filesystem all participants can
+// read. Single-machine multi-core jobs lose nothing: with zero workers
+// ExecuteDistributed is exactly Execute.
 package streamline

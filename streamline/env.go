@@ -2,10 +2,12 @@ package streamline
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/metrics"
 	"repro/internal/state"
 )
 
@@ -26,6 +28,11 @@ const DefaultNumKeyGroups = state.DefaultNumKeyGroups
 // thin typed veneer over core.Environment; one Env builds one job.
 type Env struct {
 	core *core.Environment
+
+	// reg is the lazily created metrics registry (see Metrics); regOnce
+	// guards its creation.
+	reg     *metrics.Registry
+	regOnce sync.Once
 }
 
 // Option configures an Env at construction.

@@ -529,3 +529,17 @@ func (l *loweredReader[T]) Err() error {
 	}
 	return nil
 }
+
+// SourceLocalOnly implements dataflow.LocalOnlySource by delegating to the
+// reader: live-channel readers exist only in the submitting process, so
+// distributed placement pins their node to the coordinator.
+func (l *loweredReader[T]) SourceLocalOnly() bool { return readerLocalOnly(l.r) }
+
+// readerLocalOnly probes a reader (or source) for the local-only property;
+// decorators delegate to their inner reader.
+func readerLocalOnly(r any) bool {
+	if lo, ok := r.(interface{ SourceLocalOnly() bool }); ok {
+		return lo.SourceLocalOnly()
+	}
+	return false
+}
