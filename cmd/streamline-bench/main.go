@@ -26,6 +26,10 @@
 //	                              # exchange transport benchmark only:
 //	                              # in-process channels vs loopback TCP at
 //	                              # batch sizes 1/64/256, results to JSON
+//	streamline-bench -fusion BENCH_fusion.json
+//	                              # vectorized operator chain benchmark only:
+//	                              # fused OnBatch execution vs per-record
+//	                              # boxing, throughput + allocs/record to JSON
 package main
 
 import (
@@ -45,7 +49,23 @@ func main() {
 	scanBench := flag.String("scan", "", "run the at-rest scan benchmark and write JSON results to this path")
 	topicBench := flag.String("topic", "", "run the topic store benchmark and write JSON results to this path")
 	netBench := flag.String("net", "", "run the exchange transport benchmark and write JSON results to this path")
+	fusionBench := flag.String("fusion", "", "run the vectorized operator chain benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *fusionBench != "" {
+		rep, err := bench.Fusion(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusion benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*fusionBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *fusionBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *fusionBench)
+		return
+	}
 
 	if *netBench != "" {
 		rep, err := bench.Net(*quick)

@@ -18,13 +18,18 @@ import (
 // data plane. Results are written to BENCH_exchange.json by
 // `streamline-bench -exchange`.
 
-// ExchangeRun is one (pipeline, batch size) measurement.
+// ExchangeRun is one (pipeline, batch size) measurement. The allocation
+// columns (heap allocations and bytes per record, from runtime.MemStats
+// deltas around the run) record the boxing/staging trajectory alongside
+// throughput.
 type ExchangeRun struct {
-	Pipeline      string  `json:"pipeline"`
-	BatchSize     int     `json:"batch_size"`
-	Records       int64   `json:"records"`
-	Seconds       float64 `json:"seconds"`
-	RecordsPerSec float64 `json:"records_per_sec"`
+	Pipeline        string  `json:"pipeline"`
+	BatchSize       int     `json:"batch_size"`
+	Records         int64   `json:"records"`
+	Seconds         float64 `json:"seconds"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
 }
 
 // ExchangeReport is the full suite: every run plus the default-vs-1 speedup
@@ -62,13 +67,16 @@ func ExchangeWordcount(n int64, batchSize int) (ExchangeRun, error) {
 	counts := streamline.ReduceByKey(ones, "count", func(acc, v float64) float64 { return acc + v }, false)
 	streamline.Sink(counts, "out", func(streamline.Keyed[float64]) {})
 	start := time.Now()
-	if err := env.Execute(context.Background()); err != nil {
+	mallocs, bytes, err := memDelta(func() error { return env.Execute(context.Background()) })
+	if err != nil {
 		return ExchangeRun{}, fmt.Errorf("wordcount batch=%d: %w", batchSize, err)
 	}
 	el := time.Since(start).Seconds()
 	return ExchangeRun{
 		Pipeline: "wordcount", BatchSize: batchSize, Records: n,
 		Seconds: el, RecordsPerSec: float64(n) / el,
+		AllocsPerRecord: float64(mallocs) / float64(n),
+		BytesPerRecord:  float64(bytes) / float64(n),
 	}, nil
 }
 
@@ -99,13 +107,16 @@ func ExchangeChannel(n int64, batchSize int) (ExchangeRun, error) {
 	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
 	streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
 	start := time.Now()
-	if err := env.Execute(context.Background()); err != nil {
+	mallocs, bytes, err := memDelta(func() error { return env.Execute(context.Background()) })
+	if err != nil {
 		return ExchangeRun{}, fmt.Errorf("channel batch=%d: %w", batchSize, err)
 	}
 	el := time.Since(start).Seconds()
 	return ExchangeRun{
 		Pipeline: "channel", BatchSize: batchSize, Records: n,
 		Seconds: el, RecordsPerSec: float64(n) / el,
+		AllocsPerRecord: float64(mallocs) / float64(n),
+		BytesPerRecord:  float64(bytes) / float64(n),
 	}, nil
 }
 
@@ -158,11 +169,12 @@ func (r *ExchangeReport) Table() *Table {
 		ID:     "EXCHANGE",
 		Title:  "vectorized exchange: pooled record batches vs per-record hops",
 		Claim:  "\"as fast as the hardware allows\" — batch the hottest path",
-		Header: []string{"pipeline", "batch size", "records", "runtime", "throughput"},
+		Header: []string{"pipeline", "batch size", "records", "runtime", "throughput", "allocs/rec", "bytes/rec"},
 	}
 	for _, run := range r.Runs {
 		t.Add(run.Pipeline, fmt.Sprintf("%d", run.BatchSize), fmtCount(float64(run.Records)),
-			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec))
+			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec),
+			fmt.Sprintf("%.2f", run.AllocsPerRecord), fmt.Sprintf("%.1f", run.BytesPerRecord))
 	}
 	for name, s := range r.Speedup {
 		t.Note("%s: %.2fx records/sec at batch size %d over batch size 1", name, s, r.DefaultBatchSize)

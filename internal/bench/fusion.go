@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/streamline"
+)
+
+// The fusion benchmark records the vectorized-operator perf trajectory: one
+// map/filter-heavy chain — six stateless stages behind a rebalance exchange,
+// so every record crosses the batched data plane and then the chain — runs
+// with the default execution (typed stage fusion + batch-at-a-time OnBatch)
+// and with both disabled (per-record dispatch, one box/unbox pair per stage).
+// Throughput and the allocation profile per record are the measured win of
+// vectorizing the operator layer. Results go to BENCH_fusion.json via
+// `streamline-bench -fusion`.
+
+// FusionRun is one mode's measurement of the fused-chain pipeline.
+type FusionRun struct {
+	Mode            string  `json:"mode"` // "vectorized" or "per-record"
+	BatchSize       int     `json:"batch_size"`
+	Records         int64   `json:"records"`
+	Seconds         float64 `json:"seconds"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+}
+
+// FusionReport is the suite: both modes plus the vectorized-over-baseline
+// speedup and the fraction of per-record allocations eliminated.
+type FusionReport struct {
+	BatchSize      int         `json:"batch_size"`
+	Runs           []FusionRun `json:"runs"`
+	Speedup        float64     `json:"speedup"`
+	AllocReduction float64     `json:"alloc_reduction"`
+}
+
+// memDelta runs f between two MemStats readings and returns the heap
+// allocation deltas (count and bytes). A GC first settles the baseline so
+// leftover garbage from pipeline construction is not attributed to f.
+func memDelta(f func() error) (mallocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := f(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+// FusionChain runs the map/filter-heavy pipeline once: n float64 records,
+// rebalanced across two subtasks, through map→filter→map→filter→map→map into
+// a sink. vectorized toggles both stage fusion and the OnBatch chain driver;
+// results are identical either way — only the execution strategy differs.
+func FusionChain(n int64, batchSize int, vectorized bool) (FusionRun, error) {
+	mode := "vectorized"
+	opts := []streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithBatchSize(batchSize),
+	}
+	if !vectorized {
+		mode = "per-record"
+		opts = append(opts,
+			streamline.WithStageFusion(false),
+			streamline.WithVectorizedChains(false),
+		)
+	}
+	env := streamline.New(opts...)
+	src := streamline.From(env, "nums", streamline.Generator(n,
+		func(sub, par int, i int64) streamline.Keyed[float64] {
+			return streamline.Keyed[float64]{Ts: i, Key: uint64(i % 512), Value: float64(i % 9973)}
+		}), streamline.WithSourceParallelism(2))
+	// The union inserts a rebalance exchange, so the chain under measurement
+	// is exchange-fed: the vectorized run exercises OnBatch end to end.
+	merged := streamline.Union(src, "merge")
+	m1 := streamline.Map(merged, "scale", func(v float64) float64 { return v*1.25 + 3 })
+	f1 := streamline.Filter(m1, "band", func(v float64) bool { return v >= 16 })
+	m2 := streamline.Map(f1, "shift", func(v float64) float64 { return v - 11 })
+	f2 := streamline.Filter(m2, "mod", func(v float64) bool { return int64(v)%7 != 0 })
+	m3 := streamline.Map(f2, "widen", func(v float64) float64 { return v*v + 1 })
+	m4 := streamline.Map(m3, "final", func(v float64) float64 { return v * 0.5 })
+	streamline.Sink(m4, "out", func(streamline.Keyed[float64]) {})
+
+	start := time.Now()
+	mallocs, bytes, err := memDelta(func() error { return env.Execute(context.Background()) })
+	if err != nil {
+		return FusionRun{}, fmt.Errorf("fusion chain %s batch=%d: %w", mode, batchSize, err)
+	}
+	el := time.Since(start).Seconds()
+	return FusionRun{
+		Mode: mode, BatchSize: batchSize, Records: n,
+		Seconds: el, RecordsPerSec: float64(n) / el,
+		AllocsPerRecord: float64(mallocs) / float64(n),
+		BytesPerRecord:  float64(bytes) / float64(n),
+	}, nil
+}
+
+// Fusion workload sizes, shared with BenchmarkFusedChain so the CI smoke run
+// measures the quick-mode workload recorded in BENCH_fusion.json.
+const (
+	FusionRecords      int64 = 2_000_000
+	FusionQuickRecords int64 = 400_000
+)
+
+// Fusion runs the fused-chain benchmark suite: both modes at the default
+// batch size.
+func Fusion(quick bool) (*FusionReport, error) {
+	n := FusionRecords
+	if quick {
+		n = FusionQuickRecords
+	}
+	rep := &FusionReport{BatchSize: streamline.DefaultBatchSize}
+	base, err := FusionChain(n, streamline.DefaultBatchSize, false)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := FusionChain(n, streamline.DefaultBatchSize, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = []FusionRun{base, fused}
+	if base.RecordsPerSec > 0 {
+		rep.Speedup = fused.RecordsPerSec / base.RecordsPerSec
+	}
+	if base.AllocsPerRecord > 0 {
+		rep.AllocReduction = 1 - fused.AllocsPerRecord/base.AllocsPerRecord
+	}
+	return rep, nil
+}
+
+// Table renders the report in the experiment-table format.
+func (r *FusionReport) Table() *Table {
+	t := &Table{
+		ID:     "FUSION",
+		Title:  "vectorized operator chains: fused OnBatch execution vs per-record boxing",
+		Claim:  "one unbox per chain, one box per exit — not one pair per stage",
+		Header: []string{"mode", "batch size", "records", "runtime", "throughput", "allocs/rec", "bytes/rec"},
+	}
+	for _, run := range r.Runs {
+		t.Add(run.Mode, fmt.Sprintf("%d", run.BatchSize), fmtCount(float64(run.Records)),
+			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec),
+			fmt.Sprintf("%.2f", run.AllocsPerRecord), fmt.Sprintf("%.1f", run.BytesPerRecord))
+	}
+	t.Note("vectorized: %.2fx records/sec, %.0f%% fewer allocs/record than per-record execution at batch size %d",
+		r.Speedup, r.AllocReduction*100, r.BatchSize)
+	return t
+}
+
+// WriteJSON records the report (the perf trajectory file BENCH_fusion.json).
+func (r *FusionReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -118,6 +118,17 @@ func (c *CombinerOp) OnRecord(r dataflow.Record, out dataflow.Collector) {
 	}
 }
 
+// OnBatch implements dataflow.BatchedOperator: the per-record fold applied
+// over the whole run. Pass-throughs and flushes emit through out (delivered
+// in fold order), so the semantics are exactly the per-record path's; the
+// point is keeping a chain that contains a combiner on the vectorized path.
+func (c *CombinerOp) OnBatch(b []dataflow.Record, out dataflow.Collector) []dataflow.Record {
+	for i := range b {
+		c.OnRecord(b[i], out)
+	}
+	return nil
+}
+
 // OnWatermark implements dataflow.Operator: flush so that downstream
 // event-time processing (window release) sees all data at or below the
 // watermark.

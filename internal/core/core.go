@@ -50,6 +50,8 @@ type Environment struct {
 	graph       *dataflow.Graph
 	parallelism int
 	chaining    bool
+	vectorize   bool
+	fusion      bool
 	combiner    CombinerMode
 	backend     state.Backend
 	ckptEvery   time.Duration
@@ -79,6 +81,23 @@ func WithParallelism(p int) Option {
 // WithChaining toggles operator chaining (default on).
 func WithChaining(on bool) Option {
 	return func(e *Environment) { e.chaining = on }
+}
+
+// WithVectorizedChains toggles the batch-at-a-time fast path through operator
+// chains (default on). Purely physical: results are identical either way and
+// the setting is not part of the distributed PlanSpec.
+func WithVectorizedChains(on bool) Option {
+	return func(e *Environment) { e.vectorize = on }
+}
+
+// WithStageFusion toggles typed stage fusion in the streamline layer (default
+// on): runs of adjacent Map/Filter/FlatMap stages lower into one fused
+// operator that keeps values in their concrete type across stages. Fusion
+// changes the lowered plan (fused node names concatenate the stage names)
+// deterministically — every process building the same pipeline with the same
+// setting produces the same PlanSpec fingerprint — and never changes results.
+func WithStageFusion(on bool) Option {
+	return func(e *Environment) { e.fusion = on }
 }
 
 // WithCombiner sets the combiner mode (default CombinerAuto).
@@ -174,6 +193,10 @@ func (e *Environment) OnListen() func(addr string)     { return e.onListen }
 // physical-plan identity a distributed worker must reproduce.
 func (e *Environment) Chaining() bool { return e.chaining }
 
+// StageFusion reports whether typed stage fusion is enabled. Read by the
+// streamline layer at lowering time.
+func (e *Environment) StageFusion() bool { return e.fusion }
+
 // Backend returns the configured snapshot backend (nil when unset) and the
 // checkpoint interval (0 when periodic checkpointing is off).
 func (e *Environment) Backend() (state.Backend, time.Duration) {
@@ -190,9 +213,11 @@ func (e *Environment) NoteDistributedCheckpoints(n int64) { e.distCompleted += n
 // NewEnvironment returns an empty pipeline environment.
 func NewEnvironment(opts ...Option) *Environment {
 	e := &Environment{
-		graph:    dataflow.NewGraph("streamline"),
-		chaining: true,
-		combiner: CombinerAuto,
+		graph:     dataflow.NewGraph("streamline"),
+		chaining:  true,
+		vectorize: true,
+		fusion:    true,
+		combiner:  CombinerAuto,
 	}
 	for _, o := range opts {
 		o(e)
@@ -225,7 +250,10 @@ func (e *Environment) Execute(ctx context.Context) error {
 	if e.buildErr != nil {
 		return e.buildErr
 	}
-	opts := []dataflow.JobOption{dataflow.WithChaining(e.chaining)}
+	opts := []dataflow.JobOption{
+		dataflow.WithChaining(e.chaining),
+		dataflow.WithVectorizedChains(e.vectorize),
+	}
 	if e.backend != nil {
 		opts = append(opts, dataflow.WithCheckpointing(e.backend, e.ckptEvery))
 	}
@@ -240,6 +268,7 @@ func (e *Environment) ExecuteRestored(ctx context.Context, snap *state.Snapshot)
 	}
 	opts := []dataflow.JobOption{
 		dataflow.WithChaining(e.chaining),
+		dataflow.WithVectorizedChains(e.vectorize),
 		dataflow.WithRestore(snap),
 	}
 	if e.backend != nil {

@@ -16,12 +16,13 @@ import (
 // Job is an executable instance of a Graph: channels, subtask goroutines, an
 // optional checkpoint coordinator, and optional recovery state.
 type Job struct {
-	g        *Graph
-	backend  state.Backend
-	interval time.Duration
-	restore  *state.Snapshot
-	chaining bool
-	reg      *metrics.Registry
+	g         *Graph
+	backend   state.Backend
+	interval  time.Duration
+	restore   *state.Snapshot
+	chaining  bool
+	vectorize bool
+	reg       *metrics.Registry
 
 	completed atomic.Int64
 }
@@ -55,6 +56,17 @@ func WithChaining(on bool) JobOption {
 	return func(j *Job) { j.chaining = on }
 }
 
+// WithVectorizedChains toggles the batch-at-a-time fast path through operator
+// chains: exchange-fed chains whose operators implement BatchedOperator
+// process each contiguous data run of an inbound batch with one OnBatch call
+// per operator instead of one OnRecord dispatch per record. Enabled by
+// default. Purely physical — results are identical at any batch size with the
+// fast path on or off, and the setting is not part of the distributed
+// PlanSpec.
+func WithVectorizedChains(on bool) JobOption {
+	return func(j *Job) { j.vectorize = on }
+}
+
 // WithMetrics attaches a metrics registry: the job reports per-node input
 // record counts ("node.<name>.records_in"), per-node watermark progress
 // ("node.<name>.watermark"), completed checkpoint count
@@ -83,7 +95,7 @@ func (j *Job) nodeMetrics(name string) *nodeMetrics {
 
 // NewJob prepares a graph for execution.
 func NewJob(g *Graph, opts ...JobOption) *Job {
-	j := &Job{g: g, chaining: true}
+	j := &Job{g: g, chaining: true, vectorize: true}
 	for _, o := range opts {
 		o(j)
 	}
@@ -328,38 +340,63 @@ func (o *outputs) flushSlotLocked(e *outEdge, slot int) bool {
 	return true
 }
 
+// routeLocked stages one data record on one edge according to its
+// partitioning.
+func (o *outputs) routeLocked(e *outEdge, r Record) bool {
+	n := len(e.chans)
+	switch e.part {
+	case BroadcastPartition:
+		for slot := range e.chans {
+			if !o.stageLocked(e, slot, r) {
+				return false
+			}
+		}
+	case HashPartition:
+		// Route via the key group so routing and keyed-state
+		// partitioning agree: the subtask receiving a key is exactly
+		// the subtask owning its state's key group.
+		g := state.KeyGroupFor(r.Key, o.numGroups)
+		if !o.stageLocked(e, state.SubtaskForGroup(g, o.numGroups, n), r) {
+			return false
+		}
+	case Rebalance:
+		slot := e.rr % n
+		e.rr++
+		if !o.stageLocked(e, slot, r) {
+			return false
+		}
+	default: // Forward
+		// An unchained Forward edge holds exactly one channel: the peer
+		// subtask's (see outputsFor), so routing is the single slot.
+		if !o.stageLocked(e, 0, r) {
+			return false
+		}
+	}
+	return true
+}
+
 // data routes one data record according to each edge's partitioning.
 func (o *outputs) data(r Record) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for i := range o.edges {
+		if !o.routeLocked(&o.edges[i], r) {
+			return false
+		}
+	}
+	return true
+}
+
+// dataBatch routes a run of data records under a single staging-lock
+// acquisition — the vectorized chain's exit into the exchange. Per-slot
+// record order matches routing the records one by one.
+func (o *outputs) dataBatch(b []Record) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.edges {
 		e := &o.edges[i]
-		n := len(e.chans)
-		switch e.part {
-		case BroadcastPartition:
-			for slot := range e.chans {
-				if !o.stageLocked(e, slot, r) {
-					return false
-				}
-			}
-		case HashPartition:
-			// Route via the key group so routing and keyed-state
-			// partitioning agree: the subtask receiving a key is exactly
-			// the subtask owning its state's key group.
-			g := state.KeyGroupFor(r.Key, o.numGroups)
-			if !o.stageLocked(e, state.SubtaskForGroup(g, o.numGroups, n), r) {
-				return false
-			}
-		case Rebalance:
-			slot := e.rr % n
-			e.rr++
-			if !o.stageLocked(e, slot, r) {
-				return false
-			}
-		default: // Forward
-			// An unchained Forward edge holds exactly one channel: the peer
-			// subtask's (see outputsFor), so routing is the single slot.
-			if !o.stageLocked(e, 0, r) {
+		for _, r := range b {
+			if !o.routeLocked(e, r) {
 				return false
 			}
 		}
@@ -448,10 +485,12 @@ func (c opCollector) Collect(r Record) { c.op.OnRecord(r, c.next) }
 
 // chain is the per-subtask instantiation of a chain of operators.
 type chain struct {
-	nodes []*Node    // chain nodes in order (head first for operator chains)
-	ops   []Operator // instances, aligned with nodes
-	colls []Collector
-	out   *outputs
+	nodes     []*Node    // chain nodes in order (head first for operator chains)
+	ops       []Operator // instances, aligned with nodes
+	colls     []Collector
+	out       *outputs
+	vectorize bool
+	batched   []BatchedOperator // aligned with ops; nil where the op has no OnBatch
 }
 
 // collector returns the entry collector of the chain (records flow through
@@ -466,13 +505,39 @@ func (c *chain) collector() Collector {
 // build creates downstream collectors: colls[i] is what ops[i] emits into.
 func (c *chain) build() {
 	c.colls = make([]Collector, len(c.ops))
+	c.batched = make([]BatchedOperator, len(c.ops))
 	for i := len(c.ops) - 1; i >= 0; i-- {
 		if i == len(c.ops)-1 {
 			c.colls[i] = outCollector{c.out}
 		} else {
 			c.colls[i] = opCollector{op: c.ops[i+1], next: c.colls[i+1]}
 		}
+		c.batched[i], _ = c.ops[i].(BatchedOperator)
 	}
+}
+
+// processBatch hands a contiguous run of data records through the chain's
+// vectorized fast path: each BatchedOperator transforms the whole run with
+// one OnBatch call, and the survivors exit into the exchange under a single
+// staging-lock acquisition. The first operator without OnBatch downgrades the
+// rest of the chain to the per-record path, so mixed chains stay correct.
+// The run aliases the inbound pooled batch; in-place compaction is safe
+// because the receiver owns the batch until it is recycled.
+func (c *chain) processBatch(b []Record) {
+	for i := range c.ops {
+		if len(b) == 0 {
+			return
+		}
+		bo := c.batched[i]
+		if bo == nil {
+			for _, r := range b {
+				c.ops[i].OnRecord(r, c.colls[i])
+			}
+			return
+		}
+		b = bo.OnBatch(b, c.colls[i])
+	}
+	c.out.dataBatch(b)
 }
 
 func (c *chain) watermark(wm int64) {
@@ -751,7 +816,7 @@ func (j *Job) run(ctx context.Context, part *Participation) error {
 			if !isLocal(n, s) {
 				continue
 			}
-			ch := &chain{out: outputsFor(tail, s)}
+			ch := &chain{out: outputsFor(tail, s), vectorize: j.vectorize}
 			if n.NewOperator != nil {
 				ch.nodes = append([]*Node{n}, chainNodes...)
 			} else {
@@ -812,6 +877,16 @@ func (j *Job) run(ctx context.Context, part *Participation) error {
 				ins := make([]chan []Record, 0)
 				edges := make([]int, 0)
 				for ei := range n.In {
+					if n.In[ei].Part == Forward {
+						// An unchained Forward edge carries exactly one live
+						// channel: the producer peer with the same subtask
+						// index. The rest of the row is never written, and a
+						// subtask listening on it would wait forever for an
+						// End that cannot come.
+						ins = append(ins, inCh[n][ei][s][s])
+						edges = append(edges, ei)
+						continue
+					}
 					for _, c := range inCh[n][ei][s] {
 						ins = append(ins, c)
 						edges = append(edges, ei)
@@ -1077,6 +1152,10 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan []Record, edge
 	if len(ch.ops) > 0 {
 		edgeAware, _ = ch.ops[0].(EdgeAware)
 	}
+	// The vectorized fast path hands contiguous data runs to the chain in one
+	// processBatch call. EdgeAware heads need the arrival edge per record, so
+	// they stay on the per-record path.
+	vectorized := ch.vectorize && edgeAware == nil
 	curWM := int64(math.MinInt64)
 	var aligning int64 // current barrier id, 0 = none
 	var alignSeen int
@@ -1162,6 +1241,20 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan []Record, edge
 			in.pos++
 			switch r.Kind {
 			case KindData:
+				if vectorized {
+					// Extend the run across every contiguous data record: the
+					// whole run goes through the chain with one OnBatch call
+					// per operator. Control records are excluded, so
+					// watermark/barrier/end ordering is exactly the
+					// per-record path's.
+					start := in.pos - 1
+					for in.pos < len(in.batch) && in.batch[in.pos].Kind == KindData {
+						in.pos++
+					}
+					dataSeen += int64(in.pos - start)
+					ch.processBatch(in.batch[start:in.pos])
+					continue
+				}
 				dataSeen++
 				if edgeAware != nil {
 					edgeAware.OnRecordEdge(edges[idx], r, ch.colls[0])

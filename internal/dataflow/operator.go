@@ -85,6 +85,30 @@ type Collector interface {
 	Collect(r Record)
 }
 
+// BatchedOperator is the vectorized fast path of the operator contract.
+// When every operator of a fused chain implements it, the chain driver hands
+// whole exchange batches through the chain instead of dispatching one
+// OnRecord call per record.
+//
+// OnBatch receives a contiguous run of data records — never watermarks,
+// barriers or end markers; the runtime splits batches at control records so
+// event-time and alignment ordering are untouched — and returns the records
+// to forward downstream. Implementations may compact b in place and return
+// it (maps overwrite slots, filters delete by copy-down) or return an
+// internal scratch buffer that stays valid until the next OnBatch call
+// (flatmaps, whose output cardinality differs from the input's). Stateful
+// operators that emit on internal triggers may also collect through out —
+// out-collected records are delivered before the returned ones. Returning
+// an empty slice (or nil) forwards nothing.
+//
+// The semantics must be exactly OnRecord applied to each record in order:
+// the runtime treats the two paths as interchangeable (identical results at
+// any batch size, with batching on or off).
+type BatchedOperator interface {
+	Operator
+	OnBatch(b []Record, out Collector) []Record
+}
+
 // Operator is one subtask instance of a dataflow operator. Instances are
 // never shared between subtasks, so implementations need no internal
 // locking.
@@ -131,6 +155,14 @@ type MapOp struct {
 // OnRecord implements Operator.
 func (m *MapOp) OnRecord(r Record, out Collector) { out.Collect(m.F(r)) }
 
+// OnBatch implements BatchedOperator: every slot is overwritten in place.
+func (m *MapOp) OnBatch(b []Record, _ Collector) []Record {
+	for i := range b {
+		b[i] = m.F(b[i])
+	}
+	return b
+}
+
 // FilterOp forwards records for which F returns true. Stateless.
 type FilterOp struct {
 	Base
@@ -144,14 +176,52 @@ func (f *FilterOp) OnRecord(r Record, out Collector) {
 	}
 }
 
+// OnBatch implements BatchedOperator: survivors compact to the front of the
+// batch by copy-down.
+func (f *FilterOp) OnBatch(b []Record, _ Collector) []Record {
+	keep := 0
+	for i := range b {
+		if f.F(b[i]) {
+			if keep != i {
+				b[keep] = b[i]
+			}
+			keep++
+		}
+	}
+	return b[:keep]
+}
+
 // FlatMapOp applies F, which may emit zero or more records. Stateless.
 type FlatMapOp struct {
 	Base
 	F func(Record, Collector)
+
+	scratch sliceCollector // batch-mode emission buffer, reused across calls
 }
 
 // OnRecord implements Operator.
 func (f *FlatMapOp) OnRecord(r Record, out Collector) { f.F(r, out) }
+
+// OnBatch implements BatchedOperator. A flatmap's output cardinality differs
+// from its input's, so emissions collect into a reused scratch buffer rather
+// than compacting in place; the scratch is valid until the next call, and
+// the previous batch's payloads are released before reuse so the buffer does
+// not pin them.
+func (f *FlatMapOp) OnBatch(b []Record, _ Collector) []Record {
+	clear(f.scratch.buf)
+	f.scratch.buf = f.scratch.buf[:0]
+	for i := range b {
+		f.F(b[i], &f.scratch)
+	}
+	return f.scratch.buf
+}
+
+// sliceCollector accumulates collected records in a slice — the scratch
+// target batch-mode flatmaps emit into.
+type sliceCollector struct{ buf []Record }
+
+// Collect implements Collector.
+func (s *sliceCollector) Collect(r Record) { s.buf = append(s.buf, r) }
 
 // KeyedReduceOp maintains a float64 accumulator per key, combining values
 // with F. With EmitEach it emits the updated accumulator for every input
@@ -219,6 +289,14 @@ type FuncSink struct {
 // OnRecord implements Operator.
 func (s *FuncSink) OnRecord(r Record, _ Collector) { s.F(r) }
 
+// OnBatch implements BatchedOperator; a sink forwards nothing.
+func (s *FuncSink) OnBatch(b []Record, _ Collector) []Record {
+	for i := range b {
+		s.F(b[i])
+	}
+	return nil
+}
+
 // OnWatermark implements Operator.
 func (s *FuncSink) OnWatermark(wm int64, _ Collector) {
 	if s.OnWM != nil {
@@ -239,6 +317,14 @@ func (s *CollectSink) OnRecord(r Record, _ Collector) {
 	s.mu.Lock()
 	s.recs = append(s.recs, r)
 	s.mu.Unlock()
+}
+
+// OnBatch implements BatchedOperator: one lock acquisition per batch.
+func (s *CollectSink) OnBatch(b []Record, _ Collector) []Record {
+	s.mu.Lock()
+	s.recs = append(s.recs, b...)
+	s.mu.Unlock()
+	return nil
 }
 
 // Records returns a copy of everything collected so far.

@@ -25,13 +25,30 @@
 //     shipped immediately, so per-channel ordering — and with it watermark
 //     monotonicity and ABS barrier alignment — is preserved exactly.
 //
-// Receivers iterate batches record by record and return consumed batches to
-// a shared sync.Pool. Operator chains are unaffected: a fused chain passes
-// records by direct Collect calls and batches only at real exchange
-// boundaries. Batching is purely physical — the logical plan and its
-// results are identical at every batch size; only the
-// throughput/latency trade-off moves (bigger batches amortize channel hops,
-// the flush interval bounds how stale an in-motion record may get).
+// Receivers return consumed batches to a shared sync.Pool. Operator chains
+// are unaffected: a fused chain passes records by direct Collect calls and
+// batches only at real exchange boundaries. Batching is purely physical —
+// the logical plan and its results are identical at every batch size; only
+// the throughput/latency trade-off moves (bigger batches amortize channel
+// hops, the flush interval bounds how stale an in-motion record may get).
+//
+// # Vectorized operators
+//
+// Receiving subtasks do not pay one virtual OnRecord dispatch per record:
+// operators implementing BatchedOperator take whole contiguous runs of data
+// records through OnBatch. The chain driver scans each inbound batch up to
+// the next control record (watermarks, barriers and end markers split runs,
+// so alignment and event-time ordering never change), hands the run through
+// every batched operator in the chain — maps overwrite slots in place,
+// filters compact survivors by copy-down, flatmaps emit into a reused
+// scratch buffer — and routes the survivors into the outbound exchange
+// under a single staging-lock acquisition. The first operator without
+// OnBatch downgrades the rest of its chain to per-record Collect calls, so
+// mixed chains stay correct, and WithVectorizedChains(false) disables the
+// fast path entirely; results are byte-identical on both paths by contract
+// (OnBatch must equal OnRecord applied in order). All stateless built-ins
+// (MapOp, FilterOp, FlatMapOp, FuncSink, CollectSink, CombinerOp) are
+// batched.
 //
 // # The splittable at-rest scan
 //

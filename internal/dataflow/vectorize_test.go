@@ -1,0 +1,286 @@
+package dataflow
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// capCollector accumulates Collect calls for direct operator-level tests.
+type capCollector struct{ recs []Record }
+
+func (c *capCollector) Collect(r Record) { c.recs = append(c.recs, r) }
+
+// perRecordOutput drives op over the batch one OnRecord at a time and
+// returns everything it emitted — the reference semantics OnBatch must
+// reproduce exactly.
+func perRecordOutput(op Operator, in []Record) []Record {
+	out := &capCollector{}
+	for _, r := range in {
+		op.OnRecord(r, out)
+	}
+	return out.recs
+}
+
+// batchOutput drives op over the batch with one OnBatch call on a private
+// copy (implementations may compact in place) and returns the delivered
+// records in delivery order: out-collected first, then the returned run.
+func batchOutput(op BatchedOperator, in []Record) []Record {
+	b := append([]Record{}, in...)
+	out := &capCollector{}
+	ret := op.OnBatch(b, out)
+	return append(out.recs, ret...)
+}
+
+// TestOnBatchMatchesOnRecord proves the vectorized contract for every
+// stateless operator: OnBatch over a run is byte-identical to OnRecord per
+// record, including the degenerate filters (drop-all, keep-all) and a
+// flatmap whose per-record fan-out alternates between zero and three.
+func TestOnBatchMatchesOnRecord(t *testing.T) {
+	input := func() []Record {
+		var in []Record
+		for i := int64(0); i < 57; i++ {
+			in = append(in, Data(i, uint64(i%7), float64(i)*1.5))
+		}
+		return in
+	}
+
+	cases := []struct {
+		name string
+		op   func() BatchedOperator
+	}{
+		{"map", func() BatchedOperator {
+			return &MapOp{F: func(r Record) Record {
+				r.Value = r.Value.(float64) * 2
+				return r
+			}}
+		}},
+		{"filter", func() BatchedOperator {
+			return &FilterOp{F: func(r Record) bool { return int64(r.Value.(float64))%3 != 1 }}
+		}},
+		{"filter-drop-all", func() BatchedOperator {
+			return &FilterOp{F: func(Record) bool { return false }}
+		}},
+		{"filter-keep-all", func() BatchedOperator {
+			return &FilterOp{F: func(Record) bool { return true }}
+		}},
+		{"flatmap-0-and-3", func() BatchedOperator {
+			return &FlatMapOp{F: func(r Record, out Collector) {
+				if int64(r.Value.(float64))%2 == 0 {
+					return // even inputs emit nothing
+				}
+				for j := 0; j < 3; j++ {
+					out.Collect(Data(r.Ts, r.Key, r.Value.(float64)+float64(j)))
+				}
+			}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := perRecordOutput(tc.op(), input())
+			got := batchOutput(tc.op(), input())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("OnBatch diverged from OnRecord:\n got %v\nwant %v", got, want)
+			}
+			// Batch splitting is the runtime's job; the operator must give
+			// the same answer regardless of how a run is carved up.
+			op := tc.op()
+			var pieces []Record
+			in := input()
+			for lo := 0; lo < len(in); lo += 10 {
+				hi := min(lo+10, len(in))
+				pieces = append(pieces, batchOutput2(op, in[lo:hi])...)
+			}
+			if !reflect.DeepEqual(pieces, want) {
+				t.Fatalf("chunked OnBatch diverged:\n got %v\nwant %v", pieces, want)
+			}
+		})
+	}
+}
+
+// batchOutput2 is batchOutput but must copy the returned run immediately:
+// an operator's scratch buffer (flatmap) is only valid until the next call.
+func batchOutput2(op BatchedOperator, in []Record) []Record {
+	b := append([]Record{}, in...)
+	out := &capCollector{}
+	ret := op.OnBatch(b, out)
+	return append(out.recs, append([]Record{}, ret...)...)
+}
+
+// TestCollectSinkOnBatch proves the sink's one-lock append delivers exactly
+// the per-record sequence.
+func TestCollectSinkOnBatch(t *testing.T) {
+	var in []Record
+	for i := int64(0); i < 20; i++ {
+		in = append(in, Data(i, uint64(i), float64(i)))
+	}
+	ref := &CollectSink{}
+	for _, r := range in {
+		ref.OnRecord(r, nil)
+	}
+	batched := &CollectSink{}
+	if ret := batched.OnBatch(append([]Record{}, in...), nil); len(ret) != 0 {
+		t.Fatalf("sink OnBatch forwarded %d records; sinks forward nothing", len(ret))
+	}
+	if !reflect.DeepEqual(batched.Records(), ref.Records()) {
+		t.Fatalf("CollectSink batch path diverged")
+	}
+}
+
+// TestFuncSinkOnBatch proves the function sink sees every record in order.
+func TestFuncSinkOnBatch(t *testing.T) {
+	var mu sync.Mutex
+	var got []int64
+	sink := &FuncSink{F: func(r Record) {
+		mu.Lock()
+		got = append(got, r.Ts)
+		mu.Unlock()
+	}}
+	var in []Record
+	for i := int64(0); i < 15; i++ {
+		in = append(in, Data(i, 0, float64(i)))
+	}
+	sink.OnBatch(in, nil)
+	for i, ts := range got {
+		if ts != int64(i) {
+			t.Fatalf("FuncSink batch order broken at %d: got ts %d", i, ts)
+		}
+	}
+	if len(got) != len(in) {
+		t.Fatalf("FuncSink saw %d of %d records", len(got), len(in))
+	}
+}
+
+// vectorizedResults runs a generator -> rebalance -> map -> filter ->
+// flatmap -> sink pipeline and returns the sink contents sorted, so runs
+// with different physical execution strategies compare directly.
+func vectorizedResults(t *testing.T, n int64, par int, opts ...JobOption) []Record {
+	t.Helper()
+	g := NewGraph("vec")
+	src := g.AddSource("gen", par, func(sub, par int) SourceFunc {
+		return &GenSource{N: n / int64(par), Gen: func(i int64) Record {
+			return Data(i, uint64(i%13), float64(i%997))
+		}}
+	})
+	m := g.AddOperator("scale", par, func() Operator {
+		return &MapOp{F: func(r Record) Record {
+			r.Value = r.Value.(float64)*3 + 1
+			return r
+		}}
+	}, Edge{From: src, Part: Rebalance})
+	f := g.AddOperator("band", par, func() Operator {
+		return &FilterOp{F: func(r Record) bool { return int64(r.Value.(float64))%5 != 2 }}
+	}, Edge{From: m, Part: Forward})
+	fm := g.AddOperator("split", par, func() Operator {
+		return &FlatMapOp{F: func(r Record, out Collector) {
+			out.Collect(r)
+			if int64(r.Value.(float64))%4 == 0 {
+				out.Collect(Data(r.Ts, r.Key, -r.Value.(float64)))
+			}
+		}}
+	}, Edge{From: f, Part: Forward})
+	sink := &CollectSink{}
+	g.AddOperator("out", 1, sink.Factory(), Edge{From: fm, Part: Rebalance})
+	run(t, g, opts...)
+
+	recs := sink.Records()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Ts != recs[j].Ts {
+			return recs[i].Ts < recs[j].Ts
+		}
+		return recs[i].Value.(float64) < recs[j].Value.(float64)
+	})
+	return recs
+}
+
+// TestVectorizedChainsArePhysicalOnly proves WithVectorizedChains is a pure
+// execution knob: identical sink contents with batching on and off, chained
+// and unchained, at parallelism 1 and 4.
+func TestVectorizedChainsArePhysicalOnly(t *testing.T) {
+	const n = 4000
+	for _, par := range []int{1, 4} {
+		for _, chain := range []bool{true, false} {
+			ref := vectorizedResults(t, n, par,
+				WithChaining(chain), WithVectorizedChains(false))
+			got := vectorizedResults(t, n, par,
+				WithChaining(chain), WithVectorizedChains(true))
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("par=%d chaining=%v: vectorized results diverged (%d vs %d records)",
+					par, chain, len(got), len(ref))
+			}
+			if len(ref) == 0 {
+				t.Fatalf("par=%d chaining=%v: empty reference run", par, chain)
+			}
+		}
+	}
+}
+
+// TestMixedChainFallsBackPerRecord proves a chain containing an operator
+// without OnBatch still computes correctly on the vectorized path: the
+// driver downgrades at the first non-batched operator.
+func TestMixedChainFallsBackPerRecord(t *testing.T) {
+	const n = 1000
+	results := func(vec bool) []Record {
+		g := NewGraph("mixed")
+		src := g.AddSource("gen", 2, func(sub, par int) SourceFunc {
+			return &GenSource{N: n, Gen: func(i int64) Record {
+				return Data(i, uint64(i%7), float64(i))
+			}}
+		})
+		m := g.AddOperator("scale", 2, func() Operator {
+			return &MapOp{F: func(r Record) Record {
+				r.Value = r.Value.(float64) + 0.5
+				return r
+			}}
+		}, Edge{From: src, Part: Rebalance})
+		// seqCapture implements only the per-record contract.
+		cap := g.AddOperator("tap", 2, func() Operator {
+			return &passThrough{}
+		}, Edge{From: m, Part: Forward})
+		f := g.AddOperator("band", 2, func() Operator {
+			return &FilterOp{F: func(r Record) bool { return int64(r.Value.(float64))%2 == 0 }}
+		}, Edge{From: cap, Part: Forward})
+		sink := &CollectSink{}
+		g.AddOperator("out", 1, sink.Factory(), Edge{From: f, Part: Rebalance})
+		run(t, g, WithVectorizedChains(vec))
+		recs := sink.Records()
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Ts != recs[j].Ts {
+				return recs[i].Ts < recs[j].Ts
+			}
+			return recs[i].Value.(float64) < recs[j].Value.(float64)
+		})
+		return recs
+	}
+	ref := results(false)
+	got := results(true)
+	if len(ref) == 0 || !reflect.DeepEqual(got, ref) {
+		t.Fatalf("mixed chain diverged: %d vs %d records", len(got), len(ref))
+	}
+}
+
+// passThrough forwards every record and implements only the per-record
+// contract, forcing the chain driver's fallback.
+type passThrough struct{ Base }
+
+func (p *passThrough) OnRecord(r Record, out Collector) { out.Collect(r) }
+
+// TestUnchainedForwardEdgesTerminate is the regression test for the
+// unchained Forward-edge deadlock: with chaining disabled each consumer
+// subtask must listen only on its producer peer's channel — the rest of the
+// row is never written, and waiting on it starved the End marker forever at
+// parallelism > 1.
+func TestUnchainedForwardEdgesTerminate(t *testing.T) {
+	for _, par := range []int{2, 4} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			for _, vec := range []bool{false, true} {
+				recs := vectorizedResults(t, 2000, par, WithChaining(false), WithVectorizedChains(vec))
+				if len(recs) == 0 {
+					t.Fatalf("par=%d vec=%v: no output", par, vec)
+				}
+			}
+		})
+	}
+}

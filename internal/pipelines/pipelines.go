@@ -19,7 +19,7 @@ import (
 func init() { streamline.RegisterWireTypes() }
 
 // Names lists the registered pipelines.
-func Names() []string { return []string{"wordcount", "windowed"} }
+func Names() []string { return []string{"wordcount", "windowed", "fused"} }
 
 // Build constructs the named pipeline with its argument list plus any extra
 // environment options (the coordinator passes WithWorkers/WithListenAddr;
@@ -32,6 +32,8 @@ func Build(name string, args []string, extra ...streamline.Option) (*streamline.
 		return buildWordcount(args, extra...)
 	case "windowed":
 		return buildWindowed(args, extra...)
+	case "fused":
+		return buildFused(args, extra...)
 	}
 	return nil, nil, fmt.Errorf("unknown pipeline %q (have %s)", name, strings.Join(Names(), ", "))
 }
@@ -86,6 +88,45 @@ func buildWordcount(args []string, extra ...streamline.Option) (*streamline.Env,
 			// The corpus is deterministic, so the key-to-word mapping is
 			// recoverable on the render side; counting still runs keyed.
 			ls = append(ls, fmt.Sprintf("%s=%g", vocab[r.Key], r.Value))
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, "\n") + "\n"
+	}
+	return env, render, nil
+}
+
+// buildFused is the stage-fusion guard: a genuine map→filter→map run that
+// typed stage fusion collapses into one operator. Its fused node name is
+// part of the plan fingerprint every distributed participant verifies, and
+// its keyed sums must be byte-identical single-process and multi-process —
+// so fusion lowering deterministically across processes is CI-checked, not
+// assumed.
+func buildFused(args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
+	fs := flag.NewFlagSet("fused", flag.ContinueOnError)
+	events := fs.Int64("events", 8000, "number of generated events")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	opts := append([]streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithPipelineRef("fused", args...),
+	}, extra...)
+	env := streamline.New(opts...)
+	gen := streamline.Generator(*events, func(sub, par int, i int64) streamline.Keyed[float64] {
+		global := i*int64(par) + int64(sub)
+		return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 9), Value: float64(global % 223)}
+	})
+	src := streamline.From(env, "gen", gen, streamline.WithSourceParallelism(2))
+	scaled := streamline.Map(src, "scale", func(v float64) float64 { return v*3 + 1 })
+	banded := streamline.Filter(scaled, "band", func(v float64) bool { return int64(v)%5 != 2 })
+	final := streamline.Map(banded, "final", func(v float64) float64 { return v * 0.5 })
+	keyed := streamline.KeyByRecord(final, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+	out := streamline.Collect(sums, "out")
+	render := func() string {
+		ls := make([]string, 0, len(out.Records()))
+		for _, r := range out.Records() {
+			ls = append(ls, fmt.Sprintf("%d=%g", r.Key, r.Value))
 		}
 		sort.Strings(ls)
 		return strings.Join(ls, "\n") + "\n"

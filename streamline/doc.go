@@ -132,6 +132,36 @@
 // batching applies only at real exchange boundaries, and the logical plan
 // never changes (WithBatchSize(1) is the per-record ablation baseline).
 //
+// # Vectorized operator chains
+//
+// The exchange is batched; so is execution. Two layers cooperate to keep
+// records out of per-record dispatch on the hot path:
+//
+// Typed stage fusion. Adjacent stateless typed stages — Map, Filter,
+// FlatMap — lower as ONE operator whose stage functions compose in native
+// types: a run like Map→Filter→Map unboxes the record value once on entry,
+// runs every stage on the concrete T, and boxes once on exit, instead of
+// paying an interface box/unbox pair per stage. The fused operator's name
+// concatenates its stage names with "+" ("scale+band+final"), so lowering
+// is deterministic and distributed plan fingerprints still match across
+// processes. Fusion never crosses a semantic boundary — KeyBy, windows,
+// unions, sinks and any stage consumed by more than one downstream all end
+// the run — and WithStageFusion(false) restores stage-per-operator
+// lowering (the only option that intentionally changes the lowered plan;
+// results are identical either way).
+//
+// Batch-at-a-time operators. Underneath, stateless operators implement the
+// engine's vectorized contract: the chain driver hands each exchange batch
+// through the chain as a whole — maps overwrite slots in place, filters
+// compact survivors down, flatmaps emit into a reused scratch buffer — and
+// survivors enter the outbound exchange under a single staging-lock
+// acquisition. Batches split at watermarks, barriers and end markers, so
+// control ordering, event time and exactly-once snapshots are untouched;
+// WithVectorizedChains(false) is the per-record ablation baseline.
+// BENCH_fusion.json records the measured win of both layers together
+// (`streamline-bench -fusion`): throughput and allocations per record
+// against per-record execution.
+//
 // # Keyed state, checkpoints and rescaling
 //
 // Keyed operators (ReduceByKey, WindowAggregate, JoinWindow) keep their

@@ -1,6 +1,8 @@
 package streamline
 
 import (
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/dataflow"
 )
@@ -23,9 +25,130 @@ type Keyed[T any] struct {
 // derive new streams; none execute until Env.Execute. Each typed operator
 // lowers to the untyped record plan, so the optimizer (chaining, combiner
 // insertion, Cutty sharing) applies unchanged.
+//
+// Lowering is deferred for the stateless stages (Map, Filter, FlatMap): a
+// run of adjacent stages fuses into one lowered operator whose composed
+// closure keeps the value in its concrete type across stages — one unbox at
+// chain entry, one box at chain exit, instead of a box/unbox pair per stage.
+// The fused node's name concatenates the stage names with "+", so plan
+// fingerprints stay deterministic; fusion never crosses KeyBy, window, join,
+// union, sink, or exchange boundaries, and WithStageFusion(false) restores
+// the stage-per-node lowering.
 type Stream[T any] struct {
-	env   *Env
+	env *Env
+
+	// inner is the lowered engine stream. It is set at construction for
+	// materialized streams (sources, shuffles) and memoized by lower() for
+	// deferred stages.
 	inner *core.Stream
+	// parent and stage describe a deferred stateless stage: stage applied to
+	// parent's elements. nil once lowered or for materialized streams.
+	parent fusible
+	stage  *fuseStage
+	// consumers counts derived streams and terminals. A pending stage is
+	// absorbed into a downstream fused run only while it has exactly one
+	// consumer; branch points materialize their own run instead, so no
+	// consumer's records are computed by another branch's operator.
+	consumers int
+}
+
+// emitFn is the typed hot-path signature fused stages compose: one call per
+// element, with the collector threaded as a parameter so the composed
+// closures are built once at lowering — never per record.
+type emitFn[T any] func(ts int64, key uint64, v T, out dataflow.Collector)
+
+// boxEmit is the terminal emitFn of a fused run: it boxes the typed value
+// into an engine record. One generic instantiation per element type, bound
+// once at lowering.
+func boxEmit[U any](ts int64, key uint64, v U, out dataflow.Collector) {
+	out.Collect(dataflow.Data(ts, key, v))
+}
+
+// fuseStage is one deferred stateless stage. compose and entry are
+// type-erased only at the seams (any wraps a concrete emitFn); inside the
+// composed closure values stay in their concrete types.
+type fuseStage struct {
+	name string
+	// compose wraps the downstream emitFn (of this stage's output type) into
+	// this stage's emitFn (of its input type).
+	compose func(down any) any
+	// entry binds the run's single unbox: it turns the fully composed head
+	// emitFn into the lowered operator's per-record function.
+	entry func(em any) func(dataflow.Record, dataflow.Collector)
+	// direct is the classic stage-per-node lowering, used for runs of one
+	// and when fusion is disabled — keeping those plans bit-identical to the
+	// pre-fusion layout.
+	direct func(base *core.Stream) *core.Stream
+}
+
+// fusible is the type-erased view of a Stream[T] the fusion walk uses to
+// cross element-type boundaries (a Map[T,U]'s parent is a Stream[T], its
+// child a Stream[U]).
+type fusible interface {
+	noteConsumer()
+	consumerCount() int
+	lowerAny() *core.Stream
+	// pendingRun returns the stream's deferred stage and parent, reporting
+	// false once lowered or for materialized streams.
+	pendingRun() (*fuseStage, fusible, bool)
+}
+
+func (s *Stream[T]) noteConsumer()      { s.consumers++ }
+func (s *Stream[T]) consumerCount() int { return s.consumers }
+func (s *Stream[T]) lowerAny() *core.Stream {
+	return s.lower()
+}
+
+func (s *Stream[T]) pendingRun() (*fuseStage, fusible, bool) {
+	if s.inner != nil || s.stage == nil {
+		return nil, nil, false
+	}
+	return s.stage, s.parent, true
+}
+
+// lower materializes the stream into the engine plan, fusing the maximal run
+// of pending single-consumer stages ending here into one operator. The
+// result is memoized: every consumer of this handle shares the lowered node.
+func (s *Stream[T]) lower() *core.Stream {
+	if s.inner != nil {
+		return s.inner
+	}
+	// Collect the run tail-first: s's own stage, then ancestors while they
+	// are unmaterialized stages feeding only this run.
+	stages := []*fuseStage{s.stage}
+	base := s.parent
+	for {
+		st, p, ok := base.pendingRun()
+		if !ok || base.consumerCount() != 1 {
+			break
+		}
+		stages = append(stages, st)
+		base = p
+	}
+	cb := base.lowerAny()
+	if len(stages) == 1 {
+		s.inner = s.stage.direct(cb)
+		return s.inner
+	}
+	var em any = emitFn[T](boxEmit[T])
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		em = st.compose(em)
+		names[len(stages)-1-i] = st.name
+	}
+	head := stages[len(stages)-1]
+	s.inner = cb.FlatMap(strings.Join(names, "+"), head.entry(em))
+	return s.inner
+}
+
+// derive creates the typed handle of a deferred stage over parent. With
+// fusion disabled the stage lowers immediately through its direct path.
+func derive[U, T any](parent *Stream[T], st *fuseStage) *Stream[U] {
+	if !parent.env.core.StageFusion() {
+		return &Stream[U]{env: parent.env, inner: st.direct(parent.lower())}
+	}
+	parent.noteConsumer()
+	return &Stream[U]{env: parent.env, parent: parent, stage: st}
 }
 
 // box converts a typed record to the engine representation.
@@ -41,56 +164,104 @@ func unbox[T any](r dataflow.Record) Keyed[T] {
 }
 
 // Inner exposes the untyped stream this handle lowers to (diagnostics and
-// interop with internal/core builders).
-func (s *Stream[T]) Inner() *core.Stream { return s.inner }
+// interop with internal/core builders). Calling it materializes the handle,
+// so pending stages upstream fuse up to this point and later consumers build
+// on the lowered node.
+func (s *Stream[T]) Inner() *core.Stream { return s.lower() }
 
 // Map derives a stream by applying f to every element. Timestamps and keys
 // are preserved.
 func Map[T, U any](s *Stream[T], name string, f func(T) U) *Stream[U] {
-	inner := s.inner.Map(name, func(r dataflow.Record) dataflow.Record {
-		r.Value = f(r.Value.(T))
-		return r
+	return derive[U](s, &fuseStage{
+		name: name,
+		compose: func(down any) any {
+			d := down.(emitFn[U])
+			return emitFn[T](func(ts int64, key uint64, v T, out dataflow.Collector) {
+				d(ts, key, f(v), out)
+			})
+		},
+		entry: entryFor[T],
+		direct: func(base *core.Stream) *core.Stream {
+			return base.Map(name, func(r dataflow.Record) dataflow.Record {
+				r.Value = f(r.Value.(T))
+				return r
+			})
+		},
 	})
-	return &Stream[U]{env: s.env, inner: inner}
 }
 
 // Filter derives a stream keeping elements for which f returns true.
 func Filter[T any](s *Stream[T], name string, f func(T) bool) *Stream[T] {
-	inner := s.inner.Filter(name, func(r dataflow.Record) bool {
-		return f(r.Value.(T))
+	return derive[T](s, &fuseStage{
+		name: name,
+		compose: func(down any) any {
+			d := down.(emitFn[T])
+			return emitFn[T](func(ts int64, key uint64, v T, out dataflow.Collector) {
+				if f(v) {
+					d(ts, key, v, out)
+				}
+			})
+		},
+		entry: entryFor[T],
+		direct: func(base *core.Stream) *core.Stream {
+			return base.Filter(name, func(r dataflow.Record) bool {
+				return f(r.Value.(T))
+			})
+		},
 	})
-	return &Stream[T]{env: s.env, inner: inner}
+}
+
+// entryFor binds a fused run's single unbox for head-stage input type T.
+func entryFor[T any](em any) func(dataflow.Record, dataflow.Collector) {
+	e := em.(emitFn[T])
+	return func(r dataflow.Record, out dataflow.Collector) {
+		e(r.Ts, r.Key, r.Value.(T), out)
+	}
 }
 
 // Emitter receives the elements a FlatMap function produces. Emitted
 // elements inherit the input record's timestamp and key unless EmitAt is
-// used. It is passed by value — per-record, no heap allocation.
+// used. It is passed by value and carries the downstream emit function bound
+// once at lowering — per-record use allocates nothing.
 type Emitter[U any] struct {
-	ts  int64
-	key uint64
-	out dataflow.Collector
+	ts   int64
+	key  uint64
+	out  dataflow.Collector
+	emit emitFn[U]
 }
 
 // Emit sends one element downstream with the input's timestamp and key.
-func (e Emitter[U]) Emit(v U) { e.out.Collect(dataflow.Data(e.ts, e.key, v)) }
+func (e Emitter[U]) Emit(v U) { e.emit(e.ts, e.key, v, e.out) }
 
 // EmitAt sends one element downstream with an explicit timestamp; the key
 // is still inherited from the input record.
-func (e Emitter[U]) EmitAt(ts int64, v U) { e.out.Collect(dataflow.Data(ts, e.key, v)) }
+func (e Emitter[U]) EmitAt(ts int64, v U) { e.emit(ts, e.key, v, e.out) }
 
 // FlatMap derives a stream where f may emit any number of elements per
 // input.
 func FlatMap[T, U any](s *Stream[T], name string, f func(T, Emitter[U])) *Stream[U] {
-	inner := s.inner.FlatMap(name, func(r dataflow.Record, out dataflow.Collector) {
-		f(r.Value.(T), Emitter[U]{ts: r.Ts, key: r.Key, out: out})
+	return derive[U](s, &fuseStage{
+		name: name,
+		compose: func(down any) any {
+			d := down.(emitFn[U])
+			return emitFn[T](func(ts int64, key uint64, v T, out dataflow.Collector) {
+				f(v, Emitter[U]{ts: ts, key: key, out: out, emit: d})
+			})
+		},
+		entry: entryFor[T],
+		direct: func(base *core.Stream) *core.Stream {
+			return base.FlatMap(name, func(r dataflow.Record, out dataflow.Collector) {
+				f(r.Value.(T), Emitter[U]{ts: r.Ts, key: r.Key, out: out, emit: boxEmit[U]})
+			})
+		},
 	})
-	return &Stream[U]{env: s.env, inner: inner}
 }
 
 // KeyBy re-keys every element with keyFn. The next shuffling transformation
 // (ReduceByKey, WindowAggregate, JoinWindow) partitions by this key.
 func KeyBy[T any](s *Stream[T], name string, keyFn func(T) uint64) *Stream[T] {
-	inner := s.inner.KeyBy(name, func(r dataflow.Record) uint64 {
+	s.noteConsumer()
+	inner := s.lower().KeyBy(name, func(r dataflow.Record) uint64 {
 		return keyFn(r.Value.(T))
 	})
 	return &Stream[T]{env: s.env, inner: inner}
@@ -100,7 +271,8 @@ func KeyBy[T any](s *Stream[T], name string, keyFn func(T) uint64) *Stream[T] {
 // record — timestamp and currently stamped key included. Use it when the
 // source already stamps a meaningful key; KeyBy is the value-only form.
 func KeyByRecord[T any](s *Stream[T], name string, keyFn func(Keyed[T]) uint64) *Stream[T] {
-	inner := s.inner.KeyBy(name, func(r dataflow.Record) uint64 {
+	s.noteConsumer()
+	inner := s.lower().KeyBy(name, func(r dataflow.Record) uint64 {
 		return keyFn(unbox[T](r))
 	})
 	return &Stream[T]{env: s.env, inner: inner}
@@ -122,7 +294,8 @@ func KeyOf(s string) uint64 { return dataflow.KeyOf(s) }
 // optimizer inserts a combiner before the shuffle according to the
 // environment's CombinerMode.
 func ReduceByKey(s *Stream[float64], name string, f func(acc, v float64) float64, emitEach bool) *Stream[float64] {
-	return &Stream[float64]{env: s.env, inner: s.inner.ReduceByKey(name, f, emitEach)}
+	s.noteConsumer()
+	return &Stream[float64]{env: s.env, inner: s.lower().ReduceByKey(name, f, emitEach)}
 }
 
 // JoinedPair is one match of a windowed equi-join: the left and right
@@ -141,7 +314,9 @@ type JoinedPair[L, R any] struct {
 // operators, the lowering appends one re-typing map stage after the join;
 // it sits on a forward edge, so chaining fuses it into the join subtask.
 func JoinWindow(s *Stream[float64], name string, other *Stream[float64], size int64) *Stream[JoinedPair[float64, float64]] {
-	joined := s.inner.JoinWindow(name, other.inner, size)
+	s.noteConsumer()
+	other.noteConsumer()
+	joined := s.lower().JoinWindow(name, other.lower(), size)
 	// Rebox the engine's pair type into the typed pair on a chained edge.
 	inner := joined.Map(name+"-typed", func(r dataflow.Record) dataflow.Record {
 		p := r.Value.(dataflow.JoinedPair)
@@ -159,16 +334,19 @@ func JoinWindow(s *Stream[float64], name string, other *Stream[float64], size in
 // Union merges this stream with others of the same element type (no
 // ordering guarantee).
 func Union[T any](s *Stream[T], name string, others ...*Stream[T]) *Stream[T] {
+	s.noteConsumer()
 	rest := make([]*core.Stream, len(others))
 	for i, o := range others {
-		rest[i] = o.inner
+		o.noteConsumer()
+		rest[i] = o.lower()
 	}
-	return &Stream[T]{env: s.env, inner: s.inner.Union(name, rest...)}
+	return &Stream[T]{env: s.env, inner: s.lower().Union(name, rest...)}
 }
 
 // Sink terminates the stream invoking f for every element.
 func Sink[T any](s *Stream[T], name string, f func(Keyed[T])) {
-	s.inner.Sink(name, func(r dataflow.Record) { f(unbox[T](r)) })
+	s.noteConsumer()
+	s.lower().Sink(name, func(r dataflow.Record) { f(unbox[T](r)) })
 }
 
 // Results holds the records a Collect terminal gathered; read it after
@@ -189,5 +367,6 @@ func (c *Results[T]) Records() []Keyed[T] {
 
 // Collect terminates the stream into an in-memory Results handle.
 func Collect[T any](s *Stream[T], name string) *Results[T] {
-	return &Results[T]{sink: s.inner.Collect(name)}
+	s.noteConsumer()
+	return &Results[T]{sink: s.lower().Collect(name)}
 }

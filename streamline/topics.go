@@ -510,7 +510,8 @@ func (r *topicFollowReader[T]) Err() error {
 // holds within a checkpoint/restore lineage; a re-run from scratch appends
 // after the topic's existing records.
 func Persist[T any](s *Stream[T], store *TopicStore, topic string) {
-	s.inner.SinkOperator("persist("+topic+")", func() dataflow.Operator {
+	s.noteConsumer()
+	s.lower().SinkOperator("persist("+topic+")", func() dataflow.Operator {
 		return &persistOp{store: store.s, topic: topic}
 	})
 }

@@ -72,5 +72,6 @@ type WindowResult = dataflow.WindowResult
 // an existing call is cheaper than a second WindowAggregate. Each element
 // of the result stream is one fired window.
 func WindowAggregate(s *Stream[float64], name string, queries ...WindowedQuery) *Stream[WindowResult] {
-	return &Stream[WindowResult]{env: s.env, inner: s.inner.WindowAggregate(name, queries...)}
+	s.noteConsumer()
+	return &Stream[WindowResult]{env: s.env, inner: s.lower().WindowAggregate(name, queries...)}
 }
