@@ -30,6 +30,12 @@
 //	                              # vectorized operator chain benchmark only:
 //	                              # fused OnBatch execution vs per-record
 //	                              # boxing, throughput + allocs/record to JSON
+//	streamline-bench -keyed BENCH_keyed.json
+//	                              # vectorized keyed hot path benchmark only:
+//	                              # run-grouped state access + batched hash
+//	                              # routing vs per-record keyed dispatch on
+//	                              # windowed-aggregation and reduce-by-key
+//	                              # pipelines, throughput + allocs/record
 package main
 
 import (
@@ -50,7 +56,23 @@ func main() {
 	topicBench := flag.String("topic", "", "run the topic store benchmark and write JSON results to this path")
 	netBench := flag.String("net", "", "run the exchange transport benchmark and write JSON results to this path")
 	fusionBench := flag.String("fusion", "", "run the vectorized operator chain benchmark and write JSON results to this path")
+	keyedBench := flag.String("keyed", "", "run the vectorized keyed hot path benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *keyedBench != "" {
+		rep, err := bench.Keyed(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "keyed benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*keyedBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *keyedBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *keyedBench)
+		return
+	}
 
 	if *fusionBench != "" {
 		rep, err := bench.Fusion(*quick)

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/streamline"
+)
+
+// The keyed benchmark records the vectorized keyed hot path's perf
+// trajectory: two keyed pipelines — a windowed aggregation (hash exchange,
+// reorder buffer, per-key Cutty engines) and a reduce-by-key with the
+// combiner disabled so every record reaches the keyed operator — run with
+// WithVectorizedKeyedOps on (run-grouped state access, batch-at-a-time hash
+// routing) and off (per-record keyed dispatch, the pre-vectorization
+// baseline; the stateless chain fast path stays on in both modes so the
+// contrast isolates the keyed half). Throughput and the allocation profile
+// per record are the measured win. Results go to BENCH_keyed.json via
+// `streamline-bench -keyed`.
+
+// KeyedRun is one (pipeline, mode) measurement.
+type KeyedRun struct {
+	Pipeline        string  `json:"pipeline"` // "windowed" or "reduce"
+	Mode            string  `json:"mode"`     // "vectorized" or "per-record"
+	BatchSize       int     `json:"batch_size"`
+	Records         int64   `json:"records"`
+	Seconds         float64 `json:"seconds"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+}
+
+// KeyedReport is the suite: both pipelines in both modes plus the
+// vectorized-over-baseline speedup and allocation reduction per pipeline.
+type KeyedReport struct {
+	BatchSize           int        `json:"batch_size"`
+	Runs                []KeyedRun `json:"runs"`
+	WindowedSpeedup     float64    `json:"windowed_speedup"`
+	WindowedAllocReduct float64    `json:"windowed_alloc_reduction"`
+	ReduceSpeedup       float64    `json:"reduce_speedup"`
+	ReduceAllocReduct   float64    `json:"reduce_alloc_reduction"`
+}
+
+// keyedSource builds the shared generator: n keyed float64 records across
+// two source subtasks with globally dense, per-subtask strictly increasing
+// event times — watermarks every keyedWMEvery records keep downstream
+// reorder buffers draining, so the bench exercises the buffer-growth path
+// repeatedly rather than accumulating one giant buffer.
+func keyedSource(env *streamline.Env, n int64) *streamline.Stream[float64] {
+	return streamline.From(env, "nums", streamline.Generator(n,
+		func(sub, par int, i int64) streamline.Keyed[float64] {
+			global := i*int64(par) + int64(sub)
+			return streamline.Keyed[float64]{Ts: global, Key: uint64(global % keyedKeys), Value: float64(global % 9973)}
+		}),
+		streamline.WithSourceParallelism(1),
+		streamline.WithWatermarkEvery(keyedWMEvery))
+}
+
+const (
+	keyedBatch   = 256
+	keyedKeys    = 32
+	keyedFanout  = 16
+	keyedWMEvery = 64
+	keyedWindow  = 4096
+)
+
+// KeyedWindowed runs the windowed-wordcount pipeline once: n/keyedFanout
+// source "lines" fan out into n keyed word records that hash-shuffle to a
+// tumbling-count WindowAggregate (the window counts are the per-word
+// counts). The fan-out sits behind a rebalance exchange, in the
+// merge chain: the hash hop under measurement is operator-to-operator, the
+// words leave the chain in whole runs, and the vectorized mode hash-routes
+// them batch at a time. At the window operator the per-record mode pays a
+// release-watermark check, a reorder-buffer load and a store per word; the
+// vectorized mode pays them once per distinct word per run.
+func KeyedWindowed(n int64, batchSize int, vectorized bool) (KeyedRun, error) {
+	mode := "vectorized"
+	opts := []streamline.Option{
+		streamline.WithParallelism(1),
+		streamline.WithBatchSize(batchSize),
+	}
+	if !vectorized {
+		mode = "per-record"
+		opts = append(opts, streamline.WithVectorizedKeyedOps(false))
+	}
+	lines := n / keyedFanout
+	env := streamline.New(opts...)
+	src := keyedSource(env, lines)
+	merged := streamline.Union(src, "merge")
+	words := streamline.FlatMap(merged, "words", func(line float64, out streamline.Emitter[float64]) {
+		base := int64(line) * keyedFanout
+		for w := int64(0); w < keyedFanout; w++ {
+			out.Emit(float64((base + w) % keyedKeys))
+		}
+	})
+	keyed := streamline.KeyBy(words, "key", func(word float64) uint64 { return uint64(word) })
+	wins := streamline.WindowAggregate(keyed, "win", streamline.Query(streamline.Tumbling(keyedWindow), streamline.Count()))
+	streamline.Sink(wins, "out", func(streamline.Keyed[streamline.WindowResult]) {})
+
+	start := time.Now()
+	mallocs, bytes, err := memDelta(func() error { return env.Execute(context.Background()) })
+	if err != nil {
+		return KeyedRun{}, fmt.Errorf("keyed windowed %s batch=%d: %w", mode, batchSize, err)
+	}
+	el := time.Since(start).Seconds()
+	return KeyedRun{
+		Pipeline: "windowed", Mode: mode, BatchSize: batchSize, Records: n,
+		Seconds: el, RecordsPerSec: float64(n) / el,
+		AllocsPerRecord: float64(mallocs) / float64(n),
+		BytesPerRecord:  float64(bytes) / float64(n),
+	}, nil
+}
+
+// KeyedReduce runs the reduce-by-key pipeline once, with the combiner off so
+// the shuffle does not pre-aggregate — every generated record crosses the
+// hash exchange and folds into the keyed accumulator cell.
+func KeyedReduce(n int64, batchSize int, vectorized bool) (KeyedRun, error) {
+	mode := "vectorized"
+	opts := []streamline.Option{
+		streamline.WithParallelism(1),
+		streamline.WithBatchSize(batchSize),
+		streamline.WithCombiner(streamline.CombinerOff),
+	}
+	if !vectorized {
+		mode = "per-record"
+		opts = append(opts, streamline.WithVectorizedKeyedOps(false))
+	}
+	env := streamline.New(opts...)
+	src := keyedSource(env, n)
+	merged := streamline.Union(src, "merge")
+	keyed := streamline.KeyByRecord(merged, "key", func(r streamline.Keyed[float64]) uint64 { return r.Key })
+	sums := streamline.ReduceByKey(keyed, "sum", func(acc, v float64) float64 { return acc + v }, false)
+	streamline.Sink(sums, "out", func(streamline.Keyed[float64]) {})
+
+	start := time.Now()
+	mallocs, bytes, err := memDelta(func() error { return env.Execute(context.Background()) })
+	if err != nil {
+		return KeyedRun{}, fmt.Errorf("keyed reduce %s batch=%d: %w", mode, batchSize, err)
+	}
+	el := time.Since(start).Seconds()
+	return KeyedRun{
+		Pipeline: "reduce", Mode: mode, BatchSize: batchSize, Records: n,
+		Seconds: el, RecordsPerSec: float64(n) / el,
+		AllocsPerRecord: float64(mallocs) / float64(n),
+		BytesPerRecord:  float64(bytes) / float64(n),
+	}, nil
+}
+
+// Keyed workload sizes.
+const (
+	KeyedRecords      int64 = 2_000_000
+	KeyedQuickRecords int64 = 400_000
+)
+
+// Keyed runs the keyed-path benchmark suite: both pipelines, both modes, at
+// the default batch size.
+func Keyed(quick bool) (*KeyedReport, error) {
+	n := KeyedRecords
+	if quick {
+		n = KeyedQuickRecords
+	}
+	rep := &KeyedReport{BatchSize: keyedBatch}
+	wBase, err := KeyedWindowed(n, keyedBatch, false)
+	if err != nil {
+		return nil, err
+	}
+	wVec, err := KeyedWindowed(n, keyedBatch, true)
+	if err != nil {
+		return nil, err
+	}
+	rBase, err := KeyedReduce(n, keyedBatch, false)
+	if err != nil {
+		return nil, err
+	}
+	rVec, err := KeyedReduce(n, keyedBatch, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = []KeyedRun{wBase, wVec, rBase, rVec}
+	if wBase.RecordsPerSec > 0 {
+		rep.WindowedSpeedup = wVec.RecordsPerSec / wBase.RecordsPerSec
+	}
+	if wBase.AllocsPerRecord > 0 {
+		rep.WindowedAllocReduct = 1 - wVec.AllocsPerRecord/wBase.AllocsPerRecord
+	}
+	if rBase.RecordsPerSec > 0 {
+		rep.ReduceSpeedup = rVec.RecordsPerSec / rBase.RecordsPerSec
+	}
+	if rBase.AllocsPerRecord > 0 {
+		rep.ReduceAllocReduct = 1 - rVec.AllocsPerRecord/rBase.AllocsPerRecord
+	}
+	return rep, nil
+}
+
+// Table renders the report in the experiment-table format.
+func (r *KeyedReport) Table() *Table {
+	t := &Table{
+		ID:     "KEYED",
+		Title:  "vectorized keyed hot path: run-grouped state access vs per-record dispatch",
+		Claim:  "touch per-key state once per distinct key per run, not once per record",
+		Header: []string{"pipeline", "mode", "batch size", "records", "runtime", "throughput", "allocs/rec", "bytes/rec"},
+	}
+	for _, run := range r.Runs {
+		t.Add(run.Pipeline, run.Mode, fmt.Sprintf("%d", run.BatchSize), fmtCount(float64(run.Records)),
+			fmt.Sprintf("%.3fs", run.Seconds), fmtRate(run.RecordsPerSec),
+			fmt.Sprintf("%.2f", run.AllocsPerRecord), fmt.Sprintf("%.1f", run.BytesPerRecord))
+	}
+	t.Note("windowed: %.2fx records/sec, %.0f%% fewer allocs/record; reduce: %.2fx, %.0f%% fewer allocs (batch size %d)",
+		r.WindowedSpeedup, r.WindowedAllocReduct*100, r.ReduceSpeedup, r.ReduceAllocReduct*100, r.BatchSize)
+	return t
+}
+
+// WriteJSON records the report (the perf trajectory file BENCH_keyed.json).
+func (r *KeyedReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -51,6 +51,7 @@ type Environment struct {
 	parallelism int
 	chaining    bool
 	vectorize   bool
+	vecKeyed    bool
 	fusion      bool
 	combiner    CombinerMode
 	backend     state.Backend
@@ -88,6 +89,15 @@ func WithChaining(on bool) Option {
 // the setting is not part of the distributed PlanSpec.
 func WithVectorizedChains(on bool) Option {
 	return func(e *Environment) { e.vectorize = on }
+}
+
+// WithVectorizedKeyedOps toggles the keyed half of the vectorized fast path
+// (default on): batched keyed operators with run-grouped state access and
+// batch-at-a-time hash routing in the exchange stager. Purely physical like
+// WithVectorizedChains — results, plans and snapshots are identical either
+// way — and not part of the distributed PlanSpec.
+func WithVectorizedKeyedOps(on bool) Option {
+	return func(e *Environment) { e.vecKeyed = on }
 }
 
 // WithStageFusion toggles typed stage fusion in the streamline layer (default
@@ -216,6 +226,7 @@ func NewEnvironment(opts ...Option) *Environment {
 		graph:     dataflow.NewGraph("streamline"),
 		chaining:  true,
 		vectorize: true,
+		vecKeyed:  true,
 		fusion:    true,
 		combiner:  CombinerAuto,
 	}
@@ -253,6 +264,7 @@ func (e *Environment) Execute(ctx context.Context) error {
 	opts := []dataflow.JobOption{
 		dataflow.WithChaining(e.chaining),
 		dataflow.WithVectorizedChains(e.vectorize),
+		dataflow.WithVectorizedKeyedOps(e.vecKeyed),
 	}
 	if e.backend != nil {
 		opts = append(opts, dataflow.WithCheckpointing(e.backend, e.ckptEvery))
@@ -269,6 +281,7 @@ func (e *Environment) ExecuteRestored(ctx context.Context, snap *state.Snapshot)
 	opts := []dataflow.JobOption{
 		dataflow.WithChaining(e.chaining),
 		dataflow.WithVectorizedChains(e.vectorize),
+		dataflow.WithVectorizedKeyedOps(e.vecKeyed),
 		dataflow.WithRestore(snap),
 	}
 	if e.backend != nil {

@@ -107,6 +107,14 @@ type Engine struct {
 	queries map[int]*queryState
 	nextQID int
 	stores  map[string]*fnStore
+	// qlist and stlist mirror queries and stores in insertion order: the
+	// per-element and per-watermark paths iterate them instead of the maps
+	// (Go map iteration re-seeds its random start on every call, a real cost
+	// when OnElement and OnWatermark run once per record), and they make
+	// dispatch — and therefore emission order under multiple queries —
+	// deterministic instead of map-order.
+	qlist  []*queryState
+	stlist []*fnStore
 
 	meta       metaRing
 	cutPending bool
@@ -161,16 +169,19 @@ func (e *Engine) AddQuery(q engine.Query) (int, error) {
 			st.tree.Append(q.Fn.Identity)
 		}
 		e.stores[q.Fn.Name] = st
+		e.stlist = append(e.stlist, st)
 	}
 	st.refs++
 	id := e.nextQID
 	e.nextQID++
-	e.queries[id] = &queryState{
+	qs := &queryState{
 		id:       id,
 		assigner: q.Window.Factory(),
 		store:    st,
 		open:     make(map[int64]openWin),
 	}
+	e.queries[id] = qs
+	e.qlist = append(e.qlist, qs)
 	return id, nil
 }
 
@@ -181,9 +192,21 @@ func (e *Engine) RemoveQuery(id int) {
 		return
 	}
 	delete(e.queries, id)
+	for i, qs := range e.qlist {
+		if qs == q {
+			e.qlist = append(e.qlist[:i], e.qlist[i+1:]...)
+			break
+		}
+	}
 	q.store.refs--
 	if q.store.refs == 0 {
 		delete(e.stores, q.store.fn.Name)
+		for i, st := range e.stlist {
+			if st == q.store {
+				e.stlist = append(e.stlist[:i], e.stlist[i+1:]...)
+				break
+			}
+		}
 	}
 	e.evict()
 }
@@ -192,7 +215,7 @@ func (e *Engine) RemoveQuery(id int) {
 func (e *Engine) OnElement(ts int64, v float64) {
 	// 1. Let every query's window function observe the element first; any
 	//    Open cuts a slice boundary immediately before it.
-	for _, q := range e.queries {
+	for _, q := range e.qlist {
 		e.active = q
 		q.assigner.OnElement(ts, e.pos, v, (*ctx)(e))
 	}
@@ -201,13 +224,13 @@ func (e *Engine) OnElement(ts int64, v float64) {
 	//    once per distinct aggregate function — this is the shared work.
 	if e.cutPending || e.meta.len() == 0 {
 		e.meta.append(sliceMeta{firstTs: ts, count: 1})
-		for _, st := range e.stores {
+		for _, st := range e.stlist {
 			st.tree.Append(st.fn.Lift(v))
 		}
 		e.cutPending = false
 	} else {
 		e.meta.at(e.meta.nextAbs()-1).count++
-		for _, st := range e.stores {
+		for _, st := range e.stlist {
 			st.tree.UpdateBack(st.fn.Combine(st.tree.Back(), st.fn.Lift(v)))
 		}
 	}
@@ -221,7 +244,7 @@ func (e *Engine) OnWatermark(wm int64) {
 		return
 	}
 	e.curWM = wm
-	for _, q := range e.queries {
+	for _, q := range e.qlist {
 		e.active = q
 		q.assigner.OnTime(wm, (*ctx)(e))
 	}
@@ -233,7 +256,7 @@ func (e *Engine) OnWatermark(wm int64) {
 // function stores.
 func (e *Engine) StoredPartials() int {
 	n := 0
-	for _, st := range e.stores {
+	for _, st := range e.stlist {
 		n += st.tree.Len()
 	}
 	return n
@@ -326,7 +349,7 @@ func (c *ctx) close(id, end, toAbs int64) {
 // forces a cut before the next element.
 func (e *Engine) evict() {
 	minNeeded := int64(math.MaxInt64)
-	for _, q := range e.queries {
+	for _, q := range e.qlist {
 		if len(q.open) > 0 && q.minBegin < minNeeded {
 			minNeeded = q.minBegin
 		}
@@ -334,7 +357,7 @@ func (e *Engine) evict() {
 	for e.meta.len() > 0 && e.meta.base < minNeeded {
 		last := e.meta.len() == 1
 		e.meta.popFront()
-		for _, st := range e.stores {
+		for _, st := range e.stlist {
 			st.tree.EvictFront()
 		}
 		if last {

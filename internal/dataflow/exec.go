@@ -22,6 +22,7 @@ type Job struct {
 	restore   *state.Snapshot
 	chaining  bool
 	vectorize bool
+	vecKeyed  bool
 	reg       *metrics.Registry
 
 	completed atomic.Int64
@@ -67,6 +68,19 @@ func WithVectorizedChains(on bool) JobOption {
 	return func(j *Job) { j.vectorize = on }
 }
 
+// WithVectorizedKeyedOps toggles the keyed half of the vectorized fast path
+// (enabled by default; no effect with WithVectorizedChains(false)): batched
+// keyed operators (KeyedReduceOp, WindowOp, and WindowJoinOp through its
+// batched edge-aware contract) take whole data runs with run-grouped state
+// access, and the exchange stager routes hash-partitioned runs batch at a
+// time — the key hash computed once per record, each destination's records
+// appended in contiguous slices. Purely physical, like WithVectorizedChains:
+// results, plans and snapshots are identical either way, and the setting is
+// not part of the distributed PlanSpec.
+func WithVectorizedKeyedOps(on bool) JobOption {
+	return func(j *Job) { j.vecKeyed = on }
+}
+
 // WithMetrics attaches a metrics registry: the job reports per-node input
 // record counts ("node.<name>.records_in"), per-node watermark progress
 // ("node.<name>.watermark"), completed checkpoint count
@@ -95,7 +109,7 @@ func (j *Job) nodeMetrics(name string) *nodeMetrics {
 
 // NewJob prepares a graph for execution.
 func NewJob(g *Graph, opts ...JobOption) *Job {
-	j := &Job{g: g, chaining: true, vectorize: true}
+	j := &Job{g: g, chaining: true, vectorize: true, vecKeyed: true}
 	for _, o := range opts {
 		o(j)
 	}
@@ -289,10 +303,21 @@ type outputs struct {
 	pool       *batchPool
 	batchSize  int
 	flushEvery time.Duration
-	numGroups  int // key-group count for hash routing
+	numGroups  int  // key-group count for hash routing
+	vecRoute   bool // batch-at-a-time routing in dataBatch (WithVectorizedKeyedOps)
 
-	mu    sync.Mutex
-	edges []outEdge
+	mu sync.Mutex
+	// Run-routing scratch (guarded by mu, reused across runs): the key hash
+	// per record — computed once and shared by every hash edge of the run —
+	// the destination slot per record for the edge being routed, and the
+	// slot-grouped gather buffer whose contiguous segments append into the
+	// staged batches.
+	hashBuf []uint64
+	slotBuf []int32
+	segLen  []int32
+	segOff  []int32
+	gather  []Record
+	edges   []outEdge
 }
 
 type outEdge struct {
@@ -387,12 +412,145 @@ func (o *outputs) data(r Record) bool {
 	return true
 }
 
+// stageRunLocked appends a slice of records destined for one slot to its
+// staged batch, shipping at exactly the same batch boundaries the
+// record-by-record stageLocked would: fill to batchSize, ship, continue.
+func (o *outputs) stageRunLocked(e *outEdge, slot int, recs []Record) bool {
+	for len(recs) > 0 {
+		if e.stage[slot] == nil {
+			e.stage[slot] = o.pool.get()
+		}
+		room := o.batchSize - len(e.stage[slot])
+		if room > len(recs) {
+			room = len(recs)
+		}
+		e.stage[slot] = append(e.stage[slot], recs[:room]...)
+		recs = recs[room:]
+		if len(e.stage[slot]) >= o.batchSize {
+			if !o.flushSlotLocked(e, slot) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// routeRunLocked stages a whole data run on one edge: bulk appends for the
+// single-destination partitionings, a strided gather for Rebalance, and for
+// HashPartition a counting sort over cached per-record hashes, so each
+// destination's records append in one contiguous slice. Per-slot record
+// order and batch boundaries are identical to routing record by record.
+func (o *outputs) routeRunLocked(e *outEdge, b []Record) bool {
+	n := len(e.chans)
+	switch e.part {
+	case BroadcastPartition:
+		for slot := 0; slot < n; slot++ {
+			if !o.stageRunLocked(e, slot, b) {
+				return false
+			}
+		}
+	case HashPartition:
+		if n == 1 {
+			if !o.stageRunLocked(e, 0, b) {
+				return false
+			}
+			return true
+		}
+		if len(o.hashBuf) < len(b) {
+			// One hash per record per run: the first hash edge fills the
+			// cache, further hash edges of the same run reuse it (dataBatch
+			// truncates it between runs).
+			for i := len(o.hashBuf); i < len(b); i++ {
+				o.hashBuf = append(o.hashBuf, state.Hash64(b[i].Key))
+			}
+		}
+		o.slotBuf = o.slotBuf[:0]
+		o.segLen = o.segLen[:0]
+		o.segLen = append(o.segLen, make([]int32, n)...)
+		for i := range b {
+			g := int(o.hashBuf[i] % uint64(o.numGroups))
+			slot := int32(state.SubtaskForGroup(g, o.numGroups, n))
+			o.slotBuf = append(o.slotBuf, slot)
+			o.segLen[slot]++
+		}
+		o.segOff = o.segOff[:0]
+		total := int32(0)
+		for _, c := range o.segLen {
+			o.segOff = append(o.segOff, total)
+			total += c
+		}
+		if cap(o.gather) < len(b) {
+			o.gather = make([]Record, len(b))
+		} else {
+			o.gather = o.gather[:len(b)]
+		}
+		for i := range b {
+			slot := o.slotBuf[i]
+			o.gather[o.segOff[slot]] = b[i]
+			o.segOff[slot]++
+		}
+		for slot := 0; slot < n; slot++ {
+			end := o.segOff[slot]
+			seg := o.gather[end-o.segLen[slot] : end]
+			if len(seg) == 0 {
+				continue
+			}
+			if !o.stageRunLocked(e, slot, seg) {
+				return false
+			}
+		}
+		// Don't pin shipped payloads in the scratch until the next run.
+		clear(o.gather)
+	case Rebalance:
+		if n == 1 {
+			e.rr += len(b)
+			return o.stageRunLocked(e, 0, b)
+		}
+		// Record i goes to slot (rr+i)%n — gather each slot's stride so the
+		// per-slot sequences match the per-record round-robin exactly.
+		if cap(o.gather) < len(b) {
+			o.gather = make([]Record, 0, len(b))
+		}
+		for slot := 0; slot < n; slot++ {
+			first := ((slot-e.rr%n)%n + n) % n
+			seg := o.gather[:0]
+			for i := first; i < len(b); i += n {
+				seg = append(seg, b[i])
+			}
+			if len(seg) == 0 {
+				continue
+			}
+			if !o.stageRunLocked(e, slot, seg) {
+				return false
+			}
+			clear(seg)
+		}
+		e.rr += len(b)
+	default: // Forward: the single peer slot
+		if !o.stageRunLocked(e, 0, b) {
+			return false
+		}
+	}
+	return true
+}
+
 // dataBatch routes a run of data records under a single staging-lock
 // acquisition — the vectorized chain's exit into the exchange. Per-slot
-// record order matches routing the records one by one.
+// record order matches routing the records one by one; with vecRoute the
+// run is routed batch at a time (hash computed once per record per run,
+// contiguous per-destination appends) instead of looping routeLocked.
 func (o *outputs) dataBatch(b []Record) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.vecRoute {
+		o.hashBuf = o.hashBuf[:0]
+		for i := range o.edges {
+			if !o.routeRunLocked(&o.edges[i], b) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := range o.edges {
 		e := &o.edges[i]
 		for _, r := range b {
@@ -490,6 +648,7 @@ type chain struct {
 	colls     []Collector
 	out       *outputs
 	vectorize bool
+	vecKeyed  bool
 	batched   []BatchedOperator // aligned with ops; nil where the op has no OnBatch
 }
 
@@ -503,6 +662,9 @@ func (c *chain) collector() Collector {
 }
 
 // build creates downstream collectors: colls[i] is what ops[i] emits into.
+// With the keyed fast path disabled, keyed-stateful operators are withheld
+// from the batched table, so they (and only they) fall back to per-record
+// dispatch — the baseline the keyed vectorization is measured against.
 func (c *chain) build() {
 	c.colls = make([]Collector, len(c.ops))
 	c.batched = make([]BatchedOperator, len(c.ops))
@@ -512,7 +674,13 @@ func (c *chain) build() {
 		} else {
 			c.colls[i] = opCollector{op: c.ops[i+1], next: c.colls[i+1]}
 		}
-		c.batched[i], _ = c.ops[i].(BatchedOperator)
+		bo, _ := c.ops[i].(BatchedOperator)
+		if bo != nil && !c.vecKeyed {
+			if _, keyed := c.ops[i].(KeyedStateful); keyed {
+				bo = nil
+			}
+		}
+		c.batched[i] = bo
 	}
 }
 
@@ -523,8 +691,12 @@ func (c *chain) build() {
 // rest of the chain to the per-record path, so mixed chains stay correct.
 // The run aliases the inbound pooled batch; in-place compaction is safe
 // because the receiver owns the batch until it is recycled.
-func (c *chain) processBatch(b []Record) {
-	for i := range c.ops {
+func (c *chain) processBatch(b []Record) { c.processBatchFrom(0, b) }
+
+// processBatchFrom is processBatch starting at the from-th chain operator —
+// the continuation used after an edge-aware head consumed the run.
+func (c *chain) processBatchFrom(from int, b []Record) {
+	for i := from; i < len(c.ops); i++ {
 		if len(b) == 0 {
 			return
 		}
@@ -538,6 +710,17 @@ func (c *chain) processBatch(b []Record) {
 		b = bo.OnBatch(b, c.colls[i])
 	}
 	c.out.dataBatch(b)
+}
+
+// processBatchEdge drives a run through a batched edge-aware head (a join):
+// the head takes the whole run tagged with its arrival edge, and whatever it
+// forwards continues down the rest of the chain on the vectorized path.
+func (c *chain) processBatchEdge(head BatchedEdgeAware, edge int, b []Record) {
+	b = head.OnBatchEdge(edge, b, c.colls[0])
+	if len(b) == 0 {
+		return
+	}
+	c.processBatchFrom(1, b)
 }
 
 func (c *chain) watermark(wm int64) {
@@ -732,7 +915,7 @@ func (j *Job) run(ctx context.Context, part *Participation) error {
 
 	// outputsFor builds the outputs of chain-tail `tail` for subtask s.
 	outputsFor := func(tail *Node, s int) *outputs {
-		o := &outputs{ctx: runCtx, pool: pool, batchSize: batchSize, flushEvery: flushEvery, numGroups: numGroups}
+		o := &outputs{ctx: runCtx, pool: pool, batchSize: batchSize, flushEvery: flushEvery, numGroups: numGroups, vecRoute: j.vectorize && j.vecKeyed}
 		for _, consumer := range j.g.nodes {
 			if ci.head[consumer] != consumer {
 				continue
@@ -816,7 +999,7 @@ func (j *Job) run(ctx context.Context, part *Participation) error {
 			if !isLocal(n, s) {
 				continue
 			}
-			ch := &chain{out: outputsFor(tail, s), vectorize: j.vectorize}
+			ch := &chain{out: outputsFor(tail, s), vectorize: j.vectorize, vecKeyed: j.vecKeyed}
 			if n.NewOperator != nil {
 				ch.nodes = append([]*Node{n}, chainNodes...)
 			} else {
@@ -1153,9 +1336,15 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan []Record, edge
 		edgeAware, _ = ch.ops[0].(EdgeAware)
 	}
 	// The vectorized fast path hands contiguous data runs to the chain in one
-	// processBatch call. EdgeAware heads need the arrival edge per record, so
-	// they stay on the per-record path.
-	vectorized := ch.vectorize && edgeAware == nil
+	// processBatch call. EdgeAware heads need the arrival edge; those offering
+	// the batched edge-aware contract take whole runs tagged with it (a run
+	// never spans channels, so the edge is constant across it), and the rest
+	// stay on the per-record path.
+	var batchedEdge BatchedEdgeAware
+	if edgeAware != nil && ch.vecKeyed {
+		batchedEdge, _ = edgeAware.(BatchedEdgeAware)
+	}
+	vectorized := ch.vectorize && (edgeAware == nil || batchedEdge != nil)
 	curWM := int64(math.MinInt64)
 	var aligning int64 // current barrier id, 0 = none
 	var alignSeen int
@@ -1246,13 +1435,19 @@ func runOperator(rt *runtime, n *Node, subtask int, inputs []chan []Record, edge
 					// whole run goes through the chain with one OnBatch call
 					// per operator. Control records are excluded, so
 					// watermark/barrier/end ordering is exactly the
-					// per-record path's.
+					// per-record path's. records_in counts the whole run at
+					// once on both branches, the batch-aware convention the
+					// exchange uses.
 					start := in.pos - 1
 					for in.pos < len(in.batch) && in.batch[in.pos].Kind == KindData {
 						in.pos++
 					}
 					dataSeen += int64(in.pos - start)
-					ch.processBatch(in.batch[start:in.pos])
+					if batchedEdge != nil {
+						ch.processBatchEdge(batchedEdge, edges[idx], in.batch[start:in.pos])
+					} else {
+						ch.processBatch(in.batch[start:in.pos])
+					}
 					continue
 				}
 				dataSeen++

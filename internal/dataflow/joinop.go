@@ -16,6 +16,19 @@ type EdgeAware interface {
 	OnRecordEdge(edge int, r Record, out Collector)
 }
 
+// BatchedEdgeAware is the vectorized form of EdgeAware: the chain driver
+// hands a head operator implementing it whole contiguous data runs tagged
+// with their arrival edge, so vectorized chains no longer downgrade to the
+// per-record path at two-input (join) stages. Exactly one edge per run by
+// construction — a run never spans channels. The contract mirrors
+// BatchedOperator: OnBatchEdge must equal OnRecordEdge applied to each
+// record in order, and the returned records (scratch or compacted input)
+// are forwarded after anything collected through out.
+type BatchedEdgeAware interface {
+	EdgeAware
+	OnBatchEdge(edge int, b []Record, out Collector) []Record
+}
+
 // JoinedPair is the payload emitted by WindowJoinOp for each matching
 // (left, right) value pair within a window.
 type JoinedPair struct {
@@ -44,6 +57,10 @@ type WindowJoinOp struct {
 	// instead of scanning every key. Transient: recomputed from the keyed
 	// state on Open, kept current by OnRecordEdge and the fire pass.
 	minEnd int64
+
+	// Vectorized-run scratch (see OnBatchEdge), reused across calls.
+	kt   keyTable
+	maps []map[int64]joinSides // dense key index -> the key's window map
 }
 
 // joinSides buffers one (key, window) bucket's values (exported fields for
@@ -56,6 +73,7 @@ type joinSides struct {
 
 var _ Operator = (*WindowJoinOp)(nil)
 var _ EdgeAware = (*WindowJoinOp)(nil)
+var _ BatchedEdgeAware = (*WindowJoinOp)(nil)
 var _ KeyedStateful = (*WindowJoinOp)(nil)
 
 // NewWindowJoinOp returns an operator factory for a tumbling equi-join.
@@ -138,6 +156,52 @@ func (j *WindowJoinOp) OnRecordEdge(edge int, r Record, _ Collector) {
 	if end := start + j.Size; end < j.minEnd {
 		j.minEnd = end
 	}
+}
+
+// OnBatchEdge implements BatchedEdgeAware: each distinct key of the run
+// resolves its window map once — one key-group hash and, during a capture
+// window, at most one copy-on-write clone — and the run's records then
+// append straight into the resolved maps in record order. The per-record
+// path reaches the same final state through a GetMut per record; deferring
+// nothing and emitting nothing (joins fire on watermarks), the batched path
+// is value-identical by construction.
+func (j *WindowJoinOp) OnBatchEdge(edge int, b []Record, _ Collector) []Record {
+	j.kt.reset()
+	clear(j.maps)
+	j.maps = j.maps[:0]
+	for i := range b {
+		v, ok := b[i].Value.(float64)
+		if !ok {
+			continue
+		}
+		idx, fresh := j.kt.index(b[i].Key)
+		if fresh {
+			ref := j.wins.RefFor(b[i].Key)
+			m, ok := ref.GetMut()
+			if !ok {
+				m = make(map[int64]joinSides)
+				ref.Put(m)
+			}
+			j.maps = append(j.maps, m)
+		}
+		m := j.maps[idx]
+		r := &b[i]
+		start := (r.Ts / j.Size) * j.Size
+		if r.Ts < 0 {
+			start = ((r.Ts - j.Size + 1) / j.Size) * j.Size
+		}
+		bkt := m[start]
+		if edge == 0 {
+			bkt.Left = append(bkt.Left, v)
+		} else {
+			bkt.Right = append(bkt.Right, v)
+		}
+		m[start] = bkt
+		if end := start + j.Size; end < j.minEnd {
+			j.minEnd = end
+		}
+	}
+	return nil
 }
 
 // OnWatermark implements Operator: fire every window whose end has passed.

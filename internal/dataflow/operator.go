@@ -236,6 +236,11 @@ type KeyedReduceOp struct {
 
 	ks  *state.KeyedState
 	acc *state.MapCell[float64]
+
+	// Vectorized-run scratch, reused across OnBatch calls.
+	kt   keyTable
+	accs []float64               // dense index -> running accumulator
+	refs []state.KeyRef[float64] // dense index -> resolved cell slot
 }
 
 var _ KeyedStateful = (*KeyedReduceOp)(nil)
@@ -265,6 +270,49 @@ func (k *KeyedReduceOp) OnRecord(r Record, out Collector) {
 	if k.EmitEach {
 		out.Collect(Data(r.Ts, r.Key, acc))
 	}
+}
+
+// OnBatch implements BatchedOperator: the run is folded through a dense
+// scratch table — one cell read (and one key-group hash) per distinct key on
+// first touch, one cell write per distinct key at the end — instead of a
+// Get/Put pair per record. Records are visited in order and EmitEach
+// emissions overwrite the batch in place, so the output sequence is
+// byte-identical to OnRecord-in-order; deferring the writes is invisible
+// because barriers split runs, so no snapshot can observe mid-run state.
+func (k *KeyedReduceOp) OnBatch(b []Record, _ Collector) []Record {
+	k.kt.reset()
+	k.accs = k.accs[:0]
+	k.refs = k.refs[:0]
+	keep := 0
+	for i := range b {
+		v, ok := b[i].Value.(float64)
+		if !ok {
+			continue
+		}
+		idx, fresh := k.kt.index(b[i].Key)
+		if fresh {
+			ref := k.acc.RefFor(b[i].Key)
+			acc, exists := ref.Get()
+			if !exists {
+				acc = k.Init
+			}
+			k.accs = append(k.accs, acc)
+			k.refs = append(k.refs, ref)
+		}
+		acc := k.F(k.accs[idx], v)
+		k.accs[idx] = acc
+		if k.EmitEach {
+			b[keep] = Data(b[i].Ts, b[i].Key, acc)
+			keep++
+		}
+	}
+	for i := range k.refs {
+		k.refs[i].Put(k.accs[i])
+	}
+	if !k.EmitEach {
+		return nil
+	}
+	return b[:keep]
 }
 
 // Finish implements Operator.

@@ -50,6 +50,23 @@
 // (MapOp, FilterOp, FlatMapOp, FuncSink, CollectSink, CombinerOp) are
 // batched.
 //
+// Keyed operators are batched too (KeyedReduceOp, WindowOp, and — through
+// BatchedEdgeAware, the two-input variant of the contract — WindowJoinOp).
+// Their OnBatch groups each run by key in a reusable open-addressing
+// scratch table and pays the per-key costs once per distinct key per run
+// instead of once per record: one key-group hash (state.MapCell.RefFor
+// resolves a KeyRef whose later accesses skip the hash), one state load,
+// one fold or append pass over the key's gathered elements, one store.
+// Deferred writes are invisible because control records split runs — a
+// barrier can never observe mid-run state, so checkpoints are identical on
+// both paths and a snapshot taken under one execution mode restores under
+// the other. The exchange stager is run-aware in the same way: a routed run
+// is hashed key by key but appended to each destination's staging buffer in
+// contiguous slices under one lock acquisition. WithVectorizedKeyedOps(false)
+// downgrades only the keyed operators and run routing (stateless chains stay
+// batched) — the ablation baseline that isolates the keyed half; emission
+// order and every value are byte-identical either way.
+//
 // # The splittable at-rest scan
 //
 // Data at rest enters through FileScanSource: files are chopped into

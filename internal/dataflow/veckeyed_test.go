@@ -1,0 +1,354 @@
+package dataflow
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/metrics"
+	"repro/internal/state"
+	"repro/internal/window"
+)
+
+// newKeyedReduce opens a fresh keyed reduce with a non-commutative fold, so
+// any reordering or re-bracketing in the batched path changes the result.
+func newKeyedReduce(t *testing.T, emitEach bool) *KeyedReduceOp {
+	t.Helper()
+	op := &KeyedReduceOp{
+		F:        func(acc, v float64) float64 { return acc*2 + v },
+		Init:     1,
+		EmitEach: emitEach,
+	}
+	if err := op.Open(&OpContext{}); err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// keyedRun builds a data run with repeated keys (adjacent and interleaved)
+// and non-float64 records sprinkled in — the inputs the run-grouping scratch
+// table has to get right.
+func keyedRun(n int, tsBase int64) []Record {
+	in := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Data(tsBase+int64(i), uint64(i*i%5), float64(i%11)+0.25)
+		switch {
+		case i%9 == 4:
+			r.Value = "not a float"
+		case i%13 == 7:
+			r.Value = i // int, not float64
+		}
+		in = append(in, r)
+	}
+	return in
+}
+
+// TestKeyedReduceOnBatchMatchesOnRecord proves the keyed vectorized
+// contract at the operator level: one OnBatch call over a run — and the
+// same run chopped into small chunks — emits byte-identical records to
+// OnRecord in order, with EmitEach both on and off, and leaves identical
+// state behind (compared via Finish).
+func TestKeyedReduceOnBatchMatchesOnRecord(t *testing.T) {
+	in := keyedRun(57, 0)
+	for _, emitEach := range []bool{true, false} {
+		ref := newKeyedReduce(t, emitEach)
+		want := perRecordOutput(ref, in)
+
+		batched := newKeyedReduce(t, emitEach)
+		got := batchOutput(batched, in)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("emitEach=%v: OnBatch diverged from OnRecord:\n got %+v\nwant %+v", emitEach, got, want)
+		}
+
+		chunked := newKeyedReduce(t, emitEach)
+		var gotChunked []Record
+		for off := 0; off < len(in); off += 10 {
+			end := min(off+10, len(in))
+			gotChunked = append(gotChunked, batchOutput(chunked, in[off:end])...)
+		}
+		if !reflect.DeepEqual(gotChunked, want) {
+			t.Fatalf("emitEach=%v: chunked OnBatch diverged from OnRecord", emitEach)
+		}
+
+		for name, op := range map[string]*KeyedReduceOp{"batched": batched, "chunked": chunked} {
+			refOut, opOut := &capCollector{}, &capCollector{}
+			ref.Finish(refOut)
+			op.Finish(opOut)
+			if !reflect.DeepEqual(opOut.recs, refOut.recs) {
+				t.Fatalf("emitEach=%v: %s Finish state diverged:\n got %+v\nwant %+v",
+					emitEach, name, opOut.recs, refOut.recs)
+			}
+		}
+	}
+}
+
+// TestKeyedReduceSnapshotCrossesExecutionModes: a checkpoint taken
+// mid-stream under batched execution restores into a per-record operator
+// (and vice versa) with identical final state — the barrier-mid-batch
+// guarantee that makes the toggle invisible to recovery.
+func TestKeyedReduceSnapshotCrossesExecutionModes(t *testing.T) {
+	first, second := keyedRun(40, 0), keyedRun(40, 100)
+
+	ref := newKeyedReduce(t, false)
+	perRecordOutput(ref, first)
+	perRecordOutput(ref, second)
+	want := &capCollector{}
+	ref.Finish(want)
+
+	// Batched first half -> capture (the barrier lands between runs, never
+	// inside one) -> restore -> per-record second half.
+	half := newKeyedReduce(t, false)
+	batchOutput(half, first)
+	groups := captureGroups(t, half)
+	restored := &KeyedReduceOp{F: ref.F, Init: ref.Init}
+	if err := restored.Open(&OpContext{RestoreGroups: groups}); err != nil {
+		t.Fatal(err)
+	}
+	perRecordOutput(restored, second)
+	got := &capCollector{}
+	restored.Finish(got)
+	if !reflect.DeepEqual(got.recs, want.recs) {
+		t.Fatalf("batched->restore->per-record diverged:\n got %+v\nwant %+v", got.recs, want.recs)
+	}
+
+	// And the mirror image: per-record first half, batched after restore.
+	half2 := newKeyedReduce(t, false)
+	perRecordOutput(half2, first)
+	restored2 := &KeyedReduceOp{F: ref.F, Init: ref.Init}
+	if err := restored2.Open(&OpContext{RestoreGroups: captureGroups(t, half2)}); err != nil {
+		t.Fatal(err)
+	}
+	batchOutput(restored2, second)
+	got2 := &capCollector{}
+	restored2.Finish(got2)
+	if !reflect.DeepEqual(got2.recs, want.recs) {
+		t.Fatalf("per-record->restore->batched diverged:\n got %+v\nwant %+v", got2.recs, want.recs)
+	}
+}
+
+// windowScript drives a WindowOp through a fixed interleaving of data runs
+// and watermarks, dispatching runs through deliver, and returns everything
+// emitted. The script includes exactly-late records (Ts == watermark, must
+// drop), barely-in-time records (Ts == watermark+1, must keep) and
+// out-of-order-but-not-late records.
+func windowScript(t *testing.T, deliver func(op *WindowOp, b []Record, out Collector)) ([]Record, int64) {
+	t.Helper()
+	op := newWindowOp(t,
+		WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()},
+		WindowQuery{Spec: window.Sliding(20, 10), Fn: agg.CountF64()})
+	out := &capCollector{}
+	deliver(op, keyedRun(30, 0), out)
+	op.OnWatermark(20, out)
+	// One run mixing late and in-time elements across keys: Ts <= 20 drops,
+	// Ts == 21 is the earliest survivor.
+	late := []Record{
+		Data(5, 1, 1.0),   // late
+		Data(20, 1, 2.0),  // exactly at the watermark: late
+		Data(21, 1, 3.0),  // barely in time
+		Data(20, 4, 4.0),  // late, different key
+		Data(35, 4, 5.0),  // in time
+		Data(25, 2, 6.0),  // in time, out of order vs the 35 above
+		Data(12, 3, "no"), // non-float64: ignored, not counted as late
+	}
+	deliver(op, late, out)
+	deliver(op, keyedRun(30, 22), out)
+	op.OnWatermark(40, out)
+	deliver(op, keyedRun(15, 41), out)
+	op.OnWatermark(math.MaxInt64, out)
+	return out.recs, op.DroppedLate()
+}
+
+// TestWindowOpOnBatchMatchesOnRecord proves the windowed keyed contract:
+// the batched path produces byte-identical emissions and the same late-drop
+// count as per-record delivery across watermark interleavings, including
+// drops exactly at the allowed-lateness boundary.
+func TestWindowOpOnBatchMatchesOnRecord(t *testing.T) {
+	want, wantDropped := windowScript(t, func(op *WindowOp, b []Record, out Collector) {
+		for _, r := range b {
+			op.OnRecord(r, out)
+		}
+	})
+	got, gotDropped := windowScript(t, func(op *WindowOp, b []Record, out Collector) {
+		if ret := op.OnBatch(append([]Record{}, b...), out); len(ret) != 0 {
+			t.Fatalf("WindowOp.OnBatch returned records: %+v", ret)
+		}
+	})
+	if wantDropped != 3 {
+		t.Fatalf("reference dropped %d late records, want 3", wantDropped)
+	}
+	if gotDropped != wantDropped {
+		t.Fatalf("DroppedLate = %d batched, %d per-record", gotDropped, wantDropped)
+	}
+	if len(want) == 0 {
+		t.Fatal("script emitted no windows")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnBatch emissions diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWindowOpBatchSnapshotRestoreMatches: capture mid-script under batched
+// delivery, restore, finish per-record — emissions after the restore match
+// a pure per-record run of the same tail.
+func TestWindowOpBatchSnapshotRestoreMatches(t *testing.T) {
+	q := WindowQuery{Spec: window.Tumbling(10), Fn: agg.SumF64()}
+	head, tail := keyedRun(30, 0), keyedRun(30, 25)
+
+	ref := newWindowOp(t, q)
+	refOut := &capCollector{}
+	for _, r := range head {
+		ref.OnRecord(r, refOut)
+	}
+	ref.OnWatermark(20, refOut)
+	for _, r := range tail {
+		ref.OnRecord(r, refOut)
+	}
+	ref.OnWatermark(math.MaxInt64, refOut)
+
+	op := newWindowOp(t, q)
+	opOut := &capCollector{}
+	op.OnBatch(append([]Record{}, head...), opOut)
+	op.OnWatermark(20, opOut)
+	restored := NewWindowOp(q)().(*WindowOp)
+	if err := restored.Open(&OpContext{RestoreGroups: captureGroups(t, op)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tail {
+		restored.OnRecord(r, opOut)
+	}
+	restored.OnWatermark(math.MaxInt64, opOut)
+
+	if !reflect.DeepEqual(opOut.recs, refOut.recs) {
+		t.Fatalf("batched+restore emissions diverged:\n got %+v\nwant %+v", opOut.recs, refOut.recs)
+	}
+}
+
+// joinScript drives a WindowJoinOp through runs on both edges interleaved
+// with watermarks and returns everything emitted.
+func joinScript(t *testing.T, deliver func(op *WindowJoinOp, edge int, b []Record, out Collector)) []Record {
+	t.Helper()
+	op := &WindowJoinOp{Size: 10}
+	if err := op.Open(&OpContext{}); err != nil {
+		t.Fatal(err)
+	}
+	out := &capCollector{}
+	deliver(op, 0, keyedRun(25, 0), out)
+	deliver(op, 1, keyedRun(25, 3), out)
+	op.OnWatermark(20, out)
+	deliver(op, 1, keyedRun(20, 21), out)
+	deliver(op, 0, keyedRun(20, 24), out)
+	op.OnWatermark(40, out)
+	op.Finish(out)
+	return out.recs
+}
+
+// TestWindowJoinOnBatchEdgeMatchesOnRecordEdge proves the two-input keyed
+// contract: OnBatchEdge over whole runs joins identically to OnRecordEdge.
+func TestWindowJoinOnBatchEdgeMatchesOnRecordEdge(t *testing.T) {
+	want := joinScript(t, func(op *WindowJoinOp, edge int, b []Record, out Collector) {
+		for _, r := range b {
+			op.OnRecordEdge(edge, r, out)
+		}
+	})
+	got := joinScript(t, func(op *WindowJoinOp, edge int, b []Record, out Collector) {
+		if ret := op.OnBatchEdge(edge, append([]Record{}, b...), out); len(ret) != 0 {
+			t.Fatalf("OnBatchEdge returned records: %+v", ret)
+		}
+	})
+	if len(want) == 0 {
+		t.Fatal("join script emitted no pairs")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnBatchEdge emissions diverged:\n got %d pairs\nwant %d pairs", len(got), len(want))
+	}
+}
+
+// vecKeyedResults runs a two-keyed-stage pipeline (windowed aggregation
+// behind one hash edge feeding a keyed reduce behind another) and returns
+// the sink contents in a canonical order.
+func vecKeyedResults(t *testing.T, par int, opts ...JobOption) []Record {
+	t.Helper()
+	g := NewGraph("veckeyed")
+	src := g.AddSource("src", 2, func(sub, par int) SourceFunc {
+		return &GenSource{N: 2000, WatermarkEvery: 64, Gen: func(i int64) Record {
+			global := i*2 + int64(sub)
+			return Data(global, uint64(global*global%23), float64(global%17))
+		}}
+	})
+	win := g.AddOperator("win", par,
+		NewWindowOp(WindowQuery{Spec: window.Tumbling(100), Fn: agg.SumF64()}),
+		Edge{From: src, Part: HashPartition})
+	toVal := g.AddOperator("toval", par, func() Operator {
+		return &MapOp{F: func(r Record) Record {
+			r.Value = r.Value.(WindowResult).Value
+			return r
+		}}
+	}, Edge{From: win, Part: Forward})
+	sum := g.AddOperator("sum", par, func() Operator {
+		return &KeyedReduceOp{F: func(acc, v float64) float64 { return acc + v }}
+	}, Edge{From: toVal, Part: HashPartition})
+	sink := &CollectSink{}
+	g.AddOperator("out", 1, sink.Factory(), Edge{From: sum, Part: Rebalance})
+	run(t, g, opts...)
+
+	recs := sink.Records()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Ts < recs[j].Ts
+	})
+	return recs
+}
+
+// TestVectorizedKeyedOpsArePhysicalOnly proves WithVectorizedKeyedOps is a
+// pure execution knob: identical sink contents with the keyed fast path on
+// and off, at parallelism 1 and 4 — including under checkpointing, whose
+// barriers land between the runs the batched operators consume.
+func TestVectorizedKeyedOpsArePhysicalOnly(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		ref := vecKeyedResults(t, par, WithVectorizedKeyedOps(false))
+		if len(ref) == 0 {
+			t.Fatalf("par=%d: empty reference run", par)
+		}
+		got := vecKeyedResults(t, par, WithVectorizedKeyedOps(true))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("par=%d: keyed vectorization changed results (%d vs %d records)",
+				par, len(got), len(ref))
+		}
+		ckpt := vecKeyedResults(t, par, WithVectorizedKeyedOps(true),
+			WithCheckpointing(state.NewMemoryBackend(1), 5*time.Millisecond))
+		if !reflect.DeepEqual(ckpt, ref) {
+			t.Fatalf("par=%d: keyed vectorization under checkpointing changed results", par)
+		}
+	}
+}
+
+// TestKeyedVectorizedRecordsInCounts: records_in on a keyed operator counts
+// every record of every run when the batched path consumes them whole.
+func TestKeyedVectorizedRecordsInCounts(t *testing.T) {
+	const n = 500
+	reg := metrics.NewRegistry()
+	g := NewGraph("veckeyed-metrics")
+	src := g.AddSource("src", 1, func(sub, par int) SourceFunc {
+		return &GenSource{N: n, WatermarkEvery: 64, Gen: func(i int64) Record {
+			return Data(i, uint64(i%7), float64(i))
+		}}
+	})
+	sum := g.AddOperator("sum", 2, func() Operator {
+		return &KeyedReduceOp{F: func(acc, v float64) float64 { return acc + v }, EmitEach: true}
+	}, Edge{From: src, Part: HashPartition})
+	sink := &CollectSink{}
+	g.AddOperator("out", 1, sink.Factory(), Edge{From: sum, Part: Rebalance})
+	run(t, g, WithMetrics(reg), WithVectorizedKeyedOps(true))
+
+	if got := reg.Counter("node.sum.records_in").Value(); got != n {
+		t.Fatalf("node.sum.records_in = %d, want %d", got, n)
+	}
+	if got := len(sink.Records()); got != n {
+		t.Fatalf("sink saw %d records, want %d", got, n)
+	}
+}

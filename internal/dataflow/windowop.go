@@ -45,6 +45,13 @@ type WindowOp struct {
 	curKey      uint64
 	droppedLate int64
 	droppedCtr  *metrics.Counter
+
+	// Vectorized-run scratch (see OnBatch), reused across calls.
+	kt     keyTable
+	recIdx []int32    // per record: dense key index, -1 = skipped (non-float64)
+	segLen []int32    // per dense key: element count in the run
+	segOff []int32    // per dense key: gather cursor (segment end after fill)
+	gather []bufEntry // run elements grouped by key, record order within a key
 }
 
 // bufEntry is one buffered, not-yet-released element of a key's reorder
@@ -148,6 +155,85 @@ func (w *WindowOp) OnRecord(r Record, _ Collector) {
 	// old slice header stays intact; sorting and compacting below go
 	// through GetMut.
 	w.buf.Put(r.Key, append(entries, bufEntry{Ts: r.Ts, Val: v}))
+}
+
+// OnBatch implements BatchedOperator: the run is grouped by key (counting
+// sort into a reused gather buffer), then each distinct key pays one release-
+// watermark read, one reorder-buffer load and one store for all its elements
+// instead of one of each per record. Appending a key's survivors in a single
+// append also grows the buffer once per run instead of element by element.
+// The release watermark only moves in OnWatermark — never inside a data run
+// — so one read per key is exact, and the per-element late check against it
+// matches OnRecord's decision bit for bit. OnBatch emits nothing (results
+// fire on watermarks), so ordering is trivially preserved.
+func (w *WindowOp) OnBatch(b []Record, _ Collector) []Record {
+	w.kt.reset()
+	w.recIdx = w.recIdx[:0]
+	w.segLen = w.segLen[:0]
+	for i := range b {
+		if _, ok := b[i].Value.(float64); !ok {
+			w.recIdx = append(w.recIdx, -1)
+			continue
+		}
+		idx, fresh := w.kt.index(b[i].Key)
+		if fresh {
+			w.segLen = append(w.segLen, 0)
+		}
+		w.segLen[idx]++
+		w.recIdx = append(w.recIdx, idx)
+	}
+	keys := w.kt.distinct()
+	if len(keys) == 0 {
+		return nil
+	}
+	w.segOff = w.segOff[:0]
+	total := int32(0)
+	for _, n := range w.segLen {
+		w.segOff = append(w.segOff, total)
+		total += n
+	}
+	if cap(w.gather) < int(total) {
+		w.gather = make([]bufEntry, total)
+	} else {
+		w.gather = w.gather[:total]
+	}
+	for i := range b {
+		d := w.recIdx[i]
+		if d < 0 {
+			continue
+		}
+		w.gather[w.segOff[d]] = bufEntry{Ts: b[i].Ts, Val: b[i].Value.(float64)}
+		w.segOff[d]++
+	}
+	var dropped int64
+	for d, key := range keys {
+		end := w.segOff[d]
+		seg := w.gather[end-w.segLen[d] : end]
+		wm := w.wm.Get(key)
+		keep := seg[:0]
+		for _, e := range seg {
+			if e.Ts <= wm {
+				dropped++
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		ref := w.buf.RefFor(key)
+		entries, _ := ref.Get()
+		// Like OnRecord: append-only growth keeps a captured view of the old
+		// slice header intact, so Get+Put (not GetMut) is COW-safe here.
+		ref.Put(append(entries, keep...))
+	}
+	if dropped > 0 {
+		w.droppedLate += dropped
+		if w.droppedCtr != nil {
+			w.droppedCtr.Add(dropped)
+		}
+	}
+	return nil
 }
 
 // DroppedLate reports how many elements arrived after the watermark had

@@ -16,10 +16,12 @@ import (
 	"repro/streamline"
 )
 
-func init() { streamline.RegisterWireTypes() }
+// The joined pipeline ships typed join pairs across the rebalance edge to
+// its collector, so the generic instantiation must be wire-registered.
+func init() { streamline.RegisterWireTypes(streamline.JoinedPair[float64, float64]{}) }
 
 // Names lists the registered pipelines.
-func Names() []string { return []string{"wordcount", "windowed", "fused"} }
+func Names() []string { return []string{"wordcount", "windowed", "fused", "joined"} }
 
 // Build constructs the named pipeline with its argument list plus any extra
 // environment options (the coordinator passes WithWorkers/WithListenAddr;
@@ -34,6 +36,8 @@ func Build(name string, args []string, extra ...streamline.Option) (*streamline.
 		return buildWindowed(args, extra...)
 	case "fused":
 		return buildFused(args, extra...)
+	case "joined":
+		return buildJoined(args, extra...)
 	}
 	return nil, nil, fmt.Errorf("unknown pipeline %q (have %s)", name, strings.Join(Names(), ", "))
 }
@@ -127,6 +131,52 @@ func buildFused(args []string, extra ...streamline.Option) (*streamline.Env, fun
 		ls := make([]string, 0, len(out.Records()))
 		for _, r := range out.Records() {
 			ls = append(ls, fmt.Sprintf("%d=%g", r.Key, r.Value))
+		}
+		sort.Strings(ls)
+		return strings.Join(ls, "\n") + "\n"
+	}
+	return env, render, nil
+}
+
+// buildJoined is the keyed/windowed join guard: two deterministic generator
+// streams equi-joined per key within tumbling windows. The join is a
+// two-input keyed operator behind two hash edges, so the multi-process
+// smoke diff covers the vectorized keyed path's edge-aware batching — its
+// pair set must be byte-identical single-process and multi-process.
+func buildJoined(args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
+	fs := flag.NewFlagSet("joined", flag.ContinueOnError)
+	events := fs.Int64("events", 4000, "number of generated events per side")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	opts := append([]streamline.Option{
+		streamline.WithParallelism(2),
+		streamline.WithPipelineRef("joined", args...),
+	}, extra...)
+	env := streamline.New(opts...)
+	gen := func(stride int64) streamline.Source[float64] {
+		return streamline.Generator(*events, func(sub, par int, i int64) streamline.Keyed[float64] {
+			global := i*int64(par) + int64(sub)
+			return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 5), Value: float64((global * stride) % 101)}
+		})
+	}
+	left := streamline.From(env, "left", gen(3),
+		streamline.WithSourceParallelism(2), streamline.WithWatermarkEvery(64))
+	right := streamline.From(env, "right", gen(7),
+		streamline.WithSourceParallelism(2), streamline.WithWatermarkEvery(64))
+	lk := streamline.KeyByRecord(left, "lkey", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	rk := streamline.KeyByRecord(right, "rkey", func(k streamline.Keyed[float64]) uint64 { return k.Key })
+	pairs := streamline.JoinWindow(lk, "join", rk, 50)
+	out := streamline.Collect(pairs, "out")
+	render := func() string {
+		dedup := map[string]struct{}{}
+		for _, r := range out.Records() {
+			p := r.Value
+			dedup[fmt.Sprintf("%d [%d,%d) %g|%g", r.Key, p.WindowStart, p.WindowEnd, p.Left, p.Right)] = struct{}{}
+		}
+		ls := make([]string, 0, len(dedup))
+		for l := range dedup {
+			ls = append(ls, l)
 		}
 		sort.Strings(ls)
 		return strings.Join(ls, "\n") + "\n"

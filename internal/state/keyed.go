@@ -266,13 +266,8 @@ func (c *MapCell[V]) Get(key uint64) (V, bool) {
 	return v, ok
 }
 
-// GetMut returns the value stored under key for in-place mutation, cloning
-// it first when it may be shared with an in-flight snapshot capture. With
-// no capture in flight it is as cheap as Get — no clone, no bookkeeping
-// (the dirty set only means anything during a capture window, and the next
-// capture resets it).
-func (c *MapCell[V]) GetMut(key uint64) (V, bool) {
-	g := c.group(key)
+// getMutIn is GetMut on an already-resolved group.
+func (c *MapCell[V]) getMutIn(g *mapGroup[V], key uint64) (V, bool) {
 	v, ok := g.m[key]
 	if !ok {
 		return v, false
@@ -288,13 +283,8 @@ func (c *MapCell[V]) GetMut(key uint64) (V, bool) {
 	return v, true
 }
 
-// Put stores a value under key. Put does NOT make the value private for
-// in-place mutation: a stored value may alias captured memory (the classic
-// case is an appended slice sharing its backing array with the captured
-// header), so only GetMut — whose clone provably breaks the aliasing —
-// grants privacy during a capture window.
-func (c *MapCell[V]) Put(key uint64, v V) {
-	g := c.group(key)
+// putIn is Put on an already-resolved group.
+func (c *MapCell[V]) putIn(g *mapGroup[V], key uint64, v V) {
 	c.thaw(g)
 	if g.m == nil {
 		g.m = make(map[uint64]V)
@@ -305,12 +295,75 @@ func (c *MapCell[V]) Put(key uint64, v V) {
 	delete(g.dirty, key)
 }
 
+// GetMut returns the value stored under key for in-place mutation, cloning
+// it first when it may be shared with an in-flight snapshot capture. With
+// no capture in flight it is as cheap as Get — no clone, no bookkeeping
+// (the dirty set only means anything during a capture window, and the next
+// capture resets it).
+func (c *MapCell[V]) GetMut(key uint64) (V, bool) {
+	return c.getMutIn(c.group(key), key)
+}
+
+// Put stores a value under key. Put does NOT make the value private for
+// in-place mutation: a stored value may alias captured memory (the classic
+// case is an appended slice sharing its backing array with the captured
+// header), so only GetMut — whose clone provably breaks the aliasing —
+// grants privacy during a capture window.
+func (c *MapCell[V]) Put(key uint64, v V) {
+	c.putIn(c.group(key), key, v)
+}
+
 // Delete removes key's value.
 func (c *MapCell[V]) Delete(key uint64) {
 	g := c.group(key)
 	c.thaw(g)
 	delete(g.m, key)
 	delete(g.dirty, key)
+}
+
+// KeyRef is a resolved handle to one key's slot in a MapCell: the key-group
+// hash (Hash64 + range check) is paid once at RefFor, and every access
+// through the ref skips it. It is the run-scoped state access of vectorized
+// keyed operators, which touch each distinct key of a contiguous data run a
+// handful of times (load, fold, store) and would otherwise rehash on every
+// touch.
+//
+// A ref stays valid for the cell's lifetime: groups are laid out once at
+// registration and never move. Every access re-reads the group's frozen
+// flag and the capture counter, so the copy-on-write discipline — thaw on
+// mutation, clone-on-GetMut during a capture window, privacy revocation on
+// Put — is byte-for-byte the MapCell's own; holding a ref across a barrier
+// is safe.
+type KeyRef[V any] struct {
+	c   *MapCell[V]
+	g   *mapGroup[V]
+	key uint64
+}
+
+// RefFor resolves key's group once and returns the ref. Like every cell
+// access it panics on keys outside the owned range.
+func (c *MapCell[V]) RefFor(key uint64) KeyRef[V] {
+	return KeyRef[V]{c: c, g: c.group(key), key: key}
+}
+
+// Key returns the key the ref was resolved for.
+func (r KeyRef[V]) Key() uint64 { return r.key }
+
+// Get is MapCell.Get without the group hash.
+func (r KeyRef[V]) Get() (V, bool) {
+	v, ok := r.g.m[r.key]
+	return v, ok
+}
+
+// GetMut is MapCell.GetMut without the group hash: it clones the value when
+// an in-flight capture may still share it.
+func (r KeyRef[V]) GetMut() (V, bool) {
+	return r.c.getMutIn(r.g, r.key)
+}
+
+// Put is MapCell.Put without the group hash.
+func (r KeyRef[V]) Put(v V) {
+	r.c.putIn(r.g, r.key, v)
 }
 
 // Len counts keys across all owned groups.

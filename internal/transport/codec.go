@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataflow"
 )
@@ -20,12 +21,31 @@ import (
 // gob's interface cost, so hot pipelines should stick to engine types or
 // flat numerics). The frame struct keeps riding gob for its own fields; gob
 // sees this type as a single opaque byte slice via GobEncode/GobDecode.
-type wireBatch []dataflow.Record
+//
+// enc, when non-nil, is a reusable encode buffer: GobEncode builds the wire
+// bytes in it (growing it as needed) instead of allocating per batch. gob
+// copies the returned bytes into its own writer before Encode returns, so
+// the caller may recycle the buffer as soon as Encode does — writeLoop pairs
+// each Encode with a Get/Put on encBufPool.
+type wireBatch struct {
+	recs []dataflow.Record
+	enc  *[]byte
+}
 
 var (
-	_ gob.GobEncoder = wireBatch(nil)
+	_ gob.GobEncoder = wireBatch{}
 	_ gob.GobDecoder = (*wireBatch)(nil)
 )
+
+// encBufPool recycles wire-encode buffers across batches and connections.
+// Buffers retain their grown capacity, so the steady state encodes every
+// batch with zero buffer allocations.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
 
 // Payload tags. The tag space is part of the wire protocol: both ends are
 // the same binary in SPMD execution, but keep additions append-only anyway.
@@ -44,10 +64,15 @@ const (
 
 // GobEncode implements gob.GobEncoder.
 func (b wireBatch) GobEncode() ([]byte, error) {
-	buf := make([]byte, 0, 16*len(b)+8)
-	buf = binary.AppendUvarint(buf, uint64(len(b)))
-	for i := range b {
-		r := &b[i]
+	var buf []byte
+	if b.enc != nil {
+		buf = (*b.enc)[:0]
+	} else {
+		buf = make([]byte, 0, 16*len(b.recs)+8)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.recs)))
+	for i := range b.recs {
+		r := &b.recs[i]
 		buf = append(buf, byte(r.Kind))
 		buf = binary.AppendVarint(buf, r.Ts)
 		buf = binary.AppendUvarint(buf, r.Key)
@@ -99,6 +124,9 @@ func (b wireBatch) GobEncode() ([]byte, error) {
 			buf = binary.AppendUvarint(buf, uint64(gb.Len()))
 			buf = append(buf, gb.Bytes()...)
 		}
+	}
+	if b.enc != nil {
+		*b.enc = buf // keep any growth for the next batch
 	}
 	return buf, nil
 }
@@ -236,7 +264,7 @@ func (b *wireBatch) GobDecode(data []byte) error {
 	if off != len(data) {
 		return fmt.Errorf("wire batch: %d trailing bytes", len(data)-off)
 	}
-	*b = out
+	b.recs = out
 	return nil
 }
 

@@ -190,7 +190,12 @@ func (m *Mesh) writeLoop(ref dataflow.ChannelRef, to int, feeder chan []dataflow
 				conn.Close()
 				return
 			}
-			if err := enc.Encode(frame{Ref: ref, Recs: b}); err != nil {
+			// The pooled encode buffer is safe to recycle the moment Encode
+			// returns: gob copies the GobEncode bytes into its own writer.
+			ebuf := encBufPool.Get().(*[]byte)
+			err := enc.Encode(frame{Ref: ref, Recs: wireBatch{recs: b, enc: ebuf}})
+			encBufPool.Put(ebuf)
+			if err != nil {
 				m.fail(fmt.Errorf("transport: send to participant %d: %w", to, err))
 				m.discard(feeder)
 				return
@@ -267,7 +272,7 @@ func (m *Mesh) readLoop(conn net.Conn) {
 			return
 		}
 		select {
-		case ch <- []dataflow.Record(f.Recs):
+		case ch <- f.Recs.recs:
 		case <-m.ctx.Done():
 			return
 		}

@@ -28,19 +28,19 @@ func TestFrameRoundTrip(t *testing.T) {
 
 	ref := dataflow.ChannelRef{Node: 7, Edge: 1, To: 2, From: 3}
 	frames := []frame{
-		{Ref: ref, Recs: []dataflow.Record{
+		{Ref: ref, Recs: wireBatch{recs: []dataflow.Record{
 			dataflow.Data(101, 4, "hello"),
 			dataflow.Data(102, 4, 3.5),
 			dataflow.Data(103, 5, int64(42)),
-		}},
-		{Ref: ref, Recs: []dataflow.Record{
+		}}},
+		{Ref: ref, Recs: wireBatch{recs: []dataflow.Record{
 			dataflow.Data(104, 6, dataflow.WindowResult{QueryID: 2, Start: 100, End: 200, Value: 9.5, Count: 3}),
 			dataflow.Data(105, 6, dataflow.JoinedPair{WindowStart: 100, WindowEnd: 200, Left: 1, Right: 2}),
 			dataflow.Data(106, 7, customPayload{Name: "x", Score: 0.25}),
-		}},
-		{Ref: ref, Recs: []dataflow.Record{dataflow.Watermark(150)}},
-		{Ref: ref, Recs: []dataflow.Record{dataflow.Barrier(9)}},
-		{Ref: ref, Recs: []dataflow.Record{dataflow.End()}},
+		}}},
+		{Ref: ref, Recs: wireBatch{recs: []dataflow.Record{dataflow.Watermark(150)}}},
+		{Ref: ref, Recs: wireBatch{recs: []dataflow.Record{dataflow.Barrier(9)}}},
+		{Ref: ref, Recs: wireBatch{recs: []dataflow.Record{dataflow.End()}}},
 	}
 
 	var buf bytes.Buffer

@@ -162,6 +162,24 @@
 // (`streamline-bench -fusion`): throughput and allocations per record
 // against per-record execution.
 //
+// Vectorized keyed operators. The keyed stages — ReduceByKey,
+// WindowAggregate, JoinWindow — ride the same fast path instead of ending
+// it: each contiguous data run is grouped by key in a reusable scratch
+// table, and the per-key costs (key-group hash, state load, store) are
+// paid once per distinct key per run rather than once per record, with the
+// run's elements folded or appended in a single pass per key. Hash routing
+// is run-aware too: a routed run is appended to each destination's staging
+// buffer in contiguous slices under one lock acquisition. The contract is
+// strict — batched execution must equal per-record execution applied in
+// order — and checkpoint barriers always land between runs, so the toggle
+// is purely physical: the logical plan, every emitted value and its order,
+// and every checkpoint are identical with WithVectorizedKeyedOps on or
+// off, and a snapshot taken under either mode restores under the other.
+// WithVectorizedKeyedOps(false) is the keyed ablation baseline (stateless
+// chains stay batched); BENCH_keyed.json records the measured win
+// (`streamline-bench -keyed`) on a windowed aggregation and a combiner-off
+// reduce.
+//
 // # Keyed state, checkpoints and rescaling
 //
 // Keyed operators (ReduceByKey, WindowAggregate, JoinWindow) keep their

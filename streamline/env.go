@@ -71,6 +71,13 @@ func WithChaining(on bool) Option { return core.WithChaining(on) }
 // way, at any batch size.
 func WithVectorizedChains(on bool) Option { return core.WithVectorizedChains(on) }
 
+// WithVectorizedKeyedOps toggles the keyed half of that fast path (default
+// on): keyed operators process whole data runs with run-grouped state access
+// and the exchange stager hash-routes a run in one pass. No effect when
+// WithVectorizedChains is off. Purely physical: the logical plan, all
+// results and every checkpoint are identical either way.
+func WithVectorizedKeyedOps(on bool) Option { return core.WithVectorizedKeyedOps(on) }
+
 // WithStageFusion toggles typed stage fusion (default on): runs of adjacent
 // Map/Filter/FlatMap stages lower into one fused operator that keeps values
 // in their concrete type across stages — one unbox at chain entry, one box at
