@@ -36,6 +36,11 @@
 //	                              # routing vs per-record keyed dispatch on
 //	                              # windowed-aggregation and reduce-by-key
 //	                              # pipelines, throughput + allocs/record
+//	streamline-bench -recover BENCH_recover.json
+//	                              # supervised recovery benchmark only: inject
+//	                              # worker kills into a supervised job and
+//	                              # measure detect→restored MTTR per restart,
+//	                              # results to JSON
 package main
 
 import (
@@ -57,7 +62,23 @@ func main() {
 	netBench := flag.String("net", "", "run the exchange transport benchmark and write JSON results to this path")
 	fusionBench := flag.String("fusion", "", "run the vectorized operator chain benchmark and write JSON results to this path")
 	keyedBench := flag.String("keyed", "", "run the vectorized keyed hot path benchmark and write JSON results to this path")
+	recoverBench := flag.String("recover", "", "run the supervised recovery benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *recoverBench != "" {
+		rep, err := bench.Recover(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recover benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Table().Fprint(os.Stdout)
+		if err := rep.WriteJSON(*recoverBench); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *recoverBench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *recoverBench)
+		return
+	}
 
 	if *keyedBench != "" {
 		rep, err := bench.Keyed(*quick)

@@ -5,16 +5,16 @@
 //
 //	streamline-worker -coord 127.0.0.1:7171
 //
-// The initial dial retries for -dial-timeout, so workers may start before
-// the coordinator is listening.
+// The dial retries with capped exponential backoff for -dial-timeout, so
+// workers may start before the coordinator is listening. Under a supervised
+// coordinator (streamline-coord -supervise) the worker also redials after
+// every epoch restart, rejoining the recovered job until it completes.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
-	"syscall"
 	"time"
 
 	"repro/internal/pipelines"
@@ -23,20 +23,13 @@ import (
 
 func main() {
 	coord := flag.String("coord", "127.0.0.1:7171", "coordinator control address")
-	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "how long to retry the initial dial")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "how long to retry each dial")
 	flag.Parse()
 
 	pipelines.RegisterAll()
-	deadline := time.Now().Add(*dialTimeout)
-	for {
-		err := streamline.RunRegisteredWorker(context.Background(), *coord)
-		if err == nil {
-			return
-		}
-		if errors.Is(err, syscall.ECONNREFUSED) && time.Now().Before(deadline) {
-			time.Sleep(100 * time.Millisecond)
-			continue
-		}
+	err := streamline.RunRegisteredWorkerLoop(context.Background(), *coord,
+		streamline.WithWorkerDialPolicy(streamline.DialPolicy{MaxWait: *dialTimeout}))
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns a loopback TCP connection accepted through a chaos Listener:
+// client is the raw dialer side, server the fault-injectable accepted side.
+func pair(t *testing.T) (client net.Conn, server *Conn, ln *Listener) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln = Wrap(raw)
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case c := <-accepted:
+		server = c.(*Conn)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { server.Close() })
+	return client, server, ln
+}
+
+func TestBlackholeReadHonorsDeadline(t *testing.T) {
+	client, server, _ := pair(t)
+	server.Blackhole()
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	server.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+	start := time.Now()
+	buf := make([]byte, 16)
+	_, err := server.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read returned %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("blackholed read returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestBlackholeWriteSwallowsData(t *testing.T) {
+	client, server, _ := pair(t)
+	server.Blackhole()
+	n, err := server.Write([]byte("into the void"))
+	if err != nil || n != len("into the void") {
+		t.Fatalf("blackholed write = (%d, %v), want claimed success", n, err)
+	}
+	client.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes through a blackhole", n)
+	}
+}
+
+func TestDelayPostponesReads(t *testing.T) {
+	client, server, _ := pair(t)
+	server.Delay(50 * time.Millisecond)
+	if _, err := client.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 16)
+	n, err := server.Read(buf)
+	if err != nil || string(buf[:n]) != "slow" {
+		t.Fatalf("delayed read = (%q, %v)", buf[:n], err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("delayed read returned after only %v", elapsed)
+	}
+}
+
+func TestDropIsCrashStyle(t *testing.T) {
+	client, server, _ := pair(t)
+	server.Drop()
+	buf := make([]byte, 16)
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Fatalf("peer of a dropped conn read %v, want EOF", err)
+	}
+}
+
+func TestPartitionBlackholesEveryAcceptedConn(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(raw)
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	var clients []net.Conn
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ln.Conns()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("listener never registered both conns")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln.Partition()
+	for _, c := range clients {
+		c.Write([]byte("ping"))
+	}
+	for i, c := range ln.Conns() {
+		c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		buf := make([]byte, 16)
+		if _, err := c.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("partitioned conn %d read %v, want deadline exceeded", i, err)
+		}
+	}
+	ln.Close()
+	<-done
+}
+
+func TestKillerCancelsAndForgets(t *testing.T) {
+	k := NewKiller()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	k.RegisterCancel("w1", cancel)
+	k.Kill("w1")
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Kill did not cancel the registered context")
+	}
+	// Unknown and already-killed names are no-ops, not panics.
+	k.Kill("w1")
+	k.Kill("nobody")
+}

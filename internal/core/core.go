@@ -68,6 +68,16 @@ type Environment struct {
 	pipeArgs      []string
 	onListen      func(addr string)
 	distCompleted int64
+
+	// Supervision configuration, consumed by ExecuteSupervised and by
+	// ExecuteDistributed when WithSupervision is given.
+	supervise    bool
+	maxRestarts  int
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	rejoinWindow time.Duration
 }
 
 // Option configures an Environment.
@@ -185,6 +195,38 @@ func WithPipelineRef(name string, args ...string) Option {
 	return func(e *Environment) { e.pipeline = name; e.pipeArgs = args }
 }
 
+// WithSupervision turns on supervised execution: on failure the run
+// restores from the newest completed checkpoint and relaunches, up to
+// maxRestarts times (0 picks the default budget of 5; negative disables
+// restarts while keeping supervision's error shaping). Up to two backoff
+// durations tune the restart pacing: the base delay before the first
+// restart (doubling per consecutive restart) and the delay cap.
+func WithSupervision(maxRestarts int, backoff ...time.Duration) Option {
+	return func(e *Environment) {
+		e.supervise = true
+		e.maxRestarts = maxRestarts
+		if len(backoff) > 0 {
+			e.backoffBase = backoff[0]
+		}
+		if len(backoff) > 1 {
+			e.backoffMax = backoff[1]
+		}
+	}
+}
+
+// WithHeartbeat tunes the distributed control plane's liveness protocol:
+// both sides ping every interval and declare the peer dead after a silent
+// timeout. Zero values keep the transport defaults (1s / 4s).
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(e *Environment) { e.hbInterval, e.hbTimeout = interval, timeout }
+}
+
+// WithRejoinWindow bounds how long a supervised recovery waits for the full
+// worker complement to redial before degrading onto the survivors.
+func WithRejoinWindow(d time.Duration) Option {
+	return func(e *Environment) { e.rejoinWindow = d }
+}
+
 // WithOnListen registers a callback invoked with the coordinator's bound
 // control address before workers are awaited — how callers learn an
 // ephemeral port (tests, or printing the address for external workers).
@@ -198,6 +240,29 @@ func (e *Environment) ListenAddr() string              { return e.listenAddr }
 func (e *Environment) SelfSpawn() bool                 { return e.selfSpawn }
 func (e *Environment) PipelineRef() (string, []string) { return e.pipeline, e.pipeArgs }
 func (e *Environment) OnListen() func(addr string)     { return e.onListen }
+
+// Supervision reports whether supervised execution is on, with the restart
+// budget and backoff pacing.
+func (e *Environment) Supervision() (on bool, maxRestarts int, base, max time.Duration) {
+	return e.supervise, e.maxRestarts, e.backoffBase, e.backoffMax
+}
+
+// EnsureSupervision turns supervision on with defaults if no
+// WithSupervision option was given (ExecuteSupervised's entry path).
+func (e *Environment) EnsureSupervision() {
+	if !e.supervise {
+		e.supervise = true
+	}
+}
+
+// Heartbeat returns the configured control-plane liveness settings (zeros:
+// transport defaults).
+func (e *Environment) Heartbeat() (interval, timeout time.Duration) {
+	return e.hbInterval, e.hbTimeout
+}
+
+// RejoinWindow returns the configured degradation wait (zero: default).
+func (e *Environment) RejoinWindow() time.Duration { return e.rejoinWindow }
 
 // Chaining reports whether operator chaining is enabled — part of the
 // physical-plan identity a distributed worker must reproduce.

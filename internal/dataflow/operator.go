@@ -1,8 +1,8 @@
 package dataflow
 
 import (
+	"encoding/binary"
 	"fmt"
-
 	"sync"
 
 	"repro/internal/metrics"
@@ -354,10 +354,43 @@ func (s *FuncSink) OnWatermark(wm int64, _ Collector) {
 
 // CollectSink accumulates all data records; safe for concurrent subtasks
 // and for reading after Run returns. Intended for tests and examples.
+//
+// The sink checkpoints its collected count (not the values): a restored run
+// in the same process — the supervised-restart path, where the instance
+// survives across epochs — rolls back to the checkpointed length before
+// replay, keeping the collected output exactly-once. A fresh process
+// restoring the same snapshot starts from an empty sink (the values only
+// ever lived in the crashed process's memory) and the rollback is a no-op.
 type CollectSink struct {
 	Base
 	mu   sync.Mutex
 	recs []Record
+}
+
+// Open implements Operator: roll back to the restored count, or clear on a
+// from-scratch (re)start — either way the sink holds exactly the records
+// the resumed stream position has already produced.
+func (s *CollectSink) Open(ctx *OpContext) error {
+	n := 0
+	if ctx.Restore != nil {
+		c, _ := binary.Varint(ctx.Restore)
+		n = int(c)
+	}
+	s.mu.Lock()
+	if n < len(s.recs) {
+		s.recs = s.recs[:n]
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Snapshot implements Operator: the blob is the collected record count.
+func (s *CollectSink) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	n := len(s.recs)
+	s.mu.Unlock()
+	buf := make([]byte, binary.MaxVarintLen64)
+	return buf[:binary.PutVarint(buf, int64(n))], nil
 }
 
 // OnRecord implements Operator.

@@ -186,9 +186,15 @@ func buildJoined(args []string, extra ...streamline.Option) (*streamline.Env, fu
 
 // buildWindowed is the distributed windowed aggregate: a deterministic
 // generator keyed six ways feeding a tumbling sum and a sliding count.
+// -pace throttles each source subtask to that many records per second —
+// how the chaos smoke test keeps the job running long enough to kill a
+// worker mid-flight. The render dedups window emissions, so a supervised
+// run that replays a checkpoint suffix stays byte-identical to an
+// unfaulted one.
 func buildWindowed(args []string, extra ...streamline.Option) (*streamline.Env, func() string, error) {
 	fs := flag.NewFlagSet("windowed", flag.ContinueOnError)
 	events := fs.Int64("events", 6000, "number of generated events")
+	pace := fs.Float64("pace", 0, "records/sec per source subtask (0: unpaced)")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -197,10 +203,13 @@ func buildWindowed(args []string, extra ...streamline.Option) (*streamline.Env, 
 		streamline.WithPipelineRef("windowed", args...),
 	}, extra...)
 	env := streamline.New(opts...)
-	gen := streamline.Generator(*events, func(sub, par int, i int64) streamline.Keyed[float64] {
+	var gen streamline.Source[float64] = streamline.Generator(*events, func(sub, par int, i int64) streamline.Keyed[float64] {
 		global := i*int64(par) + int64(sub)
 		return streamline.Keyed[float64]{Ts: global, Key: uint64(global % 6), Value: 1}
 	})
+	if *pace > 0 {
+		gen = streamline.Paced(gen, *pace)
+	}
 	src := streamline.From(env, "gen", gen, streamline.WithSourceParallelism(2))
 	keyed := streamline.KeyByRecord(src, "key", func(k streamline.Keyed[float64]) uint64 { return k.Key })
 	win := streamline.WindowAggregate(keyed, "win",

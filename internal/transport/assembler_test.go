@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/state"
+)
+
+// The assembler is what keeps restarted epochs sane: after a recovery the
+// control streams may still carry acks for a checkpoint the failed epoch
+// abandoned, and they must never pollute the snapshot being assembled.
+func TestAssemblerDropsStaleAndDuplicateAcks(t *testing.T) {
+	a := &assembler{need: 2, numGroups: 8}
+	keyA := state.SubtaskKey{OperatorID: 1, Subtask: 0}
+	keyB := state.SubtaskKey{OperatorID: 1, Subtask: 1}
+
+	if snap := a.offer(dataflow.Ack{Ckpt: 4, Key: keyA}); snap != nil {
+		t.Fatal("ack with no checkpoint in flight must be dropped")
+	}
+	if a.inFlight() {
+		t.Fatal("nothing was begun; no checkpoint should be in flight")
+	}
+
+	a.begin(5)
+	if !a.inFlight() {
+		t.Fatal("begin must open an in-flight checkpoint")
+	}
+	// Stale ack from checkpoint 4, abandoned by the previous epoch: dropped,
+	// and its blob must not leak into checkpoint 5.
+	if snap := a.offer(dataflow.Ack{Ckpt: 4, Key: keyA, Blob: []byte("stale")}); snap != nil {
+		t.Fatal("stale ack must not complete the snapshot")
+	}
+	if snap := a.offer(dataflow.Ack{Ckpt: 5, Key: keyA, Blob: []byte("a"), Groups: map[int][]byte{3: []byte("ga")}}); snap != nil {
+		t.Fatal("first of two subtasks must not complete the snapshot")
+	}
+	// Duplicate (e.g. redelivered after a control hiccup): dropped, first
+	// blob wins.
+	if snap := a.offer(dataflow.Ack{Ckpt: 5, Key: keyA, Blob: []byte("dup")}); snap != nil {
+		t.Fatal("duplicate ack must not complete the snapshot")
+	}
+
+	snap := a.offer(dataflow.Ack{Ckpt: 5, Key: keyB, Blob: []byte("b")})
+	if snap == nil {
+		t.Fatal("last subtask's ack must complete the snapshot")
+	}
+	if snap.CheckpointID != 5 {
+		t.Fatalf("CheckpointID = %d, want 5", snap.CheckpointID)
+	}
+	if got := string(snap.Get(keyA)); got != "a" {
+		t.Fatalf("subtask A blob = %q, want %q (stale/duplicate acks must not overwrite)", got, "a")
+	}
+	if got := string(snap.Get(keyB)); got != "b" {
+		t.Fatalf("subtask B blob = %q, want %q", got, "b")
+	}
+	if got := string(snap.GetGroup(state.GroupKey{OperatorID: 1, KeyGroup: 3})); got != "ga" {
+		t.Fatalf("key-group blob = %q, want %q", got, "ga")
+	}
+	if a.inFlight() {
+		t.Fatal("completion must clear the in-flight checkpoint")
+	}
+	if again := a.offer(dataflow.Ack{Ckpt: 5, Key: keyB, Blob: []byte("late")}); again != nil {
+		t.Fatal("acks after completion must be dropped")
+	}
+}
+
+func TestConfigHeartbeatDefaults(t *testing.T) {
+	if i, to := (Config{}).heartbeat(); i != DefaultHeartbeatInterval || to != DefaultHeartbeatTimeout {
+		t.Fatalf("zero config = (%v, %v), want defaults (%v, %v)", i, to, DefaultHeartbeatInterval, DefaultHeartbeatTimeout)
+	}
+	if i, to := (Config{HeartbeatInterval: 50 * time.Millisecond}).heartbeat(); i != 50*time.Millisecond || to != 200*time.Millisecond {
+		t.Fatalf("interval-only config = (%v, %v), want (50ms, 200ms)", i, to)
+	}
+	if i, to := (Config{HeartbeatInterval: time.Second, HeartbeatTimeout: 3 * time.Second}).heartbeat(); i != time.Second || to != 3*time.Second {
+		t.Fatalf("explicit config = (%v, %v), want (1s, 3s)", i, to)
+	}
+}
+
+func TestBackoffDelayCappedExponentialWithJitter(t *testing.T) {
+	pol := SupervisionPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}.withDefaults()
+	for attempt := 0; attempt < 20; attempt++ {
+		want := pol.BaseBackoff << uint(attempt)
+		if want <= 0 || want > pol.MaxBackoff {
+			want = pol.MaxBackoff
+		}
+		for trial := 0; trial < 32; trial++ {
+			d := backoffDelay(pol, attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside equal-jitter band [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestDialRetrySucceedsAfterCoordinatorAppears(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening yet: the first dials must fail and retry
+
+	ready := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			close(ready)
+			return
+		}
+		ready <- ln2
+	}()
+	conn, err := DialRetry(context.Background(), addr, DialPolicy{BaseDelay: 5 * time.Millisecond, MaxWait: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	conn.Close()
+	if ln2, ok := <-ready; ok {
+		ln2.Close()
+	} else {
+		t.Fatal("late listener failed to bind")
+	}
+}
+
+func TestDialRetryExhaustsBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = DialRetry(context.Background(), addr, DialPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond, MaxWait: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dialing a dead address must fail once the budget is spent")
+	}
+	if !strings.Contains(err.Error(), "retries exhausted") {
+		t.Fatalf("error %q does not mention the exhausted retry budget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget of 100ms took %v to exhaust", elapsed)
+	}
+}
+
+func TestDialRetryHonorsContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := DialRetry(ctx, addr, DialPolicy{BaseDelay: 5 * time.Millisecond, MaxWait: 30 * time.Second}); err == nil {
+		t.Fatal("cancelled dial must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}

@@ -16,6 +16,14 @@ import (
 	"repro/internal/state"
 )
 
+// Default control-plane liveness settings: both sides ping every interval
+// and declare the peer dead after a silent timeout. The timeout is several
+// intervals so one delayed ping never kills a healthy epoch.
+const (
+	DefaultHeartbeatInterval = 1 * time.Second
+	DefaultHeartbeatTimeout  = 4 * time.Second
+)
+
 // Config describes one distributed run from the coordinator's side.
 type Config struct {
 	// Graph is the job to execute; the coordinator is participant 0 and
@@ -40,12 +48,55 @@ type Config struct {
 	// ListenAddr is the control-plane listen address ("" = ephemeral
 	// loopback port; read it back via Addr).
 	ListenAddr string
+	// Listener, when non-nil, is used as the control listener instead of
+	// binding ListenAddr — the hook fault-injection tests use to interpose
+	// a chaos wrapper between workers and the coordinator.
+	Listener net.Listener
+	// HeartbeatInterval/HeartbeatTimeout override the control-plane
+	// liveness defaults (zero: DefaultHeartbeat*).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+}
+
+// heartbeat resolves the liveness settings, defaulting the timeout to four
+// intervals when only the interval is set.
+func (c Config) heartbeat() (interval, timeout time.Duration) {
+	interval, timeout = c.HeartbeatInterval, c.HeartbeatTimeout
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if timeout <= 0 {
+		timeout = 4 * interval
+		if c.HeartbeatInterval <= 0 {
+			timeout = DefaultHeartbeatTimeout
+		}
+	}
+	return interval, timeout
+}
+
+// listen binds the control listener: the injected one, the configured
+// address, or an ephemeral loopback port.
+func (c Config) listen() (net.Listener, error) {
+	if c.Listener != nil {
+		return c.Listener, nil
+	}
+	addr := c.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator listen: %w", err)
+	}
+	return ln, nil
 }
 
 // Coordinator owns one distributed run: it distributes the plan, injects
 // checkpoint barriers, assembles global snapshots from per-subtask acks,
-// and treats any lost worker connection as a job failure (clean abort; the
-// persisted snapshots make the job restartable at any worker count).
+// and treats any lost worker connection — or one silent past the heartbeat
+// timeout — as a job failure (clean abort; the persisted snapshots make the
+// job restartable at any worker count, and Supervisor automates exactly
+// that restart).
 type Coordinator struct {
 	cfg       Config
 	ln        net.Listener
@@ -55,13 +106,9 @@ type Coordinator struct {
 // NewCoordinator binds the control listener so workers can dial before Run
 // is entered (Addr is valid immediately).
 func NewCoordinator(cfg Config) (*Coordinator, error) {
-	addr := cfg.ListenAddr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := cfg.listen()
 	if err != nil {
-		return nil, fmt.Errorf("coordinator listen: %w", err)
+		return nil, err
 	}
 	return &Coordinator{cfg: cfg, ln: ln}, nil
 }
@@ -72,6 +119,43 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // CompletedCheckpoints reports how many snapshots this run persisted.
 func (c *Coordinator) CompletedCheckpoints() int64 { return c.completed.Load() }
 
+// Run executes the distributed job to completion. It blocks until the local
+// share and every worker finished (returning nil), or until any participant
+// fails — lost control connection included — in which case everything is
+// cancelled and the first error returns.
+func (c *Coordinator) Run(ctx context.Context) error {
+	RegisterTypes()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Unblock Accept when the caller cancels during the gather phase.
+	go func() { <-ctx.Done(); c.ln.Close() }()
+	defer c.ln.Close()
+
+	_, hbTimeout := c.cfg.heartbeat()
+	// Gather exactly W workers, in connection order; the order fixes the
+	// participant indices 1..W.
+	workers := make([]*wconn, 0, c.cfg.Workers)
+	defer closeWorkers(workers)
+	for i := 1; i <= c.cfg.Workers; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("coordinator accept: %w", err)
+		}
+		w, err := newWorkerConn(i, conn, hbTimeout)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("coordinator: bad hello from connection %d: %v", i, err)
+		}
+		workers = append(workers, w)
+	}
+
+	ep := &epoch{cfg: c.cfg, workers: workers, restore: c.cfg.Restore, completed: &c.completed}
+	return ep.run(ctx)
+}
+
 // wconn is the coordinator's handle on one worker's control connection.
 type wconn struct {
 	i        int
@@ -80,17 +164,51 @@ type wconn struct {
 	bw       *bufio.Writer
 	enc      *gob.Encoder
 	mu       sync.Mutex
+	wto      time.Duration // write deadline per control send
 	dataAddr string
-	done     bool
+	// done is set by the epoch's event loop and read by the heartbeat
+	// pinger, hence atomic.
+	done atomic.Bool
 }
 
+// newWorkerConn wraps a freshly accepted control connection and consumes
+// its hello, which must arrive within the heartbeat timeout — a connection
+// that dials and goes silent must not wedge the gather phase.
+func newWorkerConn(i int, conn net.Conn, hbTimeout time.Duration) (*wconn, error) {
+	w := &wconn{i: i, conn: conn, dec: gob.NewDecoder(conn), bw: bufio.NewWriter(conn), wto: hbTimeout}
+	w.enc = gob.NewEncoder(w.bw)
+	conn.SetReadDeadline(time.Now().Add(hbTimeout))
+	var hello ctrlMsg
+	if err := w.dec.Decode(&hello); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if hello.Kind != ctrlHello {
+		return nil, fmt.Errorf("expected hello, got message kind %d", hello.Kind)
+	}
+	w.dataAddr = hello.Addr
+	return w, nil
+}
+
+// send writes one control message under a write deadline: a wedged peer
+// errors out instead of blocking the abort or barrier path indefinitely,
+// and the error surfaces as a peer failure at the caller.
 func (w *wconn) send(msg ctrlMsg) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.wto > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.wto))
+	}
 	if err := w.enc.Encode(msg); err != nil {
 		return err
 	}
 	return w.bw.Flush()
+}
+
+func closeWorkers(ws []*wconn) {
+	for _, w := range ws {
+		w.conn.Close()
+	}
 }
 
 // event is one occurrence on a worker control connection.
@@ -100,48 +218,83 @@ type event struct {
 	err error
 }
 
-// Run executes the distributed job to completion. It blocks until the local
-// share and every worker finished (returning nil), or until any participant
-// fails — lost control connection included — in which case everything is
-// cancelled and the first error returns.
-func (c *Coordinator) Run(ctx context.Context) error {
-	RegisterTypes()
-	g := c.cfg.Graph
-	W := c.cfg.Workers
-	reg := c.cfg.Registry
+// assembler accumulates per-subtask checkpoint acks into at most one
+// in-flight global snapshot. Stale acks — from a checkpoint abandoned on a
+// previous epoch, or still draining the control stream after a restart —
+// and duplicates are dropped; the snapshot completes when every subtask of
+// the whole job has acked.
+type assembler struct {
+	need      int
+	numGroups int
+	pending   *state.Snapshot
+	got       map[state.SubtaskKey]bool
+}
+
+// inFlight reports whether a checkpoint is still assembling.
+func (a *assembler) inFlight() bool { return a.pending != nil }
+
+// begin opens checkpoint id; offers for any other id are dropped.
+func (a *assembler) begin(id int64) {
+	a.pending = state.NewSnapshot(id)
+	a.pending.NumKeyGroups = a.numGroups
+	a.got = make(map[state.SubtaskKey]bool, a.need)
+}
+
+// offer merges one ack. It returns the completed snapshot once the last
+// subtask acks, nil otherwise.
+func (a *assembler) offer(ack dataflow.Ack) *state.Snapshot {
+	if a.pending == nil || ack.Ckpt != a.pending.CheckpointID {
+		return nil // stale ack from an abandoned checkpoint
+	}
+	if a.got[ack.Key] {
+		return nil
+	}
+	a.got[ack.Key] = true
+	a.pending.Put(ack.Key, ack.Blob)
+	for kg, blob := range ack.Groups {
+		a.pending.PutGroup(state.GroupKey{OperatorID: ack.Key.OperatorID, KeyGroup: kg}, blob)
+	}
+	if len(a.got) == a.need {
+		s := a.pending
+		a.pending, a.got = nil, nil
+		return s
+	}
+	return nil
+}
+
+// epoch is one execution attempt over an established set of worker control
+// connections: plan distribution, readiness barrier, checkpoint loop, and
+// teardown. A plain Coordinator runs exactly one; a Supervisor runs a fresh
+// epoch (with a fresh restore snapshot and possibly different workers)
+// after every failure.
+type epoch struct {
+	cfg       Config
+	workers   []*wconn
+	restore   *state.Snapshot
+	completed *atomic.Int64
+	// supervised rides in the plan: workers report failures as rejoinable.
+	// rejoinOnAbort rides in the abort stop: whether another epoch follows.
+	supervised    bool
+	rejoinOnAbort bool
+	// onStarted fires once the epoch's producers are unleashed (readiness
+	// barrier passed) — the "restored" instant of the MTTR measurement.
+	onStarted func(time.Time)
+	// failedAt is when the epoch first observed its failure.
+	failedAt time.Time
+}
+
+// run executes the epoch to completion or first failure. The worker
+// connections stay open on return (the caller owns their lifecycle); on
+// the abort path workers are told to stop, with the rejoin flag telling
+// them whether a supervisor will run another epoch.
+func (ep *epoch) run(ctx context.Context) error {
+	g := ep.cfg.Graph
+	W := len(ep.workers)
+	reg := ep.cfg.Registry
+	hbInterval, hbTimeout := ep.cfg.heartbeat()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	// Unblock Accept when the caller cancels during the gather phase.
-	go func() { <-ctx.Done(); c.ln.Close() }()
-	defer c.ln.Close()
-
-	// Gather exactly W workers, in connection order; the order fixes the
-	// participant indices 1..W.
-	workers := make([]*wconn, 0, W)
-	defer func() {
-		for _, w := range workers {
-			w.conn.Close()
-		}
-	}()
-	for i := 1; i <= W; i++ {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("coordinator accept: %w", err)
-		}
-		w := &wconn{i: i, conn: conn, dec: gob.NewDecoder(conn), bw: bufio.NewWriter(conn)}
-		w.enc = gob.NewEncoder(w.bw)
-		var hello ctrlMsg
-		if err := w.dec.Decode(&hello); err != nil || hello.Kind != ctrlHello {
-			conn.Close()
-			return fmt.Errorf("coordinator: bad hello from connection %d: %v", i, err)
-		}
-		w.dataAddr = hello.Addr
-		workers = append(workers, w)
-	}
 
 	// The coordinator's own data plane (participant 0).
 	dataLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -152,23 +305,26 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	defer mesh.Close()
 
 	addrs := map[int]string{0: mesh.Addr()}
-	for _, w := range workers {
+	for _, w := range ep.workers {
 		addrs[w.i] = w.dataAddr
 	}
-	spec := core.SpecOf(g, c.cfg.Chaining)
+	spec := core.SpecOf(g, ep.cfg.Chaining)
 	fp := spec.Fingerprint()
-	placement := dataflow.ComputePlacement(g, c.cfg.Chaining, W)
-	for _, w := range workers {
+	placement := dataflow.ComputePlacement(g, ep.cfg.Chaining, W)
+	for _, w := range ep.workers {
 		plan := &planMsg{
-			Self:        w.i,
-			Workers:     W,
-			Spec:        spec,
-			Fingerprint: fp,
-			Placement:   placement,
-			DataAddrs:   addrs,
-			Restore:     c.cfg.Restore,
-			Pipeline:    c.cfg.Pipeline,
-			Args:        c.cfg.Args,
+			Self:              w.i,
+			Workers:           W,
+			Spec:              spec,
+			Fingerprint:       fp,
+			Placement:         placement,
+			DataAddrs:         addrs,
+			Restore:           ep.restore,
+			Pipeline:          ep.cfg.Pipeline,
+			Args:              ep.cfg.Args,
+			HeartbeatInterval: hbInterval,
+			HeartbeatTimeout:  hbTimeout,
+			Supervised:        ep.supervised,
 		}
 		if err := w.send(ctrlMsg{Kind: ctrlPlan, Plan: plan}); err != nil {
 			return fmt.Errorf("coordinator: send plan to worker %d: %w", w.i, err)
@@ -176,17 +332,27 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	}
 
 	// One reader per worker funnels control messages into the main loop.
+	// Every Decode sits under a read deadline refreshed by any traffic —
+	// heartbeats included — so a hung-but-open connection surfaces as a
+	// timeout instead of stalling the job forever.
 	events := make(chan event, 16)
-	for _, w := range workers {
+	for _, w := range ep.workers {
 		go func(w *wconn) {
 			for {
+				w.conn.SetReadDeadline(time.Now().Add(hbTimeout))
 				var msg ctrlMsg
 				if err := w.dec.Decode(&msg); err != nil {
+					if ne, ok := err.(net.Error); ok && ne.Timeout() {
+						err = fmt.Errorf("heartbeat timeout (silent for %v)", hbTimeout)
+					}
 					select {
 					case events <- event{i: w.i, err: err}:
 					case <-ctx.Done():
 					}
 					return
+				}
+				if msg.Kind == ctrlPing {
+					continue
 				}
 				select {
 				case events <- event{i: w.i, msg: msg}:
@@ -199,17 +365,36 @@ func (c *Coordinator) Run(ctx context.Context) error {
 			}
 		}(w)
 	}
+	// Heartbeats to the workers: a send error needs no handling here — the
+	// worker's reader deadline expires on its own, and this coordinator's
+	// reader sees the broken connection first anyway.
+	go func() {
+		t := time.NewTicker(hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				for _, w := range ep.workers {
+					if !w.done.Load() {
+						_ = w.send(ctrlMsg{Kind: ctrlPing})
+					}
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 
 	// The coordinator's local share of the job.
 	triggers := make(chan int64, 16)
 	acks := make(chan dataflow.Ack, 256)
 	running := make(chan struct{})
-	opts := []dataflow.JobOption{dataflow.WithChaining(c.cfg.Chaining)}
+	opts := []dataflow.JobOption{dataflow.WithChaining(ep.cfg.Chaining)}
 	if reg != nil {
 		opts = append(opts, dataflow.WithMetrics(reg))
 	}
-	if c.cfg.Restore != nil {
-		opts = append(opts, dataflow.WithRestore(c.cfg.Restore))
+	if ep.restore != nil {
+		opts = append(opts, dataflow.WithRestore(ep.restore))
 	}
 	jb := dataflow.NewJob(g, opts...)
 	jobDone := make(chan error, 1)
@@ -243,19 +428,20 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	fail := func(err error) {
 		if failure == nil {
 			failure = err
+			ep.failedAt = time.Now()
 		}
 	}
 	workerEvent := func(ev event) {
 		switch {
 		case ev.err != nil:
-			if workers[ev.i-1].done {
+			if ep.workers[ev.i-1].done.Load() {
 				return // post-done EOF is the worker exiting; benign
 			}
 			fail(fmt.Errorf("worker %d control connection lost: %w", ev.i, ev.err))
 		case ev.msg.Kind == ctrlReady:
 			readyLeft--
 		case ev.msg.Kind == ctrlDone:
-			workers[ev.i-1].done = true
+			ep.workers[ev.i-1].done.Store(true)
 			doneWorkers++
 			if ev.msg.Err != "" {
 				fail(fmt.Errorf("worker %d: %s", ev.i, ev.msg.Err))
@@ -282,8 +468,8 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	}
 	if failure == nil {
 		mesh.Start()
-		for _, w := range workers {
-			if w.done {
+		for _, w := range ep.workers {
+			if w.done.Load() {
 				continue
 			}
 			if err := w.send(ctrlMsg{Kind: ctrlStart}); err != nil {
@@ -292,44 +478,35 @@ func (c *Coordinator) Run(ctx context.Context) error {
 			}
 		}
 	}
+	if failure == nil && ep.onStarted != nil {
+		ep.onStarted(time.Now())
+	}
 
 	// Checkpoint machinery: at most one checkpoint in flight, assembled
 	// from the acks of every subtask in the whole job.
-	needAcks := g.TotalSubtasks()
-	var pending *state.Snapshot
-	var got map[state.SubtaskKey]bool
+	asm := &assembler{need: g.TotalSubtasks(), numGroups: g.KeyGroups()}
 	var nextID int64 = 1
-	if c.cfg.Restore != nil {
-		nextID = c.cfg.Restore.CheckpointID + 1
+	if ep.restore != nil {
+		nextID = ep.restore.CheckpointID + 1
 	}
 	var tick <-chan time.Time
-	if c.cfg.Backend != nil && c.cfg.Interval > 0 && failure == nil {
-		t := time.NewTicker(c.cfg.Interval)
+	if ep.cfg.Backend != nil && ep.cfg.Interval > 0 && failure == nil {
+		t := time.NewTicker(ep.cfg.Interval)
 		defer t.Stop()
 		tick = t.C
 	}
 	merge := func(a dataflow.Ack) {
-		if pending == nil || a.Ckpt != pending.CheckpointID {
-			return // stale ack from an abandoned checkpoint
-		}
-		if got[a.Key] {
+		snap := asm.offer(a)
+		if snap == nil {
 			return
 		}
-		got[a.Key] = true
-		pending.Put(a.Key, a.Blob)
-		for kg, blob := range a.Groups {
-			pending.PutGroup(state.GroupKey{OperatorID: a.Key.OperatorID, KeyGroup: kg}, blob)
+		if err := ep.cfg.Backend.Persist(snap); err != nil {
+			fail(fmt.Errorf("persist checkpoint %d: %w", snap.CheckpointID, err))
+			return
 		}
-		if len(got) == needAcks {
-			if err := c.cfg.Backend.Persist(pending); err != nil {
-				fail(fmt.Errorf("persist checkpoint %d: %w", pending.CheckpointID, err))
-			} else {
-				c.completed.Add(1)
-				if reg != nil {
-					reg.Counter("job.checkpoints").Inc()
-				}
-			}
-			pending = nil
+		ep.completed.Add(1)
+		if reg != nil {
+			reg.Counter("job.checkpoints").Inc()
 		}
 	}
 
@@ -337,21 +514,19 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	for failure == nil && !(localDone && doneWorkers == W) {
 		select {
 		case <-tick:
-			if pending != nil {
+			if asm.inFlight() {
 				continue // previous checkpoint still assembling
 			}
 			id := nextID
 			nextID++
-			pending = state.NewSnapshot(id)
-			pending.NumKeyGroups = g.KeyGroups()
-			got = make(map[state.SubtaskKey]bool, needAcks)
+			asm.begin(id)
 			select {
 			case triggers <- id:
 			case <-ctx.Done():
 				fail(ctx.Err())
 			}
-			for _, w := range workers {
-				if !w.done {
+			for _, w := range ep.workers {
+				if !w.done.Load() {
 					// A send error will surface as a reader event.
 					_ = w.send(ctrlMsg{Kind: ctrlTrigger, Ckpt: id})
 				}
@@ -380,9 +555,9 @@ func (c *Coordinator) Run(ctx context.Context) error {
 
 	if failure != nil {
 		cancel()
-		for _, w := range workers {
-			if !w.done {
-				_ = w.send(ctrlMsg{Kind: ctrlStop, Err: failure.Error()})
+		for _, w := range ep.workers {
+			if !w.done.Load() {
+				_ = w.send(ctrlMsg{Kind: ctrlStop, Err: failure.Error(), Rejoin: ep.rejoinOnAbort})
 			}
 		}
 		if !localDone {
@@ -392,7 +567,7 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	}
 	// Global success: confirm completion (workers are already exiting on
 	// their own; the stop is informational and errors are irrelevant).
-	for _, w := range workers {
+	for _, w := range ep.workers {
 		_ = w.send(ctrlMsg{Kind: ctrlStop})
 	}
 	return nil

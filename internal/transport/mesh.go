@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/metrics"
@@ -168,7 +169,10 @@ func (m *Mesh) writeLoop(ref dataflow.ChannelRef, to int, feeder chan []dataflow
 		m.discard(feeder)
 		return
 	}
-	conn, err := net.Dial("tcp", addr)
+	// Every peer's data listener is bound before its address travels in the
+	// plan, so retries only cover transient refusals (SYN backlog overflow
+	// under a thundering-herd epoch start); the budget stays short.
+	conn, err := DialRetry(m.ctx, addr, DialPolicy{MaxWait: 2 * time.Second})
 	if err != nil {
 		m.fail(fmt.Errorf("transport: dial participant %d: %w", to, err))
 		m.discard(feeder)

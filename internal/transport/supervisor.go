@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SupervisionPolicy bounds and paces a Supervisor's restarts.
+type SupervisionPolicy struct {
+	// MaxRestarts is the restart budget: how many failed epochs may be
+	// retried before the last error surfaces (default 5; negative: none).
+	MaxRestarts int
+	// BaseBackoff is the delay before the first restart, doubling per
+	// consecutive restart up to MaxBackoff, with equal jitter (defaults
+	// 100ms / 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RejoinWindow is how long a recovering epoch waits for the full
+	// worker complement before degrading to whoever has rejoined
+	// (default 3s). Only external workers degrade; self-spawn mode
+	// respawns the full complement instead.
+	RejoinWindow time.Duration
+	// MinWorkers is the floor below which a degraded epoch will not start
+	// (default 1): the rejoin window keeps waiting until at least this
+	// many workers are connected.
+	MinWorkers int
+}
+
+func (p SupervisionPolicy) withDefaults() SupervisionPolicy {
+	if p.MaxRestarts == 0 {
+		p.MaxRestarts = 5
+	}
+	if p.MaxRestarts < 0 {
+		p.MaxRestarts = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.RejoinWindow <= 0 {
+		p.RejoinWindow = 3 * time.Second
+	}
+	if p.MinWorkers <= 0 {
+		p.MinWorkers = 1
+	}
+	return p
+}
+
+// RestartStat records one completed recovery: from the instant the
+// coordinator detected the failure to the instant the recovered epoch's
+// producers were unleashed. Downtime is the detect→restored MTTR term.
+type RestartStat struct {
+	// Attempt is the 1-based restart number.
+	Attempt int
+	// Cause is the failure that ended the previous epoch.
+	Cause string
+	// FailedAt is when the coordinator first observed the failure;
+	// RestoredAt is when the recovered epoch passed its readiness barrier.
+	FailedAt   time.Time
+	RestoredAt time.Time
+	Downtime   time.Duration
+	// Workers is the recovered epoch's worker count — smaller than the
+	// original complement when the epoch degraded onto survivors.
+	Workers int
+	// Checkpoint is the snapshot id the epoch restored from (0: restarted
+	// from scratch, no checkpoint had completed yet).
+	Checkpoint int64
+}
+
+// Supervisor closes the detect→recover loop around the coordinator: it owns
+// a persistent control listener that outlives epochs, runs the job as a
+// sequence of epochs, and on failure reloads the last completed checkpoint
+// from the backend and relaunches — respawning its workers (self-spawn
+// mode, Spawn set) or re-placing the dead worker's subtasks onto whoever
+// redials within the rejoin window (graceful degradation; restore works at
+// any worker count). Restarts are spaced by capped exponential backoff with
+// jitter and bounded by the policy's restart budget.
+type Supervisor struct {
+	cfg Config
+	pol SupervisionPolicy
+	ln  net.Listener
+
+	// Spawn, when set, (re)launches the full worker complement dialing
+	// addr — the self-spawn hook. It is invoked before every epoch's
+	// gather; Reap, when set, first waits out the previous epoch's
+	// processes so respawn never doubles the complement.
+	Spawn func(ctx context.Context, addr string, n int) error
+	Reap  func()
+
+	completed atomic.Int64
+	mu        sync.Mutex
+	stats     []RestartStat
+	failedAt  time.Time
+}
+
+// NewSupervisor binds the control listener (or adopts cfg.Listener) so
+// workers can dial before Run is entered.
+func NewSupervisor(cfg Config, pol SupervisionPolicy) (*Supervisor, error) {
+	ln, err := cfg.listen()
+	if err != nil {
+		return nil, err
+	}
+	return &Supervisor{cfg: cfg, pol: pol.withDefaults(), ln: ln}, nil
+}
+
+// Addr returns the control-plane address workers dial (and redial).
+func (s *Supervisor) Addr() string { return s.ln.Addr().String() }
+
+// CompletedCheckpoints reports how many snapshots all epochs persisted.
+func (s *Supervisor) CompletedCheckpoints() int64 { return s.completed.Load() }
+
+// Stats returns one entry per completed recovery, in order.
+func (s *Supervisor) Stats() []RestartStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RestartStat, len(s.stats))
+	copy(out, s.stats)
+	return out
+}
+
+// Run executes the supervised job until global success (nil), a cancelled
+// context, or an exhausted restart budget (the last epoch's error, wrapped).
+func (s *Supervisor) Run(ctx context.Context) error {
+	RegisterTypes()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The accept pump outlives epochs: survivors and respawned workers
+	// redial the same address while the failed epoch is still unwinding.
+	conns := make(chan net.Conn)
+	go func() { <-ctx.Done(); s.ln.Close() }()
+	defer s.ln.Close()
+	go func() {
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			select {
+			case conns <- conn:
+			case <-ctx.Done():
+				conn.Close()
+				return
+			}
+		}
+	}()
+
+	restore := s.cfg.Restore
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		// Each recovery resumes from the newest completed checkpoint —
+		// possibly one persisted by the epoch that just failed.
+		if attempt > 0 && s.cfg.Backend != nil {
+			if snap, ok, err := s.cfg.Backend.Latest(); err == nil && ok {
+				restore = snap
+			}
+		}
+		if s.Spawn != nil {
+			if s.Reap != nil && attempt > 0 {
+				s.Reap()
+			}
+			if err := s.Spawn(ctx, s.Addr(), s.cfg.Workers); err != nil {
+				return fmt.Errorf("supervision: respawn workers: %w", err)
+			}
+		}
+		// Degradation applies only to recovering epochs with external
+		// workers: attempt 0 and self-spawn mode wait for full strength.
+		degrade := attempt > 0 && s.Spawn == nil
+		workers, err := s.gather(ctx, conns, degrade)
+		if err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		ep := &epoch{
+			cfg:           s.cfg,
+			workers:       workers,
+			restore:       restore,
+			completed:     &s.completed,
+			supervised:    true,
+			rejoinOnAbort: attempt < s.pol.MaxRestarts,
+		}
+		if attempt > 0 {
+			// The recovery is complete the instant the new epoch's
+			// producers are unleashed; record the trajectory then.
+			stat := RestartStat{
+				Attempt:  attempt,
+				Cause:    lastErr.Error(),
+				FailedAt: s.lastFailedAt(),
+				Workers:  len(workers),
+			}
+			if restore != nil {
+				stat.Checkpoint = restore.CheckpointID
+			}
+			ep.onStarted = func(t time.Time) {
+				stat.RestoredAt = t
+				stat.Downtime = t.Sub(stat.FailedAt)
+				s.mu.Lock()
+				s.stats = append(s.stats, stat)
+				s.mu.Unlock()
+			}
+		}
+		err = ep.run(ctx)
+		s.setLastFailedAt(ep.failedAt)
+		closeWorkers(workers)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return err
+		}
+		if attempt >= s.pol.MaxRestarts {
+			return fmt.Errorf("supervision: restart budget (%d) exhausted: %w", s.pol.MaxRestarts, err)
+		}
+		select {
+		case <-time.After(backoffDelay(s.pol, attempt)):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// lastFailedAt/setLastFailedAt hand the failed epoch's detection instant to
+// the next attempt's RestartStat under the stats lock (the onStarted
+// callback runs on the epoch goroutine).
+func (s *Supervisor) lastFailedAt() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failedAt
+}
+
+func (s *Supervisor) setLastFailedAt(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failedAt = t
+}
+
+// gather collects the epoch's worker connections from the accept pump. At
+// full strength it waits for cfg.Workers hellos; a degraded gather returns
+// whoever rejoined once the rejoin window expires, as long as the policy's
+// MinWorkers floor is met. Connections whose hello never arrives or is
+// malformed are dropped, not fatal — a half-dead worker must not kill the
+// job its replacement is joining.
+func (s *Supervisor) gather(ctx context.Context, conns chan net.Conn, degrade bool) ([]*wconn, error) {
+	_, hbTimeout := s.cfg.heartbeat()
+	var window <-chan time.Time
+	if degrade {
+		window = time.After(s.pol.RejoinWindow)
+	}
+	var ws []*wconn
+	for len(ws) < s.cfg.Workers {
+		var expired <-chan time.Time
+		if degrade && len(ws) >= s.pol.MinWorkers {
+			expired = window
+		}
+		select {
+		case conn := <-conns:
+			w, err := newWorkerConn(len(ws)+1, conn, hbTimeout)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			ws = append(ws, w)
+		case <-expired:
+			return ws, nil
+		case <-ctx.Done():
+			closeWorkers(ws)
+			return nil, ctx.Err()
+		}
+	}
+	return ws, nil
+}
+
+// backoffDelay is the pause before restart attempt+1: capped exponential
+// with equal jitter.
+func backoffDelay(p SupervisionPolicy, attempt int) time.Duration {
+	d := p.BaseBackoff << uint(attempt)
+	if d <= 0 || d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}

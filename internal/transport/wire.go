@@ -23,11 +23,29 @@
 // deadlocking alignment. A connection per single-writer single-reader
 // channel keeps TCP's in-order delivery exactly congruent with the
 // in-process channel ordering that ABS alignment relies on.
+//
+// # Failure model
+//
+// Either side of the control plane treats three things as a dead peer: the
+// connection dropping (process exit, kill -9 — the OS resets the socket),
+// a read deadline expiring with no traffic (hung-but-open TCP: the peer is
+// blackholed or wedged; heartbeats ride every HeartbeatInterval so a
+// healthy-but-quiet epoch never trips it), and a control write missing its
+// deadline (a wedged peer must not block the abort or barrier path). The
+// coordinator reacts by failing the epoch; a plain Coordinator run surfaces
+// that as the job error, while a Supervisor (see supervisor.go) reloads the
+// last completed checkpoint from the backend and runs a fresh epoch —
+// respawning its workers in self-spawn mode, or re-placing the dead
+// worker's subtasks onto whoever redials within the rejoin window
+// (graceful degradation: restore works at any worker count). Restarts are
+// spaced by capped exponential backoff with jitter and bounded by a restart
+// budget; exhausting the budget surfaces the last epoch's error.
 package transport
 
 import (
 	"encoding/gob"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -95,19 +113,27 @@ const (
 	// ctrlStop: coordinator -> worker. Abort (Err set) or confirm global
 	// completion (Err empty). Connection loss doubles as an implicit stop:
 	// either side treats a dropped control connection as a failed peer.
+	// Under supervision, Rejoin distinguishes "epoch aborted, redial for
+	// the next one" from "job over, exit".
 	ctrlStop
+	// ctrlPing: both directions, periodic heartbeat. Carries nothing; its
+	// arrival refreshes the receiver's read deadline. Appended after the
+	// original kinds so the wire numbering of a mixed-version loopback
+	// deployment stays stable.
+	ctrlPing
 )
 
 // ctrlMsg is the single control-plane message shape; Kind selects which
 // fields are meaningful. One flat struct keeps the gob stream to a single
 // registered type.
 type ctrlMsg struct {
-	Kind ctrlKind
-	Addr string        // ctrlHello: worker data-plane address
-	Plan *planMsg      // ctrlPlan
-	Ckpt int64         // ctrlTrigger
-	Ack  *dataflow.Ack // ctrlAck
-	Err  string        // ctrlDone / ctrlStop
+	Kind   ctrlKind
+	Addr   string        // ctrlHello: worker data-plane address
+	Plan   *planMsg      // ctrlPlan
+	Ckpt   int64         // ctrlTrigger
+	Ack    *dataflow.Ack // ctrlAck
+	Err    string        // ctrlDone / ctrlStop
+	Rejoin bool          // ctrlStop: redial — the supervisor will run another epoch
 }
 
 // planMsg is everything a worker needs to execute its share of a job —
@@ -132,4 +158,14 @@ type planMsg struct {
 	// rebuild. Self-spawned workers rebuild implicitly and ignore them.
 	Pipeline string
 	Args     []string
+	// HeartbeatInterval/HeartbeatTimeout configure the control-plane
+	// liveness protocol for this epoch (zero: package defaults). Both
+	// sides ping every interval and treat a control stream silent for the
+	// timeout as a dead peer.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Supervised tells the worker a failed epoch is not the end of the
+	// job: on failure it should report rejoinable errors so its driver
+	// loop redials the coordinator for the next epoch.
+	Supervised bool
 }

@@ -2,10 +2,13 @@ package streamline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -50,6 +53,40 @@ func WithPipelineRef(name string, args ...string) Option {
 // port so externally started workers (or test goroutines) can dial in.
 func WithOnListen(f func(addr string)) Option { return core.WithOnListen(f) }
 
+// WithSupervision makes ExecuteDistributed self-healing: on any failure —
+// worker crash, lost or blackholed connection, local error — the
+// coordinator reloads the newest completed checkpoint from the backend and
+// relaunches the job, respawning workers (self-spawn mode) or re-placing
+// the lost subtasks onto the workers that rejoin (graceful degradation).
+// maxRestarts bounds the budget (0: default 5; negative: no restarts);
+// the optional backoff durations are the base delay before the first
+// restart (doubling per consecutive restart, with jitter) and the delay
+// cap. ExecuteSupervised implies this option with defaults.
+func WithSupervision(maxRestarts int, backoff ...time.Duration) Option {
+	return core.WithSupervision(maxRestarts, backoff...)
+}
+
+// WithHeartbeat tunes distributed failure detection: coordinator and
+// workers ping every interval and declare a control stream silent for the
+// timeout a dead peer — including the hung-but-open TCP case a plain
+// connection drop never reports. Defaults: 1s interval, 4s timeout.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return core.WithHeartbeat(interval, timeout)
+}
+
+// WithRejoinWindow bounds how long a supervised recovery waits for the full
+// worker complement to redial before degrading onto the survivors
+// (default 3s; self-spawn mode always respawns the full complement).
+func WithRejoinWindow(d time.Duration) Option { return core.WithRejoinWindow(d) }
+
+// RestartStat is one completed supervised recovery: cause, detect and
+// restore instants, the Downtime between them (detect→restored MTTR), the
+// recovered epoch's worker count, and the checkpoint it resumed from.
+type RestartStat = transport.RestartStat
+
+// DialPolicy shapes worker dial/redial backoff (see transport.DialRetry).
+type DialPolicy = transport.DialPolicy
+
 // RegisterWireTypes registers custom record payload types for distributed
 // runs. Every process of a job must register the same set before
 // executing; builtin payloads (string, int, float64, ...) and the engine's
@@ -87,18 +124,38 @@ func (e *Env) ExecuteDistributedRestored(ctx context.Context, snap *Snapshot) er
 	return e.executeDistributed(ctx, snap)
 }
 
+// ExecuteSupervised is ExecuteDistributed under supervision (implying
+// WithSupervision with defaults if not configured): the job survives worker
+// crashes, partitions and transient failures by restoring from the newest
+// completed checkpoint and relaunching, within the restart budget. With
+// zero workers it supervises the single-process run the same way — fail,
+// reload from the backend, re-execute. RestartStats reports the recovery
+// trajectory afterwards.
+func (e *Env) ExecuteSupervised(ctx context.Context) error {
+	e.core.EnsureSupervision()
+	return e.executeDistributed(ctx, nil)
+}
+
+// RestartStats returns one entry per supervised recovery of the last
+// ExecuteSupervised / supervised ExecuteDistributed run, in order. The
+// Downtime of each entry is the detect→restored repair time.
+func (e *Env) RestartStats() []RestartStat { return e.restartStats }
+
 func (e *Env) executeDistributed(ctx context.Context, snap *Snapshot) error {
 	if err := e.core.BuildErr(); err != nil {
 		return err
 	}
+	supervised, maxRestarts, backoffBase, backoffMax := e.core.Supervision()
 	if addr := os.Getenv(WorkerEnvVar); addr != "" {
 		// Self-spawned child: this very code built the identical pipeline,
 		// so the env itself is the build product. The share must not return
-		// into a main that would print empty results.
+		// into a main that would print empty results. A rejoin-shaped exit
+		// is clean — the supervising parent respawns a fresh process per
+		// epoch rather than having children redial.
 		err := transport.RunWorker(ctx, addr, e.Metrics(), func(string, []string) (*dataflow.Graph, bool, error) {
 			return e.core.Graph(), e.core.Chaining(), nil
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, transport.ErrRejoin) {
 			fmt.Fprintln(os.Stderr, "streamline worker:", err)
 			os.Exit(1)
 		}
@@ -106,55 +163,176 @@ func (e *Env) executeDistributed(ctx context.Context, snap *Snapshot) error {
 	}
 	workers := e.core.Workers()
 	if workers <= 0 {
-		if snap != nil {
-			return e.core.ExecuteRestored(ctx, snap)
+		if !supervised {
+			if snap != nil {
+				return e.core.ExecuteRestored(ctx, snap)
+			}
+			return e.core.Execute(ctx)
 		}
-		return e.core.Execute(ctx)
+		return e.executeSupervisedLocal(ctx, snap, maxRestarts, backoffBase, backoffMax)
 	}
 	backend, every := e.core.Backend()
 	pipeline, args := e.core.PipelineRef()
-	coord, err := transport.NewCoordinator(transport.Config{
-		Graph:      e.core.Graph(),
-		Chaining:   e.core.Chaining(),
-		Workers:    workers,
-		Backend:    backend,
-		Interval:   every,
-		Restore:    snap,
-		Pipeline:   pipeline,
-		Args:       args,
-		Registry:   e.Metrics(),
-		ListenAddr: e.core.ListenAddr(),
+	hbInterval, hbTimeout := e.core.Heartbeat()
+	cfg := transport.Config{
+		Graph:             e.core.Graph(),
+		Chaining:          e.core.Chaining(),
+		Workers:           workers,
+		Backend:           backend,
+		Interval:          every,
+		Restore:           snap,
+		Pipeline:          pipeline,
+		Args:              args,
+		Registry:          e.Metrics(),
+		ListenAddr:        e.core.ListenAddr(),
+		HeartbeatInterval: hbInterval,
+		HeartbeatTimeout:  hbTimeout,
+	}
+	spawnChild := func(addr string) (*exec.Cmd, error) {
+		cmd := exec.CommandContext(ctx, os.Args[0], os.Args[1:]...)
+		cmd.Env = append(os.Environ(), WorkerEnvVar+"="+addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return cmd, nil
+	}
+
+	if !supervised {
+		coord, err := transport.NewCoordinator(cfg)
+		if err != nil {
+			return err
+		}
+		if f := e.core.OnListen(); f != nil {
+			f(coord.Addr())
+		}
+		var spawned []*exec.Cmd
+		if e.core.SelfSpawn() {
+			for i := 0; i < workers; i++ {
+				cmd, err := spawnChild(coord.Addr())
+				if err != nil {
+					for _, c := range spawned {
+						c.Process.Kill()
+						c.Wait()
+					}
+					return fmt.Errorf("spawn worker %d: %w", i+1, err)
+				}
+				spawned = append(spawned, cmd)
+			}
+		}
+		runErr := coord.Run(ctx)
+		e.core.NoteDistributedCheckpoints(coord.CompletedCheckpoints())
+		// Children exit on their own once their share (or the abort) lands:
+		// Run has closed every control connection by now, which unblocks them.
+		for _, c := range spawned {
+			c.Wait()
+		}
+		return runErr
+	}
+
+	sup, err := transport.NewSupervisor(cfg, transport.SupervisionPolicy{
+		MaxRestarts:  maxRestarts,
+		BaseBackoff:  backoffBase,
+		MaxBackoff:   backoffMax,
+		RejoinWindow: e.core.RejoinWindow(),
 	})
 	if err != nil {
 		return err
 	}
-	if f := e.core.OnListen(); f != nil {
-		f(coord.Addr())
-	}
-	var spawned []*exec.Cmd
+	// Spawn/Reap run sequentially on the supervisor's goroutine: each epoch
+	// respawns the full complement after waiting out the previous one.
+	var procs []*exec.Cmd
 	if e.core.SelfSpawn() {
-		for i := 0; i < workers; i++ {
-			cmd := exec.CommandContext(ctx, os.Args[0], os.Args[1:]...)
-			cmd.Env = append(os.Environ(), WorkerEnvVar+"="+coord.Addr())
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				for _, c := range spawned {
-					c.Process.Kill()
-					c.Wait()
+		sup.Spawn = func(_ context.Context, addr string, n int) error {
+			for i := 0; i < n; i++ {
+				cmd, err := spawnChild(addr)
+				if err != nil {
+					return fmt.Errorf("spawn worker %d: %w", i+1, err)
 				}
-				return fmt.Errorf("spawn worker %d: %w", i+1, err)
+				procs = append(procs, cmd)
 			}
-			spawned = append(spawned, cmd)
+			return nil
+		}
+		sup.Reap = func() {
+			for _, c := range procs {
+				c.Process.Kill()
+				c.Wait()
+			}
+			procs = nil
 		}
 	}
-	runErr := coord.Run(ctx)
-	e.core.NoteDistributedCheckpoints(coord.CompletedCheckpoints())
-	// Children exit on their own once their share (or the abort) lands:
-	// Run has closed every control connection by now, which unblocks them.
-	for _, c := range spawned {
+	if f := e.core.OnListen(); f != nil {
+		f(sup.Addr())
+	}
+	runErr := sup.Run(ctx)
+	e.core.NoteDistributedCheckpoints(sup.CompletedCheckpoints())
+	e.restartStats = sup.Stats()
+	for _, c := range procs {
 		c.Wait()
 	}
 	return runErr
+}
+
+// executeSupervisedLocal is the zero-worker supervision loop: Execute,
+// and on failure reload the newest completed checkpoint and re-execute,
+// with the same budget and backoff semantics as the distributed path. The
+// graph re-executes in-process, so Collect sinks roll back to their
+// checkpointed length and exactly-once output holds across restarts.
+func (e *Env) executeSupervisedLocal(ctx context.Context, snap *Snapshot, maxRestarts int, base, max time.Duration) error {
+	if maxRestarts == 0 {
+		maxRestarts = 5
+	}
+	if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	backend, _ := e.core.Backend()
+	restore := snap
+	e.restartStats = nil
+	for attempt := 0; ; attempt++ {
+		var err error
+		if restore != nil {
+			err = e.core.ExecuteRestored(ctx, restore)
+		} else {
+			err = e.core.Execute(ctx)
+		}
+		if err == nil {
+			return nil
+		}
+		failedAt := time.Now()
+		if ctx.Err() != nil {
+			return err
+		}
+		if attempt >= maxRestarts {
+			return fmt.Errorf("supervision: restart budget (%d) exhausted: %w", maxRestarts, err)
+		}
+		d := base << uint(attempt)
+		if d <= 0 || d > max {
+			d = max
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return err
+		}
+		if backend != nil {
+			if s, ok, lerr := backend.Latest(); lerr == nil && ok {
+				restore = s
+			}
+		}
+		stat := RestartStat{Attempt: attempt + 1, Cause: err.Error(), FailedAt: failedAt, RestoredAt: time.Now()}
+		stat.Downtime = stat.RestoredAt.Sub(stat.FailedAt)
+		if restore != nil {
+			stat.Checkpoint = restore.CheckpointID
+		}
+		e.restartStats = append(e.restartStats, stat)
+	}
 }
 
 // Pipeline registry: generic worker processes (cmd/streamline-worker) have
@@ -174,13 +352,10 @@ func RegisterPipeline(name string, build func(args []string) (*Env, error)) {
 	pipelines[name] = build
 }
 
-// RunWorker executes one worker's share of a distributed job, rebuilding
-// the pipeline with the given builder. It blocks until the share completes
-// or the job aborts. Tests use it to run workers in-process over real TCP;
-// cmd/streamline-worker wraps RunRegisteredWorker around it.
-func RunWorker(ctx context.Context, coordAddr string, build func(pipeline string, args []string) (*Env, error)) error {
-	reg := metrics.NewRegistry()
-	return transport.RunWorker(ctx, coordAddr, reg, func(pipeline string, args []string) (*dataflow.Graph, bool, error) {
+// buildFromEnv adapts an Env-producing pipeline builder to the transport
+// layer's graph-producing contract.
+func buildFromEnv(build func(pipeline string, args []string) (*Env, error)) transport.BuildFunc {
+	return func(pipeline string, args []string) (*dataflow.Graph, bool, error) {
 		env, err := build(pipeline, args)
 		if err != nil {
 			return nil, false, err
@@ -189,19 +364,69 @@ func RunWorker(ctx context.Context, coordAddr string, build func(pipeline string
 			return nil, false, err
 		}
 		return env.core.Graph(), env.core.Chaining(), nil
-	})
+	}
+}
+
+// RunWorker executes one worker's share of a distributed job, rebuilding
+// the pipeline with the given builder. It blocks until the share completes
+// or the job aborts. Tests use it to run workers in-process over real TCP;
+// cmd/streamline-worker wraps RunRegisteredWorker around it.
+func RunWorker(ctx context.Context, coordAddr string, build func(pipeline string, args []string) (*Env, error), opts ...WorkerOption) error {
+	reg := metrics.NewRegistry()
+	return transport.RunWorker(ctx, coordAddr, reg, buildFromEnv(build), resolveWorkerOptions(opts))
+}
+
+// RunWorkerLoop is RunWorker for supervised jobs: the worker redials and
+// rejoins after every supervised epoch restart, returning only when the job
+// globally completes, fails terminally, or ctx is cancelled.
+func RunWorkerLoop(ctx context.Context, coordAddr string, build func(pipeline string, args []string) (*Env, error), opts ...WorkerOption) error {
+	reg := metrics.NewRegistry()
+	return transport.RunWorkerLoop(ctx, coordAddr, reg, buildFromEnv(build), resolveWorkerOptions(opts))
 }
 
 // RunRegisteredWorker is RunWorker against the pipeline registry: the
 // coordinator's plan names the pipeline, the registry builds it.
-func RunRegisteredWorker(ctx context.Context, coordAddr string) error {
-	return RunWorker(ctx, coordAddr, func(pipeline string, args []string) (*Env, error) {
-		pipelinesMu.RLock()
-		build, ok := pipelines[pipeline]
-		pipelinesMu.RUnlock()
-		if !ok {
-			return nil, fmt.Errorf("pipeline %q not registered in this worker binary", pipeline)
-		}
-		return build(args)
-	})
+func RunRegisteredWorker(ctx context.Context, coordAddr string, opts ...WorkerOption) error {
+	return RunWorker(ctx, coordAddr, registryBuilder, opts...)
+}
+
+// RunRegisteredWorkerLoop serves a supervised job across epochs: whenever
+// the worker's share ends because the coordinator is restarting the job, it
+// redials and rejoins the next epoch. It returns when the job globally
+// completes, fails terminally, or ctx is cancelled. Use it instead of
+// RunRegisteredWorker for workers of ExecuteSupervised coordinators.
+func RunRegisteredWorkerLoop(ctx context.Context, coordAddr string, opts ...WorkerOption) error {
+	reg := metrics.NewRegistry()
+	return transport.RunWorkerLoop(ctx, coordAddr, reg, buildFromEnv(registryBuilder), resolveWorkerOptions(opts))
+}
+
+// WorkerOption configures worker dialing behavior.
+type WorkerOption func(*workerConfig)
+
+type workerConfig struct {
+	dial DialPolicy
+}
+
+// WithWorkerDialPolicy sets the backoff policy workers use to dial (and,
+// under supervision, redial) the coordinator.
+func WithWorkerDialPolicy(p DialPolicy) WorkerOption {
+	return func(c *workerConfig) { c.dial = p }
+}
+
+func resolveWorkerOptions(opts []WorkerOption) transport.WorkerOption {
+	var c workerConfig
+	for _, f := range opts {
+		f(&c)
+	}
+	return transport.WithWorkerDialPolicy(c.dial)
+}
+
+func registryBuilder(pipeline string, args []string) (*Env, error) {
+	pipelinesMu.RLock()
+	build, ok := pipelines[pipeline]
+	pipelinesMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pipeline %q not registered in this worker binary", pipeline)
+	}
+	return build(args)
 }

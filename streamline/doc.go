@@ -281,7 +281,42 @@
 // ExecuteDistributedRestored at ANY worker count, with keyed state and
 // remaining scan splits redistributing exactly as under a parallelism
 // rescale. A lost worker connection aborts the job cleanly; restart from the
-// last snapshot to continue.
+// last snapshot to continue — or let supervision do it for you.
+//
+// # Fault tolerance and supervision
+//
+// Env.ExecuteSupervised closes the detect→recover loop the checkpoints make
+// possible. The failure model: a peer is dead when its control connection
+// drops, when a control send misses its write deadline, or when the stream
+// is silent past the heartbeat timeout — both sides ping every WithHeartbeat
+// interval, so the hung-but-open TCP connection (a partitioned or wedged
+// peer) is detected too, not just the clean crash. On any failure the
+// coordinator stops the epoch, reloads the newest completed checkpoint from
+// the WithCheckpointing backend, and relaunches: under WithSelfSpawn it
+// respawns the full worker complement; with external workers it re-places
+// the dead worker's subtasks onto whoever redials within WithRejoinWindow
+// (graceful degradation — restore works at any worker count, so the job
+// continues on the survivors). External workers rejoin automatically when
+// run with RunWorkerLoop / RunRegisteredWorkerLoop instead of the one-shot
+// variants. Restarts are spaced by capped exponential backoff with jitter
+// and bounded by WithSupervision's restart budget; when the budget is
+// exhausted the last failure surfaces, wrapped. RestartStats reports the
+// recovery trajectory — cause, detect and restore instants, and the
+// detect→restored downtime (the MTTR the recover benchmark measures;
+// BENCH_recover.json holds the committed trajectory). With zero workers the
+// same loop supervises a single-process run: fail, reload, re-execute.
+//
+// Exactly-once output across restarts: Collect sinks checkpoint their
+// collected count and roll back to it when the supervised run restores — the
+// sink instance survives in the coordinator process, so replayed suffixes
+// overwrite instead of duplicating. Persist sinks truncate their topic to
+// the checkpointed high-water offset the same way. Both guarantees need a
+// checkpoint to restore from: a failure before the first completed
+// checkpoint restarts the job from scratch (equally exactly-once — the
+// sinks clear). The fault-injection harness behind these guarantees lives
+// in internal/chaos: connection drops, added latency, blackholed
+// connections and partitions, plus a worker Killer, all exercised by the
+// transport soak tests and `streamline-bench -recover`.
 //
 // Remaining single-process assumptions, by design: live in-motion sources
 // feed the coordinator (workers scale the at-rest, keyed and windowed

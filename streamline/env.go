@@ -33,6 +33,10 @@ type Env struct {
 	// guards its creation.
 	reg     *metrics.Registry
 	regOnce sync.Once
+
+	// restartStats is the recovery trajectory of the last supervised run
+	// (see RestartStats).
+	restartStats []RestartStat
 }
 
 // Option configures an Env at construction.

@@ -1,0 +1,277 @@
+package streamline_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/streamline"
+)
+
+// flakySource fails its first `failures` attempts: each reader emits until
+// failAt, then — once a checkpoint has actually completed, so the recovery
+// genuinely resumes mid-stream instead of restarting from scratch — reports
+// an injected error. The attempt counter is shared across epochs, exactly
+// like a transient external fault that eventually clears.
+type flakySource struct {
+	total    int64
+	failAt   int64
+	failures int32
+	attempts *atomic.Int32
+	backend  streamline.Backend
+}
+
+func (f *flakySource) Open(sub, par int) streamline.Reader[float64] {
+	attempt := f.attempts.Add(1) - 1
+	return &flakyReader{total: f.total, failAt: f.failAt, fail: attempt < f.failures, backend: f.backend}
+}
+
+type flakyReader struct {
+	pos, total, failAt int64
+	fail               bool
+	backend            streamline.Backend
+	err                error
+}
+
+func (r *flakyReader) Next() (streamline.Keyed[float64], streamline.ReadStatus) {
+	if r.fail && r.pos >= r.failAt {
+		if _, ok, _ := r.backend.Latest(); ok {
+			r.err = fmt.Errorf("injected transient failure at position %d", r.pos)
+			return streamline.Keyed[float64]{}, streamline.ReadEnd
+		}
+		// No checkpoint to resume from yet; stall until one completes so the
+		// failure always tests a mid-stream recovery.
+		time.Sleep(time.Millisecond)
+		return streamline.Keyed[float64]{}, streamline.ReadIdle
+	}
+	if r.pos >= r.total {
+		return streamline.Keyed[float64]{}, streamline.ReadEnd
+	}
+	i := r.pos
+	r.pos++
+	return streamline.Keyed[float64]{Ts: i, Key: uint64(i % 5), Value: float64(i)}, streamline.ReadData
+}
+
+func (r *flakyReader) Snapshot() ([]byte, error) {
+	buf := make([]byte, binary.MaxVarintLen64)
+	return buf[:binary.PutVarint(buf, r.pos)], nil
+}
+
+func (r *flakyReader) Restore(blob []byte) error {
+	pos, n := binary.Varint(blob)
+	if n <= 0 {
+		return errors.New("flakyReader: bad cursor")
+	}
+	r.pos = pos
+	return nil
+}
+
+func (r *flakyReader) Err() error { return r.err }
+
+// TestExecuteSupervisedLocalRecoversExactlyOnce: the zero-worker supervision
+// loop restores from the newest checkpoint and re-executes in-process; the
+// Collect sink must roll back to its checkpointed length so every source
+// position lands in the output exactly once despite two mid-stream failures.
+func TestExecuteSupervisedLocalRecoversExactlyOnce(t *testing.T) {
+	const total, failAt = 800, 600
+	backend := streamline.NewMemoryBackend(0)
+	var attempts atomic.Int32
+	src := &flakySource{total: total, failAt: failAt, failures: 2, attempts: &attempts, backend: backend}
+
+	env := streamline.New(
+		streamline.WithParallelism(1),
+		streamline.WithCheckpointing(backend, 10*time.Millisecond),
+		streamline.WithSupervision(5, 10*time.Millisecond, 50*time.Millisecond),
+	)
+	paced := streamline.Paced[float64](src, 4000)
+	stream := streamline.From(env, "flaky", paced, streamline.WithSourceParallelism(1))
+	out := streamline.Collect(stream, "out")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := env.ExecuteSupervised(ctx); err != nil {
+		t.Fatalf("supervised local run: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("source opened %d times, want 3 (two failures, one success)", got)
+	}
+	stats := env.RestartStats()
+	if len(stats) != 2 {
+		t.Fatalf("recorded %d restarts, want 2: %+v", len(stats), stats)
+	}
+	for _, st := range stats {
+		if st.Checkpoint == 0 {
+			t.Fatalf("restart %d resumed from scratch; the failure is gated on a completed checkpoint: %+v", st.Attempt, st)
+		}
+		if !strings.Contains(st.Cause, "injected transient failure") {
+			t.Fatalf("restart %d cause %q does not carry the injected error", st.Attempt, st.Cause)
+		}
+	}
+
+	recs := out.Records()
+	if len(recs) != total {
+		t.Fatalf("collected %d records, want exactly %d (exactly-once across restarts)", len(recs), total)
+	}
+	seen := make(map[int64]int, total)
+	for _, r := range recs {
+		seen[r.Ts]++
+	}
+	for i := int64(0); i < total; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("position %d collected %d times, want exactly once", i, seen[i])
+		}
+	}
+}
+
+// brokenSource fails every attempt — the permanent fault that must exhaust
+// the local supervision loop's restart budget.
+type brokenSource struct{ attempts *atomic.Int32 }
+
+func (b brokenSource) Open(sub, par int) streamline.Reader[float64] {
+	b.attempts.Add(1)
+	return &brokenReader{}
+}
+
+type brokenReader struct{ i int64 }
+
+func (r *brokenReader) Next() (streamline.Keyed[float64], streamline.ReadStatus) {
+	if r.i < 5 {
+		r.i++
+		return streamline.Keyed[float64]{Ts: r.i, Value: 1}, streamline.ReadData
+	}
+	return streamline.Keyed[float64]{}, streamline.ReadEnd
+}
+func (r *brokenReader) Snapshot() ([]byte, error) { return nil, nil }
+func (r *brokenReader) Restore([]byte) error      { return nil }
+func (r *brokenReader) Err() error                { return errors.New("injected permanent failure") }
+
+func TestExecuteSupervisedLocalExhaustsBudget(t *testing.T) {
+	var attempts atomic.Int32
+	env := streamline.New(
+		streamline.WithParallelism(1),
+		streamline.WithSupervision(1, time.Millisecond, 5*time.Millisecond),
+	)
+	stream := streamline.From(env, "broken", brokenSource{attempts: &attempts}, streamline.WithSourceParallelism(1))
+	streamline.Collect(stream, "out")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := env.ExecuteSupervised(ctx)
+	if err == nil {
+		t.Fatal("a permanently failing job must not report success")
+	}
+	if !strings.Contains(err.Error(), "restart budget (1) exhausted") {
+		t.Fatalf("error %q does not surface the exhausted budget", err)
+	}
+	if !strings.Contains(err.Error(), "injected permanent failure") {
+		t.Fatalf("error %q does not carry the root cause", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("source opened %d times, want 2 (initial + one restart)", got)
+	}
+	if stats := env.RestartStats(); len(stats) != 1 {
+		t.Fatalf("recorded %d restarts, want 1: %+v", len(stats), stats)
+	}
+}
+
+// startWorkerLoops is startWorkers for supervised jobs: each worker runs
+// RunWorkerLoop, so it redials and rejoins across epoch restarts. Worker
+// n-1 runs under victimCtx so the test can crash it.
+func startWorkerLoops(ctx context.Context, n int, addrCh <-chan string, victimCtx context.Context, build func() *streamline.Env) (wait func() []error) {
+	errCh := make(chan error, n)
+	go func() {
+		var addr string
+		select {
+		case addr = <-addrCh:
+		case <-ctx.Done():
+			for i := 0; i < n; i++ {
+				errCh <- ctx.Err()
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			wctx := ctx
+			if victimCtx != nil && i == n-1 {
+				wctx = victimCtx
+			}
+			go func(wctx context.Context) {
+				errCh <- streamline.RunWorkerLoop(wctx, addr, func(string, []string) (*streamline.Env, error) {
+					return build(), nil
+				}, streamline.WithWorkerDialPolicy(streamline.DialPolicy{BaseDelay: 5 * time.Millisecond, MaxWait: 5 * time.Second}))
+			}(wctx)
+		}
+	}()
+	return func() []error {
+		errs := make([]error, n)
+		for i := range errs {
+			errs[i] = <-errCh
+		}
+		return errs
+	}
+}
+
+// TestExecuteSupervisedDistributedKillWorker: crash one of two workers
+// mid-checkpoint under load; the supervised coordinator restores the newest
+// snapshot and degrades onto the surviving worker, and the output stays
+// byte-identical to an unfaulted single-process run.
+func TestExecuteSupervisedDistributedKillWorker(t *testing.T) {
+	localEnv, localOut := buildDistWindowed(2, 0, 0)
+	execute(t, localEnv.Execute)
+	want := renderWindows(localOut)
+
+	backend := streamline.NewMemoryBackend(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	supEnv, supOut := buildDistWindowed(2, 2, 4_000,
+		streamline.WithCheckpointing(backend, 15*time.Millisecond),
+		streamline.WithSupervision(6, 10*time.Millisecond, 50*time.Millisecond),
+		streamline.WithHeartbeat(20*time.Millisecond, 500*time.Millisecond),
+		streamline.WithRejoinWindow(500*time.Millisecond),
+		streamline.WithOnListen(func(a string) { addrCh <- a }))
+	victimCtx, killVictim := context.WithCancel(ctx)
+	defer killVictim()
+	go func() {
+		for {
+			if _, ok, _ := backend.Latest(); ok {
+				killVictim()
+				return
+			}
+			select {
+			case <-victimCtx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+	wait := startWorkerLoops(ctx, 2, addrCh, victimCtx, func() *streamline.Env {
+		env, _ := buildDistWindowed(2, 2, 4_000, streamline.WithCheckpointing(backend, 15*time.Millisecond))
+		return env
+	})
+	if err := supEnv.ExecuteSupervised(ctx); err != nil {
+		t.Fatalf("supervised distributed run: %v", err)
+	}
+	wait() // the victim's error is the kill; the survivor exits nil
+
+	stats := supEnv.RestartStats()
+	if len(stats) == 0 {
+		t.Skip("job finished before the kill on this machine")
+	}
+	if stats[0].Workers != 1 {
+		t.Fatalf("first recovery ran with %d workers, want degradation onto the 1 survivor", stats[0].Workers)
+	}
+	for _, st := range stats {
+		if st.Downtime <= 0 {
+			t.Fatalf("restart %d has non-positive downtime: %+v", st.Attempt, st)
+		}
+	}
+	if got := renderWindows(supOut); got != want {
+		t.Fatalf("supervised recovery diverged from local run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
